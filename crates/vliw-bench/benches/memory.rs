@@ -1,0 +1,79 @@
+//! Criterion micro-benchmarks for the memory hierarchies: raw access
+//! throughput of each model under a streaming and a random pattern.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use vliw_machine::{
+    AccessHint, ClusterId, MachineConfig, MappingHint, MemHints, PrefetchHint,
+};
+use vliw_mem::{
+    MemRequest, MemoryModel, MultiVliwMem, UnifiedL1, UnifiedWithL0, WordInterleavedMem,
+};
+
+const N: u64 = 4096;
+
+fn stream_pattern(model: &mut dyn MemoryModel, hints: MemHints) {
+    for i in 0..N {
+        let c = ClusterId::new((i % 4) as usize);
+        model.access(&MemRequest::load(c, 0x1000 + i * 2, 2, hints, i * 2));
+    }
+}
+
+fn random_pattern(model: &mut dyn MemoryModel, hints: MemHints) {
+    let mut x = 0x2545F4914F6CDD1Du64;
+    for i in 0..N {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let c = ClusterId::new((i % 4) as usize);
+        model.access(&MemRequest::load(c, 0x1_0000 + (x % (1 << 20)), 2, hints, i * 2));
+    }
+}
+
+fn bench_models(c: &mut Criterion) {
+    let cfg = MachineConfig::micro2003();
+    let l0_hints = MemHints::new(AccessHint::SeqAccess)
+        .with_mapping(MappingHint::Linear)
+        .with_prefetch(PrefetchHint::Positive);
+    let plain = MemHints::no_access();
+
+    let mut g = c.benchmark_group("memory");
+    g.throughput(Throughput::Elements(N));
+    for pattern in ["stream", "random"] {
+        let run = |model: &mut dyn MemoryModel, hints: MemHints| match pattern {
+            "stream" => stream_pattern(model, hints),
+            _ => random_pattern(model, hints),
+        };
+        g.bench_function(BenchmarkId::new("unified-l1", pattern), |b| {
+            b.iter(|| {
+                let mut m = UnifiedL1::new(&cfg);
+                run(&mut m, plain);
+                m.stats().accesses
+            })
+        });
+        g.bench_function(BenchmarkId::new("unified-l0", pattern), |b| {
+            b.iter(|| {
+                let mut m = UnifiedWithL0::new(&cfg);
+                run(&mut m, l0_hints);
+                m.stats().accesses
+            })
+        });
+        g.bench_function(BenchmarkId::new("multivliw", pattern), |b| {
+            b.iter(|| {
+                let mut m = MultiVliwMem::new(&cfg);
+                run(&mut m, plain);
+                m.stats().accesses
+            })
+        });
+        g.bench_function(BenchmarkId::new("word-interleaved", pattern), |b| {
+            b.iter(|| {
+                let mut m = WordInterleavedMem::new(&cfg);
+                run(&mut m, plain);
+                m.stats().accesses
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

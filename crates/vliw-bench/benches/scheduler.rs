@@ -1,0 +1,43 @@
+//! Criterion micro-benchmarks for the modulo scheduler: end-to-end
+//! compile times for representative loop shapes on every target
+//! architecture.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vliw_ir::LoopBuilder;
+use vliw_machine::MachineConfig;
+use vliw_sched::{
+    compile_base, compile_for_l0, compile_interleaved, compile_multivliw, InterleavedHeuristic,
+};
+use vliw_workloads::kernels;
+
+fn bench_compile(c: &mut Criterion) {
+    let cfg = MachineConfig::micro2003();
+    let loops = [
+        ("elementwise", LoopBuilder::new("ew").trip_count(256).elementwise(2).build()),
+        ("fir8", LoopBuilder::new("fir").trip_count(256).fir(8, 2).build()),
+        ("adpcm", kernels::adpcm_predictor("adpcm", 256, 1)),
+        ("table4", kernels::table_lookup("tbl", 4, 1 << 16, 256, 1)),
+    ];
+
+    let mut g = c.benchmark_group("compile");
+    for (name, l) in &loops {
+        g.bench_with_input(BenchmarkId::new("base", name), l, |b, l| {
+            b.iter(|| compile_base(l, &cfg.without_l0()).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("l0", name), l, |b, l| {
+            b.iter(|| compile_for_l0(l, &cfg).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("multivliw", name), l, |b, l| {
+            b.iter(|| compile_multivliw(l, &cfg.without_l0()).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("interleaved2", name), l, |b, l| {
+            b.iter(|| {
+                compile_interleaved(l, &cfg.without_l0(), InterleavedHeuristic::Two).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_compile);
+criterion_main!(benches);

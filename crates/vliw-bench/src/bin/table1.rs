@@ -1,0 +1,44 @@
+//! Table 1: the benchmarks and their dynamic stride statistics —
+//! % strided accesses (S), good strides (SG), other strides (SO).
+
+use vliw_workloads::mediabench_suite;
+
+/// Paper values for side-by-side comparison.
+const PAPER: [(&str, u32, u32, u32); 13] = [
+    ("epicdec", 99, 66, 33),
+    ("g721dec", 100, 100, 0),
+    ("g721enc", 100, 100, 0),
+    ("gsmdec", 97, 97, 0),
+    ("gsmenc", 99, 99, 0),
+    ("jpegdec", 60, 39, 21),
+    ("jpegenc", 49, 40, 9),
+    ("mpeg2dec", 96, 42, 54),
+    ("pegwitdec", 50, 48, 2),
+    ("pegwitenc", 56, 54, 2),
+    ("pgpdec", 99, 98, 1),
+    ("pgpenc", 86, 86, 0),
+    ("rasta", 95, 87, 8),
+];
+
+fn main() {
+    println!("Table 1: benchmark stride statistics (measured | paper)");
+    println!(
+        "{:<11} {:>14} {:>14} {:>14}  {:>12}",
+        "bench", "S %", "SG %", "SO %", "dyn accesses"
+    );
+    for (spec, (name, s, sg, so)) in mediabench_suite().iter().zip(PAPER.iter()) {
+        assert_eq!(&spec.name, name);
+        let t = spec.table1_stats();
+        println!(
+            "{:<11} {:>6.1} | {:>4} {:>6.1} | {:>4} {:>6.1} | {:>4}  {:>12}",
+            spec.name,
+            t.strided_pct,
+            s,
+            t.good_pct,
+            sg,
+            t.other_pct,
+            so,
+            spec.dynamic_mem_accesses()
+        );
+    }
+}

@@ -1,0 +1,23 @@
+//! Table 2: the machine configuration.
+
+use vliw_machine::{MachineConfig, MultiVliwConfig, WordInterleavedConfig};
+
+fn main() {
+    println!("Table 2: configuration parameters\n");
+    println!("{}", MachineConfig::micro2003());
+    let mv = MultiVliwConfig::micro2003();
+    println!(
+        "\nMultiVLIW baseline     {}B banks/cluster, local {} cy, c2c {} cy, L2 {} cy",
+        mv.bank_bytes, mv.local_latency, mv.remote_latency, mv.l2_latency
+    );
+    let wi = WordInterleavedConfig::micro2003();
+    println!(
+        "Word-interleaved       {}B words, local {} cy, remote {} cy, L2 {} cy, {}-entry attraction buffers @ {} cy",
+        wi.word_bytes,
+        wi.local_latency,
+        wi.remote_latency,
+        wi.l2_latency,
+        wi.attraction_entries,
+        wi.attraction_latency
+    );
+}

@@ -1,0 +1,200 @@
+//! Experiment harness: runs the synthetic Mediabench suite over the four
+//! architectures and reproduces every table and figure of the paper.
+//!
+//! Each `--bin` target regenerates one artifact:
+//!
+//! | target | artifact |
+//! |---|---|
+//! | `table1` | Table 1 (benchmark stride statistics) |
+//! | `table2` | Table 2 (machine configuration) |
+//! | `fig5` | Figure 5 (execution time vs. L0 size, compute/stall split) |
+//! | `fig6` | Figure 6 (mapping mix, L0 hit rate, unroll factors) |
+//! | `fig7` | Figure 7 (L0 vs. MultiVLIW vs. word-interleaved) |
+//! | `ablation_selective` | §5.2 in-text: selective vs. all-candidates marking |
+//! | `ablation_prefetch` | §5.2 in-text: prefetch distance 2 |
+//! | `ablation_coherence` | §4.1: NL0 / 1C / PSR comparison |
+//! | `ablation_flush` | §4.1 future work: selective inter-loop flushing |
+//! | `sweep_clusters` | generality: N = 2/4/8 clusters |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use vliw_machine::MachineConfig;
+use vliw_sched::{
+    compile_base, compile_for_l0_with, compile_interleaved, compile_multivliw,
+    InterleavedHeuristic, L0Options, Schedule,
+};
+use vliw_sim::{
+    simulate_interleaved, simulate_multivliw, simulate_unified, simulate_unified_l0, SimResult,
+};
+use vliw_workloads::BenchmarkSpec;
+
+/// Which memory architecture a run targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Arch {
+    /// Unified L1, no L0 buffers (the normalization baseline).
+    Baseline,
+    /// Unified L1 + flexible compiler-managed L0 buffers.
+    L0,
+    /// MultiVLIW: distributed L1, MSI snoop coherence.
+    MultiVliw,
+    /// Word-interleaved cache, placement-blind scheduling.
+    Interleaved1,
+    /// Word-interleaved cache, owner-aware scheduling.
+    Interleaved2,
+}
+
+impl Arch {
+    /// Display name used in the printed tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Arch::Baseline => "baseline",
+            Arch::L0 => "L0 buffers",
+            Arch::MultiVliw => "MultiVLIW",
+            Arch::Interleaved1 => "Interleaved 1",
+            Arch::Interleaved2 => "Interleaved 2",
+        }
+    }
+}
+
+/// Compiles one loop for `arch`.
+///
+/// # Panics
+///
+/// Panics when the loop cannot be scheduled — the suite's loops are all
+/// schedulable by construction, so a failure is a harness bug.
+pub fn compile_loop(
+    loop_: &vliw_ir::LoopNest,
+    cfg: &MachineConfig,
+    arch: Arch,
+    opts: L0Options,
+) -> Schedule {
+    let r = match arch {
+        Arch::Baseline => compile_base(loop_, &cfg.without_l0()),
+        Arch::L0 => compile_for_l0_with(loop_, cfg, opts),
+        Arch::MultiVliw => compile_multivliw(loop_, &cfg.without_l0()),
+        Arch::Interleaved1 => {
+            compile_interleaved(loop_, &cfg.without_l0(), InterleavedHeuristic::One)
+        }
+        Arch::Interleaved2 => {
+            compile_interleaved(loop_, &cfg.without_l0(), InterleavedHeuristic::Two)
+        }
+    };
+    r.unwrap_or_else(|e| panic!("{}: cannot schedule {}: {e}", arch.label(), loop_.name))
+}
+
+/// Runs every loop of `spec` on `arch`, returning the merged loop-portion
+/// result (no scalar cycles).
+pub fn run_loops(spec: &BenchmarkSpec, cfg: &MachineConfig, arch: Arch, opts: L0Options) -> SimResult {
+    let mut merged = SimResult::default();
+    for loop_ in &spec.loops {
+        let schedule = compile_loop(loop_, cfg, arch, opts);
+        let r = match arch {
+            Arch::Baseline => simulate_unified(&schedule, cfg),
+            Arch::L0 => simulate_unified_l0(&schedule, cfg),
+            Arch::MultiVliw => simulate_multivliw(&schedule, cfg),
+            Arch::Interleaved1 | Arch::Interleaved2 => simulate_interleaved(&schedule, cfg),
+        };
+        merged.merge(&r);
+    }
+    merged
+}
+
+/// A fully-accounted benchmark execution: loop portion + the scalar
+/// (non-loop) cycles, which are identical across architectures.
+#[derive(Debug, Clone)]
+pub struct BenchRun {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Loop-portion result.
+    pub loops: SimResult,
+    /// Scalar cycles added on top (same for every architecture).
+    pub scalar_cycles: u64,
+}
+
+impl BenchRun {
+    /// Total cycles including the scalar portion.
+    pub fn total(&self) -> u64 {
+        self.loops.total_cycles() + self.scalar_cycles
+    }
+
+    /// Compute cycles including the scalar portion.
+    pub fn compute(&self) -> u64 {
+        self.loops.compute_cycles + self.scalar_cycles
+    }
+
+    /// Stall cycles (scalar code never stalls).
+    pub fn stall(&self) -> u64 {
+        self.loops.stall_cycles
+    }
+}
+
+/// Runs `spec` on `arch`, with the scalar portion sized from the
+/// *baseline* loop cycles (so every architecture adds the same scalar
+/// cycles, as in the paper).
+pub fn run_benchmark(
+    spec: &BenchmarkSpec,
+    cfg: &MachineConfig,
+    arch: Arch,
+    opts: L0Options,
+    baseline_loop_cycles: u64,
+) -> BenchRun {
+    let loops = run_loops(spec, cfg, arch, opts);
+    BenchRun {
+        name: spec.name,
+        loops,
+        scalar_cycles: spec.scalar_cycles_for(baseline_loop_cycles),
+    }
+}
+
+/// Convenience: baseline loop cycles for `spec` (used to size scalar code
+/// and to normalize).
+pub fn baseline_run(spec: &BenchmarkSpec, cfg: &MachineConfig) -> BenchRun {
+    let loops = run_loops(spec, cfg, Arch::Baseline, L0Options::default());
+    let scalar = spec.scalar_cycles_for(loops.total_cycles());
+    BenchRun { name: spec.name, loops, scalar_cycles: scalar }
+}
+
+/// Arithmetic mean (the paper's AMEAN bars).
+pub fn amean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Formats a ratio as the paper's normalized execution time.
+pub fn fmt_norm(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw_workloads::mediabench_suite;
+
+    #[test]
+    fn baseline_and_l0_run_one_benchmark() {
+        let suite = mediabench_suite();
+        let spec = &suite[1]; // g721dec
+        let cfg = MachineConfig::micro2003();
+        let base = baseline_run(spec, &cfg);
+        let l0 = run_benchmark(spec, &cfg, Arch::L0, L0Options::default(), base.loops.total_cycles());
+        assert!(base.total() > 0);
+        assert!(l0.total() > 0);
+        assert_eq!(base.scalar_cycles, l0.scalar_cycles, "same scalar region");
+        // g721's memory recurrences make it a strong L0 winner
+        assert!(
+            (l0.total() as f64) < base.total() as f64,
+            "L0 {} !< base {}",
+            l0.total(),
+            base.total()
+        );
+    }
+
+    #[test]
+    fn amean_is_arithmetic() {
+        assert!((amean(&[0.8, 1.0, 1.2]) - 1.0).abs() < 1e-12);
+        assert_eq!(amean(&[]), 0.0);
+    }
+}

@@ -1,0 +1,454 @@
+//! Construction of loop bodies.
+//!
+//! [`LoopBuilder`] provides both a low-level API (declare arrays, emit
+//! individual operations, wire dependences) and a set of kernel
+//! constructors for the loop shapes that dominate media workloads:
+//! element-wise maps, reductions, FIR-style windows, column walks,
+//! irregular table lookups, and in-place updates.
+//!
+//! Every built loop ends with realistic loop-control code: an induction
+//! update (`i++`) with a distance-1 self-recurrence and the loop-closing
+//! branch.
+
+use crate::loop_nest::{ArrayId, ArrayInfo, DepEdge, DepKind, LoopNest};
+use crate::op::{MemAccess, Op, OpId, OpKind, StridePattern, VirtReg};
+
+/// Builder for [`LoopNest`] values.
+///
+/// ```
+/// use vliw_ir::LoopBuilder;
+///
+/// let l = LoopBuilder::new("dot")
+///     .trip_count(512)
+///     .visits(4)
+///     .reduction(4)
+///     .build();
+/// l.validate().unwrap();
+/// assert!(l.ops.iter().any(|o| o.is_load()));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LoopBuilder {
+    name: String,
+    ops: Vec<Op>,
+    edges: Vec<DepEdge>,
+    arrays: Vec<ArrayInfo>,
+    trip_count: u64,
+    visits: u64,
+    next_reg: u32,
+    next_base: u64,
+    emit_loop_control: bool,
+}
+
+impl LoopBuilder {
+    /// Starts a new loop named `name` with a default trip count of 256.
+    pub fn new(name: impl Into<String>) -> Self {
+        LoopBuilder {
+            name: name.into(),
+            ops: Vec::new(),
+            edges: Vec::new(),
+            arrays: Vec::new(),
+            trip_count: 256,
+            visits: 1,
+            next_reg: 0,
+            next_base: 0x1_0000,
+            emit_loop_control: true,
+        }
+    }
+
+    /// Sets the per-visit iteration count.
+    pub fn trip_count(mut self, n: u64) -> Self {
+        self.trip_count = n;
+        self
+    }
+
+    /// Sets how many times the loop is re-entered (outer-loop visits).
+    pub fn visits(mut self, n: u64) -> Self {
+        self.visits = n;
+        self
+    }
+
+    /// Disables the automatic induction + branch loop-control ops (useful
+    /// for minimal unit-test graphs).
+    pub fn without_loop_control(mut self) -> Self {
+        self.emit_loop_control = false;
+        self
+    }
+
+    /// Declares an array of `size_bytes` and returns its id. Arrays are
+    /// laid out contiguously with guard gaps so they never overlap, and
+    /// bases are staggered by 17 cache blocks so that co-resident arrays
+    /// spread over the L1 sets instead of colliding way-for-way (the
+    /// "smart data layout" §3.3 assumes; real allocators/compilers pad the
+    /// same way).
+    pub fn array(&mut self, name: impl Into<String>, size_bytes: u64) -> ArrayId {
+        let id = ArrayId(self.arrays.len() as u32);
+        let base = self.next_base;
+        self.next_base += size_bytes.next_multiple_of(4096) + 4096 + 17 * 32;
+        self.arrays.push(ArrayInfo { id, name: name.into(), base_addr: base, size_bytes });
+        id
+    }
+
+    fn fresh_reg(&mut self) -> VirtReg {
+        let r = VirtReg(self.next_reg);
+        self.next_reg += 1;
+        r
+    }
+
+    fn push(&mut self, kind: OpKind, reads: Vec<VirtReg>, writes: Option<VirtReg>) -> OpId {
+        let id = OpId(self.ops.len() as u32);
+        self.ops.push(Op { id, kind, reads, writes, origin: None });
+        id
+    }
+
+    /// Emits a load and returns `(op, destination register)`.
+    pub fn load(&mut self, access: MemAccess) -> (OpId, VirtReg) {
+        let r = self.fresh_reg();
+        let id = self.push(OpKind::Load(access), vec![], Some(r));
+        (id, r)
+    }
+
+    /// Emits a store of `value`, wiring the register flow edge from the
+    /// producer of `value` (if it is produced inside the loop).
+    pub fn store(&mut self, access: MemAccess, value: VirtReg) -> OpId {
+        let producer = self.writer_of(value);
+        let id = self.push(OpKind::Store(access), vec![value], None);
+        if let Some(src) = producer {
+            self.edges.push(DepEdge { src, dst: id, kind: DepKind::Reg, distance: 0 });
+        }
+        id
+    }
+
+    /// Emits an ALU-class op reading `inputs`, returns `(op, result)`.
+    pub fn alu(&mut self, kind: OpKind, inputs: &[VirtReg]) -> (OpId, VirtReg) {
+        debug_assert!(
+            !kind.is_mem() && !matches!(kind, OpKind::Branch),
+            "use load/store/branch helpers"
+        );
+        let r = self.fresh_reg();
+        let id = self.push(kind, inputs.to_vec(), Some(r));
+        // Register flow edges from each producer.
+        for &input in inputs {
+            if let Some(src) = self.writer_of(input) {
+                self.edges.push(DepEdge { src, dst: id, kind: DepKind::Reg, distance: 0 });
+            }
+        }
+        (id, r)
+    }
+
+    fn writer_of(&self, reg: VirtReg) -> Option<OpId> {
+        self.ops.iter().find(|o| o.writes == Some(reg)).map(|o| o.id)
+    }
+
+    /// Adds a register flow edge (used by kernels after the fact; the
+    /// `alu`/`store` helpers add intra-iteration edges automatically).
+    pub fn dep_reg(&mut self, src: OpId, dst: OpId, distance: u32) -> &mut Self {
+        self.edges.push(DepEdge { src, dst, kind: DepKind::Reg, distance });
+        self
+    }
+
+    /// Adds a memory dependence edge.
+    pub fn dep_mem(&mut self, src: OpId, dst: OpId, distance: u32, conservative: bool) -> &mut Self {
+        self.edges.push(DepEdge { src, dst, kind: DepKind::Mem { conservative }, distance });
+        self
+    }
+
+    /// Adds a reduction self-recurrence on `op` (accumulator carried to the
+    /// next iteration). Unrolling splits these into independent partials.
+    pub fn reduction_edge(&mut self, op: OpId) -> &mut Self {
+        self.edges.push(DepEdge { src: op, dst: op, kind: DepKind::Reduction, distance: 1 });
+        self
+    }
+
+    /// Connects every store to every other memory op with *conservative*
+    /// memory dependences — the "compiler could not disambiguate anything"
+    /// worst case that code specialization \[4\] later removes.
+    pub fn conservative_alias_all(&mut self) -> &mut Self {
+        let mems: Vec<OpId> = self.ops.iter().filter(|o| o.kind.is_mem()).map(|o| o.id).collect();
+        let stores: Vec<OpId> = self.ops.iter().filter(|o| o.is_store()).map(|o| o.id).collect();
+        for &s in &stores {
+            for &m in &mems {
+                if s == m {
+                    continue;
+                }
+                let (src, dst, dist) = if s.index() < m.index() { (s, m, 0) } else { (s, m, 1) };
+                self.edges.push(DepEdge {
+                    src,
+                    dst,
+                    kind: DepKind::Mem { conservative: true },
+                    distance: dist,
+                });
+            }
+        }
+        self
+    }
+
+    // ------------------------------------------------------------------
+    // Kernels
+    // ------------------------------------------------------------------
+
+    /// `a[i] = b[i] + C` over `elem_bytes`-sized elements: the motivating
+    /// example of §3.1. Good unit strides on both arrays.
+    pub fn elementwise(mut self, elem_bytes: u8) -> Self {
+        let n = self.trip_count * elem_bytes as u64;
+        let b = self.array("b", n);
+        let a = self.array("a", n);
+        let (_, vb) = self.load(MemAccess::unit(b, elem_bytes, 0));
+        let (_, vsum) = self.alu(OpKind::IntAlu, &[vb]);
+        self.store(MemAccess::unit(a, elem_bytes, 0), vsum);
+        self
+    }
+
+    /// `acc += a[i] * b[i]`: a dot-product with a reduction recurrence.
+    pub fn reduction(mut self, elem_bytes: u8) -> Self {
+        let n = self.trip_count * elem_bytes as u64;
+        let a = self.array("a", n);
+        let b = self.array("b", n);
+        let (_, va) = self.load(MemAccess::unit(a, elem_bytes, 0));
+        let (_, vb) = self.load(MemAccess::unit(b, elem_bytes, 0));
+        let (_, vm) = self.alu(OpKind::IntMul, &[va, vb]);
+        let (acc, _) = self.alu(OpKind::IntAlu, &[vm]);
+        self.reduction_edge(acc);
+        self
+    }
+
+    /// An FIR-style sliding window: `out[i] = Σ_k coef[k]·in[i+k]` with
+    /// `taps` unrolled taps reading `in[i..i+taps]`.
+    pub fn fir(mut self, taps: usize, elem_bytes: u8) -> Self {
+        let n = (self.trip_count + taps as u64) * elem_bytes as u64;
+        let input = self.array("in", n);
+        let out = self.array("out", self.trip_count * elem_bytes as u64);
+        let mut partial: Option<VirtReg> = None;
+        for k in 0..taps {
+            let (_, v) = self.load(MemAccess::unit(input, elem_bytes, (k * elem_bytes as usize) as i64));
+            let (_, m) = self.alu(OpKind::IntMul, &[v]);
+            partial = Some(match partial {
+                None => m,
+                Some(p) => self.alu(OpKind::IntAlu, &[p, m]).1,
+            });
+        }
+        let v = partial.expect("taps >= 1");
+        self.store(MemAccess::unit(out, elem_bytes, 0), v);
+        self
+    }
+
+    /// A column walk over a row-major matrix: stride = `row_bytes` per
+    /// iteration — a strided access that is *not* a "good" stride, so the
+    /// scheduler must insert explicit prefetches for it (§4.3, step 5).
+    pub fn column_walk(mut self, elem_bytes: u8, row_bytes: u64) -> Self {
+        let m = self.array("matrix", row_bytes * self.trip_count);
+        let out = self.array("out", self.trip_count * elem_bytes as u64);
+        let acc = MemAccess {
+            array: m,
+            offset_bytes: 0,
+            elem_bytes,
+            stride: StridePattern::Affine { stride_bytes: row_bytes as i64 },
+        };
+        let (_, v) = self.load(acc);
+        let (_, r) = self.alu(OpKind::IntAlu, &[v]);
+        self.store(MemAccess::unit(out, elem_bytes, 0), r);
+        self
+    }
+
+    /// A data-dependent table lookup: `out[i] = tbl[f(x[i])]` where the
+    /// table access has no static stride.
+    pub fn irregular(mut self, elem_bytes: u8, table_span: u64) -> Self {
+        let x = self.array("x", self.trip_count * elem_bytes as u64);
+        let tbl = self.array("tbl", table_span);
+        let out = self.array("out", self.trip_count * elem_bytes as u64);
+        let (_, vx) = self.load(MemAccess::unit(x, elem_bytes, 0));
+        let (_, vi) = self.alu(OpKind::IntAlu, &[vx]);
+        let lookup = MemAccess {
+            array: tbl,
+            offset_bytes: 0,
+            elem_bytes,
+            stride: StridePattern::Irregular { span_bytes: table_span },
+        };
+        let (ld, vt) = self.load(lookup);
+        // the lookup address depends on vi
+        if let Some(src) = self.writer_of(vi) {
+            self.edges.push(DepEdge { src, dst: ld, kind: DepKind::Reg, distance: 0 });
+        }
+        let (_, vr) = self.alu(OpKind::IntAlu, &[vt]);
+        self.store(MemAccess::unit(out, elem_bytes, 0), vr);
+        self
+    }
+
+    /// An in-place update `a[i] = g(a[i], a[i-1])`: a genuinely
+    /// memory-dependent load/store set with a loop-carried distance-1
+    /// dependence (store feeds the next iteration's load).
+    pub fn store_load_pair(mut self, elem_bytes: u8) -> Self {
+        let n = (self.trip_count + 1) * elem_bytes as u64;
+        let a = self.array("a", n);
+        // load a[i-1] (written by previous iteration's store)
+        let (ld_prev, vp) = self.load(MemAccess::unit(a, elem_bytes, -(elem_bytes as i64)));
+        let (ld_cur, vc) = self.load(MemAccess::unit(a, elem_bytes, 0));
+        let (_, vr) = self.alu(OpKind::IntAlu, &[vp, vc]);
+        let st = self.store(MemAccess::unit(a, elem_bytes, 0), vr);
+        // true memory dependences: store -> next iteration's a[i-1] load;
+        // same-iteration load must precede the store (anti, distance 0).
+        self.dep_mem(st, ld_prev, 1, false);
+        self.dep_mem(ld_cur, st, 0, false);
+        self
+    }
+
+    /// A three-point stencil `out[i] = a[i-1] + a[i] + a[i+1]`.
+    pub fn stencil3(mut self, elem_bytes: u8) -> Self {
+        let e = elem_bytes as i64;
+        let n = (self.trip_count + 2) * elem_bytes as u64;
+        let a = self.array("a", n);
+        let out = self.array("out", self.trip_count * elem_bytes as u64);
+        let (_, v0) = self.load(MemAccess::unit(a, elem_bytes, 0));
+        let (_, v1) = self.load(MemAccess::unit(a, elem_bytes, e));
+        let (_, v2) = self.load(MemAccess::unit(a, elem_bytes, 2 * e));
+        let (_, s0) = self.alu(OpKind::IntAlu, &[v0, v1]);
+        let (_, s1) = self.alu(OpKind::IntAlu, &[s0, v2]);
+        self.store(MemAccess::unit(out, elem_bytes, 0), s1);
+        self
+    }
+
+    /// Adds `n` independent integer ALU ops (models scalar overhead inside
+    /// the loop body and lets workloads tune the memory/compute ratio).
+    pub fn int_overhead(mut self, n: usize) -> Self {
+        for _ in 0..n {
+            self.alu(OpKind::IntAlu, &[]);
+        }
+        self
+    }
+
+    /// Adds `n` independent FP ALU ops.
+    pub fn fp_overhead(mut self, n: usize) -> Self {
+        for _ in 0..n {
+            self.alu(OpKind::FpAlu, &[]);
+        }
+        self
+    }
+
+    /// Finishes the loop: appends loop-control ops (unless disabled) and
+    /// validates the result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the constructed loop violates IR invariants — that is a
+    /// bug in the kernel construction code, not a runtime condition.
+    pub fn build(mut self) -> LoopNest {
+        if self.emit_loop_control {
+            let (ind, vi) = self.alu(OpKind::IntAlu, &[]);
+            self.reduction_edge(ind); // induction i = i + 1, carried
+            let br = self.push(OpKind::Branch, vec![vi], None);
+            self.edges.push(DepEdge { src: ind, dst: br, kind: DepKind::Reg, distance: 0 });
+        }
+        let nest = LoopNest {
+            name: self.name,
+            ops: self.ops,
+            edges: self.edges,
+            arrays: self.arrays,
+            trip_count: self.trip_count,
+            visits: self.visits,
+            unroll_factor: 1,
+        };
+        if let Err(e) = nest.validate() {
+            panic!("LoopBuilder produced invalid IR for {}: {e}", nest.name);
+        }
+        nest
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elementwise_shape() {
+        let l = LoopBuilder::new("ew").trip_count(64).elementwise(2).build();
+        assert_eq!(l.mem_ops().count(), 2);
+        assert_eq!(l.count_ops(|k| matches!(k, OpKind::Branch)), 1);
+        // induction + branch + 1 alu
+        assert_eq!(l.count_ops(|k| matches!(k, OpKind::IntAlu)), 2);
+    }
+
+    #[test]
+    fn reduction_has_self_edge() {
+        let l = LoopBuilder::new("dot").reduction(4).build();
+        assert!(l
+            .edges
+            .iter()
+            .any(|e| e.kind == DepKind::Reduction && e.src == e.dst && e.distance == 1));
+    }
+
+    #[test]
+    fn fir_tap_count() {
+        let l = LoopBuilder::new("fir").fir(4, 2).build();
+        assert_eq!(l.ops.iter().filter(|o| o.is_load()).count(), 4);
+        assert_eq!(l.ops.iter().filter(|o| o.is_store()).count(), 1);
+    }
+
+    #[test]
+    fn column_walk_has_other_stride() {
+        let l = LoopBuilder::new("col").column_walk(4, 1024).build();
+        let ld = l.ops.iter().find(|o| o.is_load()).unwrap();
+        let acc = ld.kind.mem_access().unwrap();
+        assert_eq!(acc.stride_elems(), Some(256));
+    }
+
+    #[test]
+    fn irregular_is_not_strided() {
+        let l = LoopBuilder::new("irr").irregular(4, 1 << 16).build();
+        let irregular_loads = l
+            .ops
+            .iter()
+            .filter(|o| {
+                o.is_load()
+                    && !o.kind.mem_access().unwrap().stride.is_strided()
+            })
+            .count();
+        assert_eq!(irregular_loads, 1);
+    }
+
+    #[test]
+    fn store_load_pair_has_true_mem_deps() {
+        let l = LoopBuilder::new("slp").store_load_pair(4).build();
+        let carried = l
+            .mem_edges()
+            .filter(|e| e.distance == 1 && e.kind == DepKind::Mem { conservative: false })
+            .count();
+        assert_eq!(carried, 1);
+    }
+
+    #[test]
+    fn conservative_alias_connects_stores_to_everything() {
+        let mut b = LoopBuilder::new("cons").trip_count(16);
+        let a = b.array("a", 64);
+        let c = b.array("c", 64);
+        let (_, v) = b.load(MemAccess::unit(a, 4, 0));
+        b.store(MemAccess::unit(c, 4, 0), v);
+        b.conservative_alias_all();
+        let l = b.build();
+        let cons = l
+            .mem_edges()
+            .filter(|e| matches!(e.kind, DepKind::Mem { conservative: true }))
+            .count();
+        assert_eq!(cons, 1); // 1 store × 1 other mem op
+    }
+
+    #[test]
+    fn arrays_do_not_overlap() {
+        let mut b = LoopBuilder::new("arrays");
+        let x = b.array("x", 10_000);
+        let y = b.array("y", 64);
+        let (xa, ya) = {
+            let l = {
+                let (_, v) = b.load(MemAccess::unit(x, 4, 0));
+                b.store(MemAccess::unit(y, 4, 0), v);
+                b.build()
+            };
+            (l.array(x).clone(), l.array(y).clone())
+        };
+        assert!(xa.base_addr + xa.size_bytes <= ya.base_addr);
+    }
+
+    #[test]
+    fn loop_control_can_be_disabled() {
+        let l = LoopBuilder::new("bare").without_loop_control().elementwise(4).build();
+        assert_eq!(l.count_ops(|k| matches!(k, OpKind::Branch)), 0);
+    }
+}

@@ -1,0 +1,331 @@
+//! The data-dependence graph and its timing analyses.
+//!
+//! Modulo scheduling needs three things from the DDG:
+//!
+//! * the recurrence-constrained minimum initiation interval (**RecMII**):
+//!   the smallest II such that no dependence cycle is over-constrained,
+//! * **ASAP/ALAP** times for every node under a candidate II, and
+//! * the **slack** of each node (ALAP − ASAP), which the paper uses as the
+//!   criticality measure when deciding which memory instructions get the
+//!   L0 latency (§4.3, step ➋).
+
+use crate::loop_nest::{DepEdge, DepKind, LoopNest};
+use crate::op::OpId;
+
+/// Timing information for every operation under a candidate II.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Timing {
+    /// Earliest start cycle of each op (indexed by [`OpId::index`]).
+    pub asap: Vec<i64>,
+    /// Latest start cycle of each op.
+    pub alap: Vec<i64>,
+}
+
+impl Timing {
+    /// Slack of `op`: the paper's criticality measure. Zero slack means the
+    /// op sits on a critical path.
+    pub fn slack(&self, op: OpId) -> i64 {
+        self.alap[op.index()] - self.asap[op.index()]
+    }
+
+    /// Length of the critical path (`max(asap + 0)` over all ops plus one
+    /// scheduling slot).
+    pub fn critical_path(&self) -> i64 {
+        self.asap.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// A data-dependence graph over one loop body.
+///
+/// The graph borrows nothing from the loop: it copies the edges so the
+/// scheduler can keep using it while transforming op latencies.
+#[derive(Debug, Clone)]
+pub struct DataDepGraph {
+    n: usize,
+    edges: Vec<DepEdge>,
+    succs: Vec<Vec<usize>>,
+    preds: Vec<Vec<usize>>,
+}
+
+impl DataDepGraph {
+    /// Builds the DDG of `loop_`.
+    pub fn build(loop_: &LoopNest) -> Self {
+        let n = loop_.ops.len();
+        let edges: Vec<DepEdge> = loop_.edges.clone();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for (i, e) in edges.iter().enumerate() {
+            succs[e.src.index()].push(i);
+            preds[e.dst.index()].push(i);
+        }
+        DataDepGraph { n, edges, succs, preds }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The edges of the graph.
+    pub fn edges(&self) -> &[DepEdge] {
+        &self.edges
+    }
+
+    /// Edges leaving `op`.
+    pub fn succ_edges(&self, op: OpId) -> impl Iterator<Item = &DepEdge> {
+        self.succs[op.index()].iter().map(move |&i| &self.edges[i])
+    }
+
+    /// Edges entering `op`.
+    pub fn pred_edges(&self, op: OpId) -> impl Iterator<Item = &DepEdge> {
+        self.preds[op.index()].iter().map(move |&i| &self.edges[i])
+    }
+
+    /// Latency contributed by an edge: the producer latency for register
+    /// and reduction edges, 1 cycle of ordering for memory edges.
+    fn edge_latency(e: &DepEdge, lat: &impl Fn(OpId) -> u32) -> i64 {
+        match e.kind {
+            DepKind::Mem { .. } => 1,
+            DepKind::Reg | DepKind::Reduction => lat(e.src) as i64,
+        }
+    }
+
+    /// Longest-path relaxation of `start(dst) ≥ start(src) + lat − II·dist`.
+    /// Returns `None` if a positive cycle exists (II infeasible).
+    fn relax(&self, ii: i64, lat: &impl Fn(OpId) -> u32) -> Option<Vec<i64>> {
+        let mut time = vec![0i64; self.n];
+        // Bellman-Ford over at most n rounds; one extra round detects
+        // positive cycles.
+        for round in 0..=self.n {
+            let mut changed = false;
+            for e in &self.edges {
+                let w = Self::edge_latency(e, lat) - ii * e.distance as i64;
+                let cand = time[e.src.index()] + w;
+                if cand > time[e.dst.index()] {
+                    time[e.dst.index()] = cand;
+                    changed = true;
+                }
+            }
+            if !changed {
+                return Some(time);
+            }
+            if round == self.n {
+                return None;
+            }
+        }
+        Some(time)
+    }
+
+    /// The recurrence-constrained MII: the smallest II under which every
+    /// dependence cycle fits. Loops without recurrences have RecMII = 1.
+    pub fn rec_mii(&self, lat: impl Fn(OpId) -> u32) -> u32 {
+        // Upper bound: the total latency of all edges always breaks every
+        // cycle (each cycle has distance >= 1).
+        let mut hi: i64 =
+            self.edges.iter().map(|e| Self::edge_latency(e, &lat)).sum::<i64>().max(1);
+        let mut lo: i64 = 1;
+        if self.relax(hi, &lat).is_none() {
+            // Pathological: should not happen, but avoid an infinite loop.
+            return hi as u32;
+        }
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.relax(mid, &lat).is_some() {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        lo as u32
+    }
+
+    /// ASAP/ALAP times under candidate `ii`.
+    ///
+    /// Returns `None` when `ii` is below the RecMII (a dependence cycle
+    /// cannot be satisfied).
+    pub fn asap_alap(&self, ii: u32, lat: impl Fn(OpId) -> u32) -> Option<Timing> {
+        let ii = ii as i64;
+        let asap = self.relax(ii, &lat)?;
+        // ALAP: anchor at the latest start time on the critical path and
+        // subtract the longest start-to-start path from each node to any
+        // sink (same edge weights as the forward pass).
+        let latest_start = asap.iter().copied().max().unwrap_or(0);
+        let mut tail = vec![0i64; self.n];
+        for round in 0..=self.n {
+            let mut changed = false;
+            for e in &self.edges {
+                let w = Self::edge_latency(e, &lat) - ii * e.distance as i64;
+                let cand = tail[e.dst.index()] + w;
+                if cand > tail[e.src.index()] {
+                    tail[e.src.index()] = cand;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+            if round == self.n {
+                return None;
+            }
+        }
+        let alap: Vec<i64> = (0..self.n).map(|i| latest_start - tail[i]).collect();
+        Some(Timing { asap, alap })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::LoopBuilder;
+    use crate::loop_nest::LoopNest;
+    use crate::op::{Op, OpKind, VirtReg};
+
+    /// chain: n0 -> n1 -> n2, all latency 1, no recurrence
+    fn chain() -> LoopNest {
+        let mk = |id: u32, reads: Vec<u32>, w: u32| Op {
+            id: OpId(id),
+            kind: OpKind::IntAlu,
+            reads: reads.into_iter().map(VirtReg).collect(),
+            writes: Some(VirtReg(w)),
+            origin: None,
+        };
+        LoopNest {
+            name: "chain".into(),
+            ops: vec![mk(0, vec![], 0), mk(1, vec![0], 1), mk(2, vec![1], 2)],
+            edges: vec![
+                DepEdge { src: OpId(0), dst: OpId(1), kind: DepKind::Reg, distance: 0 },
+                DepEdge { src: OpId(1), dst: OpId(2), kind: DepKind::Reg, distance: 0 },
+            ],
+            arrays: vec![],
+            trip_count: 10,
+            visits: 1,
+            unroll_factor: 1,
+        }
+    }
+
+    #[test]
+    fn chain_has_recmii_one() {
+        let l = chain();
+        let g = DataDepGraph::build(&l);
+        assert_eq!(g.rec_mii(|op| l.op(op).default_latency()), 1);
+    }
+
+    #[test]
+    fn chain_asap_is_cumulative_latency() {
+        let l = chain();
+        let g = DataDepGraph::build(&l);
+        let t = g.asap_alap(1, |op| l.op(op).default_latency()).unwrap();
+        assert_eq!(t.asap, vec![0, 1, 2]);
+        // Last op is critical; all slacks zero on a pure chain.
+        for i in 0..3 {
+            assert_eq!(t.slack(OpId(i)), 0, "op {i}");
+        }
+    }
+
+    #[test]
+    fn recurrence_forces_ii() {
+        // n0 -> n1 (lat 3 via IntMul), n1 -> n0 distance 1 (recurrence of
+        // total latency 3+3=6 over distance 2 is NOT this; here distance 1
+        // and total latency 1+3: RecMII = ceil((1+3)/1) = 4.
+        let mk = |id: u32, kind: OpKind| Op {
+            id: OpId(id),
+            kind,
+            reads: vec![],
+            writes: Some(VirtReg(id)),
+            origin: None,
+        };
+        let l = LoopNest {
+            name: "rec".into(),
+            ops: vec![mk(0, OpKind::IntAlu), mk(1, OpKind::IntMul)],
+            edges: vec![
+                DepEdge { src: OpId(0), dst: OpId(1), kind: DepKind::Reg, distance: 0 },
+                DepEdge { src: OpId(1), dst: OpId(0), kind: DepKind::Reg, distance: 1 },
+            ],
+            arrays: vec![],
+            trip_count: 10,
+            visits: 1,
+            unroll_factor: 1,
+        };
+        let g = DataDepGraph::build(&l);
+        let lat = |op: OpId| l.op(op).default_latency();
+        assert_eq!(g.rec_mii(lat), 4);
+        assert!(g.asap_alap(3, lat).is_none());
+        assert!(g.asap_alap(4, lat).is_some());
+    }
+
+    #[test]
+    fn bigger_ii_increases_slack_of_offpath_nodes() {
+        // diamond: n0 -> {n1, n2} -> n3 where n1 is slow (FpDiv, 8) and n2
+        // fast (IntAlu, 1): n2 has slack 7.
+        let mk = |id: u32, kind: OpKind| Op {
+            id: OpId(id),
+            kind,
+            reads: vec![],
+            writes: Some(VirtReg(id)),
+            origin: None,
+        };
+        let l = LoopNest {
+            name: "diamond".into(),
+            ops: vec![
+                mk(0, OpKind::IntAlu),
+                mk(1, OpKind::FpDiv),
+                mk(2, OpKind::IntAlu),
+                mk(3, OpKind::IntAlu),
+            ],
+            edges: vec![
+                DepEdge { src: OpId(0), dst: OpId(1), kind: DepKind::Reg, distance: 0 },
+                DepEdge { src: OpId(0), dst: OpId(2), kind: DepKind::Reg, distance: 0 },
+                DepEdge { src: OpId(1), dst: OpId(3), kind: DepKind::Reg, distance: 0 },
+                DepEdge { src: OpId(2), dst: OpId(3), kind: DepKind::Reg, distance: 0 },
+            ],
+            arrays: vec![],
+            trip_count: 10,
+            visits: 1,
+            unroll_factor: 1,
+        };
+        let g = DataDepGraph::build(&l);
+        let t = g.asap_alap(2, |op| l.op(op).default_latency()).unwrap();
+        assert_eq!(t.slack(OpId(1)), 0);
+        assert_eq!(t.slack(OpId(2)), 7);
+        assert_eq!(t.slack(OpId(0)), 0);
+        assert_eq!(t.slack(OpId(3)), 0);
+    }
+
+    #[test]
+    fn mem_edges_contribute_unit_latency() {
+        // st -> ld memory ordering edge: the load starts 1 cycle after the
+        // store regardless of the latency function (which says 6).
+        use crate::op::MemAccess;
+        let mut b = LoopBuilder::new("st-ld").trip_count(8).without_loop_control();
+        let a = b.array("a", 64);
+        let (_, v) = b.load(MemAccess::unit(a, 4, 0));
+        let st = b.store(MemAccess::unit(a, 4, 4), v);
+        let (ld2, _) = b.load(MemAccess::unit(a, 4, 4));
+        b.dep_mem(st, ld2, 0, false);
+        let l = b.build();
+        let g = DataDepGraph::build(&l);
+        let t = g.asap_alap(4, |_| 6).unwrap();
+        assert_eq!(t.asap[ld2.index()], t.asap[st.index()] + 1);
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let l = LoopNest {
+            name: "empty".into(),
+            ops: vec![],
+            edges: vec![],
+            arrays: vec![],
+            trip_count: 1,
+            visits: 1,
+            unroll_factor: 1,
+        };
+        let g = DataDepGraph::build(&l);
+        assert!(g.is_empty());
+        assert_eq!(g.rec_mii(|_| 1), 1);
+    }
+}

@@ -1,0 +1,59 @@
+//! Loop intermediate representation for the clustered-VLIW L0-buffer
+//! compiler.
+//!
+//! This crate plays the role the IMPACT compiler infrastructure plays in
+//! the paper: it represents innermost loops as lists of operations with
+//! explicit register and memory dependences, and provides the analyses the
+//! scheduling algorithm of §4 consumes:
+//!
+//! * [`LoopNest`] — an innermost loop: operations, virtual registers,
+//!   symbolic arrays, dependence edges with iteration distances.
+//! * [`DataDepGraph`] — the DDG over one loop body; ASAP/ALAP/slack under a
+//!   candidate II, and the recurrence-constrained minimum initiation
+//!   interval (RecMII).
+//! * [`depsets`] — the *memory-dependent sets* `Si` of §4.1, built with a
+//!   union–find over memory dependence edges.
+//! * [`stride`] — static stride classification: *good* strides (0/±1
+//!   elements) vs. *other* strides vs. non-strided, as in Table 1.
+//! * [`mod@unroll`] — loop unrolling by the cluster count (step 1 of the
+//!   scheduling algorithm), with reduction splitting.
+//! * [`mod@specialize`] — code specialization \[4\]: drops conservative memory
+//!   dependences when a runtime check allows the aggressive loop version.
+//! * [`addr`] — deterministic address streams for the simulator.
+//!
+//! # Example
+//!
+//! ```
+//! use vliw_ir::{LoopBuilder, DataDepGraph};
+//!
+//! // for (i..) a[i] = b[i] + C  on 2-byte elements
+//! let l = LoopBuilder::new("example").trip_count(256).elementwise(2).build();
+//! assert_eq!(l.mem_ops().count(), 2); // one load, one store
+//!
+//! let ddg = DataDepGraph::build(&l);
+//! // elementwise code has no recurrence other than the trivial ones
+//! assert!(ddg.rec_mii(|op| l.op(op).default_latency()) <= 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod builder;
+pub mod ddg;
+pub mod depsets;
+pub mod loop_nest;
+pub mod op;
+pub mod specialize;
+pub mod stride;
+pub mod unroll;
+
+pub use addr::AddressStream;
+pub use builder::LoopBuilder;
+pub use ddg::DataDepGraph;
+pub use depsets::MemDepSets;
+pub use loop_nest::{ArrayId, ArrayInfo, DepEdge, DepKind, LoopNest};
+pub use op::{MemAccess, Op, OpId, OpKind, StridePattern, VirtReg};
+pub use specialize::specialize;
+pub use stride::StrideClass;
+pub use unroll::unroll;

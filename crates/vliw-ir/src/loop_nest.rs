@@ -1,0 +1,293 @@
+//! Innermost loops: operations, arrays, dependence edges.
+
+use crate::op::{Op, OpId, OpKind, VirtReg};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a symbolic array (a distinct base address).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ArrayId(pub u32);
+
+impl fmt::Display for ArrayId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "arr{}", self.0)
+    }
+}
+
+/// A symbolic array the loop walks.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArrayInfo {
+    /// Identity.
+    pub id: ArrayId,
+    /// Human-readable name for diagnostics.
+    pub name: String,
+    /// Base address in the simulated address space. The workload generator
+    /// places arrays so they do not overlap.
+    pub base_addr: u64,
+    /// Extent in bytes (drives wrap-around of long-running streams so the
+    /// working set stays at the intended size).
+    pub size_bytes: u64,
+}
+
+/// Kind of a dependence edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DepKind {
+    /// Register flow dependence: `dst` reads the value `src` writes.
+    Reg,
+    /// Memory dependence between two memory operations that may touch the
+    /// same location (output of memory disambiguation).
+    Mem {
+        /// `true` when the dependence is an artifact of conservative
+        /// disambiguation and can be removed by code specialization \[4\].
+        conservative: bool,
+    },
+    /// A reduction recurrence (e.g. an accumulator). Splittable by
+    /// unrolling into per-copy partial results.
+    Reduction,
+}
+
+impl DepKind {
+    /// `true` for memory dependences.
+    pub fn is_mem(self) -> bool {
+        matches!(self, DepKind::Mem { .. })
+    }
+}
+
+/// A dependence edge of the loop body.
+///
+/// `distance` is the iteration distance: 0 for intra-iteration dependences,
+/// ≥ 1 for loop-carried ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DepEdge {
+    /// Producer / earlier operation.
+    pub src: OpId,
+    /// Consumer / later operation.
+    pub dst: OpId,
+    /// Edge kind.
+    pub kind: DepKind,
+    /// Iteration distance.
+    pub distance: u32,
+}
+
+/// An innermost loop in compiler IR, ready for modulo scheduling.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoopNest {
+    /// Diagnostic name.
+    pub name: String,
+    /// Operations in program order.
+    pub ops: Vec<Op>,
+    /// Dependence edges (register, memory and reduction).
+    pub edges: Vec<DepEdge>,
+    /// Arrays referenced by the memory operations.
+    pub arrays: Vec<ArrayInfo>,
+    /// Number of iterations the loop executes per visit.
+    pub trip_count: u64,
+    /// How many times this visit repeats (outer-loop re-entries); each
+    /// visit pays prologue/epilogue and the inter-loop buffer invalidation.
+    pub visits: u64,
+    /// Unroll factor already applied to the body (1 = not unrolled).
+    pub unroll_factor: usize,
+}
+
+impl LoopNest {
+    /// Looks up an operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this loop.
+    pub fn op(&self, id: OpId) -> &Op {
+        &self.ops[id.index()]
+    }
+
+    /// Iterates over the loop's load and store operations.
+    pub fn mem_ops(&self) -> impl Iterator<Item = &Op> {
+        self.ops.iter().filter(|o| o.kind.is_mem())
+    }
+
+    /// Iterates over memory dependence edges only.
+    pub fn mem_edges(&self) -> impl Iterator<Item = &DepEdge> {
+        self.edges.iter().filter(|e| e.kind.is_mem())
+    }
+
+    /// Array metadata for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the array is not declared by this loop.
+    pub fn array(&self, id: ArrayId) -> &ArrayInfo {
+        self.arrays
+            .iter()
+            .find(|a| a.id == id)
+            .unwrap_or_else(|| panic!("array {id} not declared in loop {}", self.name))
+    }
+
+    /// Total dynamic iterations across all visits.
+    pub fn dynamic_iterations(&self) -> u64 {
+        self.trip_count * self.visits
+    }
+
+    /// Checks structural invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant:
+    /// * edges reference existing operations;
+    /// * distance-0 edges only go forward in program order (the
+    ///   intra-iteration dependence graph must be acyclic);
+    /// * every register read with an in-loop writer has exactly one writer;
+    /// * memory edges connect memory operations;
+    /// * memory operations reference declared arrays.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, op) in self.ops.iter().enumerate() {
+            if op.id.index() != i {
+                return Err(format!("op at position {i} has id {}", op.id));
+            }
+            if let Some(acc) = op.kind.mem_access() {
+                if !self.arrays.iter().any(|a| a.id == acc.array) {
+                    return Err(format!("{} references undeclared {}", op.id, acc.array));
+                }
+                if !matches!(acc.elem_bytes, 1 | 2 | 4 | 8) {
+                    return Err(format!("{} has invalid element size {}", op.id, acc.elem_bytes));
+                }
+            }
+        }
+        let mut writers: HashMap<VirtReg, usize> = HashMap::new();
+        for op in &self.ops {
+            if let Some(w) = op.writes {
+                *writers.entry(w).or_insert(0) += 1;
+            }
+        }
+        if let Some((r, n)) = writers.iter().find(|(_, &n)| n > 1) {
+            return Err(format!("register {r} has {n} writers (IR must be single-assignment)"));
+        }
+        for e in &self.edges {
+            if e.src.index() >= self.ops.len() || e.dst.index() >= self.ops.len() {
+                return Err(format!("edge {}->{} references missing op", e.src, e.dst));
+            }
+            if e.distance == 0 && e.src.index() >= e.dst.index() {
+                return Err(format!(
+                    "distance-0 edge {}->{} is not forward in program order",
+                    e.src, e.dst
+                ));
+            }
+            if e.kind.is_mem() {
+                let s = &self.ops[e.src.index()];
+                let d = &self.ops[e.dst.index()];
+                if !s.kind.is_mem() || !d.kind.is_mem() {
+                    return Err(format!("memory edge {}->{} on non-memory ops", e.src, e.dst));
+                }
+            }
+        }
+        if self.unroll_factor == 0 {
+            return Err("unroll factor must be >= 1".into());
+        }
+        Ok(())
+    }
+
+    /// Count of operations by a predicate — convenience for statistics.
+    pub fn count_ops(&self, pred: impl Fn(&OpKind) -> bool) -> usize {
+        self.ops.iter().filter(|o| pred(&o.kind)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{MemAccess, StridePattern};
+
+    fn tiny() -> LoopNest {
+        let arr = ArrayInfo {
+            id: ArrayId(0),
+            name: "a".into(),
+            base_addr: 0x1000,
+            size_bytes: 4096,
+        };
+        let load = Op {
+            id: OpId(0),
+            kind: OpKind::Load(MemAccess::unit(ArrayId(0), 4, 0)),
+            reads: vec![],
+            writes: Some(VirtReg(0)),
+            origin: None,
+        };
+        let add = Op {
+            id: OpId(1),
+            kind: OpKind::IntAlu,
+            reads: vec![VirtReg(0)],
+            writes: Some(VirtReg(1)),
+            origin: None,
+        };
+        LoopNest {
+            name: "tiny".into(),
+            ops: vec![load, add],
+            edges: vec![DepEdge { src: OpId(0), dst: OpId(1), kind: DepKind::Reg, distance: 0 }],
+            arrays: vec![arr],
+            trip_count: 64,
+            visits: 1,
+            unroll_factor: 1,
+        }
+    }
+
+    #[test]
+    fn valid_loop_passes() {
+        tiny().validate().unwrap();
+    }
+
+    #[test]
+    fn backward_zero_distance_edge_rejected() {
+        let mut l = tiny();
+        l.edges.push(DepEdge { src: OpId(1), dst: OpId(0), kind: DepKind::Reg, distance: 0 });
+        assert!(l.validate().is_err());
+    }
+
+    #[test]
+    fn backward_carried_edge_allowed() {
+        let mut l = tiny();
+        l.edges.push(DepEdge { src: OpId(1), dst: OpId(0), kind: DepKind::Reg, distance: 1 });
+        l.validate().unwrap();
+    }
+
+    #[test]
+    fn undeclared_array_rejected() {
+        let mut l = tiny();
+        if let OpKind::Load(a) = &mut l.ops[0].kind {
+            a.array = ArrayId(9);
+        }
+        assert!(l.validate().is_err());
+    }
+
+    #[test]
+    fn double_writer_rejected() {
+        let mut l = tiny();
+        l.ops[1].writes = Some(VirtReg(0));
+        assert!(l.validate().is_err());
+    }
+
+    #[test]
+    fn mem_edge_on_alu_rejected() {
+        let mut l = tiny();
+        l.edges.push(DepEdge {
+            src: OpId(0),
+            dst: OpId(1),
+            kind: DepKind::Mem { conservative: false },
+            distance: 0,
+        });
+        assert!(l.validate().is_err());
+    }
+
+    #[test]
+    fn irregular_access_validates() {
+        let mut l = tiny();
+        if let OpKind::Load(a) = &mut l.ops[0].kind {
+            a.stride = StridePattern::Irregular { span_bytes: 1 << 16 };
+        }
+        l.validate().unwrap();
+    }
+
+    #[test]
+    fn dynamic_iterations_multiplies_visits() {
+        let mut l = tiny();
+        l.visits = 10;
+        assert_eq!(l.dynamic_iterations(), 640);
+    }
+}

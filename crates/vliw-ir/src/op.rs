@@ -1,0 +1,269 @@
+//! Operations, virtual registers and memory access descriptors.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use vliw_machine::FuKind;
+
+/// Identifier of an operation within one [`LoopNest`](crate::LoopNest).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct OpId(pub u32);
+
+impl OpId {
+    /// 0-based index into the loop's operation list.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A virtual register. The scheduler later binds these to the local
+/// register files of the clusters the producing/consuming operations are
+/// assigned to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VirtReg(pub u32);
+
+impl fmt::Display for VirtReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Per-iteration address behaviour of a memory operation.
+///
+/// The compiler computes strides statically (§5.1); the simulator turns the
+/// pattern into a concrete address stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StridePattern {
+    /// `addr(iter) = array_base + offset + stride_bytes * iter`.
+    Affine {
+        /// Bytes the address advances per iteration of *this* loop body
+        /// (already scaled by unrolling, if any).
+        stride_bytes: i64,
+    },
+    /// No static stride: the address is a deterministic pseudo-random
+    /// location inside a window of `span_bytes` (models pointer chasing
+    /// and data-dependent table lookups).
+    Irregular {
+        /// Size of the window the accesses land in; drives cache locality.
+        span_bytes: u64,
+    },
+}
+
+impl StridePattern {
+    /// `true` if the compiler can derive a static stride.
+    pub fn is_strided(self) -> bool {
+        matches!(self, StridePattern::Affine { .. })
+    }
+}
+
+/// Descriptor of one static memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MemAccess {
+    /// The symbolic array/base this access walks.
+    pub array: crate::loop_nest::ArrayId,
+    /// Byte offset of iteration 0 within the array.
+    pub offset_bytes: i64,
+    /// Access granularity in bytes (1, 2, 4 or 8). This is also the
+    /// *interleaving factor* when the access maps data with
+    /// `INTERLEAVED_MAP`.
+    pub elem_bytes: u8,
+    /// Address progression across iterations.
+    pub stride: StridePattern,
+}
+
+impl MemAccess {
+    /// A unit-stride access: `array[offset/elem + iter]`.
+    pub fn unit(array: crate::loop_nest::ArrayId, elem_bytes: u8, offset_bytes: i64) -> Self {
+        MemAccess {
+            array,
+            offset_bytes,
+            elem_bytes,
+            stride: StridePattern::Affine { stride_bytes: elem_bytes as i64 },
+        }
+    }
+
+    /// Stride in *elements* if the access is affine and the stride is a
+    /// whole number of elements.
+    pub fn stride_elems(&self) -> Option<i64> {
+        match self.stride {
+            StridePattern::Affine { stride_bytes } => {
+                let e = self.elem_bytes as i64;
+                (stride_bytes % e == 0).then_some(stride_bytes / e)
+            }
+            StridePattern::Irregular { .. } => None,
+        }
+    }
+}
+
+/// The kind of an operation, together with any kind-specific payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Integer ALU operation (add/sub/logic/compare/address arithmetic).
+    IntAlu,
+    /// Integer multiply.
+    IntMul,
+    /// Floating-point add/sub/convert.
+    FpAlu,
+    /// Floating-point multiply.
+    FpMul,
+    /// Floating-point divide / sqrt.
+    FpDiv,
+    /// Load of `elem_bytes` from the described location.
+    Load(MemAccess),
+    /// Store of `elem_bytes` to the described location.
+    Store(MemAccess),
+    /// Loop-closing branch.
+    Branch,
+    /// Explicit software prefetch into the local L0 buffer (inserted by
+    /// step 5 of the scheduling algorithm). Maps data linearly.
+    Prefetch(MemAccess),
+    /// `invalidate_buffer`: discards every entry of the local L0 buffer
+    /// (inter-loop coherence, §4.1).
+    InvalidateL0,
+    /// Inter-cluster register copy over a communication bus (inserted by
+    /// the cluster scheduler).
+    Copy,
+}
+
+impl OpKind {
+    /// The functional unit class that executes this operation. `Copy`
+    /// executes on a communication *bus*, not a functional unit, and
+    /// returns `None`.
+    pub fn fu_kind(&self) -> Option<FuKind> {
+        match self {
+            OpKind::IntAlu | OpKind::IntMul | OpKind::Branch => Some(FuKind::Int),
+            OpKind::FpAlu | OpKind::FpMul | OpKind::FpDiv => Some(FuKind::Fp),
+            OpKind::Load(_) | OpKind::Store(_) | OpKind::Prefetch(_) | OpKind::InvalidateL0 => {
+                Some(FuKind::Mem)
+            }
+            OpKind::Copy => None,
+        }
+    }
+
+    /// `true` for loads and stores (the instructions that carry hints).
+    pub fn is_mem(&self) -> bool {
+        matches!(self, OpKind::Load(_) | OpKind::Store(_))
+    }
+
+    /// The memory access descriptor, if this op touches memory.
+    pub fn mem_access(&self) -> Option<&MemAccess> {
+        match self {
+            OpKind::Load(a) | OpKind::Store(a) | OpKind::Prefetch(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+/// One operation of a loop body.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Op {
+    /// Identity within the owning loop.
+    pub id: OpId,
+    /// Kind + payload.
+    pub kind: OpKind,
+    /// Registers read. Loop-invariant inputs (e.g. base addresses) are
+    /// registers with no in-loop writer.
+    pub reads: Vec<VirtReg>,
+    /// Register written, if any.
+    pub writes: Option<VirtReg>,
+    /// Provenance after unrolling: `(original op, copy index)`. Builder
+    /// output uses `None`, meaning "copy 0 of itself".
+    pub origin: Option<(OpId, usize)>,
+}
+
+impl Op {
+    /// Execution latency assumed before the scheduler assigns memory
+    /// latencies. Memory operations return the placeholder `1`; the
+    /// scheduler overrides them with the L0 or L1 latency.
+    pub fn default_latency(&self) -> u32 {
+        match self.kind {
+            OpKind::IntAlu | OpKind::Branch => 1,
+            OpKind::IntMul => 3,
+            OpKind::FpAlu => 2,
+            OpKind::FpMul => 3,
+            OpKind::FpDiv => 8,
+            OpKind::Load(_) | OpKind::Store(_) => 1,
+            OpKind::Prefetch(_) | OpKind::InvalidateL0 => 1,
+            OpKind::Copy => 2,
+        }
+    }
+
+    /// `(original id, copy index)` — resolves the provenance default.
+    pub fn provenance(&self) -> (OpId, usize) {
+        self.origin.unwrap_or((self.id, 0))
+    }
+
+    /// `true` for loads.
+    pub fn is_load(&self) -> bool {
+        matches!(self.kind, OpKind::Load(_))
+    }
+
+    /// `true` for stores.
+    pub fn is_store(&self) -> bool {
+        matches!(self.kind, OpKind::Store(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loop_nest::ArrayId;
+
+    fn acc(stride_bytes: i64, elem: u8) -> MemAccess {
+        MemAccess {
+            array: ArrayId(0),
+            offset_bytes: 0,
+            elem_bytes: elem,
+            stride: StridePattern::Affine { stride_bytes },
+        }
+    }
+
+    #[test]
+    fn fu_kind_mapping() {
+        assert_eq!(OpKind::IntAlu.fu_kind(), Some(FuKind::Int));
+        assert_eq!(OpKind::Branch.fu_kind(), Some(FuKind::Int));
+        assert_eq!(OpKind::FpDiv.fu_kind(), Some(FuKind::Fp));
+        assert_eq!(OpKind::Load(acc(4, 4)).fu_kind(), Some(FuKind::Mem));
+        assert_eq!(OpKind::InvalidateL0.fu_kind(), Some(FuKind::Mem));
+        assert_eq!(OpKind::Copy.fu_kind(), None);
+    }
+
+    #[test]
+    fn stride_elems_requires_whole_elements() {
+        assert_eq!(acc(8, 4).stride_elems(), Some(2));
+        assert_eq!(acc(-4, 4).stride_elems(), Some(-1));
+        assert_eq!(acc(2, 4).stride_elems(), None);
+        let irr = MemAccess {
+            array: ArrayId(0),
+            offset_bytes: 0,
+            elem_bytes: 4,
+            stride: StridePattern::Irregular { span_bytes: 4096 },
+        };
+        assert_eq!(irr.stride_elems(), None);
+    }
+
+    #[test]
+    fn unit_access_has_elem_stride() {
+        let a = MemAccess::unit(ArrayId(3), 2, 10);
+        assert_eq!(a.stride_elems(), Some(1));
+        assert!(a.stride.is_strided());
+        assert_eq!(a.offset_bytes, 10);
+    }
+
+    #[test]
+    fn provenance_defaults_to_self() {
+        let op = Op {
+            id: OpId(7),
+            kind: OpKind::IntAlu,
+            reads: vec![],
+            writes: None,
+            origin: None,
+        };
+        assert_eq!(op.provenance(), (OpId(7), 0));
+    }
+}

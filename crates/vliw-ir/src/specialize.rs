@@ -1,0 +1,85 @@
+//! Code specialization (§4.1, ref. \[4\]).
+//!
+//! Most memory dependences in epicdec, pgpdec, pgpenc and rasta are
+//! *conservative*: the compiler could not prove independence, but at run
+//! time the aggressive version of the loop (without those dependences) is
+//! always legal. Code specialization emits both versions behind a runtime
+//! check; the paper observes the aggressive version always executes, which
+//! is why the PSR coherence heuristic loses its advantage and the scheduler
+//! only chooses between NL0 and 1C.
+//!
+//! Here the transformation simply drops the conservative memory edges —
+//! the runtime check always passes, exactly as observed in the paper.
+
+use crate::loop_nest::{DepKind, LoopNest};
+
+/// `true` if the loop has conservative memory dependences that
+/// specialization would remove.
+pub fn needs_specialization(loop_: &LoopNest) -> bool {
+    loop_
+        .edges
+        .iter()
+        .any(|e| matches!(e.kind, DepKind::Mem { conservative: true }))
+}
+
+/// Returns the aggressive version of `loop_`: all conservative memory
+/// dependence edges removed. Loops without conservative edges are returned
+/// unchanged (cheap clone).
+pub fn specialize(loop_: &LoopNest) -> LoopNest {
+    if !needs_specialization(loop_) {
+        return loop_.clone();
+    }
+    let mut out = loop_.clone();
+    out.edges.retain(|e| !matches!(e.kind, DepKind::Mem { conservative: true }));
+    out.name = format!("{}+spec", loop_.name);
+    debug_assert_eq!(out.validate(), Ok(()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::LoopBuilder;
+    use crate::depsets::MemDepSets;
+    use crate::op::MemAccess;
+
+    fn conservative_loop() -> LoopNest {
+        let mut b = LoopBuilder::new("cons").trip_count(64);
+        let a = b.array("a", 256);
+        let c = b.array("c", 256);
+        let (_, v1) = b.load(MemAccess::unit(a, 4, 0));
+        let (_, v2) = b.load(MemAccess::unit(c, 4, 0));
+        let (_, s) = b.alu(crate::op::OpKind::IntAlu, &[v1, v2]);
+        b.store(MemAccess::unit(a, 4, 4), s);
+        b.conservative_alias_all();
+        b.build()
+    }
+
+    #[test]
+    fn specialization_removes_only_conservative_edges() {
+        let l = conservative_loop();
+        assert!(needs_specialization(&l));
+        let before = MemDepSets::build(&l);
+        assert_eq!(before.max_set_len(), 3);
+
+        let s = specialize(&l);
+        assert!(!needs_specialization(&s));
+        let after = MemDepSets::build(&s);
+        assert_eq!(after.max_set_len(), 1, "all sets become singletons");
+        assert_eq!(s.ops, l.ops, "ops unchanged");
+    }
+
+    #[test]
+    fn true_dependences_survive() {
+        let l = LoopBuilder::new("slp").store_load_pair(4).build();
+        assert!(!needs_specialization(&l));
+        let s = specialize(&l);
+        assert_eq!(s.mem_edges().count(), l.mem_edges().count());
+    }
+
+    #[test]
+    fn specialized_name_is_tagged() {
+        let s = specialize(&conservative_loop());
+        assert!(s.name.ends_with("+spec"));
+    }
+}

@@ -1,0 +1,119 @@
+//! Static stride classification (Table 1 of the paper).
+//!
+//! The compiler computes strides statically. Memory instructions with a
+//! stride are the *candidates* for using the L0 buffers. Among strided
+//! accesses the paper distinguishes:
+//!
+//! * **good strides** (column "SG"): 0, +1 or −1 elements at the original
+//!   (pre-unrolling) loop level — these map well to the buffers with the
+//!   automatic mapping and prefetch hints; after unrolling by N they appear
+//!   as strides of ±N elements with consecutive-element offsets;
+//! * **other strides** (column "SO"): any other static stride (e.g. column
+//!   walks) — still candidates, but they need *explicit* prefetch
+//!   instructions to hit in L0 (§4.3, step 5).
+
+use crate::op::{MemAccess, StridePattern};
+use serde::{Deserialize, Serialize};
+
+/// Classification of one static memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StrideClass {
+    /// Stride of 0/±1 elements at the original loop level ("SG").
+    Good,
+    /// Any other static stride ("SO").
+    Other,
+    /// No static stride (irregular/pointer-chasing); not a candidate.
+    NonStrided,
+}
+
+impl StrideClass {
+    /// `true` if the access is strided at all (column "S" = Good + Other).
+    pub fn is_strided(self) -> bool {
+        !matches!(self, StrideClass::NonStrided)
+    }
+}
+
+/// Classifies `access` as it appears in a loop body that has been unrolled
+/// `unroll_factor` times.
+///
+/// An access whose *unrolled* stride is `±unroll_factor` elements is a good
+/// stride at the original loop level (it was 0/±1 before unrolling); stride
+/// 0 is always good.
+pub fn classify(access: &MemAccess, unroll_factor: usize) -> StrideClass {
+    match access.stride {
+        StridePattern::Irregular { .. } => StrideClass::NonStrided,
+        StridePattern::Affine { .. } => match access.stride_elems() {
+            None => StrideClass::Other, // strided, but not element-aligned
+            Some(0) => StrideClass::Good,
+            Some(s) if s.unsigned_abs() as usize == unroll_factor => StrideClass::Good,
+            Some(_) => StrideClass::Other,
+        },
+    }
+}
+
+/// `true` when the access is a *candidate* to use the L0 buffers: all
+/// memory instructions with a static stride (§4.3).
+pub fn is_candidate(access: &MemAccess) -> bool {
+    access.stride.is_strided()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loop_nest::ArrayId;
+
+    fn affine(stride_bytes: i64, elem: u8) -> MemAccess {
+        MemAccess {
+            array: ArrayId(0),
+            offset_bytes: 0,
+            elem_bytes: elem,
+            stride: StridePattern::Affine { stride_bytes },
+        }
+    }
+
+    #[test]
+    fn unit_strides_are_good() {
+        assert_eq!(classify(&affine(2, 2), 1), StrideClass::Good);
+        assert_eq!(classify(&affine(-2, 2), 1), StrideClass::Good);
+        assert_eq!(classify(&affine(0, 2), 1), StrideClass::Good);
+    }
+
+    #[test]
+    fn column_strides_are_other() {
+        assert_eq!(classify(&affine(1024, 4), 1), StrideClass::Other);
+        assert_eq!(classify(&affine(8, 4), 1), StrideClass::Other);
+    }
+
+    #[test]
+    fn unrolled_unit_strides_stay_good() {
+        // after 4x unrolling a unit-stride 2-byte access strides 8 bytes
+        assert_eq!(classify(&affine(8, 2), 4), StrideClass::Good);
+        assert_eq!(classify(&affine(-8, 2), 4), StrideClass::Good);
+        // but a stride of 2 elements after 4x unrolling is not
+        assert_eq!(classify(&affine(4, 2), 4), StrideClass::Other);
+    }
+
+    #[test]
+    fn irregular_is_nonstrided_and_not_candidate() {
+        let acc = MemAccess {
+            array: ArrayId(0),
+            offset_bytes: 0,
+            elem_bytes: 4,
+            stride: StridePattern::Irregular { span_bytes: 65536 },
+        };
+        assert_eq!(classify(&acc, 1), StrideClass::NonStrided);
+        assert!(!is_candidate(&acc));
+        assert!(!classify(&acc, 1).is_strided());
+    }
+
+    #[test]
+    fn sub_element_stride_is_other() {
+        assert_eq!(classify(&affine(2, 4), 1), StrideClass::Other);
+    }
+
+    #[test]
+    fn strided_accesses_are_candidates() {
+        assert!(is_candidate(&affine(1024, 4)));
+        assert!(is_candidate(&affine(0, 4)));
+    }
+}

@@ -1,0 +1,328 @@
+//! Loop unrolling (step 1 of the scheduling algorithm, §4.3).
+//!
+//! The compiler chooses between two unroll factors per loop: 1 (no
+//! unrolling) and N (the number of clusters). Unrolling by N exposes the
+//! interleaved mapping capability of the L0 buffers: the k-th copy of a
+//! unit-stride access walks elements k, k+N, k+2N, … which land in the
+//! L0 buffer of the k-th consecutive cluster under `INTERLEAVED_MAP`.
+//!
+//! The transformation:
+//!
+//! * replicates every op `factor` times (fresh registers per copy),
+//!   except loop-control ops (the closing branch and its induction
+//!   update), which stay unique;
+//! * rewrites affine accesses: copy *k* starts `k·stride` bytes further
+//!   and strides `factor·stride` bytes per kernel iteration;
+//! * remaps dependence edges: an edge of distance *d* from `src` to `dst`
+//!   becomes, for each copy *k* of `dst`, an edge from copy
+//!   `(k − d) mod factor` of `src` with distance `⌈(d − k) / factor⌉`
+//!   (0 when `k ≥ d`);
+//! * splits reduction recurrences: each copy accumulates its own partial
+//!   (the per-copy self-edge keeps distance 1), which is what production
+//!   compilers do to keep RecMII from serializing unrolled reductions;
+//! * divides the trip count by `factor`.
+
+use crate::loop_nest::{DepEdge, DepKind, LoopNest};
+use crate::op::{Op, OpId, OpKind, StridePattern, VirtReg};
+use std::collections::HashMap;
+
+/// `true` for ops that must stay unique across unrolling: the loop-closing
+/// branch and the induction update feeding it.
+fn is_loop_control(loop_: &LoopNest, op: &Op) -> bool {
+    match op.kind {
+        OpKind::Branch => true,
+        _ => {
+            // induction update: has a self-recurrence and only feeds
+            // branches (and itself)
+            let has_self_rec = loop_
+                .edges
+                .iter()
+                .any(|e| e.src == op.id && e.dst == op.id && e.distance >= 1);
+            if !has_self_rec {
+                return false;
+            }
+            // Distinguish the induction update from an accumulator: the
+            // induction feeds the loop branch (and nothing else).
+            let mut feeds_branch = false;
+            let mut feeds_other = false;
+            for e in loop_.edges.iter().filter(|e| e.src == op.id && e.dst != op.id) {
+                if matches!(loop_.op(e.dst).kind, OpKind::Branch) {
+                    feeds_branch = true;
+                } else {
+                    feeds_other = true;
+                }
+            }
+            feeds_branch && !feeds_other
+        }
+    }
+}
+
+/// Unrolls `loop_` by `factor`.
+///
+/// Factor 1 returns a clone. The trip count is divided by `factor`
+/// (the paper's loops are unrolled when `MAX mod N == 0`; remainders would
+/// run in a scalar epilogue that modulo scheduling does not touch).
+///
+/// # Panics
+///
+/// Panics if `factor` is 0, or if the input loop was already unrolled
+/// (compose factors by unrolling the original loop instead).
+pub fn unroll(loop_: &LoopNest, factor: usize) -> LoopNest {
+    assert!(factor >= 1, "unroll factor must be >= 1");
+    assert_eq!(loop_.unroll_factor, 1, "loop {} is already unrolled", loop_.name);
+    if factor == 1 {
+        return loop_.clone();
+    }
+
+    let control: Vec<bool> = loop_.ops.iter().map(|o| is_loop_control(loop_, o)).collect();
+
+    // Layout: copy 0 of all replicated ops, copy 1, ..., then control ops.
+    // new_id[op][k] = id of copy k (control ops have one entry).
+    let mut new_ops: Vec<Op> = Vec::new();
+    let mut new_id: Vec<Vec<OpId>> = vec![Vec::new(); loop_.ops.len()];
+    let mut next_reg: u32 = loop_
+        .ops
+        .iter()
+        .flat_map(|o| o.writes.iter().chain(o.reads.iter()))
+        .map(|r| r.0 + 1)
+        .max()
+        .unwrap_or(0);
+
+    // reg_map[(orig_reg, copy)] -> renamed reg
+    let mut reg_map: HashMap<(VirtReg, usize), VirtReg> = HashMap::new();
+    let mut writers: HashMap<VirtReg, OpId> = HashMap::new();
+    for op in &loop_.ops {
+        if let Some(w) = op.writes {
+            writers.insert(w, op.id);
+        }
+    }
+
+    for k in 0..factor {
+        for (idx, op) in loop_.ops.iter().enumerate() {
+            if control[idx] {
+                continue;
+            }
+            let id = OpId(new_ops.len() as u32);
+            new_id[idx].push(id);
+            let writes = op.writes.map(|w| {
+                let r = VirtReg(next_reg);
+                next_reg += 1;
+                reg_map.insert((w, k), r);
+                r
+            });
+            let reads = op
+                .reads
+                .iter()
+                .map(|r| {
+                    if writers.contains_key(r) {
+                        // in-loop value: same-copy rename (value flow inside
+                        // one original iteration)
+                        *reg_map.get(&(*r, k)).unwrap_or(r)
+                    } else {
+                        *r // live-in, shared
+                    }
+                })
+                .collect();
+            let kind = rewrite_access(op.kind, k, factor);
+            new_ops.push(Op { id, kind, reads, writes, origin: Some((op.provenance().0, k)) });
+        }
+    }
+    // control ops last, single copy
+    for (idx, op) in loop_.ops.iter().enumerate() {
+        if !control[idx] {
+            continue;
+        }
+        let id = OpId(new_ops.len() as u32);
+        new_id[idx].push(id);
+        new_ops.push(Op {
+            id,
+            kind: op.kind,
+            reads: op.reads.clone(),
+            writes: op.writes,
+            origin: Some((op.provenance().0, 0)),
+        });
+    }
+
+    // Edges.
+    let mut new_edges: Vec<DepEdge> = Vec::new();
+    for e in &loop_.edges {
+        let (si, di) = (e.src.index(), e.dst.index());
+        match (control[si], control[di]) {
+            (true, true) => {
+                new_edges.push(DepEdge { src: new_id[si][0], dst: new_id[di][0], ..*e });
+            }
+            (false, true) => {
+                // replicated -> control: every copy constrains the single op
+                for k in 0..factor {
+                    new_edges.push(DepEdge { src: new_id[si][k], dst: new_id[di][0], ..*e });
+                }
+            }
+            (true, false) => {
+                for k in 0..factor {
+                    new_edges.push(DepEdge { src: new_id[si][0], dst: new_id[di][k], ..*e });
+                }
+            }
+            (false, false) => {
+                if e.kind == DepKind::Reduction && e.src == e.dst {
+                    // reduction splitting: per-copy independent partials
+                    for k in 0..factor {
+                        new_edges.push(DepEdge {
+                            src: new_id[si][k],
+                            dst: new_id[di][k],
+                            kind: DepKind::Reduction,
+                            distance: 1,
+                        });
+                    }
+                } else {
+                    let d = e.distance as i64;
+                    for k in 0..factor as i64 {
+                        let shifted = k - d;
+                        let src_copy = shifted.rem_euclid(factor as i64) as usize;
+                        let new_dist = (-shifted.div_euclid(factor as i64)) as u32;
+                        new_edges.push(DepEdge {
+                            src: new_id[si][src_copy],
+                            dst: new_id[di][k as usize],
+                            kind: e.kind,
+                            distance: new_dist,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    let unrolled = LoopNest {
+        name: format!("{}*{}", loop_.name, factor),
+        ops: new_ops,
+        edges: new_edges,
+        arrays: loop_.arrays.clone(),
+        trip_count: (loop_.trip_count / factor as u64).max(1),
+        visits: loop_.visits,
+        unroll_factor: factor,
+    };
+    debug_assert_eq!(unrolled.validate(), Ok(()), "unroll produced invalid IR");
+    unrolled
+}
+
+fn rewrite_access(kind: OpKind, copy: usize, factor: usize) -> OpKind {
+    let rewrite = |mut a: crate::op::MemAccess| {
+        if let StridePattern::Affine { stride_bytes } = a.stride {
+            a.offset_bytes += stride_bytes * copy as i64;
+            a.stride = StridePattern::Affine { stride_bytes: stride_bytes * factor as i64 };
+        }
+        a
+    };
+    match kind {
+        OpKind::Load(a) => OpKind::Load(rewrite(a)),
+        OpKind::Store(a) => OpKind::Store(rewrite(a)),
+        OpKind::Prefetch(a) => OpKind::Prefetch(rewrite(a)),
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::LoopBuilder;
+    use crate::ddg::DataDepGraph;
+    use crate::stride::{classify, StrideClass};
+
+    #[test]
+    fn factor_one_is_identity() {
+        let l = LoopBuilder::new("ew").elementwise(2).build();
+        let u = unroll(&l, 1);
+        assert_eq!(l, u);
+    }
+
+    #[test]
+    fn replicates_body_but_not_control() {
+        let l = LoopBuilder::new("ew").trip_count(256).elementwise(2).build();
+        let u = unroll(&l, 4);
+        u.validate().unwrap();
+        // 2 mem + 1 alu replicated 4x, control (ind + branch) single
+        assert_eq!(u.mem_ops().count(), 8);
+        assert_eq!(u.count_ops(|k| matches!(k, OpKind::Branch)), 1);
+        assert_eq!(u.trip_count, 64);
+        assert_eq!(u.unroll_factor, 4);
+    }
+
+    #[test]
+    fn copies_get_shifted_offsets_and_scaled_strides() {
+        let l = LoopBuilder::new("ew").trip_count(256).elementwise(2).build();
+        let u = unroll(&l, 4);
+        let loads: Vec<_> = u.ops.iter().filter(|o| o.is_load()).collect();
+        assert_eq!(loads.len(), 4);
+        for ld in &loads {
+            let acc = ld.kind.mem_access().unwrap();
+            let (_, copy) = ld.provenance();
+            assert_eq!(acc.offset_bytes, 2 * copy as i64);
+            assert_eq!(acc.stride_elems(), Some(4));
+            // still classified good relative to the unroll factor
+            assert_eq!(classify(acc, u.unroll_factor), StrideClass::Good);
+        }
+    }
+
+    #[test]
+    fn provenance_tracks_original_op() {
+        let l = LoopBuilder::new("ew").elementwise(2).build();
+        let orig_load = l.ops.iter().find(|o| o.is_load()).unwrap().id;
+        let u = unroll(&l, 4);
+        let copies: Vec<_> =
+            u.ops.iter().filter(|o| o.is_load() && o.provenance().0 == orig_load).collect();
+        assert_eq!(copies.len(), 4);
+        let mut idxs: Vec<_> = copies.iter().map(|o| o.provenance().1).collect();
+        idxs.sort();
+        assert_eq!(idxs, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn reduction_splits_into_partials() {
+        let l = LoopBuilder::new("dot").reduction(4).build();
+        let g = DataDepGraph::build(&l);
+        let lat = |op: OpId| l.op(op).default_latency();
+        let rec_before = g.rec_mii(lat);
+
+        let u = unroll(&l, 4);
+        let gu = DataDepGraph::build(&u);
+        let lat_u = |op: OpId| u.op(op).default_latency();
+        // splitting keeps RecMII flat instead of multiplying it by 4
+        assert!(gu.rec_mii(lat_u) <= rec_before);
+        // four independent partial accumulators, each with a self-edge
+        let partial_self_edges = u
+            .edges
+            .iter()
+            .filter(|e| e.kind == DepKind::Reduction && e.src == e.dst)
+            .count();
+        // 4 accumulator copies + 1 induction
+        assert_eq!(partial_self_edges, 5);
+    }
+
+    #[test]
+    fn carried_mem_dep_maps_across_copies() {
+        let l = LoopBuilder::new("slp").trip_count(64).store_load_pair(4).build();
+        let u = unroll(&l, 4);
+        u.validate().unwrap();
+        // distance-1 store->load edges become distance-0 edges between
+        // consecutive copies, except the wrap-around one which stays 1.
+        let mem_edges: Vec<_> = u.mem_edges().collect();
+        let carried = mem_edges.iter().filter(|e| e.distance >= 1).count();
+        let intra = mem_edges.iter().filter(|e| e.distance == 0).count();
+        assert!(carried >= 1, "wrap-around edge must stay carried");
+        assert!(intra >= 3, "non-wrapping copies become intra-iteration");
+    }
+
+    #[test]
+    fn trip_count_never_reaches_zero() {
+        let l = LoopBuilder::new("short").trip_count(2).elementwise(4).build();
+        let u = unroll(&l, 4);
+        assert_eq!(u.trip_count, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already unrolled")]
+    fn double_unroll_rejected() {
+        let l = LoopBuilder::new("ew").elementwise(2).build();
+        let u = unroll(&l, 2);
+        let _ = unroll(&u, 2);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests on the IR: unrolling, address streams, DDG
+//! timing and dependence-set invariants.
+
+use proptest::prelude::*;
+use vliw_ir::{
+    unroll, AddressStream, DataDepGraph, LoopBuilder, MemDepSets, OpId, OpKind,
+};
+
+fn arb_kernel() -> impl Strategy<Value = vliw_ir::LoopNest> {
+    (
+        0usize..3,
+        prop::sample::select(vec![1u8, 2, 4]),
+        16u64..256,
+        prop_oneof![Just("ew"), Just("fir"), Just("red"), Just("slp"), Just("stencil")],
+    )
+        .prop_map(|(work, elem, trip, kind)| {
+            let b = LoopBuilder::new(format!("{kind}-prop")).trip_count(trip);
+            let b = match kind {
+                "ew" => b.elementwise(elem),
+                "fir" => b.fir(3, elem),
+                "red" => b.reduction(elem.max(2)),
+                "slp" => b.store_load_pair(4),
+                _ => b.stencil3(elem),
+            };
+            b.int_overhead(work).build()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn unrolling_preserves_validity_and_op_counts(l in arb_kernel(), factor in 2usize..5) {
+        let u = unroll(&l, factor);
+        u.validate().expect("unrolled IR valid");
+        // control ops stay single; everything else replicates
+        let control = 2; // induction + branch
+        let body = l.ops.len() - control;
+        prop_assert_eq!(u.ops.len(), body * factor + control);
+        prop_assert_eq!(u.unroll_factor, factor);
+        prop_assert_eq!(u.trip_count, (l.trip_count / factor as u64).max(1));
+    }
+
+    #[test]
+    fn unrolled_memory_volume_is_preserved(l in arb_kernel(), factor in 2usize..5) {
+        // dynamic memory accesses: ops × trip must be (nearly) invariant
+        // modulo the dropped remainder iterations
+        let u = unroll(&l, factor);
+        let before = l.mem_ops().count() as u64 * l.trip_count;
+        let after = u.mem_ops().count() as u64 * u.trip_count;
+        let dropped = l.trip_count % factor as u64 * l.mem_ops().count() as u64;
+        prop_assert!(after + dropped >= before && after <= before,
+            "volume {before} -> {after} (dropped {dropped})");
+    }
+
+    #[test]
+    fn address_streams_stay_inside_their_arrays(l in arb_kernel(), iters in 1u64..512) {
+        for op in l.mem_ops() {
+            let acc = op.kind.mem_access().unwrap();
+            let arr = l.array(acc.array);
+            let s = AddressStream::new(&l, op.id);
+            for i in (0..iters).step_by(7) {
+                let a = s.address(i);
+                prop_assert!(
+                    a >= arr.base_addr && a + acc.elem_bytes as u64 <= arr.base_addr + arr.size_bytes.max(acc.elem_bytes as u64) + acc.elem_bytes as u64,
+                    "{} iter {i}: {a:#x} outside [{:#x}, {:#x})",
+                    op.id, arr.base_addr, arr.base_addr + arr.size_bytes
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rec_mii_is_monotone_in_latency(l in arb_kernel(), extra in 1u32..8) {
+        let g = DataDepGraph::build(&l);
+        let base = g.rec_mii(|op| l.op(op).default_latency());
+        let inflated = g.rec_mii(|op| l.op(op).default_latency() + extra);
+        prop_assert!(inflated >= base);
+    }
+
+    #[test]
+    fn asap_alap_bracket_holds(l in arb_kernel()) {
+        let g = DataDepGraph::build(&l);
+        let lat = |op: OpId| l.op(op).default_latency();
+        let mii = g.rec_mii(lat);
+        if let Some(t) = g.asap_alap(mii, lat) {
+            for i in 0..l.ops.len() {
+                let op = OpId(i as u32);
+                prop_assert!(t.asap[i] <= t.alap[i], "{op}: asap > alap");
+                prop_assert!(t.slack(op) >= 0);
+            }
+        }
+    }
+
+    #[test]
+    fn dep_sets_partition_memory_ops(l in arb_kernel()) {
+        let sets = MemDepSets::build(&l);
+        let mut seen = std::collections::HashSet::new();
+        for set in sets.sets() {
+            for op in set {
+                prop_assert!(seen.insert(*op), "{op} in two sets");
+                prop_assert!(l.op(*op).kind.is_mem());
+            }
+        }
+        let mem_count = l.mem_ops().count();
+        prop_assert_eq!(seen.len(), mem_count);
+    }
+
+    #[test]
+    fn specialization_is_idempotent(l in arb_kernel()) {
+        let once = vliw_ir::specialize(&l);
+        let twice = vliw_ir::specialize(&once);
+        prop_assert_eq!(once.edges.len(), twice.edges.len());
+        prop_assert_eq!(once.ops.len(), twice.ops.len());
+    }
+
+    #[test]
+    fn builder_output_is_always_single_assignment(l in arb_kernel()) {
+        let mut writers = std::collections::HashMap::new();
+        for op in &l.ops {
+            if let Some(w) = op.writes {
+                prop_assert!(writers.insert(w, op.id).is_none(), "double writer for {w}");
+            }
+        }
+        // and branches never write
+        for op in &l.ops {
+            if matches!(op.kind, OpKind::Branch) {
+                prop_assert!(op.writes.is_none());
+            }
+        }
+    }
+}

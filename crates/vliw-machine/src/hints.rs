@@ -1,0 +1,197 @@
+//! Compiler hints attached to memory instructions (§3.2 of the paper).
+//!
+//! The L0 buffers are *compiler managed*: every memory instruction carries a
+//! bundle of hints that tells the hardware (a) whether to access the local
+//! L0 buffer, (b) how to map the data fetched from L1 into the buffers, and
+//! (c) whether to trigger automatic prefetches. Only the access hints are
+//! mandatory directives; the mapping and prefetch hints may be ignored by an
+//! implementation at a performance cost.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Whether (and how) a memory instruction accesses its local L0 buffer.
+///
+/// These hints are *directives*: hardware must obey them because they govern
+/// bus arbitration and data coherence.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessHint {
+    /// Bypass the L0 buffer entirely; go straight to L1. The referenced
+    /// data is *not* allocated in the L0 buffer.
+    #[default]
+    NoAccess,
+    /// Probe the L0 buffer first; forward to L1 only on a miss.
+    ///
+    /// Only loads may carry this hint, and only when no other memory
+    /// instruction is scheduled on the same cluster in the next cycle —
+    /// that guarantees the cluster↔L1 bus is free for the miss request
+    /// without any arbitration/buffering hardware.
+    SeqAccess,
+    /// Access the L0 buffer and L1 in parallel; the L1 reply is discarded
+    /// on an L0 hit. Stores marked to use L0 always behave this way
+    /// (write-through).
+    ParAccess,
+}
+
+impl AccessHint {
+    /// Returns `true` if the instruction probes its local L0 buffer.
+    pub fn uses_l0(self) -> bool {
+        !matches!(self, AccessHint::NoAccess)
+    }
+}
+
+impl fmt::Display for AccessHint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AccessHint::NoAccess => "NO_ACCESS",
+            AccessHint::SeqAccess => "SEQ_ACCESS",
+            AccessHint::ParAccess => "PAR_ACCESS",
+        };
+        f.write_str(s)
+    }
+}
+
+/// How an L1 block is split into subblocks and placed into L0 buffers.
+///
+/// Attached only to loads that also carry [`AccessHint::SeqAccess`] or
+/// [`AccessHint::ParAccess`] (stores are not write-allocate, and
+/// `NO_ACCESS` loads do not allocate either).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MappingHint {
+    /// One subblock of *consecutive bytes* of the L1 block is moved into
+    /// the L0 buffer of the cluster where the load executes.
+    #[default]
+    Linear,
+    /// The whole L1 block is read at once, split into N subblocks at the
+    /// *element granularity of the access* (the interleaving factor), and
+    /// distributed to the L0 buffers of consecutive clusters, starting at
+    /// the accessing cluster.
+    Interleaved,
+}
+
+impl fmt::Display for MappingHint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MappingHint::Linear => "LINEAR_MAP",
+            MappingHint::Interleaved => "INTERLEAVED_MAP",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Automatic prefetch actions triggered by accesses to L0-resident
+/// subblocks.
+///
+/// A `Positive` prefetch fires when the *last* element of a subblock is
+/// touched and fetches the next subblock; a `Negative` prefetch fires on the
+/// *first* element and fetches the previous subblock. Prefetched data is
+/// mapped exactly like the subblock that triggered the prefetch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PrefetchHint {
+    /// No automatic prefetching.
+    #[default]
+    None,
+    /// Prefetch the next subblock when the last element of a mapped
+    /// subblock is accessed (ascending walks).
+    Positive,
+    /// Prefetch the previous subblock when the first element of a mapped
+    /// subblock is accessed (descending walks).
+    Negative,
+}
+
+impl fmt::Display for PrefetchHint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PrefetchHint::None => "NO_PREFETCH",
+            PrefetchHint::Positive => "POSITIVE",
+            PrefetchHint::Negative => "NEGATIVE",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The full hint bundle carried by a memory instruction.
+///
+/// ```
+/// use vliw_machine::{AccessHint, MappingHint, MemHints, PrefetchHint};
+///
+/// let h = MemHints::new(AccessHint::SeqAccess)
+///     .with_mapping(MappingHint::Interleaved)
+///     .with_prefetch(PrefetchHint::Positive);
+/// assert!(h.access.uses_l0());
+/// assert_eq!(h.to_string(), "SEQ_ACCESS|INTERLEAVED_MAP|POSITIVE");
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MemHints {
+    /// Mandatory access directive.
+    pub access: AccessHint,
+    /// Mapping hint (meaningful only for loads that use L0).
+    pub mapping: MappingHint,
+    /// Automatic prefetch hint.
+    pub prefetch: PrefetchHint,
+}
+
+impl MemHints {
+    /// Creates a hint bundle with the given access directive and default
+    /// (linear, no-prefetch) mapping hints.
+    pub fn new(access: AccessHint) -> Self {
+        MemHints { access, ..Default::default() }
+    }
+
+    /// A bundle that bypasses L0 entirely (`NO_ACCESS`).
+    pub fn no_access() -> Self {
+        MemHints::new(AccessHint::NoAccess)
+    }
+
+    /// Sets the mapping hint.
+    pub fn with_mapping(mut self, mapping: MappingHint) -> Self {
+        self.mapping = mapping;
+        self
+    }
+
+    /// Sets the prefetch hint.
+    pub fn with_prefetch(mut self, prefetch: PrefetchHint) -> Self {
+        self.prefetch = prefetch;
+        self
+    }
+}
+
+impl fmt::Display for MemHints {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}|{}|{}", self.access, self.mapping, self.prefetch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_bundle_bypasses_l0() {
+        let h = MemHints::default();
+        assert_eq!(h.access, AccessHint::NoAccess);
+        assert!(!h.access.uses_l0());
+    }
+
+    #[test]
+    fn seq_and_par_use_l0() {
+        assert!(AccessHint::SeqAccess.uses_l0());
+        assert!(AccessHint::ParAccess.uses_l0());
+        assert!(!AccessHint::NoAccess.uses_l0());
+    }
+
+    #[test]
+    fn display_round_trip_is_stable() {
+        let h = MemHints::new(AccessHint::ParAccess).with_prefetch(PrefetchHint::Negative);
+        assert_eq!(h.to_string(), "PAR_ACCESS|LINEAR_MAP|NEGATIVE");
+    }
+
+    #[test]
+    fn builder_chain_sets_all_fields() {
+        let h = MemHints::new(AccessHint::SeqAccess)
+            .with_mapping(MappingHint::Interleaved)
+            .with_prefetch(PrefetchHint::Positive);
+        assert_eq!(h.mapping, MappingHint::Interleaved);
+        assert_eq!(h.prefetch, PrefetchHint::Positive);
+    }
+}

@@ -1,0 +1,102 @@
+//! Strongly-typed identifiers shared across the workspace.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a cluster (0-based).
+///
+/// Clusters are the semi-independent units of the processor: each one holds
+/// a local register file, one integer, one memory and one FP functional
+/// unit, and (optionally) a flexible L0 buffer.
+///
+/// ```
+/// use vliw_machine::ClusterId;
+/// let c = ClusterId::new(2);
+/// assert_eq!(c.index(), 2);
+/// assert_eq!(c.next(4), ClusterId::new(3));
+/// assert_eq!(ClusterId::new(3).next(4), ClusterId::new(0)); // wraps
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ClusterId(u8);
+
+impl ClusterId {
+    /// Creates a cluster identifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds 255 clusters (far beyond any realistic
+    /// clustered VLIW organization).
+    pub fn new(index: usize) -> Self {
+        assert!(index < 256, "cluster index {index} out of range");
+        ClusterId(index as u8)
+    }
+
+    /// Returns the 0-based index of this cluster.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the next cluster in round-robin order among `n_clusters`.
+    ///
+    /// Interleaved mapping places consecutive subblocks in *consecutive*
+    /// clusters starting from the accessing cluster, wrapping around; this
+    /// helper encodes that wrap-around.
+    pub fn next(self, n_clusters: usize) -> Self {
+        ClusterId(((self.index() + 1) % n_clusters) as u8)
+    }
+
+    /// Returns the cluster `offset` positions after `self` modulo
+    /// `n_clusters`.
+    pub fn offset(self, offset: usize, n_clusters: usize) -> Self {
+        ClusterId(((self.index() + offset) % n_clusters) as u8)
+    }
+
+    /// Iterates over all clusters of an `n_clusters` machine.
+    pub fn all(n_clusters: usize) -> impl Iterator<Item = ClusterId> {
+        (0..n_clusters).map(ClusterId::new)
+    }
+}
+
+impl fmt::Display for ClusterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cluster{}", self.0)
+    }
+}
+
+impl From<ClusterId> for usize {
+    fn from(c: ClusterId) -> usize {
+        c.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_wraps() {
+        let c = ClusterId::new(3);
+        assert_eq!(c.next(4), ClusterId::new(0));
+        assert_eq!(c.offset(2, 4), ClusterId::new(1));
+        assert_eq!(c.offset(0, 4), c);
+    }
+
+    #[test]
+    fn all_enumerates_every_cluster() {
+        let v: Vec<_> = ClusterId::all(4).collect();
+        assert_eq!(v.len(), 4);
+        assert_eq!(v[0].index(), 0);
+        assert_eq!(v[3].index(), 3);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(ClusterId::new(1).to_string(), "cluster1");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_rejects_huge_index() {
+        let _ = ClusterId::new(256);
+    }
+}

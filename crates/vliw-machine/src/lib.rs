@@ -1,0 +1,52 @@
+//! Machine model for a clustered VLIW processor with flexible
+//! compiler-managed L0 buffers.
+//!
+//! This crate defines the *configuration space* of the architecture studied
+//! in Gibert, Sánchez and González, *"Flexible Compiler-Managed L0 Buffers
+//! for Clustered VLIW Processors"* (MICRO-36, 2003): a lock-step clustered
+//! VLIW core with a unified L1 data cache, optionally augmented with a small
+//! fully-associative L0 buffer per cluster, plus the two distributed-cache
+//! baselines the paper compares against (MultiVLIW and a word-interleaved
+//! cache with attraction buffers).
+//!
+//! The default configuration ([`MachineConfig::micro2003`]) reproduces
+//! Table 2 of the paper:
+//!
+//! | parameter | value |
+//! |---|---|
+//! | clusters | 4, lock-step |
+//! | functional units | 1 integer + 1 memory + 1 FP per cluster |
+//! | L0 buffers | 1-cycle latency, fully associative, 8-byte subblocks, 2 r/w ports |
+//! | L1 cache | 6-cycle latency, 2-way, 8 KB, 32-byte blocks, +1 cycle shift/interleave |
+//! | L2 cache | 10-cycle latency, always hits |
+//! | buses | 4 register-to-register buses, 2-cycle latency |
+//!
+//! # Example
+//!
+//! ```
+//! use vliw_machine::{MachineConfig, L0Capacity};
+//!
+//! let cfg = MachineConfig::micro2003();
+//! assert_eq!(cfg.clusters, 4);
+//! assert_eq!(cfg.subblock_bytes(), 8); // 32-byte L1 block / 4 clusters
+//!
+//! let eight = cfg.with_l0_entries(L0Capacity::Bounded(8));
+//! assert_eq!(eight.l0.unwrap().entries, L0Capacity::Bounded(8));
+//!
+//! let baseline = cfg.without_l0();
+//! assert!(baseline.l0.is_none());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod hints;
+pub mod ids;
+
+pub use config::{
+    BusConfig, FuKind, FuMix, L0Capacity, L0Config, L1Config, MachineConfig, MultiVliwConfig,
+    WordInterleavedConfig,
+};
+pub use hints::{AccessHint, MappingHint, MemHints, PrefetchHint};
+pub use ids::ClusterId;

@@ -1,0 +1,74 @@
+//! Memory hierarchies for the clustered-VLIW L0-buffer study.
+//!
+//! Four memory systems, all behind the [`MemoryModel`] trait:
+//!
+//! * [`UnifiedL1`] — the baseline: a centralized L1 data cache, 6-cycle
+//!   latency, no L0 buffers (the normalization baseline of Figures 5/7).
+//! * [`UnifiedWithL0`] — the paper's proposal: the same unified L1 plus a
+//!   small, flexible, compiler-managed L0 buffer per cluster (§3).
+//! * [`MultiVliwMem`] — the MultiVLIW baseline \[23\]: L1 distributed among
+//!   clusters, kept coherent with a snoop-based MSI protocol.
+//! * [`WordInterleavedMem`] — the word-interleaved distributed cache \[10\]
+//!   with per-cluster attraction buffers.
+//!
+//! The models are *timing* models: each access returns the cycle the value
+//! is available, and the models track the statistics the paper reports
+//! (L0 hit rates, linear vs. interleaved subblock mix, local/remote access
+//! counts, ...).
+//!
+//! # Example
+//!
+//! ```
+//! use vliw_machine::{AccessHint, MachineConfig, MappingHint, MemHints, ClusterId};
+//! use vliw_mem::{MemRequest, MemoryModel, ReqKind, UnifiedWithL0};
+//!
+//! let cfg = MachineConfig::micro2003();
+//! let mut mem = UnifiedWithL0::new(&cfg);
+//! let hints = MemHints::new(AccessHint::ParAccess).with_mapping(MappingHint::Linear);
+//!
+//! // First touch allocates the subblock: pays the L1 latency.
+//! let miss = mem.access(&MemRequest::load(ClusterId::new(0), 0x1000, 4, hints, 0));
+//! // Second touch hits in the L0 buffer: 1 cycle.
+//! let hit = mem.access(&MemRequest::load(ClusterId::new(0), 0x1004, 4, hints, 100));
+//! assert!(miss.ready_at - 0 > hit.ready_at - 100);
+//! assert_eq!(hit.ready_at - 100, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod interleaved;
+pub mod l0;
+pub mod multivliw;
+pub mod request;
+pub mod stats;
+pub mod unified;
+
+pub use cache::SetAssocCache;
+pub use interleaved::WordInterleavedMem;
+pub use l0::{L0Buffer, L0LookupResult};
+pub use multivliw::MultiVliwMem;
+pub use request::{MemReply, MemRequest, ReqKind};
+pub use stats::MemStats;
+pub use unified::{UnifiedL1, UnifiedWithL0};
+
+use vliw_machine::ClusterId;
+
+/// A cycle-level memory system.
+///
+/// The simulator issues one request per dynamic memory operation and uses
+/// the returned [`MemReply::ready_at`] to account stalls. Models are
+/// deterministic: the same request sequence produces the same timings.
+pub trait MemoryModel {
+    /// Performs one access and returns when its value is available.
+    fn access(&mut self, req: &MemRequest) -> MemReply;
+
+    /// Executes an `invalidate_buffer` instruction in `cluster` (discards
+    /// every entry of its L0-like structure). No-op for models without
+    /// per-cluster buffers.
+    fn invalidate_buffers(&mut self, _cluster: ClusterId, _cycle: u64) {}
+
+    /// Statistics accumulated so far.
+    fn stats(&self) -> &MemStats;
+}

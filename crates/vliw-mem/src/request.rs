@@ -1,0 +1,100 @@
+//! Memory requests and replies.
+
+use serde::{Deserialize, Serialize};
+use vliw_machine::{ClusterId, MemHints};
+
+/// What kind of access a request performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReqKind {
+    /// A load; the reply's `ready_at` is when the value can be consumed.
+    Load,
+    /// A store; write-through, never allocates in L0.
+    Store,
+    /// An explicit software prefetch (inserted by step 5 of the
+    /// scheduler). Maps data linearly into the issuing cluster's buffer.
+    Prefetch,
+    /// A non-primary instance of a PSR-replicated store (§4.1): it only
+    /// invalidates matching entries in its local L0 buffer; the primary
+    /// instance performs the actual store.
+    StoreReplica,
+}
+
+/// One dynamic memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemRequest {
+    /// Cluster whose memory unit issues the access.
+    pub cluster: ClusterId,
+    /// Byte address.
+    pub addr: u64,
+    /// Access size in bytes (also the interleaving factor for
+    /// `INTERLEAVED_MAP` allocations).
+    pub size: u8,
+    /// Load / store / prefetch.
+    pub kind: ReqKind,
+    /// Compiler hints (ignored by models without L0 buffers).
+    pub hints: MemHints,
+    /// Cycle at which the memory unit issues the access.
+    pub cycle: u64,
+}
+
+impl MemRequest {
+    /// Convenience constructor for a load.
+    pub fn load(cluster: ClusterId, addr: u64, size: u8, hints: MemHints, cycle: u64) -> Self {
+        MemRequest { cluster, addr, size, kind: ReqKind::Load, hints, cycle }
+    }
+
+    /// Convenience constructor for a store.
+    pub fn store(cluster: ClusterId, addr: u64, size: u8, hints: MemHints, cycle: u64) -> Self {
+        MemRequest { cluster, addr, size, kind: ReqKind::Store, hints, cycle }
+    }
+
+    /// Convenience constructor for an explicit prefetch.
+    pub fn prefetch(cluster: ClusterId, addr: u64, size: u8, cycle: u64) -> Self {
+        MemRequest {
+            cluster,
+            addr,
+            size,
+            kind: ReqKind::Prefetch,
+            hints: MemHints::no_access(),
+            cycle,
+        }
+    }
+}
+
+/// Where a request was satisfied (for statistics and tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ServicedBy {
+    /// The issuing cluster's L0 buffer (or attraction buffer).
+    L0,
+    /// The (unified or local) L1 bank.
+    L1,
+    /// A remote cluster's bank (distributed configurations).
+    Remote,
+    /// The L2 cache.
+    L2,
+}
+
+/// Timing and provenance of one access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemReply {
+    /// Cycle at which the loaded value is available (or the store/prefetch
+    /// has been accepted).
+    pub ready_at: u64,
+    /// Which level serviced the request.
+    pub serviced_by: ServicedBy,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw_machine::AccessHint;
+
+    #[test]
+    fn constructors_set_kind() {
+        let c = ClusterId::new(0);
+        let h = MemHints::new(AccessHint::SeqAccess);
+        assert_eq!(MemRequest::load(c, 0, 4, h, 0).kind, ReqKind::Load);
+        assert_eq!(MemRequest::store(c, 0, 4, h, 0).kind, ReqKind::Store);
+        assert_eq!(MemRequest::prefetch(c, 0, 4, 0).kind, ReqKind::Prefetch);
+    }
+}

@@ -1,0 +1,133 @@
+//! Statistics gathered by the memory models — the raw material for
+//! Figures 5, 6 and 7.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated by a [`MemoryModel`](crate::MemoryModel).
+///
+/// Not every field is meaningful for every model (e.g. `l0_hits` stays 0
+/// for [`UnifiedL1`](crate::UnifiedL1)); unused counters simply stay zero.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemStats {
+    /// Loads + stores (prefetches not included).
+    pub accesses: u64,
+    /// Loads that probed an L0/attraction buffer and hit.
+    pub l0_hits: u64,
+    /// Loads that probed an L0/attraction buffer and missed.
+    pub l0_misses: u64,
+    /// Accesses serviced by (unified or local) L1 with a hit.
+    pub l1_hits: u64,
+    /// Accesses that missed in L1 and went to L2 (or a remote bank).
+    pub l1_misses: u64,
+    /// Subblocks allocated into L0 buffers with linear mapping.
+    pub linear_subblocks: u64,
+    /// Subblocks allocated into L0 buffers with interleaved mapping.
+    pub interleaved_subblocks: u64,
+    /// Automatic (hint-triggered) prefetch actions issued.
+    pub hint_prefetches: u64,
+    /// Explicit prefetch instructions serviced.
+    pub explicit_prefetches: u64,
+    /// Accesses satisfied by the statically-local bank (distributed
+    /// configurations).
+    pub local_accesses: u64,
+    /// Accesses that had to reach a remote bank.
+    pub remote_accesses: u64,
+    /// MSI cache-to-cache transfers (MultiVLIW).
+    pub c2c_transfers: u64,
+    /// MSI invalidations sent (MultiVLIW) / replica invalidations (L0).
+    pub invalidations: u64,
+    /// `invalidate_buffer` instructions executed.
+    pub buffer_flushes: u64,
+}
+
+impl MemStats {
+    /// L0 hit rate over loads that probed an L0 buffer, in [0, 1].
+    /// Returns 1.0 when nothing probed L0 (vacuous hit rate).
+    pub fn l0_hit_rate(&self) -> f64 {
+        let total = self.l0_hits + self.l0_misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.l0_hits as f64 / total as f64
+        }
+    }
+
+    /// L1 hit rate over accesses that reached L1.
+    pub fn l1_hit_rate(&self) -> f64 {
+        let total = self.l1_hits + self.l1_misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.l1_hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of L0-mapped subblocks that used interleaved mapping
+    /// (first bar of Figure 6).
+    pub fn interleaved_ratio(&self) -> f64 {
+        let total = self.linear_subblocks + self.interleaved_subblocks;
+        if total == 0 {
+            0.0
+        } else {
+            self.interleaved_subblocks as f64 / total as f64
+        }
+    }
+
+    /// Fraction of distributed-cache accesses that were local.
+    pub fn local_ratio(&self) -> f64 {
+        let total = self.local_accesses + self.remote_accesses;
+        if total == 0 {
+            1.0
+        } else {
+            self.local_accesses as f64 / total as f64
+        }
+    }
+
+    /// Merges another stats block into this one (summing all counters).
+    pub fn merge(&mut self, other: &MemStats) {
+        self.accesses += other.accesses;
+        self.l0_hits += other.l0_hits;
+        self.l0_misses += other.l0_misses;
+        self.l1_hits += other.l1_hits;
+        self.l1_misses += other.l1_misses;
+        self.linear_subblocks += other.linear_subblocks;
+        self.interleaved_subblocks += other.interleaved_subblocks;
+        self.hint_prefetches += other.hint_prefetches;
+        self.explicit_prefetches += other.explicit_prefetches;
+        self.local_accesses += other.local_accesses;
+        self.remote_accesses += other.remote_accesses;
+        self.c2c_transfers += other.c2c_transfers;
+        self.invalidations += other.invalidations;
+        self.buffer_flushes += other.buffer_flushes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_handle_zero_denominators() {
+        let s = MemStats::default();
+        assert_eq!(s.l0_hit_rate(), 1.0);
+        assert_eq!(s.l1_hit_rate(), 1.0);
+        assert_eq!(s.interleaved_ratio(), 0.0);
+        assert_eq!(s.local_ratio(), 1.0);
+    }
+
+    #[test]
+    fn hit_rate_math() {
+        let s = MemStats { l0_hits: 3, l0_misses: 1, ..Default::default() };
+        assert!((s.l0_hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums_counters() {
+        let mut a = MemStats { accesses: 5, l0_hits: 2, ..Default::default() };
+        let b = MemStats { accesses: 7, l0_hits: 1, invalidations: 3, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.accesses, 12);
+        assert_eq!(a.l0_hits, 3);
+        assert_eq!(a.invalidations, 3);
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests for the generic set-associative cache and the
+//! distributed-cache models.
+
+use proptest::prelude::*;
+use vliw_machine::{ClusterId, MachineConfig, MemHints};
+use vliw_mem::{MemRequest, MemoryModel, MultiVliwMem, SetAssocCache, WordInterleavedMem};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn cache_never_exceeds_capacity(
+        addrs in prop::collection::vec(0u64..65_536, 1..200),
+    ) {
+        let mut c: SetAssocCache<()> = SetAssocCache::new(1024, 32, 2);
+        for (i, &a) in addrs.iter().enumerate() {
+            c.insert(a, (), i as u64);
+            prop_assert!(c.len() <= 1024 / 32);
+        }
+    }
+
+    #[test]
+    fn lookup_after_insert_hits_until_evicted(
+        addr in 0u64..65_536,
+        fill in prop::collection::vec(0u64..65_536, 0..40),
+    ) {
+        // shadow-model residence exactly: a block is resident iff it was
+        // inserted and not evicted since its last insertion
+        let mut c: SetAssocCache<u8> = SetAssocCache::new(1024, 32, 2);
+        let mut resident = std::collections::HashSet::new();
+        c.insert(addr, 1, 0);
+        resident.insert(c.block_base(addr));
+        for (i, &f) in fill.iter().enumerate() {
+            if let Some((victim, _)) = c.insert(f, 2, 1 + i as u64) {
+                resident.remove(&victim);
+            }
+            resident.insert(c.block_base(f));
+        }
+        let hit = c.lookup(addr, 1000).is_some();
+        prop_assert_eq!(hit, resident.contains(&c.block_base(addr)));
+    }
+
+    #[test]
+    fn msi_never_has_two_modified_copies(
+        ops in prop::collection::vec((0usize..4, 0u64..512, any::<bool>()), 1..120),
+    ) {
+        let cfg = MachineConfig::micro2003();
+        let mut m = MultiVliwMem::new(&cfg);
+        for (i, (cluster, addr_base, is_store)) in ops.iter().enumerate() {
+            let addr = addr_base * 4;
+            let c = ClusterId::new(*cluster);
+            let req = if *is_store {
+                MemRequest::store(c, addr, 4, MemHints::no_access(), i as u64 * 3)
+            } else {
+                MemRequest::load(c, addr, 4, MemHints::no_access(), i as u64 * 3)
+            };
+            m.access(&req);
+        }
+        // a store from each cluster to a common line must serialize
+        // ownership: after the last store only the writer hits locally at
+        // the modified latency. We probe indirectly: every access still
+        // returns a bounded latency.
+        let r = m.access(&MemRequest::load(ClusterId::new(0), 0, 4, MemHints::no_access(), 10_000));
+        prop_assert!(r.ready_at >= 10_000 && r.ready_at <= 10_020);
+    }
+
+    #[test]
+    fn word_interleaved_owner_is_total_and_stable(addr in 0u64..1_000_000) {
+        let cfg = MachineConfig::micro2003();
+        let m = WordInterleavedMem::new(&cfg);
+        let o1 = m.owner_of(addr);
+        let o2 = m.owner_of(addr);
+        prop_assert_eq!(o1, o2);
+        prop_assert!(o1.index() < 4);
+        // all bytes of one word share an owner
+        let word_base = addr / 4 * 4;
+        for b in 0..4 {
+            prop_assert_eq!(m.owner_of(word_base + b), o1);
+        }
+    }
+
+    #[test]
+    fn replies_are_monotone_in_request_time(
+        addr in 0u64..4096,
+        t1 in 0u64..1000,
+        dt in 1u64..1000,
+    ) {
+        // same request later can never be ready earlier
+        let cfg = MachineConfig::micro2003();
+        let mut a = MultiVliwMem::new(&cfg);
+        let mut b = MultiVliwMem::new(&cfg);
+        let r1 = a.access(&MemRequest::load(ClusterId::new(0), addr, 4, MemHints::no_access(), t1));
+        let r2 =
+            b.access(&MemRequest::load(ClusterId::new(0), addr, 4, MemHints::no_access(), t1 + dt));
+        prop_assert!(r2.ready_at >= r1.ready_at);
+        prop_assert_eq!(r2.ready_at - (t1 + dt), r1.ready_at - t1, "same latency");
+    }
+}

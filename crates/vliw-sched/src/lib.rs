@@ -1,0 +1,62 @@
+//! Modulo scheduling for clustered VLIW processors with flexible
+//! compiler-managed L0 buffers.
+//!
+//! This crate implements §4 of the paper:
+//!
+//! * [`mii`] — the minimum initiation interval: resource-constrained
+//!   (ResMII) and recurrence-constrained (RecMII, from `vliw-ir`).
+//! * [`sms`] — Swing-Modulo-Scheduling-style node ordering \[17\]: nodes are
+//!   ordered so each is placed next to an already-ordered neighbour,
+//!   most-critical (least slack) first.
+//! * [`mrt`] — the modulo reservation table: per-cluster functional-unit
+//!   slots and the shared inter-cluster buses.
+//! * [`engine`] — the cluster-assignment + scheduling engine shared by all
+//!   four target architectures (the BASE algorithm of \[22\] plus the
+//!   paper's modifications).
+//! * [`coherence`] — the intra-loop coherence solutions NL0 / 1C / PSR
+//!   (§4.1) and the decision logic of step ➍.
+//! * [`hints`] — step 4: access/mapping/prefetch hint assignment.
+//! * [`compile`] — the five end-to-end drivers: [`compile_base`],
+//!   [`compile_for_l0`], [`compile_multivliw`],
+//!   [`compile_interleaved`], and the unroll-factor selection of step 1.
+//!
+//! # Example
+//!
+//! ```
+//! use vliw_ir::LoopBuilder;
+//! use vliw_machine::MachineConfig;
+//! use vliw_sched::{compile_base, compile_for_l0};
+//!
+//! let cfg = MachineConfig::micro2003();
+//! let l = LoopBuilder::new("ew").trip_count(1024).elementwise(2).build();
+//!
+//! let base = compile_base(&l, &cfg.without_l0()).expect("schedulable");
+//! let with_l0 = compile_for_l0(&l, &cfg).expect("schedulable");
+//!
+//! // The L0 schedule uses the 1-cycle buffer latency for its loads, so
+//! // its initiation interval can never be worse.
+//! assert!(with_l0.ii() <= base.ii());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coherence;
+pub mod compile;
+pub mod engine;
+pub mod flush;
+pub mod hints;
+pub mod mii;
+pub mod mrt;
+pub mod render;
+pub mod schedule;
+pub mod sms;
+
+pub use coherence::{CoherencePolicy, CoherenceSolution};
+pub use compile::{
+    compile_base, compile_for_l0, compile_for_l0_with, compile_interleaved, compile_multivliw,
+    InterleavedHeuristic, L0Options, MarkPolicy,
+};
+pub use engine::ScheduleError;
+pub use flush::{apply_selective_flushing, needs_flush_between};
+pub use schedule::{Placement, PrefetchSlot, ReplicaSlot, Schedule};

@@ -1,0 +1,285 @@
+//! Scheduler output: the modulo schedule consumed by the simulator.
+
+use serde::{Deserialize, Serialize};
+use vliw_ir::{LoopNest, OpId};
+use vliw_machine::{ClusterId, MemHints};
+
+/// Placement of one operation in the modulo schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Placement {
+    /// The operation.
+    pub op: OpId,
+    /// Cluster it executes in.
+    pub cluster: ClusterId,
+    /// Flat start time (0 ≤ t < stage_count·II); instance `i` of the op
+    /// issues at `i·II + t`.
+    pub t: i64,
+    /// Latency the scheduler assumed for this op (for memory ops: the L0
+    /// or the L1 latency; §4.3 footnote 1).
+    pub assumed_latency: u32,
+    /// Hints attached to the instruction (meaningful for loads/stores).
+    pub hints: MemHints,
+    /// Cycles until the earliest scheduled consumer needs the value
+    /// (`None` for ops whose value is never consumed — they can never
+    /// stall the pipeline).
+    pub use_distance: Option<u32>,
+}
+
+/// An explicit software prefetch inserted by step 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrefetchSlot {
+    /// The load this prefetch covers (the prefetch reuses its address
+    /// stream, `lookahead` iterations ahead).
+    pub for_op: OpId,
+    /// Cluster (same as the covered load — prefetches fill the local
+    /// buffer).
+    pub cluster: ClusterId,
+    /// Flat issue time within the kernel.
+    pub t: i64,
+    /// How many iterations ahead the prefetch runs.
+    pub lookahead: u32,
+}
+
+/// A non-primary PSR store instance (§4.1): invalidates its local buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplicaSlot {
+    /// The primary store this replica mirrors.
+    pub for_op: OpId,
+    /// Cluster the replica executes in.
+    pub cluster: ClusterId,
+    /// Flat issue time.
+    pub t: i64,
+}
+
+/// An inter-cluster register copy inserted by the cluster scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CopySlot {
+    /// Producer whose value is moved.
+    pub from_op: OpId,
+    /// Destination cluster.
+    pub to_cluster: ClusterId,
+    /// Flat issue time (arrives `bus_latency` later).
+    pub t: i64,
+}
+
+/// A complete modulo schedule for one loop.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Schedule {
+    /// The (possibly unrolled/specialized) loop this schedule executes.
+    pub loop_: LoopNest,
+    /// Initiation interval.
+    ii: u32,
+    /// Number of overlapped stages.
+    stage_count: u32,
+    /// Placements indexed by op (same order as `loop_.ops`).
+    pub placements: Vec<Placement>,
+    /// Inter-cluster copies.
+    pub copies: Vec<CopySlot>,
+    /// Explicit prefetches (step 5).
+    pub prefetches: Vec<PrefetchSlot>,
+    /// PSR replica stores.
+    pub replicas: Vec<ReplicaSlot>,
+    /// Whether the L0 buffers are flushed when the loop exits (inter-loop
+    /// coherence, §4.1).
+    pub flush_on_exit: bool,
+    /// Peak register pressure estimate per cluster.
+    pub max_live: Vec<u32>,
+}
+
+impl Schedule {
+    /// Creates a schedule; computes the stage count from placements.
+    pub fn new(loop_: LoopNest, ii: u32, placements: Vec<Placement>, copies: Vec<CopySlot>) -> Self {
+        let horizon = placements
+            .iter()
+            .map(|p| p.t + p.assumed_latency as i64)
+            .chain(copies.iter().map(|c| c.t + 2))
+            .max()
+            .unwrap_or(0)
+            .max(1);
+        let stage_count = (horizon as u64).div_ceil(ii as u64).max(1) as u32;
+        Schedule {
+            loop_,
+            ii,
+            stage_count,
+            placements,
+            copies,
+            prefetches: Vec::new(),
+            replicas: Vec::new(),
+            flush_on_exit: false,
+            max_live: Vec::new(),
+        }
+    }
+
+    /// The initiation interval: cycles between consecutive iterations.
+    pub fn ii(&self) -> u32 {
+        self.ii
+    }
+
+    /// The stage count: how many iterations overlap in the kernel.
+    pub fn stage_count(&self) -> u32 {
+        self.stage_count
+    }
+
+    /// Placement of `op`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is not part of this schedule.
+    pub fn placement(&self, op: OpId) -> &Placement {
+        &self.placements[op.index()]
+    }
+
+    /// Cycles one visit of the loop takes without stalls:
+    /// `(trip − 1)·II + SC·II` (kernel plus prologue/epilogue drain).
+    pub fn compute_cycles_per_visit(&self) -> u64 {
+        let trip = self.loop_.trip_count.max(1);
+        (trip - 1) * self.ii as u64 + (self.stage_count as u64) * self.ii as u64
+    }
+
+    /// Number of memory ops scheduled with the L0 latency (diagnostics).
+    pub fn l0_scheduled_loads(&self) -> usize {
+        self.placements
+            .iter()
+            .filter(|p| {
+                self.loop_.op(p.op).is_load() && p.hints.access.uses_l0()
+            })
+            .count()
+    }
+
+    /// Validates internal consistency (used by tests and debug builds):
+    /// every op placed exactly once, FU kinds respected per slot, bus
+    /// capacity respected, dependence edges satisfied.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self, cfg: &vliw_machine::MachineConfig) -> Result<(), String> {
+        use std::collections::HashMap;
+        if self.placements.len() != self.loop_.ops.len() {
+            return Err("placement count != op count".into());
+        }
+        // FU capacity per slot.
+        let mut fu_use: HashMap<(usize, usize, u8), usize> = HashMap::new();
+        for p in &self.placements {
+            if p.op.index() >= self.loop_.ops.len() {
+                return Err(format!("placement for unknown op {}", p.op));
+            }
+            let op = self.loop_.op(p.op);
+            if let Some(kind) = op.kind.fu_kind() {
+                let slot = p.t.rem_euclid(self.ii as i64) as usize;
+                let k = match kind {
+                    vliw_machine::FuKind::Int => 0u8,
+                    vliw_machine::FuKind::Mem => 1,
+                    vliw_machine::FuKind::Fp => 2,
+                };
+                *fu_use.entry((slot, p.cluster.index(), k)).or_insert(0) += 1;
+            }
+        }
+        for p in &self.prefetches {
+            let slot = p.t.rem_euclid(self.ii as i64) as usize;
+            *fu_use.entry((slot, p.cluster.index(), 1)).or_insert(0) += 1;
+        }
+        for r in &self.replicas {
+            let slot = r.t.rem_euclid(self.ii as i64) as usize;
+            *fu_use.entry((slot, r.cluster.index(), 1)).or_insert(0) += 1;
+        }
+        for ((slot, cluster, kind), used) in &fu_use {
+            let cap = match kind {
+                0 => cfg.fus.int,
+                1 => cfg.fus.mem,
+                _ => cfg.fus.fp,
+            };
+            if *used > cap {
+                return Err(format!(
+                    "slot {slot} cluster {cluster} FU kind {kind}: {used} > {cap}"
+                ));
+            }
+        }
+        // Bus capacity.
+        let mut bus_use: HashMap<usize, usize> = HashMap::new();
+        for c in &self.copies {
+            let slot = c.t.rem_euclid(self.ii as i64) as usize;
+            *bus_use.entry(slot).or_insert(0) += 1;
+        }
+        for (slot, used) in &bus_use {
+            if *used > cfg.buses.count {
+                return Err(format!("bus slot {slot}: {used} > {}", cfg.buses.count));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile_for_l0;
+    use vliw_ir::LoopBuilder;
+    use vliw_machine::MachineConfig;
+
+    fn sample() -> (Schedule, MachineConfig) {
+        let cfg = MachineConfig::micro2003();
+        let l = LoopBuilder::new("sample").trip_count(64).fir(4, 2).build();
+        (compile_for_l0(&l, &cfg).unwrap(), cfg)
+    }
+
+    #[test]
+    fn schedules_are_normalized_to_start_at_zero() {
+        let (s, _) = sample();
+        let min_t = s.placements.iter().map(|p| p.t).min().unwrap();
+        assert!(min_t >= 0, "flat times must be normalized, got {min_t}");
+        assert!(s.placements.iter().any(|p| p.t < s.ii() as i64), "stage 0 non-empty");
+    }
+
+    #[test]
+    fn compute_cycles_match_modulo_arithmetic() {
+        let (s, _) = sample();
+        let expect = (s.loop_.trip_count - 1) * s.ii() as u64
+            + s.stage_count() as u64 * s.ii() as u64;
+        assert_eq!(s.compute_cycles_per_visit(), expect);
+    }
+
+    #[test]
+    fn validate_catches_oversubscribed_fu() {
+        let (mut s, cfg) = sample();
+        // clone a memory placement onto an occupied slot of the same
+        // cluster: must fail validation
+        let mem_p = *s
+            .placements
+            .iter()
+            .find(|p| s.loop_.op(p.op).kind.is_mem())
+            .expect("has memory ops");
+        for q in s.placements.iter_mut() {
+            if q.op != mem_p.op && s.loop_.ops[q.op.index()].kind.is_mem() {
+                q.cluster = mem_p.cluster;
+                q.t = mem_p.t;
+                break;
+            }
+        }
+        assert!(s.validate(&cfg).is_err());
+    }
+
+    #[test]
+    fn validate_catches_bus_oversubscription() {
+        let (mut s, cfg) = sample();
+        for i in 0..(cfg.buses.count + 1) {
+            s.copies.push(CopySlot {
+                from_op: s.placements[0].op,
+                to_cluster: vliw_machine::ClusterId::new(i % cfg.clusters),
+                t: 0,
+            });
+        }
+        assert!(s.validate(&cfg).is_err());
+    }
+
+    #[test]
+    fn l0_scheduled_loads_counts_hinted_loads() {
+        let (s, _) = sample();
+        let by_hand = s
+            .placements
+            .iter()
+            .filter(|p| s.loop_.op(p.op).is_load() && p.hints.access.uses_l0())
+            .count();
+        assert_eq!(s.l0_scheduled_loads(), by_hand);
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests on the scheduler: every schedulable loop yields a
+//! resource-legal schedule whose dependences are satisfied, on every
+//! target architecture.
+
+use proptest::prelude::*;
+use vliw_ir::{DepKind, LoopBuilder, LoopNest};
+use vliw_machine::MachineConfig;
+use vliw_sched::{
+    compile_base, compile_for_l0, compile_interleaved, compile_multivliw, InterleavedHeuristic,
+    Schedule,
+};
+
+fn arb_kernel() -> impl Strategy<Value = LoopNest> {
+    (
+        1usize..4,
+        0usize..6,
+        prop::sample::select(vec![1u8, 2, 4]),
+        16u64..128,
+        prop_oneof![Just("fir"), Just("ew"), Just("slp"), Just("red"), Just("stencil")],
+    )
+        .prop_map(|(taps, work, elem, trip, kind)| {
+            let b = LoopBuilder::new(format!("{kind}-sched-prop")).trip_count(trip);
+            let b = match kind {
+                "fir" => b.fir(taps.max(1), elem),
+                "ew" => b.elementwise(elem),
+                "slp" => b.store_load_pair(4),
+                "red" => b.reduction(elem.max(2)),
+                _ => b.stencil3(elem),
+            };
+            b.int_overhead(work).build()
+        })
+}
+
+/// Checks every dependence edge of the scheduled loop:
+/// `t(dst) + II·dist ≥ t(src) + latency(edge)` modulo cross-cluster copy
+/// slack (copies add at least the bus latency).
+fn dependences_satisfied(s: &Schedule, cfg: &MachineConfig) -> Result<(), String> {
+    let ii = s.ii() as i64;
+    let bus = cfg.buses.latency as i64;
+    for e in &s.loop_.edges {
+        if e.src == e.dst {
+            continue;
+        }
+        let sp = s.placement(e.src);
+        let dp = s.placement(e.dst);
+        let lat = match e.kind {
+            DepKind::Mem { .. } => 1,
+            _ => sp.assumed_latency as i64,
+        };
+        let cross = sp.cluster != dp.cluster && !e.kind.is_mem();
+        let needed = if cross { lat + bus } else { lat };
+        let have = dp.t + ii * e.distance as i64 - sp.t;
+        if have < needed {
+            return Err(format!(
+                "edge {}->{} d{}: have {have}, need {needed} (cross={cross})",
+                e.src, e.dst, e.distance
+            ));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn base_schedules_are_resource_and_dependence_legal(l in arb_kernel()) {
+        let cfg = MachineConfig::micro2003();
+        let s = compile_base(&l, &cfg.without_l0()).expect("schedulable");
+        s.validate(&cfg).map_err(|e| TestCaseError::fail(e)).unwrap();
+        dependences_satisfied(&s, &cfg).map_err(TestCaseError::fail).unwrap();
+    }
+
+    #[test]
+    fn l0_schedules_are_resource_and_dependence_legal(l in arb_kernel()) {
+        let cfg = MachineConfig::micro2003();
+        let s = compile_for_l0(&l, &cfg).expect("schedulable");
+        s.validate(&cfg).map_err(|e| TestCaseError::fail(e)).unwrap();
+        dependences_satisfied(&s, &cfg).map_err(TestCaseError::fail).unwrap();
+        // memory instructions carry hints consistent with their latency
+        let l0_lat = cfg.l0.unwrap().latency;
+        for p in &s.placements {
+            let op = s.loop_.op(p.op);
+            if op.is_load() && p.assumed_latency == l0_lat {
+                prop_assert!(p.hints.access.uses_l0(), "{}: L0 latency without L0 hint", p.op);
+            }
+            if op.is_load() && p.assumed_latency != l0_lat {
+                prop_assert!(!p.hints.access.uses_l0(), "{}: L1 latency with L0 hint", p.op);
+            }
+        }
+    }
+
+    #[test]
+    fn distributed_targets_schedule_everything(l in arb_kernel()) {
+        let cfg = MachineConfig::micro2003().without_l0();
+        let m = compile_multivliw(&l, &cfg).expect("multivliw schedulable");
+        m.validate(&cfg).map_err(|e| TestCaseError::fail(e)).unwrap();
+        for h in [InterleavedHeuristic::One, InterleavedHeuristic::Two] {
+            let s = compile_interleaved(&l, &cfg, h).expect("interleaved schedulable");
+            s.validate(&cfg).map_err(|e| TestCaseError::fail(e)).unwrap();
+        }
+    }
+
+    #[test]
+    fn ii_is_at_least_the_memory_pressure_bound(l in arb_kernel()) {
+        let cfg = MachineConfig::micro2003();
+        let s = compile_for_l0(&l, &cfg).expect("schedulable");
+        let mem_ops = s.loop_.mem_ops().count()
+            + s.prefetches.len()
+            + s.replicas.len();
+        let bound = mem_ops.div_ceil(cfg.clusters * cfg.fus.mem) as u32;
+        prop_assert!(s.ii() >= bound, "II {} below mem bound {bound}", s.ii());
+    }
+
+    #[test]
+    fn use_distances_cover_assumed_latencies(l in arb_kernel()) {
+        let cfg = MachineConfig::micro2003();
+        let s = compile_for_l0(&l, &cfg).expect("schedulable");
+        for p in &s.placements {
+            if let Some(du) = p.use_distance {
+                prop_assert!(
+                    du >= p.assumed_latency,
+                    "{}: use distance {du} < assumed latency {}",
+                    p.op,
+                    p.assumed_latency
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Cycle-level lock-step simulation of modulo-scheduled loops.
+//!
+//! The clusters run in lock-step: when one memory access arrives later
+//! than the schedule assumed, the whole processor stalls for the
+//! difference. Execution time therefore decomposes exactly as in the
+//! paper's figures:
+//!
+//! * **compute time** — `(trip − 1)·II + SC·II` per loop visit, the
+//!   schedule's own length (plus one cycle per visit for the
+//!   `invalidate_buffer` word when the target flushes L0 on exit);
+//! * **stall time** — cycles lost to "memory accesses that have been
+//!   scheduled too close to their consumers" (§5.2): an access whose
+//!   actual latency exceeds its scheduled use distance stalls the
+//!   pipeline for the remainder.
+//!
+//! # Example
+//!
+//! ```
+//! use vliw_ir::LoopBuilder;
+//! use vliw_machine::MachineConfig;
+//! use vliw_sched::{compile_base, compile_for_l0};
+//! use vliw_sim::{simulate_unified, simulate_unified_l0};
+//!
+//! let cfg = MachineConfig::micro2003();
+//! // in-place update: the load sits on the II-bounding memory recurrence
+//! let l = LoopBuilder::new("slp").trip_count(512).store_load_pair(4).build();
+//!
+//! let base = compile_base(&l, &cfg.without_l0()).unwrap();
+//! let with_l0 = compile_for_l0(&l, &cfg).unwrap();
+//!
+//! let r_base = simulate_unified(&base, &cfg);
+//! let r_l0 = simulate_unified_l0(&with_l0, &cfg);
+//! assert!(r_l0.total_cycles() < r_base.total_cycles());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod result;
+pub mod runner;
+
+pub use result::SimResult;
+pub use runner::{
+    simulate, simulate_interleaved, simulate_multivliw, simulate_unified, simulate_unified_l0,
+};

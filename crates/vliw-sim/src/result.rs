@@ -1,0 +1,91 @@
+//! Simulation results and aggregation helpers.
+
+use serde::{Deserialize, Serialize};
+use vliw_mem::MemStats;
+
+/// The outcome of simulating one loop (or an aggregate of several).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Cycles the schedule itself takes (no stalls).
+    pub compute_cycles: u64,
+    /// Cycles lost to memory accesses arriving later than scheduled.
+    pub stall_cycles: u64,
+    /// Memory-system counters.
+    pub mem_stats: MemStats,
+}
+
+impl SimResult {
+    /// Total execution cycles.
+    pub fn total_cycles(&self) -> u64 {
+        self.compute_cycles + self.stall_cycles
+    }
+
+    /// Fraction of execution spent stalled, in [0, 1].
+    pub fn stall_fraction(&self) -> f64 {
+        let total = self.total_cycles();
+        if total == 0 {
+            0.0
+        } else {
+            self.stall_cycles as f64 / total as f64
+        }
+    }
+
+    /// Execution time normalized to a baseline (the paper's figures
+    /// normalize to the clustered processor with a unified L1 and no L0
+    /// buffers).
+    pub fn normalized_to(&self, baseline: &SimResult) -> f64 {
+        let b = baseline.total_cycles();
+        if b == 0 {
+            0.0
+        } else {
+            self.total_cycles() as f64 / b as f64
+        }
+    }
+
+    /// Accumulates another result (weighted benchmark aggregation).
+    pub fn merge(&mut self, other: &SimResult) {
+        self.compute_cycles += other.compute_cycles;
+        self.stall_cycles += other.stall_cycles;
+        self.mem_stats.merge(&other.mem_stats);
+    }
+
+    /// Adds pure compute cycles (the non-loop scalar code fraction, which
+    /// is identical across the compared architectures).
+    pub fn add_scalar_cycles(&mut self, cycles: u64) {
+        self.compute_cycles += cycles;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_fractions() {
+        let r = SimResult { compute_cycles: 80, stall_cycles: 20, ..Default::default() };
+        assert_eq!(r.total_cycles(), 100);
+        assert!((r.stall_fraction() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalization() {
+        let a = SimResult { compute_cycles: 84, stall_cycles: 0, ..Default::default() };
+        let b = SimResult { compute_cycles: 100, stall_cycles: 0, ..Default::default() };
+        assert!((a.normalized_to(&b) - 0.84).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = SimResult { compute_cycles: 10, stall_cycles: 1, ..Default::default() };
+        a.merge(&SimResult { compute_cycles: 5, stall_cycles: 2, ..Default::default() });
+        assert_eq!(a.compute_cycles, 15);
+        assert_eq!(a.stall_cycles, 3);
+    }
+
+    #[test]
+    fn zero_baseline_is_safe() {
+        let a = SimResult::default();
+        assert_eq!(a.normalized_to(&a), 0.0);
+        assert_eq!(a.stall_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,39 @@
+//! Synthetic Mediabench-like benchmarks.
+//!
+//! The paper evaluates on 13 Mediabench programs compiled with IMPACT.
+//! Neither is available here, so each benchmark is reproduced as a
+//! *weighted mix of inner-loop kernels* whose static and dynamic
+//! characteristics match what the paper reports (see DESIGN.md §2–3):
+//!
+//! * the dynamic stride mix of Table 1 (strided %, "good" 0/±1-element
+//!   strides vs. other strides),
+//! * the behaviours §5.2 calls out per benchmark: the ADPCM predictor
+//!   recurrences of g721 (memory-carried, big L0 win), the small-II
+//!   prefetch-too-late loops of epicdec/rasta, the column walks of
+//!   mpeg2dec, the table-lookup pressure and the 4-entry LRU-thrashing
+//!   loop of jpegdec, the large low-locality working sets of pegwit, and
+//!   the conservative dependence sets of epicdec/pgp*/rasta that code
+//!   specialization removes,
+//! * a non-loop scalar fraction (~20 % of execution) identical across
+//!   architectures.
+//!
+//! # Example
+//!
+//! ```
+//! use vliw_workloads::mediabench_suite;
+//!
+//! let suite = mediabench_suite();
+//! assert_eq!(suite.len(), 13);
+//! let table1 = suite[1].table1_stats(); // g721dec
+//! assert!(table1.strided_pct > 99.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod kernels;
+pub mod spec;
+pub mod suite;
+
+pub use spec::{BenchmarkSpec, Table1Stats};
+pub use suite::mediabench_suite;

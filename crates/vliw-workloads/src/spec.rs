@@ -1,0 +1,107 @@
+//! Benchmark specifications and Table-1 statistics.
+
+use serde::{Deserialize, Serialize};
+use vliw_ir::{stride, LoopNest, StrideClass};
+
+/// One synthetic benchmark: a mix of inner loops plus a scalar (non-loop)
+/// fraction.
+#[derive(Debug, Clone)]
+pub struct BenchmarkSpec {
+    /// Benchmark name (matches Table 1).
+    pub name: &'static str,
+    /// Inner loops; their trip counts/visits encode their weights.
+    pub loops: Vec<LoopNest>,
+    /// Fraction of total execution spent in non-loop scalar code
+    /// (~0.2 in the paper: modulo-scheduled inner loops account for
+    /// "80% of the dynamic instruction stream approximately"). This code
+    /// is identical across architectures.
+    pub scalar_fraction: f64,
+}
+
+impl BenchmarkSpec {
+    /// Dynamic stride statistics — the S/SG/SO columns of Table 1.
+    ///
+    /// Computed on the *original* (pre-unrolling) loops, as the paper's
+    /// compiler does: strides of 0/±1 elements are "good".
+    pub fn table1_stats(&self) -> Table1Stats {
+        let mut good = 0u64;
+        let mut other = 0u64;
+        let mut non = 0u64;
+        for l in &self.loops {
+            debug_assert_eq!(l.unroll_factor, 1, "suite loops are pre-unroll");
+            let dyn_iters = l.dynamic_iterations();
+            for op in l.mem_ops() {
+                let acc = op.kind.mem_access().expect("mem op");
+                match stride::classify(acc, l.unroll_factor) {
+                    StrideClass::Good => good += dyn_iters,
+                    StrideClass::Other => other += dyn_iters,
+                    StrideClass::NonStrided => non += dyn_iters,
+                }
+            }
+        }
+        let total = (good + other + non).max(1) as f64;
+        Table1Stats {
+            strided_pct: (good + other) as f64 / total * 100.0,
+            good_pct: good as f64 / total * 100.0,
+            other_pct: other as f64 / total * 100.0,
+        }
+    }
+
+    /// Total dynamic memory accesses across the loop mix.
+    pub fn dynamic_mem_accesses(&self) -> u64 {
+        self.loops.iter().map(|l| l.dynamic_iterations() * l.mem_ops().count() as u64).sum()
+    }
+
+    /// Scalar cycles implied by a measured loop-portion execution time:
+    /// `scalar = loops · f/(1−f)` so that scalar/(scalar+loops) = f.
+    pub fn scalar_cycles_for(&self, loop_cycles: u64) -> u64 {
+        let f = self.scalar_fraction.clamp(0.0, 0.95);
+        (loop_cycles as f64 * f / (1.0 - f)).round() as u64
+    }
+}
+
+/// The S / SG / SO columns of Table 1 (percent of dynamic memory
+/// accesses).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Table1Stats {
+    /// Percentage of strided accesses (column "S" = SG + SO).
+    pub strided_pct: f64,
+    /// Percentage with good strides (column "SG").
+    pub good_pct: f64,
+    /// Percentage with other strides (column "SO").
+    pub other_pct: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels;
+
+    #[test]
+    fn stats_weight_by_dynamic_iterations() {
+        let spec = BenchmarkSpec {
+            name: "test",
+            loops: vec![
+                kernels::small_ii_stream("good", 100, 1), // 2 strided ops
+                kernels::big_table("bad", 1 << 16, 100, 1), // 2 good + 1 non
+            ],
+            scalar_fraction: 0.2,
+        };
+        let t = spec.table1_stats();
+        // 400 good vs 100 non-strided accesses
+        assert!((t.strided_pct - 80.0).abs() < 1.0, "S = {}", t.strided_pct);
+        assert!((t.good_pct - 80.0).abs() < 1.0);
+        assert!(t.other_pct < 1.0);
+    }
+
+    #[test]
+    fn scalar_cycles_match_fraction() {
+        let spec = BenchmarkSpec {
+            name: "t",
+            loops: vec![kernels::small_ii_stream("s", 10, 1)],
+            scalar_fraction: 0.2,
+        };
+        let scalar = spec.scalar_cycles_for(800);
+        assert_eq!(scalar, 200, "200/(200+800) = 0.2");
+    }
+}
