@@ -6,42 +6,66 @@
 //! buffer usage) matters only for large mixed sets; after code
 //! specialization removes the conservative sets, 1C matches it, so the
 //! driver only chooses between NL0 and 1C.
+//!
+//! `--json <path>` emits the structured grid result.
 
-use vliw_bench::{compile_loop, Arch};
+use vliw_bench::experiment::{write_json, BinArgs, SweepGrid, Variant};
+use vliw_bench::Arch;
 use vliw_machine::MachineConfig;
 use vliw_sched::{CoherencePolicy, L0Options};
-use vliw_sim::simulate_unified_l0;
-use vliw_workloads::kernels;
+use vliw_workloads::{kernels, BenchmarkSpec};
+
+const POLICIES: [(&str, CoherencePolicy); 4] = [
+    ("NL0", CoherencePolicy::ForceNl0),
+    ("1C", CoherencePolicy::Force1c),
+    ("PSR", CoherencePolicy::ForcePsr),
+    ("Auto", CoherencePolicy::Auto),
+];
 
 fn main() {
-    let cfg = MachineConfig::micro2003();
+    let args = BinArgs::parse();
     // Microworkloads with genuine mixed sets: the ADPCM predictor
     // (true memory recurrence) and a conservative stream (spurious set
     // removable by specialization).
-    let loops = [
-        kernels::adpcm_predictor("true-recurrence", 64, 40),
-        kernels::conservative_stream("conservative-set", 96, 40),
-    ];
-    let policies = [
-        ("NL0", CoherencePolicy::ForceNl0),
-        ("1C", CoherencePolicy::Force1c),
-        ("PSR", CoherencePolicy::ForcePsr),
-        ("Auto", CoherencePolicy::Auto),
+    let loops = vec![
+        BenchmarkSpec::from_kernel(kernels::adpcm_predictor("true-recurrence", 64, 40)),
+        BenchmarkSpec::from_kernel(kernels::conservative_stream("conservative-set", 96, 40)),
     ];
 
-    for spec_loop in &loops {
-        println!("loop: {}", spec_loop.name);
-        for specialize in [false, true] {
-            print!("  specialization {:>5}:", if specialize { "on" } else { "off" });
-            for (label, policy) in policies {
-                let opts = L0Options { policy, specialize, ..Default::default() };
-                let schedule = compile_loop(spec_loop, &cfg, Arch::L0, opts);
-                let r = simulate_unified_l0(&schedule, &cfg);
-                print!("  {label}={} (II {})", r.total_cycles(), schedule.ii());
+    // Column per (specialization, policy) pair; rows are the loops.
+    let variants = [false, true].iter().flat_map(|&specialize| {
+        POLICIES.map(move |(label, policy)| {
+            Variant::new(Arch::L0)
+                .labeled(format!(
+                    "{label}/spec-{}",
+                    if specialize { "on" } else { "off" }
+                ))
+                .opts(L0Options {
+                    policy,
+                    specialize,
+                    ..Default::default()
+                })
+        })
+    });
+    let grid = SweepGrid::new("ablation_coherence", MachineConfig::micro2003(), loops)
+        .with_variants(variants);
+    let result = grid.run();
+
+    for (name, row) in result.rows() {
+        println!("loop: {name}");
+        for (half, specialize) in [(0, "off"), (1, "on")] {
+            print!("  specialization {specialize:>5}:");
+            for (i, (label, _)) in POLICIES.iter().enumerate() {
+                let cell = &row[half * POLICIES.len() + i];
+                print!("  {label}={} (II {:.0})", cell.total_cycles, cell.avg_ii);
             }
             println!();
         }
     }
     println!("\npaper: PSR's edge disappears once specialization removes the big");
     println!("conservative sets; the driver then picks between NL0 and 1C only.");
+
+    if let Some(path) = args.json_path() {
+        write_json(&path, &result);
+    }
 }

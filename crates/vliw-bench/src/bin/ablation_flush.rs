@@ -2,15 +2,16 @@
 //! drops the `invalidate_buffer` at loop exit when no other loop in the
 //! region touches the same data. Benefits loops with short visits, whose
 //! L0 working sets otherwise cold-start every re-entry.
+//!
+//! `--json <path>` emits the structured grid result.
 
+use vliw_bench::experiment::{write_json, BinArgs, SweepGrid, Variant};
 use vliw_bench::Arch;
 use vliw_machine::MachineConfig;
-use vliw_sched::{apply_selective_flushing, L0Options};
-use vliw_sim::{simulate_unified_l0, SimResult};
-use vliw_workloads::kernels;
+use vliw_workloads::{kernels, BenchmarkSpec};
 
 fn main() {
-    let cfg = MachineConfig::micro2003();
+    let args = BinArgs::parse();
     // A region of four independent loops (distinct data structures, as a
     // real program phase would have), re-entered many times with short
     // trip counts: the worst case for unconditional flushing.
@@ -26,42 +27,38 @@ fn main() {
             arr.base_addr += (i as u64) << 28;
         }
     }
+    let region_size = loops.len();
 
-    let compiled: Vec<_> = loops
-        .iter()
-        .map(|l| vliw_bench::compile_loop(l, &cfg, Arch::L0, L0Options::default()))
-        .collect();
+    let grid = SweepGrid::new(
+        "ablation_flush",
+        MachineConfig::micro2003(),
+        vec![BenchmarkSpec::from_kernels("region", loops)],
+    )
+    .variant(Variant::new(Arch::L0).labeled("always flush"))
+    .variant(Variant::new(Arch::L0).selective_flush());
+    let result = grid.run();
 
-    let run_region = |region: &[vliw_sched::Schedule]| {
-        let mut merged = SimResult::default();
-        for s in region {
-            merged.merge(&simulate_unified_l0(s, &cfg));
-        }
-        merged
-    };
-
-    let always = run_region(&compiled);
-
-    let mut selective = compiled.clone();
-    let removed = apply_selective_flushing(&mut selective);
-    let relaxed = run_region(&selective);
-
-    println!("Selective inter-loop flushing (region of {} loops):", compiled.len());
-    println!("  flushes removed by the analysis: {removed}");
+    let always = result.cell(0, 0);
+    let relaxed = result.cell(0, 1);
+    println!("Selective inter-loop flushing (region of {region_size} loops):");
+    println!(
+        "  flushes removed by the analysis: {}",
+        relaxed.flushes_removed
+    );
     println!(
         "  always flush:    {} cycles ({} compute + {} stall)",
-        always.total_cycles(),
-        always.compute_cycles,
-        always.stall_cycles
+        always.total_cycles, always.compute_cycles, always.stall_cycles
     );
     println!(
         "  selective flush: {} cycles ({} compute + {} stall)",
-        relaxed.total_cycles(),
-        relaxed.compute_cycles,
-        relaxed.stall_cycles
+        relaxed.total_cycles, relaxed.compute_cycles, relaxed.stall_cycles
     );
     println!(
         "  improvement: {:.1}%",
-        (1.0 - relaxed.total_cycles() as f64 / always.total_cycles() as f64) * 100.0
+        (1.0 - relaxed.total_cycles as f64 / always.total_cycles as f64) * 100.0
     );
+
+    if let Some(path) = args.json_path() {
+        write_json(&path, &result);
+    }
 }

@@ -1,64 +1,91 @@
 //! §5.2 in-text ablation: prefetching *two* subblocks ahead instead of
 //! one. The paper reports −12% execution time on epicdec and −4% on
 //! rasta, whose small-II loops otherwise receive prefetched data too late.
+//!
+//! `--json <path>` emits the structured whole-benchmark grid result.
 
-use vliw_bench::{baseline_run, compile_loop, run_benchmark, Arch};
+use vliw_bench::experiment::{write_json, BinArgs, SweepGrid, Variant};
+use vliw_bench::Arch;
 use vliw_machine::MachineConfig;
-use vliw_sched::L0Options;
-use vliw_sim::simulate_unified_l0;
-use vliw_workloads::mediabench_suite;
+use vliw_workloads::{mediabench_suite, BenchmarkSpec};
+
+/// The two columns of both grids: automatic prefetch distance 1 vs. 2.
+fn distance_variants() -> [Variant; 2] {
+    [
+        Variant::new(Arch::L0).prefetch_distance(1),
+        Variant::new(Arch::L0).prefetch_distance(2),
+    ]
+}
 
 fn main() {
-    let d1 = MachineConfig::micro2003();
-    let d2 = d1.with_prefetch_distance(2);
+    let args = BinArgs::parse();
+    let suite = mediabench_suite();
 
     println!("Ablation: automatic prefetch distance 1 vs 2 (8-entry L0)");
     println!();
     println!("Small-II loops (the paper's target: prefetch otherwise lands too late):");
-    println!("{:<12} {:>10} {:>10} {:>12}", "loop", "dist 1", "dist 2", "improvement");
-    let suite = mediabench_suite();
-    for spec in &suite {
-        for loop_ in &spec.loops {
-            if !loop_.name.contains("copy") && !loop_.name.contains("win") {
-                continue;
-            }
-            let s1 = compile_loop(loop_, &d1, Arch::L0, L0Options::default());
-            let s2 = compile_loop(loop_, &d2, Arch::L0, L0Options::default());
-            let r1 = simulate_unified_l0(&s1, &d1);
-            let r2 = simulate_unified_l0(&s2, &d2);
-            let gain = 1.0 - r2.total_cycles() as f64 / r1.total_cycles() as f64;
-            println!(
-                "{:<12} {:>10} {:>10} {:>11.1}%",
-                loop_.name,
-                r1.total_cycles(),
-                r2.total_cycles(),
-                gain * 100.0
-            );
-        }
+    println!(
+        "{:<12} {:>10} {:>10} {:>12}",
+        "loop", "dist 1", "dist 2", "improvement"
+    );
+
+    // Per-loop view: each signature loop runs as a standalone spec.
+    let signature_loops: Vec<BenchmarkSpec> = suite
+        .iter()
+        .flat_map(|spec| &spec.loops)
+        .filter(|l| l.name.contains("copy") || l.name.contains("win"))
+        .cloned()
+        .map(BenchmarkSpec::from_kernel)
+        .collect();
+    let loops_result = SweepGrid::new(
+        "ablation_prefetch_loops",
+        MachineConfig::micro2003(),
+        signature_loops,
+    )
+    .with_variants(distance_variants())
+    .run();
+    for (name, row) in loops_result.rows() {
+        let (d1, d2) = (&row[0], &row[1]);
+        let gain = 1.0 - d2.total_cycles as f64 / d1.total_cycles as f64;
+        println!(
+            "{:<12} {:>10} {:>10} {:>11.1}%",
+            name,
+            d1.total_cycles,
+            d2.total_cycles,
+            gain * 100.0
+        );
     }
 
     println!();
     println!("Whole benchmarks (net effect: deeper prefetch also *occupies more");
     println!("L0 entries* — §5.2's caveat — which hurts loops whose 1C-pinned");
     println!("buffer already runs near capacity):");
-    println!("{:<11} {:>10} {:>10} {:>12}", "bench", "dist 1", "dist 2", "improvement");
-    for spec in &suite {
-        let base = baseline_run(spec, &d1);
-        let r1 = run_benchmark(spec, &d1, Arch::L0, L0Options::default(), base.loops.total_cycles());
-        let r2 = run_benchmark(spec, &d2, Arch::L0, L0Options::default(), base.loops.total_cycles());
-        let gain = 1.0 - r2.total() as f64 / r1.total() as f64;
-        let marker = match spec.name {
+    println!(
+        "{:<11} {:>10} {:>10} {:>12}",
+        "bench", "dist 1", "dist 2", "improvement"
+    );
+    let bench_result = SweepGrid::new("ablation_prefetch", MachineConfig::micro2003(), suite)
+        .with_variants(distance_variants())
+        .run();
+    for (name, row) in bench_result.rows() {
+        let (d1, d2) = (&row[0], &row[1]);
+        let gain = 1.0 - d2.total_cycles as f64 / d1.total_cycles as f64;
+        let marker = match name {
             "epicdec" => "  <- paper: -12% overall",
             "rasta" => "  <- paper: -4% overall",
             _ => "",
         };
         println!(
             "{:<11} {:>10} {:>10} {:>11.1}%{}",
-            spec.name,
-            r1.total(),
-            r2.total(),
+            name,
+            d1.total_cycles,
+            d2.total_cycles,
             gain * 100.0,
             marker
         );
+    }
+
+    if let Some(path) = args.json_path() {
+        write_json(&path, &bench_result);
     }
 }

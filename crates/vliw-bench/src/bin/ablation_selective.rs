@@ -1,45 +1,54 @@
 //! §5.2 in-text ablation: with 4-entry buffers, marking *all* candidate
 //! memory instructions (instead of the slack-based selective policy)
 //! overflows the buffers; the paper reports +6% execution time.
+//!
+//! `--json <path>` emits the structured grid result.
 
-use vliw_bench::{amean, baseline_run, run_benchmark, Arch};
+use vliw_bench::experiment::{write_json, BinArgs, SweepGrid, Variant};
+use vliw_bench::{amean, Arch};
 use vliw_machine::{L0Capacity, MachineConfig};
 use vliw_sched::{L0Options, MarkPolicy};
 use vliw_workloads::mediabench_suite;
 
 fn main() {
+    let args = BinArgs::parse();
     let cfg = MachineConfig::micro2003().with_l0_entries(L0Capacity::Bounded(4));
+    let grid = SweepGrid::new("ablation_selective", cfg, mediabench_suite())
+        .variant(Variant::new(Arch::L0).labeled("selective").opts(L0Options {
+            mark: MarkPolicy::Selective,
+            ..Default::default()
+        }))
+        .variant(
+            Variant::new(Arch::L0)
+                .labeled("all-candidates")
+                .opts(L0Options {
+                    mark: MarkPolicy::AllCandidates,
+                    ..Default::default()
+                }),
+        );
+    let result = grid.run();
+
     println!("Ablation: selective vs. all-candidates marking (4-entry L0)");
-    println!("{:<11} {:>12} {:>16} {:>10}", "bench", "selective", "all-candidates", "ratio");
+    println!(
+        "{:<11} {:>12} {:>16} {:>10}",
+        "bench", "selective", "all-candidates", "ratio"
+    );
     let mut ratios = Vec::new();
-    for spec in &mediabench_suite() {
-        let base = baseline_run(spec, &cfg);
-        let sel = run_benchmark(
-            spec,
-            &cfg,
-            Arch::L0,
-            L0Options { mark: MarkPolicy::Selective, ..Default::default() },
-            base.loops.total_cycles(),
-        );
-        let all = run_benchmark(
-            spec,
-            &cfg,
-            Arch::L0,
-            L0Options { mark: MarkPolicy::AllCandidates, ..Default::default() },
-            base.loops.total_cycles(),
-        );
-        let ratio = all.total() as f64 / sel.total() as f64;
+    for (name, row) in result.rows() {
+        let (sel, all) = (&row[0], &row[1]);
+        let ratio = all.total_cycles as f64 / sel.total_cycles as f64;
         ratios.push(ratio);
         println!(
             "{:<11} {:>12} {:>16} {:>9.3}x",
-            spec.name,
-            sel.total(),
-            all.total(),
-            ratio
+            name, sel.total_cycles, all.total_cycles, ratio
         );
     }
     println!(
         "\nAMEAN all/selective: {:.3}x (paper: ~1.06x — selective marking matters)",
         amean(&ratios)
     );
+
+    if let Some(path) = args.json_path() {
+        write_json(&path, &result);
+    }
 }

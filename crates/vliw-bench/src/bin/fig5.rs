@@ -3,59 +3,46 @@
 //! processor with a unified L1 and no L0 buffers.
 //!
 //! `--entries N` runs a single extra sweep point (e.g. the 2-entry
-//! configuration discussed in the text).
+//! configuration discussed in the text); `--json <path>` emits the
+//! structured grid result.
 
-use vliw_bench::{amean, baseline_run, run_benchmark, Arch};
+use vliw_bench::experiment::{render_matrix, write_json, BinArgs, SweepGrid, Variant};
+use vliw_bench::Arch;
 use vliw_machine::{L0Capacity, MachineConfig};
-use vliw_sched::L0Options;
 use vliw_workloads::mediabench_suite;
 
 fn main() {
-    let extra: Option<usize> = std::env::args()
-        .skip_while(|a| a != "--entries")
-        .nth(1)
-        .and_then(|v| v.parse().ok());
+    let args = BinArgs::parse();
+    let extra: Option<usize> = args.value_of("--entries").and_then(|v| v.parse().ok());
 
-    let sizes: Vec<(String, L0Capacity)> = match extra {
-        Some(n) => vec![(format!("{n} entries"), L0Capacity::Bounded(n))],
+    let capacities: Vec<L0Capacity> = match extra {
+        Some(n) => vec![L0Capacity::Bounded(n)],
         None => vec![
-            ("4 entries".into(), L0Capacity::Bounded(4)),
-            ("8 entries".into(), L0Capacity::Bounded(8)),
-            ("16 entries".into(), L0Capacity::Bounded(16)),
-            ("unbounded".into(), L0Capacity::Unbounded),
+            L0Capacity::Bounded(4),
+            L0Capacity::Bounded(8),
+            L0Capacity::Bounded(16),
+            L0Capacity::Unbounded,
         ],
     };
 
-    let suite = mediabench_suite();
-    let base_cfg = MachineConfig::micro2003();
+    let grid = SweepGrid::new("fig5", MachineConfig::micro2003(), mediabench_suite())
+        .with_variants(
+            capacities
+                .into_iter()
+                .map(|cap| Variant::new(Arch::L0).l0(cap)),
+        );
+    let result = grid.run();
 
     println!("Figure 5: execution time normalized to unified L1 without L0 buffers");
     println!("(each cell: total | compute+stall split)");
-    print!("{:<11}", "bench");
-    for (label, _) in &sizes {
-        print!(" {label:>24}");
-    }
-    println!();
+    render_matrix(&result, 24, |cell| {
+        format!(
+            "{:>6.3} ({:>5.3}+{:>5.3})",
+            cell.normalized, cell.normalized_compute, cell.normalized_stall
+        )
+    });
 
-    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); sizes.len()];
-    for spec in &suite {
-        let base = baseline_run(spec, &base_cfg);
-        print!("{:<11}", spec.name);
-        for (i, (_, cap)) in sizes.iter().enumerate() {
-            let cfg = base_cfg.with_l0_entries(*cap);
-            let run =
-                run_benchmark(spec, &cfg, Arch::L0, L0Options::default(), base.loops.total_cycles());
-            let norm = run.total() as f64 / base.total() as f64;
-            let comp = run.compute() as f64 / base.total() as f64;
-            let stall = run.stall() as f64 / base.total() as f64;
-            columns[i].push(norm);
-            print!("  {:>6.3} ({:>5.3}+{:>5.3})", norm, comp, stall);
-        }
-        println!();
+    if let Some(path) = args.json_path() {
+        write_json(&path, &result);
     }
-    print!("{:<11}", "AMEAN");
-    for col in &columns {
-        print!("  {:>6.3}{:>15}", amean(col), "");
-    }
-    println!();
 }

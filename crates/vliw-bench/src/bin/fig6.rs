@@ -1,41 +1,39 @@
 //! Figure 6: per benchmark, with 8-entry L0 buffers —
 //! the proportion of subblocks mapped linearly vs. interleaved, the L0
 //! buffer hit rate, and the average (dynamic-weighted) unroll factor.
+//!
+//! `--json <path>` emits the structured grid result.
 
-use vliw_bench::{compile_loop, Arch};
+use vliw_bench::experiment::{write_json, BinArgs, SweepGrid, Variant};
+use vliw_bench::Arch;
 use vliw_machine::MachineConfig;
-use vliw_sched::L0Options;
-use vliw_sim::{simulate_unified_l0, SimResult};
 use vliw_workloads::mediabench_suite;
 
 fn main() {
-    let cfg = MachineConfig::micro2003();
+    let args = BinArgs::parse();
+    let grid = SweepGrid::new("fig6", MachineConfig::micro2003(), mediabench_suite())
+        .variant(Variant::new(Arch::L0));
+    let result = grid.run();
+
     println!("Figure 6: mapping mix, L0 hit rate, avg unroll factor (8-entry L0)");
     println!(
         "{:<11} {:>10} {:>13} {:>10} {:>12}",
         "bench", "linear %", "interleaved %", "hit rate", "avg unroll"
     );
-    for spec in &mediabench_suite() {
-        let mut merged = SimResult::default();
-        let mut unroll_weighted = 0.0f64;
-        let mut weight = 0.0f64;
-        for loop_ in &spec.loops {
-            let schedule = compile_loop(loop_, &cfg, Arch::L0, L0Options::default());
-            let r = simulate_unified_l0(&schedule, &cfg);
-            let w = r.total_cycles() as f64;
-            unroll_weighted += schedule.loop_.unroll_factor as f64 * w;
-            weight += w;
-            merged.merge(&r);
-        }
-        let s = &merged.mem_stats;
-        let inter = s.interleaved_ratio();
+    for (name, row) in result.rows() {
+        let cell = &row[0];
+        let inter = cell.interleaved_ratio();
         println!(
             "{:<11} {:>9.1}% {:>12.1}% {:>9.1}% {:>12.1}",
-            spec.name,
+            name,
             (1.0 - inter) * 100.0,
             inter * 100.0,
-            s.l0_hit_rate() * 100.0,
-            unroll_weighted / weight.max(1.0),
+            cell.l0_hit_rate() * 100.0,
+            cell.avg_unroll,
         );
+    }
+
+    if let Some(path) = args.json_path() {
+        write_json(&path, &result);
     }
 }

@@ -1,39 +1,34 @@
 //! Figure 7: 8-entry L0 buffers vs. the MultiVLIW (MSI distributed L1)
 //! and a word-interleaved cache with two scheduling heuristics, all
 //! normalized to the unified-L1 baseline without L0 buffers.
+//!
+//! `--json <path>` emits the structured grid result.
 
-use vliw_bench::{amean, baseline_run, run_benchmark, Arch};
+use vliw_bench::experiment::{render_matrix, write_json, BinArgs, SweepGrid, Variant};
+use vliw_bench::Arch;
 use vliw_machine::MachineConfig;
-use vliw_sched::L0Options;
 use vliw_workloads::mediabench_suite;
 
 fn main() {
-    let cfg = MachineConfig::micro2003();
-    let archs = [Arch::L0, Arch::MultiVliw, Arch::Interleaved1, Arch::Interleaved2];
+    let args = BinArgs::parse();
+    let grid = SweepGrid::new("fig7", MachineConfig::micro2003(), mediabench_suite())
+        .with_variants(
+            [
+                Arch::L0,
+                Arch::MultiVliw,
+                Arch::Interleaved1,
+                Arch::Interleaved2,
+            ]
+            .map(Variant::new),
+        );
+    let result = grid.run();
 
     println!("Figure 7: normalized execution time vs. distributed-cache baselines");
-    print!("{:<11}", "bench");
-    for a in archs {
-        print!(" {:>14}", a.label());
-    }
-    println!();
+    render_matrix(&result, 14, |cell| {
+        format!("{:>6.3}(s{:>5.3})", cell.normalized, cell.normalized_stall)
+    });
 
-    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); archs.len()];
-    for spec in &mediabench_suite() {
-        let base = baseline_run(spec, &cfg);
-        print!("{:<11}", spec.name);
-        for (i, arch) in archs.iter().enumerate() {
-            let run = run_benchmark(spec, &cfg, *arch, L0Options::default(), base.loops.total_cycles());
-            let norm = run.total() as f64 / base.total() as f64;
-            let stall = run.stall() as f64 / base.total() as f64;
-            cols[i].push(norm);
-            print!("  {norm:>6.3}(s{stall:>5.3})");
-        }
-        println!();
+    if let Some(path) = args.json_path() {
+        write_json(&path, &result);
     }
-    print!("{:<11}", "AMEAN");
-    for col in &cols {
-        print!(" {:>14.3}", amean(col));
-    }
-    println!();
 }

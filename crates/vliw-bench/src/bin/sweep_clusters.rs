@@ -2,43 +2,47 @@
 //! mechanisms can be extended to an architecture with any number of
 //! clusters". This bin runs the L0-vs-baseline comparison on 2-, 4- and
 //! 8-cluster machines (subblock = 32-byte block / N = 16, 8 and 4 bytes).
+//!
+//! `--json <path>` emits the structured grid result.
 
+use vliw_bench::experiment::{write_json, BinArgs, SweepGrid, Variant};
+use vliw_bench::Arch;
 use vliw_machine::MachineConfig;
-use vliw_sched::{compile_base, compile_for_l0};
-use vliw_sim::{simulate_unified, simulate_unified_l0, SimResult};
-use vliw_workloads::kernels;
+use vliw_workloads::{kernels, BenchmarkSpec};
 
 fn main() {
-    let loops = [
-        kernels::adpcm_predictor("pred", 64, 30),
-        kernels::media_stream("stream", 3, 6, 2, 256, 10, false),
-        kernels::row_filter("fir6", 6, 160, 8),
-    ];
+    let args = BinArgs::parse();
+    let spec = BenchmarkSpec::from_kernels(
+        "kernels",
+        vec![
+            kernels::adpcm_predictor("pred", 64, 30),
+            kernels::media_stream("stream", 3, 6, 2, 256, 10, false),
+            kernels::row_filter("fir6", 6, 160, 8),
+        ],
+    );
+
+    let grid = SweepGrid::new("sweep_clusters", MachineConfig::micro2003(), vec![spec])
+        .with_variants([2usize, 4, 8].map(|n| Variant::new(Arch::L0).clusters(n)));
+    let result = grid.run();
 
     println!("Cluster-count sweep (subblock = 32B block / N):");
     println!(
         "{:>8} {:>9} {:>14} {:>14} {:>12}",
         "clusters", "subblock", "baseline cyc", "L0 cyc", "normalized"
     );
-    for clusters in [2usize, 4, 8] {
-        let mut cfg = MachineConfig::micro2003();
-        cfg.clusters = clusters;
-        cfg.validate().expect("valid configuration");
-        let mut base = SimResult::default();
-        let mut l0 = SimResult::default();
-        for l in &loops {
-            let sb = compile_base(l, &cfg.without_l0()).expect("schedulable");
-            base.merge(&simulate_unified(&sb, &cfg));
-            let sl = compile_for_l0(l, &cfg).expect("schedulable");
-            l0.merge(&simulate_unified_l0(&sl, &cfg));
-        }
+    let block_bytes = MachineConfig::micro2003().l1.block_bytes;
+    for cell in &result.cells {
         println!(
             "{:>8} {:>8}B {:>14} {:>14} {:>12.3}",
-            clusters,
-            cfg.subblock_bytes(),
-            base.total_cycles(),
-            l0.total_cycles(),
-            l0.total_cycles() as f64 / base.total_cycles() as f64
+            cell.clusters,
+            block_bytes / cell.clusters,
+            cell.baseline_total_cycles,
+            cell.total_cycles,
+            cell.normalized
         );
+    }
+
+    if let Some(path) = args.json_path() {
+        write_json(&path, &result);
     }
 }

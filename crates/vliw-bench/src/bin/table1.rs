@@ -1,7 +1,11 @@
 //! Table 1: the benchmarks and their dynamic stride statistics —
 //! % strided accesses (S), good strides (SG), other strides (SO).
+//!
+//! `--json <path>` emits the structured rows.
 
-use vliw_workloads::mediabench_suite;
+use serde::{Deserialize, Serialize};
+use vliw_bench::experiment::{write_json, BinArgs};
+use vliw_workloads::{mediabench_suite, Table1Stats};
 
 /// Paper values for side-by-side comparison.
 const PAPER: [(&str, u32, u32, u32); 13] = [
@@ -20,25 +24,55 @@ const PAPER: [(&str, u32, u32, u32); 13] = [
     ("rasta", 95, 87, 8),
 ];
 
+/// One structured Table 1 row: measured statistics next to the paper's.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Row {
+    benchmark: String,
+    measured: Table1Stats,
+    paper_strided_pct: u32,
+    paper_good_pct: u32,
+    paper_other_pct: u32,
+    dynamic_mem_accesses: u64,
+}
+
 fn main() {
+    let args = BinArgs::parse();
+    let rows: Vec<Row> = mediabench_suite()
+        .iter()
+        .zip(PAPER.iter())
+        .map(|(spec, (name, s, sg, so))| {
+            assert_eq!(spec.name, *name);
+            Row {
+                benchmark: spec.name.clone(),
+                measured: spec.table1_stats(),
+                paper_strided_pct: *s,
+                paper_good_pct: *sg,
+                paper_other_pct: *so,
+                dynamic_mem_accesses: spec.dynamic_mem_accesses(),
+            }
+        })
+        .collect();
+
     println!("Table 1: benchmark stride statistics (measured | paper)");
     println!(
         "{:<11} {:>14} {:>14} {:>14}  {:>12}",
         "bench", "S %", "SG %", "SO %", "dyn accesses"
     );
-    for (spec, (name, s, sg, so)) in mediabench_suite().iter().zip(PAPER.iter()) {
-        assert_eq!(&spec.name, name);
-        let t = spec.table1_stats();
+    for row in &rows {
         println!(
             "{:<11} {:>6.1} | {:>4} {:>6.1} | {:>4} {:>6.1} | {:>4}  {:>12}",
-            spec.name,
-            t.strided_pct,
-            s,
-            t.good_pct,
-            sg,
-            t.other_pct,
-            so,
-            spec.dynamic_mem_accesses()
+            row.benchmark,
+            row.measured.strided_pct,
+            row.paper_strided_pct,
+            row.measured.good_pct,
+            row.paper_good_pct,
+            row.measured.other_pct,
+            row.paper_other_pct,
+            row.dynamic_mem_accesses
         );
+    }
+
+    if let Some(path) = args.json_path() {
+        write_json(&path, &rows);
     }
 }

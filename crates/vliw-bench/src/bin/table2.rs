@@ -1,23 +1,47 @@
 //! Table 2: the machine configuration.
+//!
+//! `--json <path>` emits the structured configuration set.
 
+use serde::{Deserialize, Serialize};
+use vliw_bench::experiment::{write_json, BinArgs};
 use vliw_machine::{MachineConfig, MultiVliwConfig, WordInterleavedConfig};
 
+/// Every configuration the evaluation compares, in one artifact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Configurations {
+    machine: MachineConfig,
+    multivliw: MultiVliwConfig,
+    word_interleaved: WordInterleavedConfig,
+}
+
 fn main() {
+    let args = BinArgs::parse();
+    let cfg = Configurations {
+        machine: MachineConfig::micro2003(),
+        multivliw: MultiVliwConfig::micro2003(),
+        word_interleaved: WordInterleavedConfig::micro2003(),
+    };
+
     println!("Table 2: configuration parameters\n");
-    println!("{}", MachineConfig::micro2003());
-    let mv = MultiVliwConfig::micro2003();
+    println!("{}", cfg.machine);
     println!(
         "\nMultiVLIW baseline     {}B banks/cluster, local {} cy, c2c {} cy, L2 {} cy",
-        mv.bank_bytes, mv.local_latency, mv.remote_latency, mv.l2_latency
+        cfg.multivliw.bank_bytes,
+        cfg.multivliw.local_latency,
+        cfg.multivliw.remote_latency,
+        cfg.multivliw.l2_latency
     );
-    let wi = WordInterleavedConfig::micro2003();
     println!(
         "Word-interleaved       {}B words, local {} cy, remote {} cy, L2 {} cy, {}-entry attraction buffers @ {} cy",
-        wi.word_bytes,
-        wi.local_latency,
-        wi.remote_latency,
-        wi.l2_latency,
-        wi.attraction_entries,
-        wi.attraction_latency
+        cfg.word_interleaved.word_bytes,
+        cfg.word_interleaved.local_latency,
+        cfg.word_interleaved.remote_latency,
+        cfg.word_interleaved.l2_latency,
+        cfg.word_interleaved.attraction_entries,
+        cfg.word_interleaved.attraction_latency
     );
+
+    if let Some(path) = args.json_path() {
+        write_json(&path, &cfg);
+    }
 }

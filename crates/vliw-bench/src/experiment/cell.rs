@@ -1,0 +1,122 @@
+//! The structured result of one `(benchmark, variant)` execution.
+
+use serde::{Deserialize, Serialize};
+use vliw_machine::L0Capacity;
+use vliw_mem::MemStats;
+use vliw_sched::Arch;
+
+/// One cell of an experiment grid, fully accounted and normalized.
+///
+/// Cells are the `BENCH_*.json` trajectory format: serializable,
+/// comparable across runs, and sufficient to re-render any of the paper's
+/// figures without re-simulating.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cell {
+    /// Benchmark (row) name.
+    pub benchmark: String,
+    /// Variant (column) label.
+    pub variant: String,
+    /// Architecture the cell ran on.
+    pub arch: Arch,
+    /// Cluster count of the machine the cell ran on.
+    pub clusters: usize,
+    /// L0 capacity of the machine (`None` for machines without L0).
+    pub l0_entries: Option<L0Capacity>,
+    /// Total cycles (loop portion + scalar portion).
+    pub total_cycles: u64,
+    /// Compute cycles (schedule length + scalar portion).
+    pub compute_cycles: u64,
+    /// Stall cycles (loop portion only; scalar code never stalls).
+    pub stall_cycles: u64,
+    /// Total cycles of the memoized baseline this cell normalizes to.
+    pub baseline_total_cycles: u64,
+    /// `total_cycles / baseline_total_cycles` — the paper's normalized
+    /// execution time.
+    pub normalized: f64,
+    /// Compute share of the normalized bar.
+    pub normalized_compute: f64,
+    /// Stall share of the normalized bar.
+    pub normalized_stall: f64,
+    /// Dynamic-weighted average unroll factor across the benchmark's
+    /// loops (Figure 6's right axis).
+    pub avg_unroll: f64,
+    /// Dynamic-weighted average initiation interval across the
+    /// benchmark's loops.
+    pub avg_ii: f64,
+    /// `invalidate_buffer` executions removed by selective inter-loop
+    /// flushing (0 unless the variant enables it).
+    pub flushes_removed: u64,
+    /// Merged memory-system counters of the loop portion.
+    pub mem: MemStats,
+}
+
+impl Cell {
+    /// L0 hit rate of the loop portion, in [0, 1].
+    pub fn l0_hit_rate(&self) -> f64 {
+        self.mem.l0_hit_rate()
+    }
+
+    /// Fraction of L0-mapped subblocks with interleaved mapping.
+    pub fn interleaved_ratio(&self) -> f64 {
+        self.mem.interleaved_ratio()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Cell {
+        Cell {
+            benchmark: "g721dec".to_string(),
+            variant: "8 entries".to_string(),
+            arch: Arch::L0,
+            clusters: 4,
+            l0_entries: Some(L0Capacity::Bounded(8)),
+            total_cycles: 840,
+            compute_cycles: 800,
+            stall_cycles: 40,
+            baseline_total_cycles: 1000,
+            normalized: 0.84,
+            normalized_compute: 0.8,
+            normalized_stall: 0.04,
+            avg_unroll: 2.5,
+            avg_ii: 3.25,
+            flushes_removed: 0,
+            mem: MemStats {
+                accesses: 10,
+                l0_hits: 9,
+                l0_misses: 1,
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn json_round_trips_through_serde() {
+        let cell = sample();
+        let json = serde_json::to_string_pretty(&cell).unwrap();
+        let back: Cell = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cell);
+    }
+
+    #[test]
+    fn json_is_self_describing() {
+        let json = serde_json::to_string(&sample()).unwrap();
+        for key in [
+            "\"benchmark\"",
+            "\"normalized\"",
+            "\"l0_entries\"",
+            "\"mem\"",
+        ] {
+            assert!(json.contains(key), "{key} missing from {json}");
+        }
+    }
+
+    #[test]
+    fn derived_rates_come_from_mem_stats() {
+        let cell = sample();
+        assert!((cell.l0_hit_rate() - 0.9).abs() < 1e-12);
+        assert_eq!(cell.interleaved_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,89 @@
+//! Minimal shared CLI handling for the artifact bins: flag lookup plus
+//! the `--json <path>` structured-output convention.
+
+use serde::Serialize;
+use std::path::{Path, PathBuf};
+
+/// The command-line arguments of one artifact bin.
+#[derive(Debug, Clone)]
+pub struct BinArgs {
+    args: Vec<String>,
+}
+
+impl BinArgs {
+    /// Captures the process arguments.
+    pub fn parse() -> Self {
+        BinArgs {
+            args: std::env::args().skip(1).collect(),
+        }
+    }
+
+    /// A `BinArgs` over explicit arguments (tests).
+    pub fn from_vec(args: Vec<String>) -> Self {
+        BinArgs { args }
+    }
+
+    /// The value following `flag` (e.g. `value_of("--entries")`).
+    pub fn value_of(&self, flag: &str) -> Option<&str> {
+        self.args
+            .iter()
+            .position(|a| a == flag)
+            .and_then(|i| self.args.get(i + 1))
+            .map(String::as_str)
+    }
+
+    /// The `--json <path>` output path, if requested.
+    pub fn json_path(&self) -> Option<PathBuf> {
+        self.value_of("--json").map(PathBuf::from)
+    }
+}
+
+/// Writes `value` as pretty-printed JSON to `path` and tells the user —
+/// the bins' structured-output path (`BENCH_*.json`).
+///
+/// # Panics
+///
+/// Panics when the file cannot be written; the bins treat an explicitly
+/// requested artifact path that fails as a hard error.
+pub fn write_json<T: Serialize>(path: &Path, value: &T) {
+    let json = serde_json::to_string_pretty(value).expect("grid results serialize");
+    std::fs::write(path, json + "\n")
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    eprintln!("wrote {}", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_lookup() {
+        let args = BinArgs::from_vec(vec![
+            "--entries".to_string(),
+            "2".to_string(),
+            "--json".to_string(),
+            "out.json".to_string(),
+        ]);
+        assert_eq!(args.value_of("--entries"), Some("2"));
+        assert_eq!(args.json_path(), Some(PathBuf::from("out.json")));
+        assert_eq!(args.value_of("--missing"), None);
+    }
+
+    #[test]
+    fn trailing_flag_without_value_is_none() {
+        let args = BinArgs::from_vec(vec!["--json".to_string()]);
+        assert_eq!(args.json_path(), None);
+    }
+
+    #[test]
+    fn write_json_emits_parseable_output() {
+        let dir = std::env::temp_dir().join("vliw-bench-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cells.json");
+        write_json(&path, &vec![1u32, 2, 3]);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let back: Vec<u32> = serde_json::from_str(text.trim()).unwrap();
+        assert_eq!(back, vec![1, 2, 3]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,334 @@
+//! Grid execution: memoized baselines, parallel cells, structured output.
+
+use crate::experiment::{Cell, SweepGrid, Variant};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use vliw_machine::MachineConfig;
+use vliw_sched::{apply_selective_flushing, Arch, L0Options, Schedule};
+use vliw_sim::{simulate_arch, SimResult};
+use vliw_workloads::BenchmarkSpec;
+
+/// How the engine walks the grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// One cell at a time, in row-major order.
+    Serial,
+    /// All cells concurrently via rayon. The simulator is deterministic
+    /// and cells are independent, so the result is identical to
+    /// [`ExecMode::Serial`] (guarded by tests).
+    Parallel,
+}
+
+/// The executed grid: every cell plus the axes to index them by.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridResult {
+    /// Grid name (from [`SweepGrid::name`]).
+    pub grid: String,
+    /// Row labels, in declaration order.
+    pub benchmarks: Vec<String>,
+    /// Column labels, in declaration order.
+    pub variants: Vec<String>,
+    /// Cells in row-major order (`benchmark` major, `variant` minor).
+    pub cells: Vec<Cell>,
+    /// How many distinct baseline executions the memo table needed —
+    /// one per `(benchmark, baseline configuration)`, not one per cell.
+    pub baselines_computed: usize,
+}
+
+impl GridResult {
+    /// The cell at `(benchmark index, variant index)`.
+    pub fn cell(&self, bench: usize, variant: usize) -> &Cell {
+        &self.cells[bench * self.variants.len() + variant]
+    }
+
+    /// One benchmark's row of cells.
+    pub fn row(&self, bench: usize) -> &[Cell] {
+        let w = self.variants.len();
+        &self.cells[bench * w..(bench + 1) * w]
+    }
+
+    /// Iterates `(benchmark name, row of cells)` in declaration order.
+    pub fn rows(&self) -> impl Iterator<Item = (&str, &[Cell])> {
+        self.benchmarks
+            .iter()
+            .enumerate()
+            .map(|(i, name)| (name.as_str(), self.row(i)))
+    }
+
+    /// Arithmetic mean of one column's normalized execution times (the
+    /// paper's AMEAN bar).
+    pub fn amean_normalized(&self, variant: usize) -> f64 {
+        let values: Vec<f64> = (0..self.benchmarks.len())
+            .map(|b| self.cell(b, variant).normalized)
+            .collect();
+        crate::amean(&values)
+    }
+}
+
+/// The merged execution of one benchmark's loops on one configuration.
+struct SpecRun {
+    sim: SimResult,
+    unroll_weighted: f64,
+    ii_weighted: f64,
+    weight: f64,
+    flushes_removed: u64,
+}
+
+/// Compiles and simulates every loop of `spec` — the one place the
+/// engine touches the compiler and the simulator.
+fn run_spec(
+    spec: &BenchmarkSpec,
+    cfg: &MachineConfig,
+    arch: Arch,
+    opts: L0Options,
+    selective_flush: bool,
+) -> SpecRun {
+    let mut schedules: Vec<Schedule> = spec
+        .loops
+        .iter()
+        .map(|l| arch.compile_or_panic(l, cfg, opts))
+        .collect();
+    let flushes_removed = if selective_flush {
+        apply_selective_flushing(&mut schedules) as u64
+    } else {
+        0
+    };
+    let mut run = SpecRun {
+        sim: SimResult::default(),
+        unroll_weighted: 0.0,
+        ii_weighted: 0.0,
+        weight: 0.0,
+        flushes_removed,
+    };
+    for schedule in &schedules {
+        let r = simulate_arch(schedule, cfg, arch);
+        let w = r.total_cycles() as f64;
+        run.unroll_weighted += schedule.loop_.unroll_factor as f64 * w;
+        run.ii_weighted += f64::from(schedule.ii()) * w;
+        run.weight += w;
+        run.sim.merge(&r);
+    }
+    run
+}
+
+/// A memoized baseline execution for one `(spec, configuration)`.
+struct Baseline {
+    /// Loop-portion cycles (sizes the scalar region of every variant).
+    loops_total: u64,
+    /// Loop + scalar cycles (the normalization denominator).
+    total: u64,
+}
+
+fn compute_baseline(spec: &BenchmarkSpec, cfg: &MachineConfig) -> Baseline {
+    let run = run_spec(spec, cfg, Arch::Baseline, L0Options::default(), false);
+    let loops_total = run.sim.total_cycles();
+    Baseline {
+        loops_total,
+        total: loops_total + spec.scalar_cycles_for(loops_total),
+    }
+}
+
+fn run_cell(grid: &SweepGrid, bench: usize, variant: &Variant, baseline: &Baseline) -> Cell {
+    let spec = &grid.benchmarks[bench];
+    let cfg = variant.config(&grid.base_cfg);
+    let run = run_spec(
+        spec,
+        &cfg,
+        variant.arch,
+        variant.opts,
+        variant.selective_flush,
+    );
+    let scalar = spec.scalar_cycles_for(baseline.loops_total);
+    let total = run.sim.total_cycles() + scalar;
+    let compute = run.sim.compute_cycles + scalar;
+    let denom = baseline.total.max(1) as f64;
+    let weight = run.weight.max(1.0);
+    Cell {
+        benchmark: spec.name.clone(),
+        variant: variant.label.clone(),
+        arch: variant.arch,
+        clusters: cfg.clusters,
+        l0_entries: if variant.arch.uses_l0() {
+            cfg.l0.map(|l0| l0.entries)
+        } else {
+            None
+        },
+        total_cycles: total,
+        compute_cycles: compute,
+        stall_cycles: run.sim.stall_cycles,
+        baseline_total_cycles: baseline.total,
+        normalized: total as f64 / denom,
+        normalized_compute: compute as f64 / denom,
+        normalized_stall: run.sim.stall_cycles as f64 / denom,
+        avg_unroll: run.unroll_weighted / weight,
+        avg_ii: run.ii_weighted / weight,
+        flushes_removed: run.flushes_removed,
+        mem: run.sim.mem_stats,
+    }
+}
+
+/// Runs every item through `f`, serially or on the rayon pool.
+fn exec<T: Send, R: Send>(items: Vec<T>, mode: ExecMode, f: impl Fn(T) -> R + Sync) -> Vec<R> {
+    match mode {
+        ExecMode::Serial => items.into_iter().map(f).collect(),
+        ExecMode::Parallel => items.into_par_iter().map(f).collect(),
+    }
+}
+
+/// Executes `grid`: memoizes one baseline per `(benchmark, baseline
+/// configuration)`, then runs every cell.
+///
+/// # Panics
+///
+/// Panics when a variant configuration is invalid or a loop cannot be
+/// scheduled (both harness bugs, not data-dependent conditions).
+pub fn run_grid(grid: &SweepGrid, mode: ExecMode) -> GridResult {
+    // Baselines depend only on the variant's *baseline* configuration
+    // (cluster count etc. — never the L0 capacity), so a multi-column
+    // sweep usually collapses to one baseline job per benchmark.
+    let mut job_of_key: HashMap<(usize, MachineConfig), usize> = HashMap::new();
+    let mut baseline_jobs: Vec<(usize, MachineConfig)> = Vec::new();
+    let mut cell_jobs: Vec<(usize, usize, usize)> = Vec::new();
+    for (bi, _) in grid.benchmarks.iter().enumerate() {
+        for (vi, variant) in grid.variants.iter().enumerate() {
+            let bcfg = variant.config(&grid.base_cfg).without_l0();
+            let job = *job_of_key.entry((bi, bcfg.clone())).or_insert_with(|| {
+                baseline_jobs.push((bi, bcfg));
+                baseline_jobs.len() - 1
+            });
+            cell_jobs.push((bi, vi, job));
+        }
+    }
+
+    let baselines_computed = baseline_jobs.len();
+    let baselines: Vec<Baseline> = exec(baseline_jobs, mode, |(bi, cfg)| {
+        compute_baseline(&grid.benchmarks[bi], &cfg)
+    });
+    let cells: Vec<Cell> = exec(cell_jobs, mode, |(bi, vi, job)| {
+        run_cell(grid, bi, &grid.variants[vi], &baselines[job])
+    });
+
+    GridResult {
+        grid: grid.name.clone(),
+        benchmarks: grid.benchmarks.iter().map(|s| s.name.clone()).collect(),
+        variants: grid.variants.iter().map(|v| v.label.clone()).collect(),
+        cells,
+        baselines_computed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw_machine::L0Capacity;
+    use vliw_workloads::kernels;
+
+    fn small_grid() -> SweepGrid {
+        SweepGrid::new(
+            "test",
+            MachineConfig::micro2003(),
+            vec![
+                BenchmarkSpec::from_kernel(kernels::adpcm_predictor("pred", 64, 2)),
+                BenchmarkSpec::from_kernel(kernels::row_filter("fir", 4, 64, 2)),
+            ],
+        )
+        .variant(Variant::new(Arch::L0).l0(L0Capacity::Bounded(4)))
+        .variant(Variant::new(Arch::L0).l0(L0Capacity::Bounded(8)))
+    }
+
+    #[test]
+    fn two_by_two_grid_produces_four_cells() {
+        let result = small_grid().run();
+        assert_eq!(result.cells.len(), 4);
+        assert_eq!(result.benchmarks, vec!["pred", "fir"]);
+        assert_eq!(result.variants, vec!["4 entries", "8 entries"]);
+        // Row-major order, indexable both ways.
+        assert_eq!(result.cell(1, 0).benchmark, "fir");
+        assert_eq!(result.cell(1, 0).variant, "4 entries");
+        assert_eq!(result.row(0).len(), 2);
+        for cell in &result.cells {
+            assert!(cell.total_cycles > 0);
+            assert!(cell.normalized > 0.0);
+        }
+    }
+
+    #[test]
+    fn baselines_are_memoized_per_spec_not_per_cell() {
+        // Both variants share the baseline configuration (the L0 capacity
+        // never reaches the baseline), so: one baseline per benchmark.
+        let result = small_grid().run();
+        assert_eq!(
+            result.baselines_computed, 2,
+            "one per spec, not one per cell"
+        );
+
+        // A cluster-count override *does* change the baseline.
+        let grid = SweepGrid::new(
+            "clusters",
+            MachineConfig::micro2003(),
+            vec![BenchmarkSpec::from_kernel(kernels::adpcm_predictor(
+                "pred", 64, 2,
+            ))],
+        )
+        .variant(Variant::new(Arch::L0).clusters(2))
+        .variant(Variant::new(Arch::L0).clusters(4));
+        assert_eq!(grid.run().baselines_computed, 2, "one per cluster count");
+    }
+
+    #[test]
+    fn parallel_and_serial_execution_produce_identical_cells() {
+        let grid = small_grid();
+        let serial = run_grid(&grid, ExecMode::Serial);
+        let parallel = run_grid(&grid, ExecMode::Parallel);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn grid_result_round_trips_through_json() {
+        let result = small_grid().run();
+        let json = serde_json::to_string_pretty(&result).unwrap();
+        let back: GridResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, result);
+    }
+
+    #[test]
+    fn normalization_is_against_the_matching_baseline() {
+        let result = small_grid().run();
+        for cell in &result.cells {
+            let expected = cell.total_cycles as f64 / cell.baseline_total_cycles as f64;
+            assert!((cell.normalized - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn selective_flush_variant_reports_removed_flushes() {
+        // Four loops over disjoint data: the analysis can drop flushes.
+        let mut loops = vec![
+            kernels::media_stream("a", 2, 6, 2, 48, 8, false),
+            kernels::row_filter("b", 4, 48, 8),
+        ];
+        for (i, l) in loops.iter_mut().enumerate() {
+            for arr in &mut l.arrays {
+                arr.base_addr += (i as u64) << 28;
+            }
+        }
+        let grid = SweepGrid::new(
+            "flush",
+            MachineConfig::micro2003(),
+            vec![BenchmarkSpec::from_kernels("region", loops)],
+        )
+        .variant(Variant::new(Arch::L0).labeled("always flush"))
+        .variant(Variant::new(Arch::L0).selective_flush());
+        let result = grid.run();
+        assert_eq!(result.cell(0, 0).flushes_removed, 0);
+        assert!(
+            result.cell(0, 1).flushes_removed > 0,
+            "disjoint loops allow removal"
+        );
+        assert!(
+            result.cell(0, 1).total_cycles <= result.cell(0, 0).total_cycles,
+            "removing flushes cannot slow the region down"
+        );
+    }
+}

@@ -1,7 +1,12 @@
 //! Experiment harness: runs the synthetic Mediabench suite over the four
 //! architectures and reproduces every table and figure of the paper.
 //!
-//! Each `--bin` target regenerates one artifact:
+//! All artifacts are generated through the [`experiment`] engine: each
+//! `--bin` target declares a [`experiment::SweepGrid`] (benchmarks ×
+//! variants), the engine compiles and simulates every cell — baselines
+//! memoized per `(spec, config)`, cells in parallel via rayon — and the
+//! bin renders the resulting [`experiment::Cell`]s. Every bin accepts
+//! `--json <path>` to emit the structured grid result.
 //!
 //! | target | artifact |
 //! |---|---|
@@ -19,83 +24,32 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod experiment;
+
 use vliw_machine::MachineConfig;
-use vliw_sched::{
-    compile_base, compile_for_l0_with, compile_interleaved, compile_multivliw,
-    InterleavedHeuristic, L0Options, Schedule,
-};
-use vliw_sim::{
-    simulate_interleaved, simulate_multivliw, simulate_unified, simulate_unified_l0, SimResult,
-};
+use vliw_sched::L0Options;
+use vliw_sim::{simulate_arch, SimResult};
 use vliw_workloads::BenchmarkSpec;
 
-/// Which memory architecture a run targets.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Arch {
-    /// Unified L1, no L0 buffers (the normalization baseline).
-    Baseline,
-    /// Unified L1 + flexible compiler-managed L0 buffers.
-    L0,
-    /// MultiVLIW: distributed L1, MSI snoop coherence.
-    MultiVliw,
-    /// Word-interleaved cache, placement-blind scheduling.
-    Interleaved1,
-    /// Word-interleaved cache, owner-aware scheduling.
-    Interleaved2,
-}
-
-impl Arch {
-    /// Display name used in the printed tables.
-    pub fn label(self) -> &'static str {
-        match self {
-            Arch::Baseline => "baseline",
-            Arch::L0 => "L0 buffers",
-            Arch::MultiVliw => "MultiVLIW",
-            Arch::Interleaved1 => "Interleaved 1",
-            Arch::Interleaved2 => "Interleaved 2",
-        }
-    }
-}
-
-/// Compiles one loop for `arch`.
-///
-/// # Panics
-///
-/// Panics when the loop cannot be scheduled — the suite's loops are all
-/// schedulable by construction, so a failure is a harness bug.
-pub fn compile_loop(
-    loop_: &vliw_ir::LoopNest,
-    cfg: &MachineConfig,
-    arch: Arch,
-    opts: L0Options,
-) -> Schedule {
-    let r = match arch {
-        Arch::Baseline => compile_base(loop_, &cfg.without_l0()),
-        Arch::L0 => compile_for_l0_with(loop_, cfg, opts),
-        Arch::MultiVliw => compile_multivliw(loop_, &cfg.without_l0()),
-        Arch::Interleaved1 => {
-            compile_interleaved(loop_, &cfg.without_l0(), InterleavedHeuristic::One)
-        }
-        Arch::Interleaved2 => {
-            compile_interleaved(loop_, &cfg.without_l0(), InterleavedHeuristic::Two)
-        }
-    };
-    r.unwrap_or_else(|e| panic!("{}: cannot schedule {}: {e}", arch.label(), loop_.name))
-}
+pub use vliw_sched::Arch;
 
 /// Runs every loop of `spec` on `arch`, returning the merged loop-portion
 /// result (no scalar cycles).
-pub fn run_loops(spec: &BenchmarkSpec, cfg: &MachineConfig, arch: Arch, opts: L0Options) -> SimResult {
+///
+/// # Panics
+///
+/// Panics when a loop cannot be scheduled — the suite's loops are all
+/// schedulable by construction, so a failure is a harness bug.
+pub fn run_loops(
+    spec: &BenchmarkSpec,
+    cfg: &MachineConfig,
+    arch: Arch,
+    opts: L0Options,
+) -> SimResult {
     let mut merged = SimResult::default();
     for loop_ in &spec.loops {
-        let schedule = compile_loop(loop_, cfg, arch, opts);
-        let r = match arch {
-            Arch::Baseline => simulate_unified(&schedule, cfg),
-            Arch::L0 => simulate_unified_l0(&schedule, cfg),
-            Arch::MultiVliw => simulate_multivliw(&schedule, cfg),
-            Arch::Interleaved1 | Arch::Interleaved2 => simulate_interleaved(&schedule, cfg),
-        };
-        merged.merge(&r);
+        let schedule = arch.compile_or_panic(loop_, cfg, opts);
+        merged.merge(&simulate_arch(&schedule, cfg, arch));
     }
     merged
 }
@@ -105,7 +59,7 @@ pub fn run_loops(spec: &BenchmarkSpec, cfg: &MachineConfig, arch: Arch, opts: L0
 #[derive(Debug, Clone)]
 pub struct BenchRun {
     /// Benchmark name.
-    pub name: &'static str,
+    pub name: String,
     /// Loop-portion result.
     pub loops: SimResult,
     /// Scalar cycles added on top (same for every architecture).
@@ -141,7 +95,7 @@ pub fn run_benchmark(
 ) -> BenchRun {
     let loops = run_loops(spec, cfg, arch, opts);
     BenchRun {
-        name: spec.name,
+        name: spec.name.clone(),
         loops,
         scalar_cycles: spec.scalar_cycles_for(baseline_loop_cycles),
     }
@@ -152,7 +106,11 @@ pub fn run_benchmark(
 pub fn baseline_run(spec: &BenchmarkSpec, cfg: &MachineConfig) -> BenchRun {
     let loops = run_loops(spec, cfg, Arch::Baseline, L0Options::default());
     let scalar = spec.scalar_cycles_for(loops.total_cycles());
-    BenchRun { name: spec.name, loops, scalar_cycles: scalar }
+    BenchRun {
+        name: spec.name.clone(),
+        loops,
+        scalar_cycles: scalar,
+    }
 }
 
 /// Arithmetic mean (the paper's AMEAN bars).
@@ -179,7 +137,13 @@ mod tests {
         let spec = &suite[1]; // g721dec
         let cfg = MachineConfig::micro2003();
         let base = baseline_run(spec, &cfg);
-        let l0 = run_benchmark(spec, &cfg, Arch::L0, L0Options::default(), base.loops.total_cycles());
+        let l0 = run_benchmark(
+            spec,
+            &cfg,
+            Arch::L0,
+            L0Options::default(),
+            base.loops.total_cycles(),
+        );
         assert!(base.total() > 0);
         assert!(l0.total() > 0);
         assert_eq!(base.scalar_cycles, l0.scalar_cycles, "same scalar region");

@@ -36,7 +36,10 @@ impl AddressStream {
     /// Panics if `op` is not a memory operation of `loop_`.
     pub fn new(loop_: &LoopNest, op: OpId) -> Self {
         let o = loop_.op(op);
-        let acc = o.kind.mem_access().unwrap_or_else(|| panic!("{op} is not a memory op"));
+        let acc = o
+            .kind
+            .mem_access()
+            .unwrap_or_else(|| panic!("{op} is not a memory op"));
         Self::from_access(loop_, acc, op)
     }
 
@@ -105,7 +108,10 @@ mod tests {
 
     #[test]
     fn irregular_stream_is_deterministic_and_in_bounds() {
-        let l = LoopBuilder::new("irr").trip_count(64).irregular(4, 4096).build();
+        let l = LoopBuilder::new("irr")
+            .trip_count(64)
+            .irregular(4, 4096)
+            .build();
         let ld = l
             .ops
             .iter()
@@ -143,7 +149,10 @@ mod tests {
 
     #[test]
     fn negative_offset_wraps_into_array() {
-        let l = LoopBuilder::new("slp").trip_count(16).store_load_pair(4).build();
+        let l = LoopBuilder::new("slp")
+            .trip_count(16)
+            .store_load_pair(4)
+            .build();
         let ld_prev = l
             .ops
             .iter()

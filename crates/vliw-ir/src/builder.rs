@@ -84,7 +84,12 @@ impl LoopBuilder {
         let id = ArrayId(self.arrays.len() as u32);
         let base = self.next_base;
         self.next_base += size_bytes.next_multiple_of(4096) + 4096 + 17 * 32;
-        self.arrays.push(ArrayInfo { id, name: name.into(), base_addr: base, size_bytes });
+        self.arrays.push(ArrayInfo {
+            id,
+            name: name.into(),
+            base_addr: base,
+            size_bytes,
+        });
         id
     }
 
@@ -96,7 +101,13 @@ impl LoopBuilder {
 
     fn push(&mut self, kind: OpKind, reads: Vec<VirtReg>, writes: Option<VirtReg>) -> OpId {
         let id = OpId(self.ops.len() as u32);
-        self.ops.push(Op { id, kind, reads, writes, origin: None });
+        self.ops.push(Op {
+            id,
+            kind,
+            reads,
+            writes,
+            origin: None,
+        });
         id
     }
 
@@ -113,7 +124,12 @@ impl LoopBuilder {
         let producer = self.writer_of(value);
         let id = self.push(OpKind::Store(access), vec![value], None);
         if let Some(src) = producer {
-            self.edges.push(DepEdge { src, dst: id, kind: DepKind::Reg, distance: 0 });
+            self.edges.push(DepEdge {
+                src,
+                dst: id,
+                kind: DepKind::Reg,
+                distance: 0,
+            });
         }
         id
     }
@@ -129,33 +145,62 @@ impl LoopBuilder {
         // Register flow edges from each producer.
         for &input in inputs {
             if let Some(src) = self.writer_of(input) {
-                self.edges.push(DepEdge { src, dst: id, kind: DepKind::Reg, distance: 0 });
+                self.edges.push(DepEdge {
+                    src,
+                    dst: id,
+                    kind: DepKind::Reg,
+                    distance: 0,
+                });
             }
         }
         (id, r)
     }
 
     fn writer_of(&self, reg: VirtReg) -> Option<OpId> {
-        self.ops.iter().find(|o| o.writes == Some(reg)).map(|o| o.id)
+        self.ops
+            .iter()
+            .find(|o| o.writes == Some(reg))
+            .map(|o| o.id)
     }
 
     /// Adds a register flow edge (used by kernels after the fact; the
     /// `alu`/`store` helpers add intra-iteration edges automatically).
     pub fn dep_reg(&mut self, src: OpId, dst: OpId, distance: u32) -> &mut Self {
-        self.edges.push(DepEdge { src, dst, kind: DepKind::Reg, distance });
+        self.edges.push(DepEdge {
+            src,
+            dst,
+            kind: DepKind::Reg,
+            distance,
+        });
         self
     }
 
     /// Adds a memory dependence edge.
-    pub fn dep_mem(&mut self, src: OpId, dst: OpId, distance: u32, conservative: bool) -> &mut Self {
-        self.edges.push(DepEdge { src, dst, kind: DepKind::Mem { conservative }, distance });
+    pub fn dep_mem(
+        &mut self,
+        src: OpId,
+        dst: OpId,
+        distance: u32,
+        conservative: bool,
+    ) -> &mut Self {
+        self.edges.push(DepEdge {
+            src,
+            dst,
+            kind: DepKind::Mem { conservative },
+            distance,
+        });
         self
     }
 
     /// Adds a reduction self-recurrence on `op` (accumulator carried to the
     /// next iteration). Unrolling splits these into independent partials.
     pub fn reduction_edge(&mut self, op: OpId) -> &mut Self {
-        self.edges.push(DepEdge { src: op, dst: op, kind: DepKind::Reduction, distance: 1 });
+        self.edges.push(DepEdge {
+            src: op,
+            dst: op,
+            kind: DepKind::Reduction,
+            distance: 1,
+        });
         self
     }
 
@@ -163,14 +208,28 @@ impl LoopBuilder {
     /// memory dependences — the "compiler could not disambiguate anything"
     /// worst case that code specialization \[4\] later removes.
     pub fn conservative_alias_all(&mut self) -> &mut Self {
-        let mems: Vec<OpId> = self.ops.iter().filter(|o| o.kind.is_mem()).map(|o| o.id).collect();
-        let stores: Vec<OpId> = self.ops.iter().filter(|o| o.is_store()).map(|o| o.id).collect();
+        let mems: Vec<OpId> = self
+            .ops
+            .iter()
+            .filter(|o| o.kind.is_mem())
+            .map(|o| o.id)
+            .collect();
+        let stores: Vec<OpId> = self
+            .ops
+            .iter()
+            .filter(|o| o.is_store())
+            .map(|o| o.id)
+            .collect();
         for &s in &stores {
             for &m in &mems {
                 if s == m {
                     continue;
                 }
-                let (src, dst, dist) = if s.index() < m.index() { (s, m, 0) } else { (s, m, 1) };
+                let (src, dst, dist) = if s.index() < m.index() {
+                    (s, m, 0)
+                } else {
+                    (s, m, 1)
+                };
                 self.edges.push(DepEdge {
                     src,
                     dst,
@@ -219,7 +278,11 @@ impl LoopBuilder {
         let out = self.array("out", self.trip_count * elem_bytes as u64);
         let mut partial: Option<VirtReg> = None;
         for k in 0..taps {
-            let (_, v) = self.load(MemAccess::unit(input, elem_bytes, (k * elem_bytes as usize) as i64));
+            let (_, v) = self.load(MemAccess::unit(
+                input,
+                elem_bytes,
+                (k * elem_bytes as usize) as i64,
+            ));
             let (_, m) = self.alu(OpKind::IntMul, &[v]);
             partial = Some(match partial {
                 None => m,
@@ -241,7 +304,9 @@ impl LoopBuilder {
             array: m,
             offset_bytes: 0,
             elem_bytes,
-            stride: StridePattern::Affine { stride_bytes: row_bytes as i64 },
+            stride: StridePattern::Affine {
+                stride_bytes: row_bytes as i64,
+            },
         };
         let (_, v) = self.load(acc);
         let (_, r) = self.alu(OpKind::IntAlu, &[v]);
@@ -261,12 +326,19 @@ impl LoopBuilder {
             array: tbl,
             offset_bytes: 0,
             elem_bytes,
-            stride: StridePattern::Irregular { span_bytes: table_span },
+            stride: StridePattern::Irregular {
+                span_bytes: table_span,
+            },
         };
         let (ld, vt) = self.load(lookup);
         // the lookup address depends on vi
         if let Some(src) = self.writer_of(vi) {
-            self.edges.push(DepEdge { src, dst: ld, kind: DepKind::Reg, distance: 0 });
+            self.edges.push(DepEdge {
+                src,
+                dst: ld,
+                kind: DepKind::Reg,
+                distance: 0,
+            });
         }
         let (_, vr) = self.alu(OpKind::IntAlu, &[vt]);
         self.store(MemAccess::unit(out, elem_bytes, 0), vr);
@@ -335,7 +407,12 @@ impl LoopBuilder {
             let (ind, vi) = self.alu(OpKind::IntAlu, &[]);
             self.reduction_edge(ind); // induction i = i + 1, carried
             let br = self.push(OpKind::Branch, vec![vi], None);
-            self.edges.push(DepEdge { src: ind, dst: br, kind: DepKind::Reg, distance: 0 });
+            self.edges.push(DepEdge {
+                src: ind,
+                dst: br,
+                kind: DepKind::Reg,
+                distance: 0,
+            });
         }
         let nest = LoopNest {
             name: self.name,
@@ -396,10 +473,7 @@ mod tests {
         let irregular_loads = l
             .ops
             .iter()
-            .filter(|o| {
-                o.is_load()
-                    && !o.kind.mem_access().unwrap().stride.is_strided()
-            })
+            .filter(|o| o.is_load() && !o.kind.mem_access().unwrap().stride.is_strided())
             .count();
         assert_eq!(irregular_loads, 1);
     }
@@ -409,7 +483,13 @@ mod tests {
         let l = LoopBuilder::new("slp").store_load_pair(4).build();
         let carried = l
             .mem_edges()
-            .filter(|e| e.distance == 1 && e.kind == DepKind::Mem { conservative: false })
+            .filter(|e| {
+                e.distance == 1
+                    && e.kind
+                        == DepKind::Mem {
+                            conservative: false,
+                        }
+            })
             .count();
         assert_eq!(carried, 1);
     }
@@ -448,7 +528,10 @@ mod tests {
 
     #[test]
     fn loop_control_can_be_disabled() {
-        let l = LoopBuilder::new("bare").without_loop_control().elementwise(4).build();
+        let l = LoopBuilder::new("bare")
+            .without_loop_control()
+            .elementwise(4)
+            .build();
         assert_eq!(l.count_ops(|k| matches!(k, OpKind::Branch)), 0);
     }
 }

@@ -58,7 +58,12 @@ impl DataDepGraph {
             succs[e.src.index()].push(i);
             preds[e.dst.index()].push(i);
         }
-        DataDepGraph { n, edges, succs, preds }
+        DataDepGraph {
+            n,
+            edges,
+            succs,
+            preds,
+        }
     }
 
     /// Number of nodes.
@@ -126,8 +131,12 @@ impl DataDepGraph {
     pub fn rec_mii(&self, lat: impl Fn(OpId) -> u32) -> u32 {
         // Upper bound: the total latency of all edges always breaks every
         // cycle (each cycle has distance >= 1).
-        let mut hi: i64 =
-            self.edges.iter().map(|e| Self::edge_latency(e, &lat)).sum::<i64>().max(1);
+        let mut hi: i64 = self
+            .edges
+            .iter()
+            .map(|e| Self::edge_latency(e, &lat))
+            .sum::<i64>()
+            .max(1);
         let mut lo: i64 = 1;
         if self.relax(hi, &lat).is_none() {
             // Pathological: should not happen, but avoid an infinite loop.
@@ -198,8 +207,18 @@ mod tests {
             name: "chain".into(),
             ops: vec![mk(0, vec![], 0), mk(1, vec![0], 1), mk(2, vec![1], 2)],
             edges: vec![
-                DepEdge { src: OpId(0), dst: OpId(1), kind: DepKind::Reg, distance: 0 },
-                DepEdge { src: OpId(1), dst: OpId(2), kind: DepKind::Reg, distance: 0 },
+                DepEdge {
+                    src: OpId(0),
+                    dst: OpId(1),
+                    kind: DepKind::Reg,
+                    distance: 0,
+                },
+                DepEdge {
+                    src: OpId(1),
+                    dst: OpId(2),
+                    kind: DepKind::Reg,
+                    distance: 0,
+                },
             ],
             arrays: vec![],
             trip_count: 10,
@@ -243,8 +262,18 @@ mod tests {
             name: "rec".into(),
             ops: vec![mk(0, OpKind::IntAlu), mk(1, OpKind::IntMul)],
             edges: vec![
-                DepEdge { src: OpId(0), dst: OpId(1), kind: DepKind::Reg, distance: 0 },
-                DepEdge { src: OpId(1), dst: OpId(0), kind: DepKind::Reg, distance: 1 },
+                DepEdge {
+                    src: OpId(0),
+                    dst: OpId(1),
+                    kind: DepKind::Reg,
+                    distance: 0,
+                },
+                DepEdge {
+                    src: OpId(1),
+                    dst: OpId(0),
+                    kind: DepKind::Reg,
+                    distance: 1,
+                },
             ],
             arrays: vec![],
             trip_count: 10,
@@ -278,10 +307,30 @@ mod tests {
                 mk(3, OpKind::IntAlu),
             ],
             edges: vec![
-                DepEdge { src: OpId(0), dst: OpId(1), kind: DepKind::Reg, distance: 0 },
-                DepEdge { src: OpId(0), dst: OpId(2), kind: DepKind::Reg, distance: 0 },
-                DepEdge { src: OpId(1), dst: OpId(3), kind: DepKind::Reg, distance: 0 },
-                DepEdge { src: OpId(2), dst: OpId(3), kind: DepKind::Reg, distance: 0 },
+                DepEdge {
+                    src: OpId(0),
+                    dst: OpId(1),
+                    kind: DepKind::Reg,
+                    distance: 0,
+                },
+                DepEdge {
+                    src: OpId(0),
+                    dst: OpId(2),
+                    kind: DepKind::Reg,
+                    distance: 0,
+                },
+                DepEdge {
+                    src: OpId(1),
+                    dst: OpId(3),
+                    kind: DepKind::Reg,
+                    distance: 0,
+                },
+                DepEdge {
+                    src: OpId(2),
+                    dst: OpId(3),
+                    kind: DepKind::Reg,
+                    distance: 0,
+                },
             ],
             arrays: vec![],
             trip_count: 10,
@@ -301,7 +350,9 @@ mod tests {
         // st -> ld memory ordering edge: the load starts 1 cycle after the
         // store regardless of the latency function (which says 6).
         use crate::op::MemAccess;
-        let mut b = LoopBuilder::new("st-ld").trip_count(8).without_loop_control();
+        let mut b = LoopBuilder::new("st-ld")
+            .trip_count(8)
+            .without_loop_control();
         let a = b.array("a", 64);
         let (_, v) = b.load(MemAccess::unit(a, 4, 0));
         let st = b.store(MemAccess::unit(a, 4, 4), v);

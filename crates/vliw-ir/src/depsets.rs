@@ -22,7 +22,9 @@ struct UnionFind {
 
 impl UnionFind {
     fn new(n: usize) -> Self {
-        UnionFind { parent: (0..n).collect() }
+        UnionFind {
+            parent: (0..n).collect(),
+        }
     }
 
     fn find(&mut self, x: usize) -> usize {
@@ -73,7 +75,10 @@ impl MemDepSets {
         }
         let mut by_root: HashMap<usize, Vec<OpId>> = HashMap::new();
         for op in loop_.mem_ops() {
-            by_root.entry(uf.find(op.id.index())).or_default().push(op.id);
+            by_root
+                .entry(uf.find(op.id.index()))
+                .or_default()
+                .push(op.id);
         }
         let mut sets: Vec<Vec<OpId>> = by_root.into_values().collect();
         for s in &mut sets {

@@ -148,7 +148,10 @@ impl LoopNest {
                     return Err(format!("{} references undeclared {}", op.id, acc.array));
                 }
                 if !matches!(acc.elem_bytes, 1 | 2 | 4 | 8) {
-                    return Err(format!("{} has invalid element size {}", op.id, acc.elem_bytes));
+                    return Err(format!(
+                        "{} has invalid element size {}",
+                        op.id, acc.elem_bytes
+                    ));
                 }
             }
         }
@@ -159,7 +162,9 @@ impl LoopNest {
             }
         }
         if let Some((r, n)) = writers.iter().find(|(_, &n)| n > 1) {
-            return Err(format!("register {r} has {n} writers (IR must be single-assignment)"));
+            return Err(format!(
+                "register {r} has {n} writers (IR must be single-assignment)"
+            ));
         }
         for e in &self.edges {
             if e.src.index() >= self.ops.len() || e.dst.index() >= self.ops.len() {
@@ -175,7 +180,10 @@ impl LoopNest {
                 let s = &self.ops[e.src.index()];
                 let d = &self.ops[e.dst.index()];
                 if !s.kind.is_mem() || !d.kind.is_mem() {
-                    return Err(format!("memory edge {}->{} on non-memory ops", e.src, e.dst));
+                    return Err(format!(
+                        "memory edge {}->{} on non-memory ops",
+                        e.src, e.dst
+                    ));
                 }
             }
         }
@@ -220,7 +228,12 @@ mod tests {
         LoopNest {
             name: "tiny".into(),
             ops: vec![load, add],
-            edges: vec![DepEdge { src: OpId(0), dst: OpId(1), kind: DepKind::Reg, distance: 0 }],
+            edges: vec![DepEdge {
+                src: OpId(0),
+                dst: OpId(1),
+                kind: DepKind::Reg,
+                distance: 0,
+            }],
             arrays: vec![arr],
             trip_count: 64,
             visits: 1,
@@ -236,14 +249,24 @@ mod tests {
     #[test]
     fn backward_zero_distance_edge_rejected() {
         let mut l = tiny();
-        l.edges.push(DepEdge { src: OpId(1), dst: OpId(0), kind: DepKind::Reg, distance: 0 });
+        l.edges.push(DepEdge {
+            src: OpId(1),
+            dst: OpId(0),
+            kind: DepKind::Reg,
+            distance: 0,
+        });
         assert!(l.validate().is_err());
     }
 
     #[test]
     fn backward_carried_edge_allowed() {
         let mut l = tiny();
-        l.edges.push(DepEdge { src: OpId(1), dst: OpId(0), kind: DepKind::Reg, distance: 1 });
+        l.edges.push(DepEdge {
+            src: OpId(1),
+            dst: OpId(0),
+            kind: DepKind::Reg,
+            distance: 1,
+        });
         l.validate().unwrap();
     }
 
@@ -269,7 +292,9 @@ mod tests {
         l.edges.push(DepEdge {
             src: OpId(0),
             dst: OpId(1),
-            kind: DepKind::Mem { conservative: false },
+            kind: DepKind::Mem {
+                conservative: false,
+            },
             distance: 0,
         });
         assert!(l.validate().is_err());
@@ -279,7 +304,9 @@ mod tests {
     fn irregular_access_validates() {
         let mut l = tiny();
         if let OpKind::Load(a) = &mut l.ops[0].kind {
-            a.stride = StridePattern::Irregular { span_bytes: 1 << 16 };
+            a.stride = StridePattern::Irregular {
+                span_bytes: 1 << 16,
+            };
         }
         l.validate().unwrap();
     }

@@ -83,7 +83,9 @@ impl MemAccess {
             array,
             offset_bytes,
             elem_bytes,
-            stride: StridePattern::Affine { stride_bytes: elem_bytes as i64 },
+            stride: StridePattern::Affine {
+                stride_bytes: elem_bytes as i64,
+            },
         }
     }
 

@@ -30,7 +30,8 @@ pub fn specialize(loop_: &LoopNest) -> LoopNest {
         return loop_.clone();
     }
     let mut out = loop_.clone();
-    out.edges.retain(|e| !matches!(e.kind, DepKind::Mem { conservative: true }));
+    out.edges
+        .retain(|e| !matches!(e.kind, DepKind::Mem { conservative: true }));
     out.name = format!("{}+spec", loop_.name);
     debug_assert_eq!(out.validate(), Ok(()));
     out

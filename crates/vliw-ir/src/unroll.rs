@@ -45,7 +45,11 @@ fn is_loop_control(loop_: &LoopNest, op: &Op) -> bool {
             // induction feeds the loop branch (and nothing else).
             let mut feeds_branch = false;
             let mut feeds_other = false;
-            for e in loop_.edges.iter().filter(|e| e.src == op.id && e.dst != op.id) {
+            for e in loop_
+                .edges
+                .iter()
+                .filter(|e| e.src == op.id && e.dst != op.id)
+            {
                 if matches!(loop_.op(e.dst).kind, OpKind::Branch) {
                     feeds_branch = true;
                 } else {
@@ -69,12 +73,20 @@ fn is_loop_control(loop_: &LoopNest, op: &Op) -> bool {
 /// (compose factors by unrolling the original loop instead).
 pub fn unroll(loop_: &LoopNest, factor: usize) -> LoopNest {
     assert!(factor >= 1, "unroll factor must be >= 1");
-    assert_eq!(loop_.unroll_factor, 1, "loop {} is already unrolled", loop_.name);
+    assert_eq!(
+        loop_.unroll_factor, 1,
+        "loop {} is already unrolled",
+        loop_.name
+    );
     if factor == 1 {
         return loop_.clone();
     }
 
-    let control: Vec<bool> = loop_.ops.iter().map(|o| is_loop_control(loop_, o)).collect();
+    let control: Vec<bool> = loop_
+        .ops
+        .iter()
+        .map(|o| is_loop_control(loop_, o))
+        .collect();
 
     // Layout: copy 0 of all replicated ops, copy 1, ..., then control ops.
     // new_id[op][k] = id of copy k (control ops have one entry).
@@ -124,7 +136,13 @@ pub fn unroll(loop_: &LoopNest, factor: usize) -> LoopNest {
                 })
                 .collect();
             let kind = rewrite_access(op.kind, k, factor);
-            new_ops.push(Op { id, kind, reads, writes, origin: Some((op.provenance().0, k)) });
+            new_ops.push(Op {
+                id,
+                kind,
+                reads,
+                writes,
+                origin: Some((op.provenance().0, k)),
+            });
         }
     }
     // control ops last, single copy
@@ -149,26 +167,38 @@ pub fn unroll(loop_: &LoopNest, factor: usize) -> LoopNest {
         let (si, di) = (e.src.index(), e.dst.index());
         match (control[si], control[di]) {
             (true, true) => {
-                new_edges.push(DepEdge { src: new_id[si][0], dst: new_id[di][0], ..*e });
+                new_edges.push(DepEdge {
+                    src: new_id[si][0],
+                    dst: new_id[di][0],
+                    ..*e
+                });
             }
             (false, true) => {
                 // replicated -> control: every copy constrains the single op
                 for k in 0..factor {
-                    new_edges.push(DepEdge { src: new_id[si][k], dst: new_id[di][0], ..*e });
+                    new_edges.push(DepEdge {
+                        src: new_id[si][k],
+                        dst: new_id[di][0],
+                        ..*e
+                    });
                 }
             }
             (true, false) => {
                 for k in 0..factor {
-                    new_edges.push(DepEdge { src: new_id[si][0], dst: new_id[di][k], ..*e });
+                    new_edges.push(DepEdge {
+                        src: new_id[si][0],
+                        dst: new_id[di][k],
+                        ..*e
+                    });
                 }
             }
             (false, false) => {
                 if e.kind == DepKind::Reduction && e.src == e.dst {
                     // reduction splitting: per-copy independent partials
-                    for k in 0..factor {
+                    for (src, dst) in new_id[si].iter().zip(&new_id[di]) {
                         new_edges.push(DepEdge {
-                            src: new_id[si][k],
-                            dst: new_id[di][k],
+                            src: *src,
+                            dst: *dst,
                             kind: DepKind::Reduction,
                             distance: 1,
                         });
@@ -208,7 +238,9 @@ fn rewrite_access(kind: OpKind, copy: usize, factor: usize) -> OpKind {
     let rewrite = |mut a: crate::op::MemAccess| {
         if let StridePattern::Affine { stride_bytes } = a.stride {
             a.offset_bytes += stride_bytes * copy as i64;
-            a.stride = StridePattern::Affine { stride_bytes: stride_bytes * factor as i64 };
+            a.stride = StridePattern::Affine {
+                stride_bytes: stride_bytes * factor as i64,
+            };
         }
         a
     };
@@ -236,7 +268,10 @@ mod tests {
 
     #[test]
     fn replicates_body_but_not_control() {
-        let l = LoopBuilder::new("ew").trip_count(256).elementwise(2).build();
+        let l = LoopBuilder::new("ew")
+            .trip_count(256)
+            .elementwise(2)
+            .build();
         let u = unroll(&l, 4);
         u.validate().unwrap();
         // 2 mem + 1 alu replicated 4x, control (ind + branch) single
@@ -248,7 +283,10 @@ mod tests {
 
     #[test]
     fn copies_get_shifted_offsets_and_scaled_strides() {
-        let l = LoopBuilder::new("ew").trip_count(256).elementwise(2).build();
+        let l = LoopBuilder::new("ew")
+            .trip_count(256)
+            .elementwise(2)
+            .build();
         let u = unroll(&l, 4);
         let loads: Vec<_> = u.ops.iter().filter(|o| o.is_load()).collect();
         assert_eq!(loads.len(), 4);
@@ -267,8 +305,11 @@ mod tests {
         let l = LoopBuilder::new("ew").elementwise(2).build();
         let orig_load = l.ops.iter().find(|o| o.is_load()).unwrap().id;
         let u = unroll(&l, 4);
-        let copies: Vec<_> =
-            u.ops.iter().filter(|o| o.is_load() && o.provenance().0 == orig_load).collect();
+        let copies: Vec<_> = u
+            .ops
+            .iter()
+            .filter(|o| o.is_load() && o.provenance().0 == orig_load)
+            .collect();
         assert_eq!(copies.len(), 4);
         let mut idxs: Vec<_> = copies.iter().map(|o| o.provenance().1).collect();
         idxs.sort();
@@ -299,7 +340,10 @@ mod tests {
 
     #[test]
     fn carried_mem_dep_maps_across_copies() {
-        let l = LoopBuilder::new("slp").trip_count(64).store_load_pair(4).build();
+        let l = LoopBuilder::new("slp")
+            .trip_count(64)
+            .store_load_pair(4)
+            .build();
         let u = unroll(&l, 4);
         u.validate().unwrap();
         // distance-1 store->load edges become distance-0 edges between
@@ -313,7 +357,10 @@ mod tests {
 
     #[test]
     fn trip_count_never_reaches_zero() {
-        let l = LoopBuilder::new("short").trip_count(2).elementwise(4).build();
+        let l = LoopBuilder::new("short")
+            .trip_count(2)
+            .elementwise(4)
+            .build();
         let u = unroll(&l, 4);
         assert_eq!(u.trip_count, 1);
     }

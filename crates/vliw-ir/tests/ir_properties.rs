@@ -1,132 +1,173 @@
 //! Property-based tests on the IR: unrolling, address streams, DDG
-//! timing and dependence-set invariants.
+//! timing and dependence-set invariants. Inputs come from
+//! `vliw-testutil`'s deterministic generator (proptest is unavailable
+//! offline).
 
-use proptest::prelude::*;
 use vliw_ir::{
-    unroll, AddressStream, DataDepGraph, LoopBuilder, MemDepSets, OpId, OpKind,
+    unroll, AddressStream, DataDepGraph, LoopBuilder, LoopNest, MemDepSets, OpId, OpKind,
 };
+use vliw_testutil::{cases, Rng};
 
-fn arb_kernel() -> impl Strategy<Value = vliw_ir::LoopNest> {
-    (
-        0usize..3,
-        prop::sample::select(vec![1u8, 2, 4]),
-        16u64..256,
-        prop_oneof![Just("ew"), Just("fir"), Just("red"), Just("slp"), Just("stencil")],
-    )
-        .prop_map(|(work, elem, trip, kind)| {
-            let b = LoopBuilder::new(format!("{kind}-prop")).trip_count(trip);
-            let b = match kind {
-                "ew" => b.elementwise(elem),
-                "fir" => b.fir(3, elem),
-                "red" => b.reduction(elem.max(2)),
-                "slp" => b.store_load_pair(4),
-                _ => b.stencil3(elem),
-            };
-            b.int_overhead(work).build()
-        })
+const CASES: u64 = 128;
+
+fn random_kernel(rng: &mut Rng) -> LoopNest {
+    let work = rng.range_usize(0, 3);
+    let elem: u8 = rng.pick(&[1u8, 2, 4]);
+    let trip = rng.range(16, 256);
+    let kind = rng.pick(&["ew", "fir", "red", "slp", "stencil"]);
+    let b = LoopBuilder::new(format!("{kind}-prop")).trip_count(trip);
+    let b = match kind {
+        "ew" => b.elementwise(elem),
+        "fir" => b.fir(3, elem),
+        "red" => b.reduction(elem.max(2)),
+        "slp" => b.store_load_pair(4),
+        _ => b.stencil3(elem),
+    };
+    b.int_overhead(work).build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn unrolling_preserves_validity_and_op_counts(l in arb_kernel(), factor in 2usize..5) {
+#[test]
+fn unrolling_preserves_validity_and_op_counts() {
+    cases(CASES, |case, rng| {
+        let l = random_kernel(rng);
+        let factor = rng.range_usize(2, 5);
         let u = unroll(&l, factor);
-        u.validate().expect("unrolled IR valid");
+        u.validate()
+            .unwrap_or_else(|e| panic!("case {case}: unrolled IR invalid: {e}"));
         // control ops stay single; everything else replicates
         let control = 2; // induction + branch
         let body = l.ops.len() - control;
-        prop_assert_eq!(u.ops.len(), body * factor + control);
-        prop_assert_eq!(u.unroll_factor, factor);
-        prop_assert_eq!(u.trip_count, (l.trip_count / factor as u64).max(1));
-    }
+        assert_eq!(u.ops.len(), body * factor + control, "case {case}");
+        assert_eq!(u.unroll_factor, factor, "case {case}");
+        assert_eq!(
+            u.trip_count,
+            (l.trip_count / factor as u64).max(1),
+            "case {case}"
+        );
+    });
+}
 
-    #[test]
-    fn unrolled_memory_volume_is_preserved(l in arb_kernel(), factor in 2usize..5) {
+#[test]
+fn unrolled_memory_volume_is_preserved() {
+    cases(CASES, |case, rng| {
         // dynamic memory accesses: ops × trip must be (nearly) invariant
         // modulo the dropped remainder iterations
+        let l = random_kernel(rng);
+        let factor = rng.range_usize(2, 5);
         let u = unroll(&l, factor);
         let before = l.mem_ops().count() as u64 * l.trip_count;
         let after = u.mem_ops().count() as u64 * u.trip_count;
         let dropped = l.trip_count % factor as u64 * l.mem_ops().count() as u64;
-        prop_assert!(after + dropped >= before && after <= before,
-            "volume {before} -> {after} (dropped {dropped})");
-    }
+        assert!(
+            after + dropped >= before && after <= before,
+            "case {case}: volume {before} -> {after} (dropped {dropped})"
+        );
+    });
+}
 
-    #[test]
-    fn address_streams_stay_inside_their_arrays(l in arb_kernel(), iters in 1u64..512) {
+#[test]
+fn address_streams_stay_inside_their_arrays() {
+    cases(CASES, |case, rng| {
+        let l = random_kernel(rng);
+        let iters = rng.range(1, 512);
         for op in l.mem_ops() {
             let acc = op.kind.mem_access().unwrap();
             let arr = l.array(acc.array);
             let s = AddressStream::new(&l, op.id);
             for i in (0..iters).step_by(7) {
                 let a = s.address(i);
-                prop_assert!(
-                    a >= arr.base_addr && a + acc.elem_bytes as u64 <= arr.base_addr + arr.size_bytes.max(acc.elem_bytes as u64) + acc.elem_bytes as u64,
-                    "{} iter {i}: {a:#x} outside [{:#x}, {:#x})",
-                    op.id, arr.base_addr, arr.base_addr + arr.size_bytes
+                let hi = arr.base_addr
+                    + arr.size_bytes.max(acc.elem_bytes as u64)
+                    + acc.elem_bytes as u64;
+                assert!(
+                    a >= arr.base_addr && a + acc.elem_bytes as u64 <= hi,
+                    "case {case} {} iter {i}: {a:#x} outside [{:#x}, {:#x})",
+                    op.id,
+                    arr.base_addr,
+                    arr.base_addr + arr.size_bytes
                 );
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn rec_mii_is_monotone_in_latency(l in arb_kernel(), extra in 1u32..8) {
+#[test]
+fn rec_mii_is_monotone_in_latency() {
+    cases(CASES, |case, rng| {
+        let l = random_kernel(rng);
+        let extra = rng.range(1, 8) as u32;
         let g = DataDepGraph::build(&l);
         let base = g.rec_mii(|op| l.op(op).default_latency());
         let inflated = g.rec_mii(|op| l.op(op).default_latency() + extra);
-        prop_assert!(inflated >= base);
-    }
+        assert!(inflated >= base, "case {case}: {inflated} < {base}");
+    });
+}
 
-    #[test]
-    fn asap_alap_bracket_holds(l in arb_kernel()) {
+#[test]
+fn asap_alap_bracket_holds() {
+    cases(CASES, |case, rng| {
+        let l = random_kernel(rng);
         let g = DataDepGraph::build(&l);
         let lat = |op: OpId| l.op(op).default_latency();
         let mii = g.rec_mii(lat);
         if let Some(t) = g.asap_alap(mii, lat) {
             for i in 0..l.ops.len() {
                 let op = OpId(i as u32);
-                prop_assert!(t.asap[i] <= t.alap[i], "{op}: asap > alap");
-                prop_assert!(t.slack(op) >= 0);
+                assert!(t.asap[i] <= t.alap[i], "case {case} {op}: asap > alap");
+                assert!(t.slack(op) >= 0, "case {case} {op}: negative slack");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn dep_sets_partition_memory_ops(l in arb_kernel()) {
+#[test]
+fn dep_sets_partition_memory_ops() {
+    cases(CASES, |case, rng| {
+        let l = random_kernel(rng);
         let sets = MemDepSets::build(&l);
         let mut seen = std::collections::HashSet::new();
         for set in sets.sets() {
             for op in set {
-                prop_assert!(seen.insert(*op), "{op} in two sets");
-                prop_assert!(l.op(*op).kind.is_mem());
+                assert!(seen.insert(*op), "case {case}: {op} in two sets");
+                assert!(
+                    l.op(*op).kind.is_mem(),
+                    "case {case}: non-mem {op} in a set"
+                );
             }
         }
-        let mem_count = l.mem_ops().count();
-        prop_assert_eq!(seen.len(), mem_count);
-    }
+        assert_eq!(seen.len(), l.mem_ops().count(), "case {case}");
+    });
+}
 
-    #[test]
-    fn specialization_is_idempotent(l in arb_kernel()) {
+#[test]
+fn specialization_is_idempotent() {
+    cases(CASES, |case, rng| {
+        let l = random_kernel(rng);
         let once = vliw_ir::specialize(&l);
         let twice = vliw_ir::specialize(&once);
-        prop_assert_eq!(once.edges.len(), twice.edges.len());
-        prop_assert_eq!(once.ops.len(), twice.ops.len());
-    }
+        assert_eq!(once.edges.len(), twice.edges.len(), "case {case}");
+        assert_eq!(once.ops.len(), twice.ops.len(), "case {case}");
+    });
+}
 
-    #[test]
-    fn builder_output_is_always_single_assignment(l in arb_kernel()) {
+#[test]
+fn builder_output_is_always_single_assignment() {
+    cases(CASES, |case, rng| {
+        let l = random_kernel(rng);
         let mut writers = std::collections::HashMap::new();
         for op in &l.ops {
             if let Some(w) = op.writes {
-                prop_assert!(writers.insert(w, op.id).is_none(), "double writer for {w}");
+                assert!(
+                    writers.insert(w, op.id).is_none(),
+                    "case {case}: double writer for {w}"
+                );
             }
         }
         // and branches never write
         for op in &l.ops {
             if matches!(op.kind, OpKind::Branch) {
-                prop_assert!(op.writes.is_none());
+                assert!(op.writes.is_none(), "case {case}: branch writes");
             }
         }
-    }
+    });
 }

@@ -41,7 +41,11 @@ pub struct FuMix {
 impl FuMix {
     /// The paper's mix: 1 integer + 1 memory + 1 FP unit per cluster.
     pub fn micro2003() -> Self {
-        FuMix { int: 1, mem: 1, fp: 1 }
+        FuMix {
+            int: 1,
+            mem: 1,
+            fp: 1,
+        }
     }
 
     /// Units of a given kind.
@@ -77,7 +81,10 @@ pub struct BusConfig {
 impl BusConfig {
     /// The paper's configuration: 4 buses with 2-cycle latency.
     pub fn micro2003() -> Self {
-        BusConfig { count: 4, latency: 2 }
+        BusConfig {
+            count: 4,
+            latency: 2,
+        }
     }
 }
 
@@ -153,7 +160,13 @@ impl L0Config {
     /// 1-cycle latency, 2 ports, 1-cycle interleave penalty, prefetch
     /// distance 1.
     pub fn micro2003(entries: L0Capacity) -> Self {
-        L0Config { entries, latency: 1, ports: 2, interleave_penalty: 1, prefetch_distance: 1 }
+        L0Config {
+            entries,
+            latency: 1,
+            ports: 2,
+            interleave_penalty: 1,
+            prefetch_distance: 1,
+        }
     }
 }
 
@@ -180,7 +193,12 @@ pub struct L1Config {
 impl L1Config {
     /// The paper's L1: 8 KB, 2-way, 32-byte blocks, 6-cycle latency.
     pub fn micro2003() -> Self {
-        L1Config { size_bytes: 8 * 1024, block_bytes: 32, associativity: 2, latency: 6 }
+        L1Config {
+            size_bytes: 8 * 1024,
+            block_bytes: 32,
+            associativity: 2,
+            latency: 6,
+        }
     }
 
     /// Number of sets.
@@ -294,7 +312,7 @@ impl Default for WordInterleavedConfig {
 ///
 /// Use [`MachineConfig::micro2003`] for the paper's Table 2 machine and the
 /// `with_*`/`without_*` helpers to derive the experiment variants.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct MachineConfig {
     /// Number of clusters (4 in the paper); they run in lock-step.
     pub clusters: usize,
@@ -333,7 +351,10 @@ impl MachineConfig {
     /// Same machine without L0 buffers (the normalization baseline of
     /// Figures 5 and 7).
     pub fn without_l0(&self) -> Self {
-        MachineConfig { l0: None, ..self.clone() }
+        MachineConfig {
+            l0: None,
+            ..self.clone()
+        }
     }
 
     /// Same machine with L0 buffers of the given capacity.
@@ -342,7 +363,10 @@ impl MachineConfig {
             Some(cfg) => L0Config { entries, ..cfg },
             None => L0Config::micro2003(entries),
         };
-        MachineConfig { l0: Some(l0), ..self.clone() }
+        MachineConfig {
+            l0: Some(l0),
+            ..self.clone()
+        }
     }
 
     /// Same machine with the given automatic-prefetch distance.
@@ -392,13 +416,17 @@ impl MachineConfig {
         if self.clusters == 0 {
             return Err("machine must have at least one cluster".into());
         }
-        if self.l1.block_bytes % self.clusters != 0 {
+        if !self.l1.block_bytes.is_multiple_of(self.clusters) {
             return Err(format!(
                 "L1 block size {} is not divisible by {} clusters",
                 self.l1.block_bytes, self.clusters
             ));
         }
-        if self.l1.size_bytes % (self.l1.block_bytes * self.l1.associativity) != 0 {
+        if !self
+            .l1
+            .size_bytes
+            .is_multiple_of(self.l1.block_bytes * self.l1.associativity)
+        {
             return Err("L1 size must be a whole number of sets".into());
         }
         if self.fus.total() == 0 {
@@ -427,7 +455,11 @@ impl Default for MachineConfig {
 
 impl fmt::Display for MachineConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Number of Clusters      {} clusters working in lock-step mode", self.clusters)?;
+        writeln!(
+            f,
+            "Number of Clusters      {} clusters working in lock-step mode",
+            self.clusters
+        )?;
         writeln!(
             f,
             "Functional Units        ({} integer + {} memory + {} FP) per cluster",
@@ -453,7 +485,11 @@ impl fmt::Display for MachineConfig {
             self.l1.block_bytes,
             self.l0.map(|l| l.interleave_penalty).unwrap_or(0)
         )?;
-        writeln!(f, "L2 Cache                {} cycle latency, always hits", self.l2_latency)?;
+        writeln!(
+            f,
+            "L2 Cache                {} cycle latency, always hits",
+            self.l2_latency
+        )?;
         write!(
             f,
             "Comm. Buses             {} buses with {}-cycle latency",
@@ -470,8 +506,21 @@ mod tests {
     fn table2_parameters() {
         let cfg = MachineConfig::micro2003();
         assert_eq!(cfg.clusters, 4);
-        assert_eq!(cfg.fus, FuMix { int: 1, mem: 1, fp: 1 });
-        assert_eq!(cfg.buses, BusConfig { count: 4, latency: 2 });
+        assert_eq!(
+            cfg.fus,
+            FuMix {
+                int: 1,
+                mem: 1,
+                fp: 1
+            }
+        );
+        assert_eq!(
+            cfg.buses,
+            BusConfig {
+                count: 4,
+                latency: 2
+            }
+        );
         let l0 = cfg.l0.unwrap();
         assert_eq!(l0.latency, 1);
         assert_eq!(l0.ports, 2);

@@ -135,7 +135,10 @@ impl MemHints {
     /// Creates a hint bundle with the given access directive and default
     /// (linear, no-prefetch) mapping hints.
     pub fn new(access: AccessHint) -> Self {
-        MemHints { access, ..Default::default() }
+        MemHints {
+            access,
+            ..Default::default()
+        }
     }
 
     /// A bundle that bypasses L0 entirely (`NO_ACCESS`).

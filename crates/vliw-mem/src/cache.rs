@@ -94,7 +94,10 @@ impl<S: Copy> SetAssocCache<S> {
     pub fn peek(&self, addr: u64) -> Option<S> {
         let tag = self.block_base(addr);
         let set = self.set_index(addr);
-        self.sets[set].iter().find(|l| l.tag == tag).map(|l| l.state)
+        self.sets[set]
+            .iter()
+            .find(|l| l.tag == tag)
+            .map(|l| l.state)
     }
 
     /// Updates the state of a resident line; returns `false` if absent.
@@ -122,18 +125,25 @@ impl<S: Copy> SetAssocCache<S> {
             return None;
         }
         if self.sets[set].len() < self.associativity {
-            self.sets[set].push(Line { tag, last_use: cycle, state });
+            self.sets[set].push(Line {
+                tag,
+                last_use: cycle,
+                state,
+            });
             return None;
         }
-        let victim = self
-            .sets[set]
+        let victim = self.sets[set]
             .iter()
             .enumerate()
             .min_by_key(|(_, l)| l.last_use)
             .map(|(i, _)| i)
             .expect("set is full, so non-empty");
         let old = self.sets[set][victim];
-        self.sets[set][victim] = Line { tag, last_use: cycle, state };
+        self.sets[set][victim] = Line {
+            tag,
+            last_use: cycle,
+            state,
+        };
         Some((old.tag, old.state))
     }
 

@@ -103,7 +103,13 @@ impl L0Buffer {
         block_bytes: u64,
         n_clusters: usize,
     ) -> Self {
-        L0Buffer { entries: Vec::new(), capacity, subblock_bytes, block_bytes, n_clusters }
+        L0Buffer {
+            entries: Vec::new(),
+            capacity,
+            subblock_bytes,
+            block_bytes,
+            n_clusters,
+        }
     }
 
     /// Number of resident (or in-flight) entries.
@@ -180,12 +186,22 @@ impl L0Buffer {
         let entry = self.entries[i];
         self.entries[i].last_use = cycle;
         let action = self.prefetch_action(&entry, off, hint);
-        (L0LookupResult::Hit { ready_at: ready_at.max(cycle) }, action)
+        (
+            L0LookupResult::Hit {
+                ready_at: ready_at.max(cycle),
+            },
+            action,
+        )
     }
 
     /// Computes the automatic prefetch triggered by an instruction with
     /// hint `hint` touching byte `off` (block-relative) of `entry`.
-    fn prefetch_action(&self, entry: &Entry, off: u64, hint: PrefetchHint) -> Option<PrefetchAction> {
+    fn prefetch_action(
+        &self,
+        entry: &Entry,
+        off: u64,
+        hint: PrefetchHint,
+    ) -> Option<PrefetchAction> {
         if hint == PrefetchHint::None {
             return None;
         }
@@ -225,7 +241,11 @@ impl L0Buffer {
                     0
                 } else {
                     let full = (elems_per_block - 1) / lanes * lanes + lane as u64;
-                    if full >= elems_per_block { full - lanes } else { full }
+                    if full >= elems_per_block {
+                        full - lanes
+                    } else {
+                        full
+                    }
                 };
                 match hint {
                     PrefetchHint::Positive if elem_idx == last_of_lane => Some(PrefetchAction {
@@ -314,7 +334,11 @@ impl L0Buffer {
     pub fn invalidate_addr(&mut self, addr: u64, size: u64) -> usize {
         let before = self.entries.len();
         let this = &*self;
-        let keep: Vec<bool> = this.entries.iter().map(|e| !this.contains(e, addr, size)).collect();
+        let keep: Vec<bool> = this
+            .entries
+            .iter()
+            .map(|e| !this.contains(e, addr, size))
+            .collect();
         let mut it = keep.iter();
         self.entries.retain(|_| *it.next().unwrap());
         before - self.entries.len()
@@ -365,12 +389,27 @@ mod tests {
     fn linear_entry_covers_its_subblock_only() {
         let mut b = buf(8);
         b.insert(linear_entry(0x100, 1, 0)); // bytes 8..16 of block 0x100
-        assert!(matches!(b.probe(0x108, 2, 1, PrefetchHint::None).0, L0LookupResult::Hit { .. }));
-        assert!(matches!(b.probe(0x10E, 2, 2, PrefetchHint::None).0, L0LookupResult::Hit { .. }));
-        assert_eq!(b.probe(0x100, 2, 3, PrefetchHint::None).0, L0LookupResult::Miss); // sub 0
-        assert_eq!(b.probe(0x110, 2, 4, PrefetchHint::None).0, L0LookupResult::Miss); // sub 2
-        // access crossing out of the subblock misses
-        assert_eq!(b.probe(0x10F, 2, 5, PrefetchHint::None).0, L0LookupResult::Miss);
+        assert!(matches!(
+            b.probe(0x108, 2, 1, PrefetchHint::None).0,
+            L0LookupResult::Hit { .. }
+        ));
+        assert!(matches!(
+            b.probe(0x10E, 2, 2, PrefetchHint::None).0,
+            L0LookupResult::Hit { .. }
+        ));
+        assert_eq!(
+            b.probe(0x100, 2, 3, PrefetchHint::None).0,
+            L0LookupResult::Miss
+        ); // sub 0
+        assert_eq!(
+            b.probe(0x110, 2, 4, PrefetchHint::None).0,
+            L0LookupResult::Miss
+        ); // sub 2
+           // access crossing out of the subblock misses
+        assert_eq!(
+            b.probe(0x10F, 2, 5, PrefetchHint::None).0,
+            L0LookupResult::Miss
+        );
     }
 
     #[test]
@@ -379,11 +418,23 @@ mod tests {
         // 2-byte factor, lane 0 of block 0: elements 0,4,8,12 -> bytes
         // 0-1, 8-9, 16-17, 24-25
         b.insert(inter_entry(0, 2, 0, 0));
-        assert!(matches!(b.probe(0, 2, 1, PrefetchHint::None).0, L0LookupResult::Hit { .. }));
-        assert!(matches!(b.probe(8, 2, 2, PrefetchHint::None).0, L0LookupResult::Hit { .. }));
-        assert!(matches!(b.probe(24, 2, 3, PrefetchHint::None).0, L0LookupResult::Hit { .. }));
+        assert!(matches!(
+            b.probe(0, 2, 1, PrefetchHint::None).0,
+            L0LookupResult::Hit { .. }
+        ));
+        assert!(matches!(
+            b.probe(8, 2, 2, PrefetchHint::None).0,
+            L0LookupResult::Hit { .. }
+        ));
+        assert!(matches!(
+            b.probe(24, 2, 3, PrefetchHint::None).0,
+            L0LookupResult::Hit { .. }
+        ));
         assert_eq!(b.probe(2, 2, 4, PrefetchHint::None).0, L0LookupResult::Miss); // element 1: lane 1
-        assert_eq!(b.probe(16, 4, 5, PrefetchHint::None).0, L0LookupResult::Miss); // spans 2 elements
+        assert_eq!(
+            b.probe(16, 4, 5, PrefetchHint::None).0,
+            L0LookupResult::Miss
+        ); // spans 2 elements
     }
 
     #[test]
@@ -392,7 +443,10 @@ mod tests {
         // with a 4-byte load partially lives in other clusters -> miss.
         let mut b = buf(8);
         b.insert(inter_entry(0, 1, 0, 0));
-        assert!(matches!(b.probe(0, 1, 1, PrefetchHint::None).0, L0LookupResult::Hit { .. }));
+        assert!(matches!(
+            b.probe(0, 1, 1, PrefetchHint::None).0,
+            L0LookupResult::Hit { .. }
+        ));
         assert_eq!(b.probe(0, 4, 2, PrefetchHint::None).0, L0LookupResult::Miss);
     }
 
@@ -404,8 +458,14 @@ mod tests {
         b.probe(0x000, 2, 2, PrefetchHint::None); // refresh first
         b.insert(linear_entry(0x040, 0, 3));
         assert_eq!(b.len(), 2);
-        assert!(matches!(b.probe(0x000, 2, 4, PrefetchHint::None).0, L0LookupResult::Hit { .. }));
-        assert_eq!(b.probe(0x020, 2, 5, PrefetchHint::None).0, L0LookupResult::Miss);
+        assert!(matches!(
+            b.probe(0x000, 2, 4, PrefetchHint::None).0,
+            L0LookupResult::Hit { .. }
+        ));
+        assert_eq!(
+            b.probe(0x020, 2, 5, PrefetchHint::None).0,
+            L0LookupResult::Miss
+        );
     }
 
     #[test]
@@ -445,7 +505,10 @@ mod tests {
         assert_eq!(removed, 1);
         assert_eq!(b.len(), 1);
         // the MRU copy (interleaved, inserted later) survives
-        assert!(matches!(b.entries()[0].mapping, EntryMapping::Interleaved { .. }));
+        assert!(matches!(
+            b.entries()[0].mapping,
+            EntryMapping::Interleaved { .. }
+        ));
     }
 
     #[test]
@@ -461,13 +524,13 @@ mod tests {
     fn positive_prefetch_fires_on_last_element_linear() {
         let mut b = buf(4);
         b.insert(linear_entry(0x100, 1, 0)); // bytes 8..16
-        // elements are 2 bytes: subblock holds elements at offsets 8,10,12,14
+                                             // elements are 2 bytes: subblock holds elements at offsets 8,10,12,14
         let (_, a) = b.probe(0x108, 2, 1, PrefetchHint::Positive);
         assert!(a.is_none(), "not the last element");
         let (_, a) = b.probe(0x10E, 2, 2, PrefetchHint::Positive);
         let a = a.expect("last element triggers prefetch");
         assert_eq!(a.target_addr, 0x110); // next subblock
-        // an instruction without the hint never triggers
+                                          // an instruction without the hint never triggers
         let (_, a) = b.probe(0x10E, 2, 3, PrefetchHint::None);
         assert!(a.is_none());
     }
@@ -487,7 +550,7 @@ mod tests {
     fn positive_prefetch_interleaved_targets_next_block() {
         let mut b = buf(4);
         b.insert(inter_entry(0x100, 2, 1, 0)); // elements 1,5,9,13
-        // last element of lane 1 = 13 -> bytes 26..28
+                                               // last element of lane 1 = 13 -> bytes 26..28
         let (_, a) = b.probe(0x100 + 26, 2, 1, PrefetchHint::Positive);
         let a = a.expect("last lane element triggers prefetch");
         assert_eq!(a.target_addr, 0x120);

@@ -61,7 +61,10 @@ impl MemoryModel for MultiVliwMem {
         // L0-specific request kinds degenerate: MultiVLIW has no
         // compiler-managed buffers.
         if matches!(req.kind, ReqKind::Prefetch | ReqKind::StoreReplica) {
-            return MemReply { ready_at: req.cycle + 1, serviced_by: ServicedBy::L1 };
+            return MemReply {
+                ready_at: req.cycle + 1,
+                serviced_by: ServicedBy::L1,
+            };
         }
         self.stats.accesses += 1;
         let me = req.cluster.index();
@@ -126,7 +129,10 @@ impl MemoryModel for MultiVliwMem {
                 (latency, serviced)
             }
         };
-        MemReply { ready_at: req.cycle + latency, serviced_by: serviced }
+        MemReply {
+            ready_at: req.cycle + latency,
+            serviced_by: serviced,
+        }
     }
 
     fn stats(&self) -> &MemStats {

@@ -40,12 +40,26 @@ pub struct MemRequest {
 impl MemRequest {
     /// Convenience constructor for a load.
     pub fn load(cluster: ClusterId, addr: u64, size: u8, hints: MemHints, cycle: u64) -> Self {
-        MemRequest { cluster, addr, size, kind: ReqKind::Load, hints, cycle }
+        MemRequest {
+            cluster,
+            addr,
+            size,
+            kind: ReqKind::Load,
+            hints,
+            cycle,
+        }
     }
 
     /// Convenience constructor for a store.
     pub fn store(cluster: ClusterId, addr: u64, size: u8, hints: MemHints, cycle: u64) -> Self {
-        MemRequest { cluster, addr, size, kind: ReqKind::Store, hints, cycle }
+        MemRequest {
+            cluster,
+            addr,
+            size,
+            kind: ReqKind::Store,
+            hints,
+            cycle,
+        }
     }
 
     /// Convenience constructor for an explicit prefetch.

@@ -117,14 +117,27 @@ mod tests {
 
     #[test]
     fn hit_rate_math() {
-        let s = MemStats { l0_hits: 3, l0_misses: 1, ..Default::default() };
+        let s = MemStats {
+            l0_hits: 3,
+            l0_misses: 1,
+            ..Default::default()
+        };
         assert!((s.l0_hit_rate() - 0.75).abs() < 1e-12);
     }
 
     #[test]
     fn merge_sums_counters() {
-        let mut a = MemStats { accesses: 5, l0_hits: 2, ..Default::default() };
-        let b = MemStats { accesses: 7, l0_hits: 1, invalidations: 3, ..Default::default() };
+        let mut a = MemStats {
+            accesses: 5,
+            l0_hits: 2,
+            ..Default::default()
+        };
+        let b = MemStats {
+            accesses: 7,
+            l0_hits: 1,
+            invalidations: 3,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.accesses, 12);
         assert_eq!(a.l0_hits, 3);

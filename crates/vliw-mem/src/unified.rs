@@ -10,7 +10,12 @@ use vliw_machine::{AccessHint, ClusterId, MachineConfig, MappingHint, PrefetchHi
 
 /// Shared L1 + L2 timing: probes the unified L1 and returns
 /// `(latency, hit)`, allocating on miss.
-fn l1_access(l1: &mut SetAssocCache<()>, cfg: &MachineConfig, addr: u64, cycle: u64) -> (u64, bool) {
+fn l1_access(
+    l1: &mut SetAssocCache<()>,
+    cfg: &MachineConfig,
+    addr: u64,
+    cycle: u64,
+) -> (u64, bool) {
     if l1.lookup(addr, cycle).is_some() {
         (cfg.l1.latency as u64, true)
     } else {
@@ -35,7 +40,9 @@ struct ClusterBuses {
 
 impl ClusterBuses {
     fn new(n: usize) -> Self {
-        ClusterBuses { reserved: vec![std::collections::BTreeSet::new(); n] }
+        ClusterBuses {
+            reserved: vec![std::collections::BTreeSet::new(); n],
+        }
     }
 
     /// Acquires the bus of `cluster` at the first free cycle ≥ `cycle`;
@@ -89,7 +96,10 @@ impl MemoryModel for UnifiedL1 {
         match req.kind {
             ReqKind::Prefetch | ReqKind::StoreReplica => {
                 // No L0 buffers: prefetches/replicas degenerate to no-ops.
-                return MemReply { ready_at: req.cycle + 1, serviced_by: ServicedBy::L1 };
+                return MemReply {
+                    ready_at: req.cycle + 1,
+                    serviced_by: ServicedBy::L1,
+                };
             }
             ReqKind::Load | ReqKind::Store => {}
         }
@@ -196,7 +206,11 @@ impl UnifiedWithL0 {
             MappingHint::Interleaved => {
                 // Whole block fetched, shuffled (+1 cycle), and dealt to
                 // consecutive clusters starting at the accessor.
-                let penalty = self.cfg.l0.map(|l| l.interleave_penalty as u64).unwrap_or(0);
+                let penalty = self
+                    .cfg
+                    .l0
+                    .map(|l| l.interleave_penalty as u64)
+                    .unwrap_or(0);
                 let ready = start + l1_lat + penalty;
                 let f = size.max(1);
                 let lane0 = (((addr - block) / f as u64) % self.cfg.clusters as u64) as u8;
@@ -226,7 +240,12 @@ impl UnifiedWithL0 {
     /// distance 1 is the paper's hint semantics, distance 2 the §5.2
     /// ablation that recovers the small-II stalls of epicdec/rasta.
     fn run_prefetch_action(&mut self, cluster: ClusterId, action: PrefetchAction, cycle: u64) {
-        let distance = self.cfg.l0.map(|l| l.prefetch_distance as u64).unwrap_or(1).max(1);
+        let distance = self
+            .cfg
+            .l0
+            .map(|l| l.prefetch_distance as u64)
+            .unwrap_or(1)
+            .max(1);
         let (step, mapping) = match action.mapping {
             EntryMapping::Linear { .. } => (self.cfg.subblock_bytes() as u64, MappingHint::Linear),
             EntryMapping::Interleaved { .. } => {
@@ -259,7 +278,14 @@ impl UnifiedWithL0 {
                 continue; // already resident or in flight
             }
             self.stats.hint_prefetches += 1;
-            self.fill(cluster, target, action.elem_bytes, mapping, action.prefetch, cycle);
+            self.fill(
+                cluster,
+                target,
+                action.elem_bytes,
+                mapping,
+                action.prefetch,
+                cycle,
+            );
         }
     }
 }
@@ -324,7 +350,10 @@ impl MemoryModel for UnifiedWithL0 {
                                     req.hints.prefetch,
                                     fwd_cycle,
                                 );
-                                MemReply { ready_at: ready, serviced_by: ServicedBy::L1 }
+                                MemReply {
+                                    ready_at: ready,
+                                    serviced_by: ServicedBy::L1,
+                                }
                             }
                         }
                     }
@@ -350,12 +379,18 @@ impl MemoryModel for UnifiedWithL0 {
                     );
                     self.stats.invalidations += invalidated as u64;
                 }
-                MemReply { ready_at: start + 1, serviced_by: ServicedBy::L1 }
+                MemReply {
+                    ready_at: start + 1,
+                    serviced_by: ServicedBy::L1,
+                }
             }
             ReqKind::Prefetch => {
                 // Explicit prefetch: linear map into the issuing cluster.
                 if self.l0[req.cluster.index()].covers(req.addr) {
-                    return MemReply { ready_at: req.cycle + 1, serviced_by: ServicedBy::L0 };
+                    return MemReply {
+                        ready_at: req.cycle + 1,
+                        serviced_by: ServicedBy::L0,
+                    };
                 }
                 self.stats.explicit_prefetches += 1;
                 let ready = self.fill(
@@ -366,12 +401,18 @@ impl MemoryModel for UnifiedWithL0 {
                     PrefetchHint::None,
                     req.cycle,
                 );
-                MemReply { ready_at: ready, serviced_by: ServicedBy::L1 }
+                MemReply {
+                    ready_at: ready,
+                    serviced_by: ServicedBy::L1,
+                }
             }
             ReqKind::StoreReplica => {
                 let n = self.l0[req.cluster.index()].invalidate_addr(req.addr, req.size as u64);
                 self.stats.invalidations += n as u64;
-                MemReply { ready_at: req.cycle + 1, serviced_by: ServicedBy::L0 }
+                MemReply {
+                    ready_at: req.cycle + 1,
+                    serviced_by: ServicedBy::L0,
+                }
             }
         }
     }
@@ -407,11 +448,22 @@ mod tests {
     fn baseline_pays_l1_latency() {
         let cfg = cfg();
         let mut m = UnifiedL1::new(&cfg);
-        let r = m.access(&MemRequest::load(ClusterId::new(0), 0x40, 4, MemHints::no_access(), 0));
+        let r = m.access(&MemRequest::load(
+            ClusterId::new(0),
+            0x40,
+            4,
+            MemHints::no_access(),
+            0,
+        ));
         // cold: L1 miss -> L2
         assert_eq!(r.ready_at, (cfg.l1.latency + cfg.l2_latency) as u64);
-        let r2 =
-            m.access(&MemRequest::load(ClusterId::new(0), 0x44, 4, MemHints::no_access(), 100));
+        let r2 = m.access(&MemRequest::load(
+            ClusterId::new(0),
+            0x44,
+            4,
+            MemHints::no_access(),
+            100,
+        ));
         assert_eq!(r2.ready_at - 100, cfg.l1.latency as u64);
         assert_eq!(m.stats().l1_hits, 1);
         assert_eq!(m.stats().l1_misses, 1);
@@ -421,8 +473,20 @@ mod tests {
     fn l0_hit_costs_one_cycle() {
         let cfg = cfg();
         let mut m = UnifiedWithL0::new(&cfg);
-        m.access(&MemRequest::load(ClusterId::new(1), 0x100, 2, par_linear(), 0));
-        let r = m.access(&MemRequest::load(ClusterId::new(1), 0x102, 2, par_linear(), 50));
+        m.access(&MemRequest::load(
+            ClusterId::new(1),
+            0x100,
+            2,
+            par_linear(),
+            0,
+        ));
+        let r = m.access(&MemRequest::load(
+            ClusterId::new(1),
+            0x102,
+            2,
+            par_linear(),
+            50,
+        ));
         assert_eq!(r.ready_at - 50, 1);
         assert_eq!(r.serviced_by, ServicedBy::L0);
         assert_eq!(m.stats().l0_hits, 1);
@@ -434,8 +498,20 @@ mod tests {
         let cfg = cfg();
         let mut m = UnifiedWithL0::new(&cfg);
         // warm L1 with an unrelated NO_ACCESS load of the same block
-        m.access(&MemRequest::load(ClusterId::new(0), 0x200, 2, MemHints::no_access(), 0));
-        let r = m.access(&MemRequest::load(ClusterId::new(0), 0x200, 2, seq_linear(), 100));
+        m.access(&MemRequest::load(
+            ClusterId::new(0),
+            0x200,
+            2,
+            MemHints::no_access(),
+            0,
+        ));
+        let r = m.access(&MemRequest::load(
+            ClusterId::new(0),
+            0x200,
+            2,
+            seq_linear(),
+            100,
+        ));
         // probe (1) + L1 hit (6)
         assert_eq!(r.ready_at - 100, 1 + cfg.l1.latency as u64);
     }
@@ -444,8 +520,20 @@ mod tests {
     fn par_miss_pays_l1_only() {
         let cfg = cfg();
         let mut m = UnifiedWithL0::new(&cfg);
-        m.access(&MemRequest::load(ClusterId::new(0), 0x200, 2, MemHints::no_access(), 0));
-        let r = m.access(&MemRequest::load(ClusterId::new(0), 0x200, 2, par_linear(), 100));
+        m.access(&MemRequest::load(
+            ClusterId::new(0),
+            0x200,
+            2,
+            MemHints::no_access(),
+            0,
+        ));
+        let r = m.access(&MemRequest::load(
+            ClusterId::new(0),
+            0x200,
+            2,
+            par_linear(),
+            100,
+        ));
         assert_eq!(r.ready_at - 100, cfg.l1.latency as u64);
     }
 
@@ -457,10 +545,7 @@ mod tests {
         // 2-byte load at block base from cluster 2
         let r = m.access(&MemRequest::load(ClusterId::new(2), 0x400, 2, hints, 0));
         // +1 interleave (shuffle) penalty over the L1 path
-        assert_eq!(
-            r.ready_at,
-            (cfg.l1.latency + cfg.l2_latency + 1) as u64
-        );
+        assert_eq!(r.ready_at, (cfg.l1.latency + cfg.l2_latency + 1) as u64);
         for c in 0..4 {
             assert_eq!(m.buffer(ClusterId::new(c)).len(), 1, "cluster {c}");
         }
@@ -480,7 +565,13 @@ mod tests {
     fn store_never_allocates() {
         let cfg = cfg();
         let mut m = UnifiedWithL0::new(&cfg);
-        m.access(&MemRequest::store(ClusterId::new(0), 0x100, 4, par_linear(), 0));
+        m.access(&MemRequest::store(
+            ClusterId::new(0),
+            0x100,
+            4,
+            par_linear(),
+            0,
+        ));
         assert!(m.buffer(ClusterId::new(0)).is_empty());
     }
 
@@ -489,11 +580,29 @@ mod tests {
         let cfg = cfg();
         let mut m = UnifiedWithL0::new(&cfg);
         // clusters 0 and 1 both cache the same subblock linearly
-        m.access(&MemRequest::load(ClusterId::new(0), 0x100, 2, par_linear(), 0));
-        m.access(&MemRequest::load(ClusterId::new(1), 0x100, 2, par_linear(), 1));
+        m.access(&MemRequest::load(
+            ClusterId::new(0),
+            0x100,
+            2,
+            par_linear(),
+            0,
+        ));
+        m.access(&MemRequest::load(
+            ClusterId::new(1),
+            0x100,
+            2,
+            par_linear(),
+            1,
+        ));
         // cluster 0 stores with PAR access: its copy is updated; cluster
         // 1's copy is now stale (the compiler is responsible for this!)
-        m.access(&MemRequest::store(ClusterId::new(0), 0x100, 2, par_linear(), 10));
+        m.access(&MemRequest::store(
+            ClusterId::new(0),
+            0x100,
+            2,
+            par_linear(),
+            10,
+        ));
         assert_eq!(m.buffer(ClusterId::new(0)).len(), 1);
         assert_eq!(m.buffer(ClusterId::new(1)).len(), 1);
     }
@@ -502,7 +611,13 @@ mod tests {
     fn store_replica_invalidates_locally() {
         let cfg = cfg();
         let mut m = UnifiedWithL0::new(&cfg);
-        m.access(&MemRequest::load(ClusterId::new(1), 0x100, 2, par_linear(), 0));
+        m.access(&MemRequest::load(
+            ClusterId::new(1),
+            0x100,
+            2,
+            par_linear(),
+            0,
+        ));
         assert_eq!(m.buffer(ClusterId::new(1)).len(), 1);
         let mut req = MemRequest::store(ClusterId::new(1), 0x100, 2, MemHints::no_access(), 5);
         req.kind = ReqKind::StoreReplica;
@@ -515,7 +630,13 @@ mod tests {
     fn invalidate_buffers_flushes_cluster() {
         let cfg = cfg();
         let mut m = UnifiedWithL0::new(&cfg);
-        m.access(&MemRequest::load(ClusterId::new(0), 0x100, 2, par_linear(), 0));
+        m.access(&MemRequest::load(
+            ClusterId::new(0),
+            0x100,
+            2,
+            par_linear(),
+            0,
+        ));
         m.invalidate_buffers(ClusterId::new(0), 10);
         assert!(m.buffer(ClusterId::new(0)).is_empty());
         assert_eq!(m.stats().buffer_flushes, 1);
@@ -585,7 +706,10 @@ mod tests {
                 }
             }
         }
-        assert!(misses_in_steady_state > 20, "3 streams must thrash 2 entries");
+        assert!(
+            misses_in_steady_state > 20,
+            "3 streams must thrash 2 entries"
+        );
     }
 
     #[test]
@@ -596,7 +720,13 @@ mod tests {
         assert_eq!(m.stats().explicit_prefetches, 1);
         m.access(&MemRequest::prefetch(ClusterId::new(0), 0x102, 4, 1));
         assert_eq!(m.stats().explicit_prefetches, 1, "second prefetch deduped");
-        let r = m.access(&MemRequest::load(ClusterId::new(0), 0x100, 4, seq_linear(), 50));
+        let r = m.access(&MemRequest::load(
+            ClusterId::new(0),
+            0x100,
+            4,
+            seq_linear(),
+            50,
+        ));
         assert_eq!(r.serviced_by, ServicedBy::L0);
     }
 
@@ -608,7 +738,11 @@ mod tests {
         let c = ClusterId::new(0);
         let r1 = m.access(&MemRequest::load(c, 0x100, 4, h, 0));
         let r2 = m.access(&MemRequest::load(c, 0x2000, 4, h, 0));
-        assert_eq!(r2.ready_at, r1.ready_at.max(1 + (cfg.l1.latency + cfg.l2_latency) as u64));
+        assert_eq!(
+            r2.ready_at,
+            r1.ready_at
+                .max(1 + (cfg.l1.latency + cfg.l2_latency) as u64)
+        );
         // different cluster: no contention
         let r3 = m.access(&MemRequest::load(ClusterId::new(1), 0x3000, 4, h, 0));
         assert_eq!(r3.ready_at, (cfg.l1.latency + cfg.l2_latency) as u64);

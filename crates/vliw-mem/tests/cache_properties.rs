@@ -1,31 +1,34 @@
 //! Property-based tests for the generic set-associative cache and the
-//! distributed-cache models.
+//! distributed-cache models. Inputs come from `vliw-testutil`'s
+//! deterministic generator (proptest is unavailable offline).
 
-use proptest::prelude::*;
 use vliw_machine::{ClusterId, MachineConfig, MemHints};
 use vliw_mem::{MemRequest, MemoryModel, MultiVliwMem, SetAssocCache, WordInterleavedMem};
+use vliw_testutil::cases;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(192))]
+const CASES: u64 = 192;
 
-    #[test]
-    fn cache_never_exceeds_capacity(
-        addrs in prop::collection::vec(0u64..65_536, 1..200),
-    ) {
+#[test]
+fn cache_never_exceeds_capacity() {
+    cases(CASES, |case, rng| {
+        let len = rng.range_usize(1, 200);
+        let addrs = rng.vec_of(len, |r| r.range(0, 65_536));
         let mut c: SetAssocCache<()> = SetAssocCache::new(1024, 32, 2);
         for (i, &a) in addrs.iter().enumerate() {
             c.insert(a, (), i as u64);
-            prop_assert!(c.len() <= 1024 / 32);
+            assert!(c.len() <= 1024 / 32, "case {case}: {} blocks", c.len());
         }
-    }
+    });
+}
 
-    #[test]
-    fn lookup_after_insert_hits_until_evicted(
-        addr in 0u64..65_536,
-        fill in prop::collection::vec(0u64..65_536, 0..40),
-    ) {
+#[test]
+fn lookup_after_insert_hits_until_evicted() {
+    cases(CASES, |case, rng| {
         // shadow-model residence exactly: a block is resident iff it was
         // inserted and not evicted since its last insertion
+        let addr = rng.range(0, 65_536);
+        let fill_len = rng.range_usize(0, 40);
+        let fill = rng.vec_of(fill_len, |r| r.range(0, 65_536));
         let mut c: SetAssocCache<u8> = SetAssocCache::new(1024, 32, 2);
         let mut resident = std::collections::HashSet::new();
         c.insert(addr, 1, 0);
@@ -37,19 +40,21 @@ proptest! {
             resident.insert(c.block_base(f));
         }
         let hit = c.lookup(addr, 1000).is_some();
-        prop_assert_eq!(hit, resident.contains(&c.block_base(addr)));
-    }
+        assert_eq!(hit, resident.contains(&c.block_base(addr)), "case {case}");
+    });
+}
 
-    #[test]
-    fn msi_never_has_two_modified_copies(
-        ops in prop::collection::vec((0usize..4, 0u64..512, any::<bool>()), 1..120),
-    ) {
+#[test]
+fn msi_never_has_two_modified_copies() {
+    cases(CASES, |case, rng| {
+        let n_ops = rng.range_usize(1, 120);
         let cfg = MachineConfig::micro2003();
         let mut m = MultiVliwMem::new(&cfg);
-        for (i, (cluster, addr_base, is_store)) in ops.iter().enumerate() {
-            let addr = addr_base * 4;
-            let c = ClusterId::new(*cluster);
-            let req = if *is_store {
+        for i in 0..n_ops {
+            let cluster = rng.range_usize(0, 4);
+            let addr = rng.range(0, 512) * 4;
+            let c = ClusterId::new(cluster);
+            let req = if rng.flip() {
                 MemRequest::store(c, addr, 4, MemHints::no_access(), i as u64 * 3)
             } else {
                 MemRequest::load(c, addr, 4, MemHints::no_access(), i as u64 * 3)
@@ -60,39 +65,68 @@ proptest! {
         // ownership: after the last store only the writer hits locally at
         // the modified latency. We probe indirectly: every access still
         // returns a bounded latency.
-        let r = m.access(&MemRequest::load(ClusterId::new(0), 0, 4, MemHints::no_access(), 10_000));
-        prop_assert!(r.ready_at >= 10_000 && r.ready_at <= 10_020);
-    }
+        let r = m.access(&MemRequest::load(
+            ClusterId::new(0),
+            0,
+            4,
+            MemHints::no_access(),
+            10_000,
+        ));
+        assert!(
+            r.ready_at >= 10_000 && r.ready_at <= 10_020,
+            "case {case}: {}",
+            r.ready_at
+        );
+    });
+}
 
-    #[test]
-    fn word_interleaved_owner_is_total_and_stable(addr in 0u64..1_000_000) {
+#[test]
+fn word_interleaved_owner_is_total_and_stable() {
+    cases(CASES, |case, rng| {
+        let addr = rng.range(0, 1_000_000);
         let cfg = MachineConfig::micro2003();
         let m = WordInterleavedMem::new(&cfg);
         let o1 = m.owner_of(addr);
         let o2 = m.owner_of(addr);
-        prop_assert_eq!(o1, o2);
-        prop_assert!(o1.index() < 4);
+        assert_eq!(o1, o2, "case {case}");
+        assert!(o1.index() < 4, "case {case}");
         // all bytes of one word share an owner
         let word_base = addr / 4 * 4;
         for b in 0..4 {
-            prop_assert_eq!(m.owner_of(word_base + b), o1);
+            assert_eq!(m.owner_of(word_base + b), o1, "case {case} byte {b}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn replies_are_monotone_in_request_time(
-        addr in 0u64..4096,
-        t1 in 0u64..1000,
-        dt in 1u64..1000,
-    ) {
+#[test]
+fn replies_are_monotone_in_request_time() {
+    cases(CASES, |case, rng| {
         // same request later can never be ready earlier
+        let addr = rng.range(0, 4096);
+        let t1 = rng.range(0, 1000);
+        let dt = rng.range(1, 1000);
         let cfg = MachineConfig::micro2003();
         let mut a = MultiVliwMem::new(&cfg);
         let mut b = MultiVliwMem::new(&cfg);
-        let r1 = a.access(&MemRequest::load(ClusterId::new(0), addr, 4, MemHints::no_access(), t1));
-        let r2 =
-            b.access(&MemRequest::load(ClusterId::new(0), addr, 4, MemHints::no_access(), t1 + dt));
-        prop_assert!(r2.ready_at >= r1.ready_at);
-        prop_assert_eq!(r2.ready_at - (t1 + dt), r1.ready_at - t1, "same latency");
-    }
+        let r1 = a.access(&MemRequest::load(
+            ClusterId::new(0),
+            addr,
+            4,
+            MemHints::no_access(),
+            t1,
+        ));
+        let r2 = b.access(&MemRequest::load(
+            ClusterId::new(0),
+            addr,
+            4,
+            MemHints::no_access(),
+            t1 + dt,
+        ));
+        assert!(r2.ready_at >= r1.ready_at, "case {case}");
+        assert_eq!(
+            r2.ready_at - (t1 + dt),
+            r1.ready_at - t1,
+            "case {case}: same latency"
+        );
+    });
 }

@@ -1,44 +1,74 @@
 //! Property-based tests for the flexible L0 buffer: capacity, LRU,
 //! containment and coherence invariants under arbitrary operation
-//! sequences.
+//! sequences. Inputs come from `vliw-testutil`'s deterministic generator
+//! (proptest is unavailable offline).
 
-use proptest::prelude::*;
 use vliw_machine::{L0Capacity, PrefetchHint};
 use vliw_mem::l0::{Entry, EntryMapping, L0Buffer, L0LookupResult};
+use vliw_testutil::{cases, Rng};
 
 const SB: u64 = 8;
 const BB: u64 = 32;
 const N: usize = 4;
+const CASES: u64 = 256;
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 enum Op {
-    InsertLinear { block: u64, sub: u8, cycle: u64 },
-    InsertInterleaved { block: u64, factor: u8, lane: u8, cycle: u64 },
-    Probe { addr: u64, size: u64, cycle: u64 },
-    Store { addr: u64, size: u64, cycle: u64 },
-    InvalidateAddr { addr: u64 },
+    InsertLinear {
+        block: u64,
+        sub: u8,
+        cycle: u64,
+    },
+    InsertInterleaved {
+        block: u64,
+        factor: u8,
+        lane: u8,
+        cycle: u64,
+    },
+    Probe {
+        addr: u64,
+        size: u64,
+        cycle: u64,
+    },
+    Store {
+        addr: u64,
+        size: u64,
+        cycle: u64,
+    },
+    InvalidateAddr {
+        addr: u64,
+    },
     InvalidateAll,
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    let block = (0u64..64).prop_map(|b| b * BB);
-    let factor = prop::sample::select(vec![1u8, 2, 4, 8]);
-    prop_oneof![
-        (block.clone(), 0u8..4, 0u64..10_000).prop_map(|(block, sub, cycle)| Op::InsertLinear {
-            block,
-            sub,
-            cycle
-        }),
-        (block.clone(), factor, 0u8..4, 0u64..10_000).prop_map(
-            |(block, factor, lane, cycle)| Op::InsertInterleaved { block, factor, lane, cycle }
-        ),
-        (0u64..2048, prop::sample::select(vec![1u64, 2, 4]), 0u64..10_000)
-            .prop_map(|(addr, size, cycle)| Op::Probe { addr, size, cycle }),
-        (0u64..2048, prop::sample::select(vec![1u64, 2, 4]), 0u64..10_000)
-            .prop_map(|(addr, size, cycle)| Op::Store { addr, size, cycle }),
-        (0u64..2048).prop_map(|addr| Op::InvalidateAddr { addr }),
-        Just(Op::InvalidateAll),
-    ]
+fn random_op(rng: &mut Rng) -> Op {
+    match rng.range(0, 6) {
+        0 => Op::InsertLinear {
+            block: rng.range(0, 64) * BB,
+            sub: rng.range(0, 4) as u8,
+            cycle: rng.range(0, 10_000),
+        },
+        1 => Op::InsertInterleaved {
+            block: rng.range(0, 64) * BB,
+            factor: rng.pick(&[1u8, 2, 4, 8]),
+            lane: rng.range(0, 4) as u8,
+            cycle: rng.range(0, 10_000),
+        },
+        2 => Op::Probe {
+            addr: rng.range(0, 2048),
+            size: rng.pick(&[1u64, 2, 4]),
+            cycle: rng.range(0, 10_000),
+        },
+        3 => Op::Store {
+            addr: rng.range(0, 2048),
+            size: rng.pick(&[1u64, 2, 4]),
+            cycle: rng.range(0, 10_000),
+        },
+        4 => Op::InvalidateAddr {
+            addr: rng.range(0, 2048),
+        },
+        _ => Op::InvalidateAll,
+    }
 }
 
 fn linear(block: u64, sub: u8, cycle: u64) -> Entry {
@@ -63,43 +93,48 @@ fn interleaved(block: u64, factor: u8, lane: u8, cycle: u64) -> Entry {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn bounded_capacity_is_never_exceeded(
-        cap in 1usize..16,
-        ops in prop::collection::vec(arb_op(), 1..120),
-    ) {
-        let mut b = L0Buffer::new(L0Capacity::Bounded(cap), SB, BB, N);
-        for op in ops {
-            match op {
-                Op::InsertLinear { block, sub, cycle } => b.insert(linear(block, sub, cycle)),
-                Op::InsertInterleaved { block, factor, lane, cycle } => {
-                    b.insert(interleaved(block, factor, lane, cycle))
-                }
-                Op::Probe { addr, size, cycle } => {
-                    let _ = b.probe(addr, size, cycle, PrefetchHint::None);
-                }
-                Op::Store { addr, size, cycle } => {
-                    let _ = b.store_update(addr, size, cycle);
-                }
-                Op::InvalidateAddr { addr } => {
-                    let _ = b.invalidate_addr(addr, 1);
-                }
-                Op::InvalidateAll => b.invalidate_all(),
-            }
-            prop_assert!(b.len() <= cap, "len {} > cap {cap}", b.len());
+fn apply(b: &mut L0Buffer, op: Op) {
+    match op {
+        Op::InsertLinear { block, sub, cycle } => b.insert(linear(block, sub, cycle)),
+        Op::InsertInterleaved {
+            block,
+            factor,
+            lane,
+            cycle,
+        } => b.insert(interleaved(block, factor, lane, cycle)),
+        Op::Probe { addr, size, cycle } => {
+            let _ = b.probe(addr, size, cycle, PrefetchHint::None);
         }
+        Op::Store { addr, size, cycle } => {
+            let _ = b.store_update(addr, size, cycle);
+        }
+        Op::InvalidateAddr { addr } => {
+            let _ = b.invalidate_addr(addr, 1);
+        }
+        Op::InvalidateAll => b.invalidate_all(),
     }
+}
 
-    #[test]
-    fn probe_hits_exactly_when_an_entry_contains_the_access(
-        block in (0u64..8).prop_map(|b| b * BB),
-        sub in 0u8..4,
-        off in 0u64..32,
-        size in prop::sample::select(vec![1u64, 2]),
-    ) {
+#[test]
+fn bounded_capacity_is_never_exceeded() {
+    cases(CASES, |case, rng| {
+        let cap = rng.range_usize(1, 16);
+        let n_ops = rng.range_usize(1, 120);
+        let mut b = L0Buffer::new(L0Capacity::Bounded(cap), SB, BB, N);
+        for _ in 0..n_ops {
+            apply(&mut b, random_op(rng));
+            assert!(b.len() <= cap, "case {case}: len {} > cap {cap}", b.len());
+        }
+    });
+}
+
+#[test]
+fn probe_hits_exactly_when_an_entry_contains_the_access() {
+    cases(CASES, |case, rng| {
+        let block = rng.range(0, 8) * BB;
+        let sub = rng.range(0, 4) as u8;
+        let off = rng.range(0, 32);
+        let size = rng.pick(&[1u64, 2]);
         let mut b = L0Buffer::new(L0Capacity::Bounded(8), SB, BB, N);
         b.insert(linear(block, sub, 0));
         let addr = block + off;
@@ -108,76 +143,85 @@ proptest! {
         let should_hit = off >= lo && off + size <= hi;
         let (result, _) = b.probe(addr, size, 1, PrefetchHint::None);
         match result {
-            L0LookupResult::Hit { .. } => prop_assert!(should_hit, "unexpected hit at {off}"),
-            L0LookupResult::Miss => prop_assert!(!should_hit, "unexpected miss at {off}"),
+            L0LookupResult::Hit { .. } => {
+                assert!(should_hit, "case {case}: unexpected hit at {off}")
+            }
+            L0LookupResult::Miss => assert!(!should_hit, "case {case}: unexpected miss at {off}"),
         }
-    }
+    });
+}
 
-    #[test]
-    fn interleaved_lanes_partition_the_block(
-        factor in prop::sample::select(vec![1u8, 2, 4, 8]),
-        off in 0u64..32,
-    ) {
+#[test]
+fn interleaved_lanes_partition_the_block() {
+    cases(CASES, |case, rng| {
         // every byte of a block belongs to exactly one lane's entry
+        let factor = rng.pick(&[1u8, 2, 4, 8]);
+        let off = rng.range(0, 32);
         let mut owners = 0;
         for lane in 0..N as u8 {
             let mut b = L0Buffer::new(L0Capacity::Bounded(8), SB, BB, N);
             b.insert(interleaved(0, factor, lane, 0));
-            if matches!(b.probe(off, 1, 1, PrefetchHint::None).0, L0LookupResult::Hit { .. }) {
+            if matches!(
+                b.probe(off, 1, 1, PrefetchHint::None).0,
+                L0LookupResult::Hit { .. }
+            ) {
                 owners += 1;
             }
         }
-        prop_assert_eq!(owners, 1, "byte {} owned by {} lanes (factor {})", off, owners, factor);
-    }
+        assert_eq!(
+            owners, 1,
+            "case {case}: byte {off} owned by {owners} lanes (factor {factor})"
+        );
+    });
+}
 
-    #[test]
-    fn store_update_never_leaves_duplicates(
-        ops in prop::collection::vec(arb_op(), 1..80),
-        addr in 0u64..256,
-    ) {
+#[test]
+fn store_update_never_leaves_duplicates() {
+    cases(CASES, |case, rng| {
+        let n_ops = rng.range_usize(1, 80);
+        let addr = rng.range(0, 256);
         let mut b = L0Buffer::new(L0Capacity::Bounded(8), SB, BB, N);
-        for op in ops {
-            if let Op::InsertLinear { block, sub, cycle } = op {
-                b.insert(linear(block, sub, cycle));
-            }
-            if let Op::InsertInterleaved { block, factor, lane, cycle } = op {
-                b.insert(interleaved(block, factor, lane, cycle));
+        for _ in 0..n_ops {
+            if let op @ (Op::InsertLinear { .. } | Op::InsertInterleaved { .. }) = random_op(rng) {
+                apply(&mut b, op);
             }
         }
         let (updated, _) = b.store_update(addr, 2, 99_999);
         if updated {
-            // after the update exactly one entry contains the address
-            let holders = b
-                .entries()
-                .iter()
-                .filter(|_| true)
-                .count()
-                .min(b.len());
-            let _ = holders;
+            // after the update the address stays resident...
             let (r, _) = b.probe(addr, 2, 100_000, PrefetchHint::None);
-            prop_assert!(matches!(r, L0LookupResult::Hit { .. }), "store target must stay resident");
-            // a second store updates the same single copy: nothing removed
+            assert!(
+                matches!(r, L0LookupResult::Hit { .. }),
+                "case {case}: store target must stay resident"
+            );
+            // ...and a second store updates the same single copy
             let before = b.len();
             let (u2, removed) = b.store_update(addr, 2, 100_001);
-            prop_assert!(u2);
-            prop_assert_eq!(removed, 0, "second store must find a single copy");
-            prop_assert_eq!(b.len(), before);
+            assert!(u2, "case {case}");
+            assert_eq!(
+                removed, 0,
+                "case {case}: second store must find a single copy"
+            );
+            assert_eq!(b.len(), before, "case {case}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn invalidate_all_always_empties(ops in prop::collection::vec(arb_op(), 0..60)) {
+#[test]
+fn invalidate_all_always_empties() {
+    cases(CASES, |case, rng| {
+        let n_ops = rng.range_usize(0, 60);
         let mut b = L0Buffer::new(L0Capacity::Bounded(8), SB, BB, N);
-        for op in ops {
-            if let Op::InsertLinear { block, sub, cycle } = op {
-                b.insert(linear(block, sub, cycle));
+        for _ in 0..n_ops {
+            if let op @ Op::InsertLinear { .. } = random_op(rng) {
+                apply(&mut b, op);
             }
         }
         b.invalidate_all();
-        prop_assert!(b.is_empty());
-        prop_assert!(matches!(
-            b.probe(0, 1, 0, PrefetchHint::None).0,
-            L0LookupResult::Miss
-        ));
-    }
+        assert!(b.is_empty(), "case {case}");
+        assert!(
+            matches!(b.probe(0, 1, 0, PrefetchHint::None).0, L0LookupResult::Miss),
+            "case {case}"
+        );
+    });
 }

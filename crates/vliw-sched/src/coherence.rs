@@ -113,14 +113,26 @@ mod tests {
             decide(CoherencePolicy::Auto, true, 8),
             CoherenceSolution::OneCluster(None)
         );
-        assert_eq!(decide(CoherencePolicy::Auto, false, 8), CoherenceSolution::Nl0);
-        assert_eq!(decide(CoherencePolicy::Auto, true, 0), CoherenceSolution::Nl0);
+        assert_eq!(
+            decide(CoherencePolicy::Auto, false, 8),
+            CoherenceSolution::Nl0
+        );
+        assert_eq!(
+            decide(CoherencePolicy::Auto, true, 0),
+            CoherenceSolution::Nl0
+        );
     }
 
     #[test]
     fn forced_policies_override() {
-        assert_eq!(decide(CoherencePolicy::ForcePsr, false, 0), CoherenceSolution::Psr);
-        assert_eq!(decide(CoherencePolicy::ForceNl0, true, 8), CoherenceSolution::Nl0);
+        assert_eq!(
+            decide(CoherencePolicy::ForcePsr, false, 0),
+            CoherenceSolution::Psr
+        );
+        assert_eq!(
+            decide(CoherencePolicy::ForceNl0, true, 8),
+            CoherenceSolution::Nl0
+        );
         assert_eq!(
             decide(CoherencePolicy::Force1c, false, 0),
             CoherenceSolution::OneCluster(None)

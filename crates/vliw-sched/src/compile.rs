@@ -98,7 +98,13 @@ fn schedule_best_unroll(
 /// over-constrained loops) or the machine configuration is invalid.
 pub fn compile_base(loop_: &LoopNest, cfg: &MachineConfig) -> Result<Schedule, ScheduleError> {
     let lowered = specialize(loop_);
-    schedule_best_unroll(&lowered, cfg, Mode::Base { load_latency: cfg.l1.latency })
+    schedule_best_unroll(
+        &lowered,
+        cfg,
+        Mode::Base {
+            load_latency: cfg.l1.latency,
+        },
+    )
 }
 
 /// Compiles for the paper's architecture (unified L1 + flexible L0
@@ -122,10 +128,19 @@ pub fn compile_for_l0_with(
     opts: L0Options,
 ) -> Result<Schedule, ScheduleError> {
     if cfg.l0.is_none() {
-        return Err(ScheduleError::BadConfig("compile_for_l0 needs an L0 configuration".into()));
+        return Err(ScheduleError::BadConfig(
+            "compile_for_l0 needs an L0 configuration".into(),
+        ));
     }
-    let lowered = if opts.specialize { specialize(loop_) } else { loop_.clone() };
-    let mode = Mode::L0 { mark: opts.mark, policy: opts.policy };
+    let lowered = if opts.specialize {
+        specialize(loop_)
+    } else {
+        loop_.clone()
+    };
+    let mode = Mode::L0 {
+        mark: opts.mark,
+        policy: opts.policy,
+    };
     let mut schedule = schedule_best_unroll(&lowered, cfg, mode)?;
     assign_hints(&mut schedule, cfg);
     insert_explicit_prefetches(&mut schedule, cfg);
@@ -139,13 +154,16 @@ pub fn compile_for_l0_with(
 /// # Errors
 ///
 /// See [`compile_base`].
-pub fn compile_multivliw(
-    loop_: &LoopNest,
-    cfg: &MachineConfig,
-) -> Result<Schedule, ScheduleError> {
+pub fn compile_multivliw(loop_: &LoopNest, cfg: &MachineConfig) -> Result<Schedule, ScheduleError> {
     let lowered = specialize(loop_);
     let local = vliw_machine::MultiVliwConfig::micro2003().local_latency;
-    schedule_best_unroll(&lowered, cfg, Mode::Base { load_latency: local })
+    schedule_best_unroll(
+        &lowered,
+        cfg,
+        Mode::Base {
+            load_latency: local,
+        },
+    )
 }
 
 /// Compiles for the word-interleaved distributed-cache baseline with the
@@ -198,14 +216,18 @@ fn insert_explicit_prefetches(schedule: &mut Schedule, cfg: &MachineConfig) {
     // Loads needing explicit prefetch. Column-style walks have poor L1
     // locality, so the lookahead covers a worst-case L1 miss (request +
     // L2 + fill), not just an L1 hit.
-    let lookahead = (cfg.l1.latency + cfg.l2_latency + l0_lat).div_ceil(ii).max(1);
+    let lookahead = (cfg.l1.latency + cfg.l2_latency + l0_lat)
+        .div_ceil(ii)
+        .max(1);
     let mut additions: Vec<PrefetchSlot> = Vec::new();
     for p in &schedule.placements {
         let op = schedule.loop_.op(p.op);
         if !op.is_load() || p.assumed_latency != l0_lat {
             continue;
         }
-        let Some(acc) = op.kind.mem_access() else { continue };
+        let Some(acc) = op.kind.mem_access() else {
+            continue;
+        };
         if stride::classify(acc, schedule.loop_.unroll_factor) != StrideClass::Other {
             continue;
         }
@@ -213,7 +235,12 @@ fn insert_explicit_prefetches(schedule: &mut Schedule, cfg: &MachineConfig) {
         let slot = (0..ii as i64).find(|&t| mrt.fu_free(p.cluster, FuKind::Mem, t));
         if let Some(t) = slot {
             mrt.reserve_fu(p.cluster, FuKind::Mem, t);
-            additions.push(PrefetchSlot { for_op: p.op, cluster: p.cluster, t, lookahead });
+            additions.push(PrefetchSlot {
+                for_op: p.op,
+                cluster: p.cluster,
+                t,
+                lookahead,
+            });
         }
         // per the paper: if no slot is free, the load keeps the L0 latency
         // and the processor eats the stalls
@@ -235,7 +262,10 @@ mod tests {
     fn elementwise_prefers_unrolling() {
         // two mem ops over four mem units: unrolling amortizes control
         // overhead and fills the clusters
-        let l = LoopBuilder::new("ew").trip_count(1024).elementwise(2).build();
+        let l = LoopBuilder::new("ew")
+            .trip_count(1024)
+            .elementwise(2)
+            .build();
         let s = compile_for_l0(&l, &cfg()).unwrap();
         assert_eq!(s.loop_.unroll_factor, 4, "unrolled by N");
     }
@@ -244,7 +274,10 @@ mod tests {
     fn recurrence_loop_stays_flat() {
         // the carried store->load chain serializes: unrolling multiplies
         // the II by U, so the flat version is never worse
-        let l = LoopBuilder::new("slp").trip_count(1024).store_load_pair(4).build();
+        let l = LoopBuilder::new("slp")
+            .trip_count(1024)
+            .store_load_pair(4)
+            .build();
         let s = compile_for_l0(&l, &cfg()).unwrap();
         assert_eq!(s.loop_.unroll_factor, 1);
     }
@@ -307,7 +340,10 @@ mod tests {
         let without_spec = compile_for_l0_with(
             &l,
             &cfg(),
-            L0Options { specialize: false, ..Default::default() },
+            L0Options {
+                specialize: false,
+                ..Default::default()
+            },
         )
         .unwrap();
         // specialization must not hurt; typically it enables more L0 loads
@@ -333,7 +369,10 @@ mod tests {
         let all = compile_for_l0_with(
             &l,
             &tiny,
-            L0Options { mark: MarkPolicy::AllCandidates, ..Default::default() },
+            L0Options {
+                mark: MarkPolicy::AllCandidates,
+                ..Default::default()
+            },
         )
         .unwrap();
         let count = |s: &Schedule| {
@@ -348,7 +387,10 @@ mod tests {
 
     #[test]
     fn interleaved_heuristics_both_schedule() {
-        let l = LoopBuilder::new("ew").trip_count(256).elementwise(4).build();
+        let l = LoopBuilder::new("ew")
+            .trip_count(256)
+            .elementwise(4)
+            .build();
         let c = cfg().without_l0();
         let h1 = compile_interleaved(&l, &c, InterleavedHeuristic::One).unwrap();
         let h2 = compile_interleaved(&l, &c, InterleavedHeuristic::Two).unwrap();
@@ -358,7 +400,10 @@ mod tests {
 
     #[test]
     fn multivliw_uses_local_latency() {
-        let l = LoopBuilder::new("ew").trip_count(256).elementwise(4).build();
+        let l = LoopBuilder::new("ew")
+            .trip_count(256)
+            .elementwise(4)
+            .build();
         let s = compile_multivliw(&l, &cfg().without_l0()).unwrap();
         let load = s.loop_.ops.iter().find(|o| o.is_load()).unwrap();
         assert_eq!(s.placement(load.id).assumed_latency, 2);

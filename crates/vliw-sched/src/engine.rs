@@ -23,9 +23,7 @@ use crate::mrt::ModuloReservationTable;
 use crate::schedule::{CopySlot, Placement, ReplicaSlot, Schedule};
 use crate::sms::sms_order;
 use std::collections::HashMap;
-use vliw_ir::{
-    stride, DataDepGraph, DepKind, LoopNest, MemDepSets, OpId,
-};
+use vliw_ir::{stride, DataDepGraph, DepKind, LoopNest, MemDepSets, OpId};
 use vliw_machine::{ClusterId, MachineConfig, MemHints};
 
 /// Scheduling failure.
@@ -147,7 +145,12 @@ impl<'a> Attempt<'a> {
                         self.l1_lat()
                     }
                 }
-                Mode::WordInterleaved { owner_aware, local_latency, remote_latency, .. } => {
+                Mode::WordInterleaved {
+                    owner_aware,
+                    local_latency,
+                    remote_latency,
+                    ..
+                } => {
                     if owner_aware {
                         local_latency
                     } else {
@@ -166,7 +169,9 @@ impl<'a> Attempt<'a> {
     /// anomaly we preserve); "other" strides touch a new subblock every
     /// iteration and keep `lookahead` explicit prefetches in flight.
     fn entry_cost(&self, op: OpId) -> i64 {
-        let Some(acc) = self.loop_.op(op).kind.mem_access() else { return 1 };
+        let Some(acc) = self.loop_.op(op).kind.mem_access() else {
+            return 1;
+        };
         match stride::classify(acc, self.loop_.unroll_factor) {
             stride::StrideClass::Other => {
                 // current subblock + one being filled + `lookahead`
@@ -211,7 +216,12 @@ impl<'a> Attempt<'a> {
                         self.l1_lat()
                     }
                 }
-                Mode::WordInterleaved { owner_aware, local_latency, remote_latency, word_bytes } => {
+                Mode::WordInterleaved {
+                    owner_aware,
+                    local_latency,
+                    remote_latency,
+                    word_bytes,
+                } => {
                     if owner_aware {
                         match preferred_owner(self.loop_, op, word_bytes, self.cfg.clusters) {
                             Some(home) if home == cluster => local_latency,
@@ -271,7 +281,9 @@ impl<'a> Attempt<'a> {
             if e.src == op {
                 continue; // self recurrence: holds whenever lat <= ii*dist
             }
-            let Some(src) = self.placed[e.src.index()] else { continue };
+            let Some(src) = self.placed[e.src.index()] else {
+                continue;
+            };
             preds_scheduled = true;
             let elat = self.edge_latency(e) as i64;
             let mut avail = src.t + elat - ii * e.distance as i64;
@@ -300,7 +312,9 @@ impl<'a> Attempt<'a> {
             if e.dst == op {
                 continue;
             }
-            let Some(dst) = self.placed[e.dst.index()] else { continue };
+            let Some(dst) = self.placed[e.dst.index()] else {
+                continue;
+            };
             succs_scheduled = true;
             let elat = if e.kind.is_mem() { 1 } else { lat as i64 };
             let needs_copy = dst.cluster != cluster && !e.kind.is_mem();
@@ -357,7 +371,11 @@ impl<'a> Attempt<'a> {
             if self.mrt.bus_free(copy_t) {
                 self.mrt.reserve_bus(copy_t);
                 reserved_buses.push(copy_t);
-                self.copies.push(CopySlot { from_op: src, to_cluster: cluster, t: copy_t });
+                self.copies.push(CopySlot {
+                    from_op: src,
+                    to_cluster: cluster,
+                    t: copy_t,
+                });
                 self.copy_index.insert((src, cluster), copy_t);
             } else {
                 ok = false;
@@ -375,7 +393,11 @@ impl<'a> Attempt<'a> {
                     Some(copy_t) => {
                         self.mrt.reserve_bus(copy_t);
                         reserved_buses.push(copy_t);
-                        self.copies.push(CopySlot { from_op: op, to_cluster: dst_cluster, t: copy_t });
+                        self.copies.push(CopySlot {
+                            from_op: op,
+                            to_cluster: dst_cluster,
+                            t: copy_t,
+                        });
                         self.copy_index.insert((op, dst_cluster), copy_t);
                         new_copies += 1;
                     }
@@ -399,7 +421,11 @@ impl<'a> Attempt<'a> {
                             let rt = t + dt;
                             if self.mrt.fu_free(c, vliw_machine::FuKind::Mem, rt) {
                                 self.mrt.reserve_fu(c, vliw_machine::FuKind::Mem, rt);
-                                replica_drafts.push(ReplicaSlot { for_op: op, cluster: c, t: rt });
+                                replica_drafts.push(ReplicaSlot {
+                                    for_op: op,
+                                    cluster: c,
+                                    t: rt,
+                                });
                                 continue 'clusters;
                             }
                         }
@@ -424,11 +450,13 @@ impl<'a> Attempt<'a> {
             }
             for &(src, _) in &pred_copies {
                 if let Some(ct) = self.copy_index.remove(&(src, cluster)) {
-                    self.copies.retain(|c| !(c.from_op == src && c.to_cluster == cluster && c.t == ct));
+                    self.copies
+                        .retain(|c| !(c.from_op == src && c.to_cluster == cluster && c.t == ct));
                 }
             }
             for r in replica_drafts {
-                self.mrt.release_fu(r.cluster, vliw_machine::FuKind::Mem, r.t);
+                self.mrt
+                    .release_fu(r.cluster, vliw_machine::FuKind::Mem, r.t);
             }
             return false;
         }
@@ -455,9 +483,7 @@ impl<'a> Attempt<'a> {
                             // with the L1 latency
                             let mut order = vec![pinned];
                             if o.is_load() {
-                                order.extend(
-                                    ClusterId::all(n).filter(|&c| c != pinned),
-                                );
+                                order.extend(ClusterId::all(n).filter(|&c| c != pinned));
                             }
                             return order;
                         }
@@ -504,15 +530,24 @@ impl<'a> Attempt<'a> {
                 0
             };
             let owner = match self.mode {
-                Mode::WordInterleaved { owner_aware: true, word_bytes, .. } if is_mem => {
-                    match preferred_owner(self.loop_, op, word_bytes, n) {
-                        Some(home) if home == c => 0,
-                        _ => 1,
-                    }
-                }
+                Mode::WordInterleaved {
+                    owner_aware: true,
+                    word_bytes,
+                    ..
+                } if is_mem => match preferred_owner(self.loop_, op, word_bytes, n) {
+                    Some(home) if home == c => 0,
+                    _ => 1,
+                },
                 _ => 0,
             };
-            (rec, l0_avail, owner, usize::MAX - neighbors(c), self.mrt.used_in_cluster(c), c.index())
+            (
+                rec,
+                l0_avail,
+                owner,
+                usize::MAX - neighbors(c),
+                self.mrt.used_in_cluster(c),
+                c.index(),
+            )
         });
         order
     }
@@ -521,7 +556,9 @@ impl<'a> Attempt<'a> {
     /// unrolled siblings and pin the coherence cluster for its set.
     fn mark_related(&mut self, op: OpId) {
         let o = self.loop_.op(op);
-        let Some(draft) = self.placed[op.index()] else { return };
+        let Some(draft) = self.placed[op.index()] else {
+            return;
+        };
         if !o.kind.is_mem() {
             return;
         }
@@ -543,7 +580,9 @@ impl<'a> Attempt<'a> {
                     if other.id == op || !other.kind.is_mem() {
                         continue;
                     }
-                    let Some(oacc) = other.kind.mem_access() else { continue };
+                    let Some(oacc) = other.kind.mem_access() else {
+                        continue;
+                    };
                     if oacc.array != acc.array
                         || oacc.stride != acc.stride
                         || oacc.elem_bytes != acc.elem_bytes
@@ -559,8 +598,7 @@ impl<'a> Attempt<'a> {
                     if delta_bytes % acc.elem_bytes as i64 != 0 {
                         continue;
                     }
-                    let delta =
-                        (delta_bytes / acc.elem_bytes as i64).rem_euclid(n as i64) as usize;
+                    let delta = (delta_bytes / acc.elem_bytes as i64).rem_euclid(n as i64) as usize;
                     self.recommended[other.id.index()] = Some(draft.cluster.offset(delta, n));
                 }
             }
@@ -593,7 +631,10 @@ impl<'a> Attempt<'a> {
             .filter(|o| {
                 o.is_load()
                     && self.placed[o.id.index()].is_none()
-                    && o.kind.mem_access().map(stride::is_candidate).unwrap_or(false)
+                    && o.kind
+                        .mem_access()
+                        .map(stride::is_candidate)
+                        .unwrap_or(false)
             })
             .map(|o| o.id)
             .collect();
@@ -668,7 +709,9 @@ impl<'a> Attempt<'a> {
             }
             bump(d.cluster, d.t, last_use);
         }
-        live.into_iter().map(|slots| slots.into_iter().max().unwrap_or(0)).collect()
+        live.into_iter()
+            .map(|slots| slots.into_iter().max().unwrap_or(0))
+            .collect()
     }
 }
 
@@ -688,7 +731,9 @@ pub(crate) fn preferred_owner(
             if stride_bytes % rotation == 0 {
                 let arr = loop_.array(acc.array);
                 let addr = (arr.base_addr as i64 + acc.offset_bytes).max(0) as u64;
-                Some(ClusterId::new(((addr / word_bytes) % clusters as u64) as usize))
+                Some(ClusterId::new(
+                    ((addr / word_bytes) % clusters as u64) as usize,
+                ))
             } else {
                 None
             }
@@ -698,11 +743,7 @@ pub(crate) fn preferred_owner(
 }
 
 /// Runs the engine: II search loop over `try_schedule` (§4.3 step 3).
-pub fn run(
-    loop_: &LoopNest,
-    cfg: &MachineConfig,
-    mode: Mode,
-) -> Result<Schedule, ScheduleError> {
+pub fn run(loop_: &LoopNest, cfg: &MachineConfig, mode: Mode) -> Result<Schedule, ScheduleError> {
     cfg.validate().map_err(ScheduleError::BadConfig)?;
     let ddg = DataDepGraph::build(loop_);
     let sets = MemDepSets::build(loop_);
@@ -736,7 +777,9 @@ pub fn run(
         }
         ii += 1;
     }
-    Err(ScheduleError::NoFeasibleIi { max_ii_tried: MAX_II })
+    Err(ScheduleError::NoFeasibleIi {
+        max_ii_tried: MAX_II,
+    })
 }
 
 /// One II attempt (the `try_schedule` function of Figure 4).
@@ -778,8 +821,9 @@ fn try_schedule(
 
     // slack under this II with optimistic latencies (precomputed so the
     // closure does not hold a borrow of the attempt state)
-    let opt_lats: Vec<u32> =
-        (0..loop_.ops.len()).map(|i| a.optimistic_latency(OpId(i as u32))).collect();
+    let opt_lats: Vec<u32> = (0..loop_.ops.len())
+        .map(|i| a.optimistic_latency(OpId(i as u32)))
+        .collect();
     let opt = |op: OpId| opt_lats[op.index()];
     let timing = ddg.asap_alap(ii, opt)?;
     for i in 0..loop_.ops.len() {
@@ -962,7 +1006,10 @@ mod tests {
         let s = run(
             &l,
             &c,
-            Mode::L0 { mark: MarkPolicy::Selective, policy: CoherencePolicy::Auto },
+            Mode::L0 {
+                mark: MarkPolicy::Selective,
+                policy: CoherencePolicy::Auto,
+            },
         )
         .unwrap();
         let load = l.ops.iter().find(|o| o.is_load()).unwrap();
@@ -981,10 +1028,13 @@ mod tests {
     #[test]
     fn cross_cluster_values_get_copies() {
         // enough int ops that one cluster cannot hold everything
-        let l = LoopBuilder::new("wide").trip_count(64).fir(6, 4).int_overhead(8).build();
+        let l = LoopBuilder::new("wide")
+            .trip_count(64)
+            .fir(6, 4)
+            .int_overhead(8)
+            .build();
         let s = run(&l, &cfg().without_l0(), Mode::Base { load_latency: 6 }).unwrap();
-        let used: std::collections::HashSet<_> =
-            s.placements.iter().map(|p| p.cluster).collect();
+        let used: std::collections::HashSet<_> = s.placements.iter().map(|p| p.cluster).collect();
         assert!(used.len() > 1, "workload must spread across clusters");
         s.validate(&cfg()).unwrap();
     }
@@ -996,32 +1046,40 @@ mod tests {
         let s = run(
             &l,
             &c,
-            Mode::L0 { mark: MarkPolicy::Selective, policy: CoherencePolicy::Auto },
+            Mode::L0 {
+                mark: MarkPolicy::Selective,
+                policy: CoherencePolicy::Auto,
+            },
         )
         .unwrap();
         let load = l.ops.iter().find(|o| o.is_load()).unwrap();
         let p = s.placement(load.id);
         let d = p.use_distance.expect("load feeds the add");
-        assert!(d >= p.assumed_latency, "consumer scheduled after assumed latency");
+        assert!(
+            d >= p.assumed_latency,
+            "consumer scheduled after assumed latency"
+        );
     }
 
     #[test]
     fn mixed_set_gets_one_cluster_solution() {
-        let l = LoopBuilder::new("slp").trip_count(64).store_load_pair(4).build();
+        let l = LoopBuilder::new("slp")
+            .trip_count(64)
+            .store_load_pair(4)
+            .build();
         let c = cfg();
         let s = run(
             &l,
             &c,
-            Mode::L0 { mark: MarkPolicy::Selective, policy: CoherencePolicy::Auto },
+            Mode::L0 {
+                mark: MarkPolicy::Selective,
+                policy: CoherencePolicy::Auto,
+            },
         )
         .unwrap();
         // the store and any L0-latency loads of the aliasing set share a
         // cluster
-        let store_p = s
-            .placements
-            .iter()
-            .find(|p| l.op(p.op).is_store())
-            .unwrap();
+        let store_p = s.placements.iter().find(|p| l.op(p.op).is_store()).unwrap();
         for p in &s.placements {
             if l.op(p.op).is_load() && p.assumed_latency == 1 {
                 assert_eq!(
@@ -1034,18 +1092,23 @@ mod tests {
 
     #[test]
     fn force_psr_creates_replicas() {
-        let l = LoopBuilder::new("slp").trip_count(64).store_load_pair(4).build();
+        let l = LoopBuilder::new("slp")
+            .trip_count(64)
+            .store_load_pair(4)
+            .build();
         let c = cfg();
         let s = run(
             &l,
             &c,
-            Mode::L0 { mark: MarkPolicy::Selective, policy: CoherencePolicy::ForcePsr },
+            Mode::L0 {
+                mark: MarkPolicy::Selective,
+                policy: CoherencePolicy::ForcePsr,
+            },
         )
         .unwrap();
         // one store in the mixed set -> 3 replicas (4 clusters)
         assert_eq!(s.replicas.len(), 3);
-        let stores: std::collections::HashSet<_> =
-            s.replicas.iter().map(|r| r.cluster).collect();
+        let stores: std::collections::HashSet<_> = s.replicas.iter().map(|r| r.cluster).collect();
         assert_eq!(stores.len(), 3, "replicas in distinct clusters");
         s.validate(&cfg()).unwrap();
     }
@@ -1085,13 +1148,19 @@ mod tests {
 
     #[test]
     fn unrolled_good_strides_spread_over_clusters() {
-        let l = LoopBuilder::new("ew").trip_count(256).elementwise(2).build();
+        let l = LoopBuilder::new("ew")
+            .trip_count(256)
+            .elementwise(2)
+            .build();
         let u = vliw_ir::unroll(&l, 4);
         let c = cfg();
         let s = run(
             &u,
             &c,
-            Mode::L0 { mark: MarkPolicy::Selective, policy: CoherencePolicy::Auto },
+            Mode::L0 {
+                mark: MarkPolicy::Selective,
+                policy: CoherencePolicy::Auto,
+            },
         )
         .unwrap();
         // the four copies of the load should land in four distinct clusters
@@ -1106,7 +1175,10 @@ mod tests {
 
     #[test]
     fn recurrence_bound_respected() {
-        let l = LoopBuilder::new("slp").trip_count(64).store_load_pair(4).build();
+        let l = LoopBuilder::new("slp")
+            .trip_count(64)
+            .store_load_pair(4)
+            .build();
         let s = run(&l, &cfg().without_l0(), Mode::Base { load_latency: 6 }).unwrap();
         // carried chain: ld(6) -> alu(1) -> st , st -> ld dist 1 (mem,1)
         assert!(s.ii() >= 8, "II {} must cover the recurrence", s.ii());

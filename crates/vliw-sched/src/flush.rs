@@ -29,7 +29,8 @@ fn array_ranges(loop_: &LoopNest, pred: impl Fn(&vliw_ir::Op) -> bool) -> Vec<(u
 }
 
 fn overlaps(a: &[(u64, u64)], b: &[(u64, u64)]) -> bool {
-    a.iter().any(|&(alo, ahi)| b.iter().any(|&(blo, bhi)| alo < bhi && blo < ahi))
+    a.iter()
+        .any(|&(alo, ahi)| b.iter().any(|&(blo, bhi)| alo < bhi && blo < ahi))
 }
 
 /// `true` when `first` may leave data in L0 buffers that `second` could
@@ -133,8 +134,10 @@ mod tests {
         for arr in &mut b.arrays {
             arr.base_addr += 1 << 30;
         }
-        let mut region =
-            vec![compile_for_l0(&a, &cfg).unwrap(), compile_for_l0(&b, &cfg).unwrap()];
+        let mut region = vec![
+            compile_for_l0(&a, &cfg).unwrap(),
+            compile_for_l0(&b, &cfg).unwrap(),
+        ];
         assert!(region.iter().all(|s| s.flush_on_exit));
         let removed = apply_selective_flushing(&mut region);
         assert_eq!(removed, 2, "disjoint loops drop both flushes");
@@ -143,7 +146,10 @@ mod tests {
     #[test]
     fn self_aliasing_loop_keeps_its_flush() {
         let cfg = MachineConfig::micro2003();
-        let l = LoopBuilder::new("slp").trip_count(64).store_load_pair(4).build();
+        let l = LoopBuilder::new("slp")
+            .trip_count(64)
+            .store_load_pair(4)
+            .build();
         let mut region = vec![compile_for_l0(&l, &cfg).unwrap()];
         let removed = apply_selective_flushing(&mut region);
         assert_eq!(removed, 0);

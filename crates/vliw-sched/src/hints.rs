@@ -27,11 +27,13 @@ fn mem_slot_occupancy(schedule: &Schedule) -> HashMap<(usize, i64), usize> {
     let mut occ = HashMap::new();
     for p in &schedule.placements {
         if schedule.loop_.op(p.op).kind.is_mem() {
-            *occ.entry((p.cluster.index(), p.t.rem_euclid(ii))).or_insert(0) += 1;
+            *occ.entry((p.cluster.index(), p.t.rem_euclid(ii)))
+                .or_insert(0) += 1;
         }
     }
     for r in &schedule.replicas {
-        *occ.entry((r.cluster.index(), r.t.rem_euclid(ii))).or_insert(0) += 1;
+        *occ.entry((r.cluster.index(), r.t.rem_euclid(ii)))
+            .or_insert(0) += 1;
     }
     occ
 }
@@ -78,8 +80,10 @@ pub fn assign_hints(schedule: &mut Schedule, cfg: &MachineConfig) {
             if !good {
                 continue;
             }
-            let clusters: HashSet<_> =
-                members.iter().map(|&m| schedule.placement(m).cluster).collect();
+            let clusters: HashSet<_> = members
+                .iter()
+                .map(|&m| schedule.placement(m).cluster)
+                .collect();
             if clusters.len() >= 2 {
                 interleaved_groups.insert(*origin);
             }
@@ -117,7 +121,10 @@ pub fn assign_hints(schedule: &mut Schedule, cfg: &MachineConfig) {
         let o = schedule.loop_.op(p.op);
         if o.is_load() && p.assumed_latency == l0_lat && o.kind.is_mem() {
             if let Some(si) = sets.set_of(p.op) {
-                set_l0_clusters.entry(si).or_default().insert(p.cluster.index());
+                set_l0_clusters
+                    .entry(si)
+                    .or_default()
+                    .insert(p.cluster.index());
             }
         }
     }
@@ -136,8 +143,16 @@ pub fn assign_hints(schedule: &mut Schedule, cfg: &MachineConfig) {
                 // SEQ if the next cycle's memory slot in this cluster is
                 // free (nobody competes for the cluster <-> L1 bus).
                 let next_slot = (p.t + 1).rem_euclid(ii);
-                let busy = occ.get(&(p.cluster.index(), next_slot)).copied().unwrap_or(0) > 0;
-                let access = if busy { AccessHint::ParAccess } else { AccessHint::SeqAccess };
+                let busy = occ
+                    .get(&(p.cluster.index(), next_slot))
+                    .copied()
+                    .unwrap_or(0)
+                    > 0;
+                let access = if busy {
+                    AccessHint::ParAccess
+                } else {
+                    AccessHint::SeqAccess
+                };
                 let (origin, _) = o.provenance();
                 let mapping = if interleaved_groups.contains(&origin) {
                     MappingHint::Interleaved
@@ -162,7 +177,11 @@ pub fn assign_hints(schedule: &mut Schedule, cfg: &MachineConfig) {
                     }
                     _ => PrefetchHint::None,
                 };
-                MemHints { access, mapping, prefetch }
+                MemHints {
+                    access,
+                    mapping,
+                    prefetch,
+                }
             }
         } else {
             // store: PAR when its set has an L0-latency load in this
@@ -191,7 +210,10 @@ mod tests {
     use vliw_machine::MachineConfig;
 
     fn l0_mode() -> Mode {
-        Mode::L0 { mark: MarkPolicy::Selective, policy: CoherencePolicy::Auto }
+        Mode::L0 {
+            mark: MarkPolicy::Selective,
+            policy: CoherencePolicy::Auto,
+        }
     }
 
     #[test]
@@ -209,7 +231,10 @@ mod tests {
 
     #[test]
     fn non_candidate_loads_bypass_l0() {
-        let l = LoopBuilder::new("irr").trip_count(64).irregular(4, 1 << 16).build();
+        let l = LoopBuilder::new("irr")
+            .trip_count(64)
+            .irregular(4, 1 << 16)
+            .build();
         let cfg = MachineConfig::micro2003();
         let mut s = run(&l, &cfg, l0_mode()).unwrap();
         assign_hints(&mut s, &cfg);
@@ -223,7 +248,10 @@ mod tests {
 
     #[test]
     fn unrolled_good_strides_get_interleaved_mapping() {
-        let l = LoopBuilder::new("ew").trip_count(256).elementwise(2).build();
+        let l = LoopBuilder::new("ew")
+            .trip_count(256)
+            .elementwise(2)
+            .build();
         let u = vliw_ir::unroll(&l, 4);
         let cfg = MachineConfig::micro2003();
         let mut s = run(&u, &cfg, l0_mode()).unwrap();
@@ -245,14 +273,18 @@ mod tests {
 
     #[test]
     fn store_in_mixed_set_updates_local_copy() {
-        let l = LoopBuilder::new("slp").trip_count(64).store_load_pair(4).build();
+        let l = LoopBuilder::new("slp")
+            .trip_count(64)
+            .store_load_pair(4)
+            .build();
         let cfg = MachineConfig::micro2003();
         let mut s = run(&l, &cfg, l0_mode()).unwrap();
         assign_hints(&mut s, &cfg);
         let store = l.ops.iter().find(|o| o.is_store()).unwrap();
-        let any_l0_load = s.placements.iter().any(|p| {
-            l.op(p.op).is_load() && p.assumed_latency == 1
-        });
+        let any_l0_load = s
+            .placements
+            .iter()
+            .any(|p| l.op(p.op).is_load() && p.assumed_latency == 1);
         if any_l0_load {
             assert_eq!(
                 s.placement(store.id).hints.access,

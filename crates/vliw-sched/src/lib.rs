@@ -41,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arch;
 pub mod coherence;
 pub mod compile;
 pub mod engine;
@@ -52,6 +53,7 @@ pub mod render;
 pub mod schedule;
 pub mod sms;
 
+pub use arch::Arch;
 pub use coherence::{CoherencePolicy, CoherenceSolution};
 pub use compile::{
     compile_base, compile_for_l0, compile_for_l0_with, compile_interleaved, compile_multivliw,

@@ -29,7 +29,13 @@ pub fn res_mii(loop_: &LoopNest, cfg: &MachineConfig) -> u32 {
     counts
         .iter()
         .zip(caps.iter())
-        .map(|(&n, &cap)| if cap == 0 { u32::MAX } else { n.div_ceil(cap) as u32 })
+        .map(|(&n, &cap)| {
+            if cap == 0 {
+                u32::MAX
+            } else {
+                n.div_ceil(cap) as u32
+            }
+        })
         .max()
         .unwrap_or(1)
         .max(1)
@@ -82,12 +88,18 @@ mod tests {
                 l.op(op).default_latency()
             }
         });
-        assert!(m >= 6, "carried load->alu->store chain bounds the II, got {m}");
+        assert!(
+            m >= 6,
+            "carried load->alu->store chain bounds the II, got {m}"
+        );
     }
 
     #[test]
     fn mii_never_zero() {
-        let l = LoopBuilder::new("empty-ish").without_loop_control().int_overhead(1).build();
+        let l = LoopBuilder::new("empty-ish")
+            .without_loop_control()
+            .int_overhead(1)
+            .build();
         let cfg = MachineConfig::micro2003();
         let ddg = DataDepGraph::build(&l);
         assert!(mii(&l, &ddg, &cfg, |_| 1) >= 1);

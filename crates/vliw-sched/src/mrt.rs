@@ -107,7 +107,10 @@ impl ModuloReservationTable {
     /// Used memory-unit slots in `cluster` across all II slots (for
     /// workload-balance heuristics).
     pub fn used_in_cluster(&self, cluster: ClusterId) -> usize {
-        self.fu.iter().map(|slots| slots[cluster.index()].iter().sum::<usize>()).sum()
+        self.fu
+            .iter()
+            .map(|slots| slots[cluster.index()].iter().sum::<usize>())
+            .sum()
     }
 
     /// `true` if a *memory* unit is in use in `cluster` at flat time `t`

@@ -117,7 +117,10 @@ mod tests {
 
     #[test]
     fn renders_every_op_once() {
-        let l = LoopBuilder::new("render-me").trip_count(64).fir(3, 2).build();
+        let l = LoopBuilder::new("render-me")
+            .trip_count(64)
+            .fir(3, 2)
+            .build();
         let cfg = MachineConfig::micro2003();
         let s = compile_for_l0(&l, &cfg).unwrap();
         let text = render_kernel(&s);
@@ -133,22 +136,38 @@ mod tests {
 
     #[test]
     fn row_count_matches_ii() {
-        let l = LoopBuilder::new("rows").trip_count(64).elementwise(2).build();
+        let l = LoopBuilder::new("rows")
+            .trip_count(64)
+            .elementwise(2)
+            .build();
         let cfg = MachineConfig::micro2003();
         let s = compile_for_l0(&l, &cfg).unwrap();
         let text = render_kernel(&s);
-        let data_rows = text.lines().filter(|l| l.trim_start().chars().next().is_some_and(|c| c.is_ascii_digit())).count();
+        let data_rows = text
+            .lines()
+            .filter(|l| {
+                l.trim_start()
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_ascii_digit())
+            })
+            .count();
         assert_eq!(data_rows, s.ii() as usize);
     }
 
     #[test]
     fn hints_appear_for_memory_ops() {
-        let l = LoopBuilder::new("hints").trip_count(64).elementwise(2).build();
+        let l = LoopBuilder::new("hints")
+            .trip_count(64)
+            .elementwise(2)
+            .build();
         let cfg = MachineConfig::micro2003();
         let s = compile_for_l0(&l, &cfg).unwrap();
         let text = render_kernel(&s);
         assert!(
-            text.contains("SEQ_ACCESS") || text.contains("PAR_ACCESS") || text.contains("NO_ACCESS"),
+            text.contains("SEQ_ACCESS")
+                || text.contains("PAR_ACCESS")
+                || text.contains("NO_ACCESS"),
             "{text}"
         );
     }

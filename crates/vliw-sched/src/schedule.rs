@@ -88,7 +88,12 @@ pub struct Schedule {
 
 impl Schedule {
     /// Creates a schedule; computes the stage count from placements.
-    pub fn new(loop_: LoopNest, ii: u32, placements: Vec<Placement>, copies: Vec<CopySlot>) -> Self {
+    pub fn new(
+        loop_: LoopNest,
+        ii: u32,
+        placements: Vec<Placement>,
+        copies: Vec<CopySlot>,
+    ) -> Self {
         let horizon = placements
             .iter()
             .map(|p| p.t + p.assumed_latency as i64)
@@ -140,9 +145,7 @@ impl Schedule {
     pub fn l0_scheduled_loads(&self) -> usize {
         self.placements
             .iter()
-            .filter(|p| {
-                self.loop_.op(p.op).is_load() && p.hints.access.uses_l0()
-            })
+            .filter(|p| self.loop_.op(p.op).is_load() && p.hints.access.uses_l0())
             .count()
     }
 
@@ -228,14 +231,17 @@ mod tests {
         let (s, _) = sample();
         let min_t = s.placements.iter().map(|p| p.t).min().unwrap();
         assert!(min_t >= 0, "flat times must be normalized, got {min_t}");
-        assert!(s.placements.iter().any(|p| p.t < s.ii() as i64), "stage 0 non-empty");
+        assert!(
+            s.placements.iter().any(|p| p.t < s.ii() as i64),
+            "stage 0 non-empty"
+        );
     }
 
     #[test]
     fn compute_cycles_match_modulo_arithmetic() {
         let (s, _) = sample();
-        let expect = (s.loop_.trip_count - 1) * s.ii() as u64
-            + s.stage_count() as u64 * s.ii() as u64;
+        let expect =
+            (s.loop_.trip_count - 1) * s.ii() as u64 + s.stage_count() as u64 * s.ii() as u64;
         assert_eq!(s.compute_cycles_per_visit(), expect);
     }
 

@@ -27,9 +27,7 @@ pub fn sms_order(ddg: &DataDepGraph, ii: u32, lat: impl Fn(OpId) -> u32) -> Vec<
     // Slack under the candidate II; if the II is infeasible (shouldn't
     // happen, caller derives it from MII), treat everything as critical.
     let timing = ddg.asap_alap(ii, &lat);
-    let slack = |op: OpId| -> i64 {
-        timing.as_ref().map(|t| t.slack(op)).unwrap_or(0)
-    };
+    let slack = |op: OpId| -> i64 { timing.as_ref().map(|t| t.slack(op)).unwrap_or(0) };
 
     let mut ordered: Vec<OpId> = Vec::with_capacity(n);
     let mut placed = vec![false; n];
@@ -121,7 +119,10 @@ mod tests {
     #[test]
     fn neighbours_are_adjacent_in_order() {
         // in a pure chain, SMS must order the chain contiguously
-        let l = LoopBuilder::new("ew").without_loop_control().elementwise(2).build();
+        let l = LoopBuilder::new("ew")
+            .without_loop_control()
+            .elementwise(2)
+            .build();
         let g = DataDepGraph::build(&l);
         let order = sms_order(&g, 1, |op| l.op(op).default_latency());
         // each ordered node (after the first of its component) has a DDG
@@ -138,7 +139,10 @@ mod tests {
                 g.succ_edges(op).next().is_some() || g.pred_edges(op).next().is_some();
             if has_any_edge {
                 let component_started = prev.iter().any(|&p| {
-                    g.succ_edges(p).map(|e| e.dst).chain(g.pred_edges(p).map(|e| e.src)).count()
+                    g.succ_edges(p)
+                        .map(|e| e.dst)
+                        .chain(g.pred_edges(p).map(|e| e.src))
+                        .count()
                         > 0
                 });
                 let _ = component_started;
@@ -151,7 +155,10 @@ mod tests {
 
     #[test]
     fn empty_graph_yields_empty_order() {
-        let l = LoopBuilder::new("x").without_loop_control().int_overhead(0).build();
+        let l = LoopBuilder::new("x")
+            .without_loop_control()
+            .int_overhead(0)
+            .build();
         let g = DataDepGraph::build(&l);
         assert!(sms_order(&g, 1, |_| 1).is_empty());
     }

@@ -1,34 +1,35 @@
 //! Property-based tests on the scheduler: every schedulable loop yields a
 //! resource-legal schedule whose dependences are satisfied, on every
-//! target architecture.
+//! target architecture. Inputs come from `vliw-testutil`'s deterministic
+//! generator (proptest is unavailable offline).
 
-use proptest::prelude::*;
 use vliw_ir::{DepKind, LoopBuilder, LoopNest};
 use vliw_machine::MachineConfig;
-use vliw_sched::{
-    compile_base, compile_for_l0, compile_interleaved, compile_multivliw, InterleavedHeuristic,
-    Schedule,
-};
+use vliw_sched::{Arch, L0Options, Schedule};
+use vliw_testutil::{cases, Rng};
 
-fn arb_kernel() -> impl Strategy<Value = LoopNest> {
-    (
-        1usize..4,
-        0usize..6,
-        prop::sample::select(vec![1u8, 2, 4]),
-        16u64..128,
-        prop_oneof![Just("fir"), Just("ew"), Just("slp"), Just("red"), Just("stencil")],
-    )
-        .prop_map(|(taps, work, elem, trip, kind)| {
-            let b = LoopBuilder::new(format!("{kind}-sched-prop")).trip_count(trip);
-            let b = match kind {
-                "fir" => b.fir(taps.max(1), elem),
-                "ew" => b.elementwise(elem),
-                "slp" => b.store_load_pair(4),
-                "red" => b.reduction(elem.max(2)),
-                _ => b.stencil3(elem),
-            };
-            b.int_overhead(work).build()
-        })
+const CASES: u64 = 96;
+
+fn random_kernel(rng: &mut Rng) -> LoopNest {
+    let taps = rng.range_usize(1, 4);
+    let work = rng.range_usize(0, 6);
+    let elem: u8 = rng.pick(&[1u8, 2, 4]);
+    let trip = rng.range(16, 128);
+    let kind = rng.pick(&["fir", "ew", "slp", "red", "stencil"]);
+    let b = LoopBuilder::new(format!("{kind}-sched-prop")).trip_count(trip);
+    let b = match kind {
+        "fir" => b.fir(taps.max(1), elem),
+        "ew" => b.elementwise(elem),
+        "slp" => b.store_load_pair(4),
+        "red" => b.reduction(elem.max(2)),
+        _ => b.stencil3(elem),
+    };
+    b.int_overhead(work).build()
+}
+
+fn compile(l: &LoopNest, cfg: &MachineConfig, arch: Arch) -> Schedule {
+    arch.compile(l, cfg, L0Options::default())
+        .expect("schedulable")
 }
 
 /// Checks every dependence edge of the scheduled loop:
@@ -60,71 +61,93 @@ fn dependences_satisfied(s: &Schedule, cfg: &MachineConfig) -> Result<(), String
     Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+#[test]
+fn base_schedules_are_resource_and_dependence_legal() {
+    let cfg = MachineConfig::micro2003();
+    cases(CASES, |case, rng| {
+        let l = random_kernel(rng);
+        let s = compile(&l, &cfg, Arch::Baseline);
+        s.validate(&cfg)
+            .unwrap_or_else(|e| panic!("case {case}: {e}"));
+        dependences_satisfied(&s, &cfg).unwrap_or_else(|e| panic!("case {case}: {e}"));
+    });
+}
 
-    #[test]
-    fn base_schedules_are_resource_and_dependence_legal(l in arb_kernel()) {
-        let cfg = MachineConfig::micro2003();
-        let s = compile_base(&l, &cfg.without_l0()).expect("schedulable");
-        s.validate(&cfg).map_err(|e| TestCaseError::fail(e)).unwrap();
-        dependences_satisfied(&s, &cfg).map_err(TestCaseError::fail).unwrap();
-    }
-
-    #[test]
-    fn l0_schedules_are_resource_and_dependence_legal(l in arb_kernel()) {
-        let cfg = MachineConfig::micro2003();
-        let s = compile_for_l0(&l, &cfg).expect("schedulable");
-        s.validate(&cfg).map_err(|e| TestCaseError::fail(e)).unwrap();
-        dependences_satisfied(&s, &cfg).map_err(TestCaseError::fail).unwrap();
+#[test]
+fn l0_schedules_are_resource_and_dependence_legal() {
+    let cfg = MachineConfig::micro2003();
+    cases(CASES, |case, rng| {
+        let l = random_kernel(rng);
+        let s = compile(&l, &cfg, Arch::L0);
+        s.validate(&cfg)
+            .unwrap_or_else(|e| panic!("case {case}: {e}"));
+        dependences_satisfied(&s, &cfg).unwrap_or_else(|e| panic!("case {case}: {e}"));
         // memory instructions carry hints consistent with their latency
         let l0_lat = cfg.l0.unwrap().latency;
         for p in &s.placements {
             let op = s.loop_.op(p.op);
             if op.is_load() && p.assumed_latency == l0_lat {
-                prop_assert!(p.hints.access.uses_l0(), "{}: L0 latency without L0 hint", p.op);
+                assert!(
+                    p.hints.access.uses_l0(),
+                    "case {case} {}: L0 latency w/o L0 hint",
+                    p.op
+                );
             }
             if op.is_load() && p.assumed_latency != l0_lat {
-                prop_assert!(!p.hints.access.uses_l0(), "{}: L1 latency with L0 hint", p.op);
+                assert!(
+                    !p.hints.access.uses_l0(),
+                    "case {case} {}: L1 latency w/ L0 hint",
+                    p.op
+                );
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn distributed_targets_schedule_everything(l in arb_kernel()) {
-        let cfg = MachineConfig::micro2003().without_l0();
-        let m = compile_multivliw(&l, &cfg).expect("multivliw schedulable");
-        m.validate(&cfg).map_err(|e| TestCaseError::fail(e)).unwrap();
-        for h in [InterleavedHeuristic::One, InterleavedHeuristic::Two] {
-            let s = compile_interleaved(&l, &cfg, h).expect("interleaved schedulable");
-            s.validate(&cfg).map_err(|e| TestCaseError::fail(e)).unwrap();
+#[test]
+fn distributed_targets_schedule_everything() {
+    let cfg = MachineConfig::micro2003();
+    cases(CASES, |case, rng| {
+        let l = random_kernel(rng);
+        for arch in [Arch::MultiVliw, Arch::Interleaved1, Arch::Interleaved2] {
+            let s = compile(&l, &cfg, arch);
+            s.validate(&cfg)
+                .unwrap_or_else(|e| panic!("case {case} {arch}: {e}"));
         }
-    }
+    });
+}
 
-    #[test]
-    fn ii_is_at_least_the_memory_pressure_bound(l in arb_kernel()) {
-        let cfg = MachineConfig::micro2003();
-        let s = compile_for_l0(&l, &cfg).expect("schedulable");
-        let mem_ops = s.loop_.mem_ops().count()
-            + s.prefetches.len()
-            + s.replicas.len();
+#[test]
+fn ii_is_at_least_the_memory_pressure_bound() {
+    let cfg = MachineConfig::micro2003();
+    cases(CASES, |case, rng| {
+        let l = random_kernel(rng);
+        let s = compile(&l, &cfg, Arch::L0);
+        let mem_ops = s.loop_.mem_ops().count() + s.prefetches.len() + s.replicas.len();
         let bound = mem_ops.div_ceil(cfg.clusters * cfg.fus.mem) as u32;
-        prop_assert!(s.ii() >= bound, "II {} below mem bound {bound}", s.ii());
-    }
+        assert!(
+            s.ii() >= bound,
+            "case {case}: II {} below mem bound {bound}",
+            s.ii()
+        );
+    });
+}
 
-    #[test]
-    fn use_distances_cover_assumed_latencies(l in arb_kernel()) {
-        let cfg = MachineConfig::micro2003();
-        let s = compile_for_l0(&l, &cfg).expect("schedulable");
+#[test]
+fn use_distances_cover_assumed_latencies() {
+    let cfg = MachineConfig::micro2003();
+    cases(CASES, |case, rng| {
+        let l = random_kernel(rng);
+        let s = compile(&l, &cfg, Arch::L0);
         for p in &s.placements {
             if let Some(du) = p.use_distance {
-                prop_assert!(
+                assert!(
                     du >= p.assumed_latency,
-                    "{}: use distance {du} < assumed latency {}",
+                    "case {case} {}: use distance {du} < assumed latency {}",
                     p.op,
                     p.assumed_latency
                 );
             }
         }
-    }
+    });
 }

@@ -18,28 +18,29 @@
 //! ```
 //! use vliw_ir::LoopBuilder;
 //! use vliw_machine::MachineConfig;
-//! use vliw_sched::{compile_base, compile_for_l0};
-//! use vliw_sim::{simulate_unified, simulate_unified_l0};
+//! use vliw_sched::{Arch, L0Options};
+//! use vliw_sim::simulate_arch;
 //!
 //! let cfg = MachineConfig::micro2003();
 //! // in-place update: the load sits on the II-bounding memory recurrence
 //! let l = LoopBuilder::new("slp").trip_count(512).store_load_pair(4).build();
 //!
-//! let base = compile_base(&l, &cfg.without_l0()).unwrap();
-//! let with_l0 = compile_for_l0(&l, &cfg).unwrap();
+//! let base = Arch::Baseline.compile(&l, &cfg, L0Options::default()).unwrap();
+//! let with_l0 = Arch::L0.compile(&l, &cfg, L0Options::default()).unwrap();
 //!
-//! let r_base = simulate_unified(&base, &cfg);
-//! let r_l0 = simulate_unified_l0(&with_l0, &cfg);
+//! let r_base = simulate_arch(&base, &cfg, Arch::Baseline);
+//! let r_l0 = simulate_arch(&with_l0, &cfg, Arch::L0);
 //! assert!(r_l0.total_cycles() < r_base.total_cycles());
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod model;
 pub mod result;
 pub mod runner;
 
+pub use model::{simulate_arch, MemoryModelKind};
 pub use result::SimResult;
-pub use runner::{
-    simulate, simulate_interleaved, simulate_multivliw, simulate_unified, simulate_unified_l0,
-};
+pub use runner::simulate;
+pub use vliw_sched::Arch;

@@ -62,22 +62,42 @@ mod tests {
 
     #[test]
     fn totals_and_fractions() {
-        let r = SimResult { compute_cycles: 80, stall_cycles: 20, ..Default::default() };
+        let r = SimResult {
+            compute_cycles: 80,
+            stall_cycles: 20,
+            ..Default::default()
+        };
         assert_eq!(r.total_cycles(), 100);
         assert!((r.stall_fraction() - 0.2).abs() < 1e-12);
     }
 
     #[test]
     fn normalization() {
-        let a = SimResult { compute_cycles: 84, stall_cycles: 0, ..Default::default() };
-        let b = SimResult { compute_cycles: 100, stall_cycles: 0, ..Default::default() };
+        let a = SimResult {
+            compute_cycles: 84,
+            stall_cycles: 0,
+            ..Default::default()
+        };
+        let b = SimResult {
+            compute_cycles: 100,
+            stall_cycles: 0,
+            ..Default::default()
+        };
         assert!((a.normalized_to(&b) - 0.84).abs() < 1e-12);
     }
 
     #[test]
     fn merge_accumulates() {
-        let mut a = SimResult { compute_cycles: 10, stall_cycles: 1, ..Default::default() };
-        a.merge(&SimResult { compute_cycles: 5, stall_cycles: 2, ..Default::default() });
+        let mut a = SimResult {
+            compute_cycles: 10,
+            stall_cycles: 1,
+            ..Default::default()
+        };
+        a.merge(&SimResult {
+            compute_cycles: 5,
+            stall_cycles: 2,
+            ..Default::default()
+        });
         assert_eq!(a.compute_cycles, 15);
         assert_eq!(a.stall_cycles, 3);
     }

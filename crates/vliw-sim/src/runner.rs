@@ -3,9 +3,7 @@
 use crate::result::SimResult;
 use vliw_ir::{AddressStream, OpId};
 use vliw_machine::{ClusterId, MachineConfig};
-use vliw_mem::{
-    MemRequest, MemoryModel, MultiVliwMem, ReqKind, UnifiedL1, UnifiedWithL0, WordInterleavedMem,
-};
+use vliw_mem::{MemRequest, MemoryModel, ReqKind};
 use vliw_sched::Schedule;
 
 /// One per-iteration memory event, precomputed from the schedule.
@@ -34,7 +32,9 @@ fn build_events(schedule: &Schedule) -> Vec<Event> {
     let mut events = Vec::new();
     for p in &schedule.placements {
         let op = loop_.op(p.op);
-        let Some(acc) = op.kind.mem_access() else { continue };
+        let Some(acc) = op.kind.mem_access() else {
+            continue;
+        };
         let kind = if op.is_load() {
             ReqKind::Load
         } else if op.is_store() {
@@ -55,7 +55,11 @@ fn build_events(schedule: &Schedule) -> Vec<Event> {
         });
     }
     for pf in &schedule.prefetches {
-        let acc = loop_.op(pf.for_op).kind.mem_access().expect("prefetch covers a memory op");
+        let acc = loop_
+            .op(pf.for_op)
+            .kind
+            .mem_access()
+            .expect("prefetch covers a memory op");
         events.push(Event {
             t: pf.t,
             cluster: pf.cluster,
@@ -69,7 +73,11 @@ fn build_events(schedule: &Schedule) -> Vec<Event> {
         });
     }
     for r in &schedule.replicas {
-        let acc = loop_.op(r.for_op).kind.mem_access().expect("replica of a store");
+        let acc = loop_
+            .op(r.for_op)
+            .kind
+            .mem_access()
+            .expect("replica of a store");
         events.push(Event {
             t: r.t,
             cluster: r.cluster,
@@ -90,13 +98,17 @@ fn build_events(schedule: &Schedule) -> Vec<Event> {
 ///
 /// Returns the compute/stall split and the memory statistics the model
 /// accumulated *during this run* (the model should be fresh).
-pub fn simulate(schedule: &Schedule, cfg: &MachineConfig, model: &mut dyn MemoryModel) -> SimResult {
+pub fn simulate(
+    schedule: &Schedule,
+    cfg: &MachineConfig,
+    model: &mut dyn MemoryModel,
+) -> SimResult {
     let events = build_events(schedule);
     let loop_ = &schedule.loop_;
     let ii = schedule.ii() as u64;
     let trip = loop_.trip_count.max(1);
-    let visit_compute = schedule.compute_cycles_per_visit()
-        + if schedule.flush_on_exit { 1 } else { 0 };
+    let visit_compute =
+        schedule.compute_cycles_per_visit() + if schedule.flush_on_exit { 1 } else { 0 };
 
     let mut compute: u64 = 0;
     let mut slip: u64 = 0; // accumulated stall
@@ -140,58 +152,43 @@ pub fn simulate(schedule: &Schedule, cfg: &MachineConfig, model: &mut dyn Memory
         clock_base += visit_compute;
     }
 
-    SimResult { compute_cycles: compute, stall_cycles: slip, mem_stats: *model.stats() }
-}
-
-/// Simulates against the baseline unified L1 (no L0 buffers).
-pub fn simulate_unified(schedule: &Schedule, cfg: &MachineConfig) -> SimResult {
-    let mut model = UnifiedL1::new(cfg);
-    simulate(schedule, cfg, &mut model)
-}
-
-/// Simulates against the unified L1 + flexible L0 buffers.
-///
-/// # Panics
-///
-/// Panics if `cfg` has no L0 configuration.
-pub fn simulate_unified_l0(schedule: &Schedule, cfg: &MachineConfig) -> SimResult {
-    let mut model = UnifiedWithL0::new(cfg);
-    simulate(schedule, cfg, &mut model)
-}
-
-/// Simulates against the MultiVLIW MSI distributed cache.
-pub fn simulate_multivliw(schedule: &Schedule, cfg: &MachineConfig) -> SimResult {
-    let mut model = MultiVliwMem::new(cfg);
-    simulate(schedule, cfg, &mut model)
-}
-
-/// Simulates against the word-interleaved cache with attraction buffers.
-pub fn simulate_interleaved(schedule: &Schedule, cfg: &MachineConfig) -> SimResult {
-    let mut model = WordInterleavedMem::new(cfg);
-    simulate(schedule, cfg, &mut model)
+    SimResult {
+        compute_cycles: compute,
+        stall_cycles: slip,
+        mem_stats: *model.stats(),
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::model::simulate_arch;
     use vliw_ir::LoopBuilder;
     use vliw_machine::L0Capacity;
-    use vliw_sched::{compile_base, compile_for_l0, compile_interleaved, compile_multivliw};
-    use vliw_sched::InterleavedHeuristic;
+    use vliw_sched::{Arch, L0Options};
 
     fn cfg() -> MachineConfig {
         MachineConfig::micro2003()
+    }
+
+    fn compile(l: &vliw_ir::LoopNest, c: &MachineConfig, arch: Arch) -> Schedule {
+        arch.compile(l, c, L0Options::default())
+            .expect("schedulable")
     }
 
     #[test]
     fn recurrence_loop_l0_beats_baseline() {
         // The headline win: the load latency sits on the II-bounding
         // memory recurrence (store feeds next iteration's load).
-        let l = LoopBuilder::new("slp").trip_count(512).visits(2).store_load_pair(4).build();
-        let base = compile_base(&l, &cfg().without_l0()).unwrap();
-        let with = compile_for_l0(&l, &cfg()).unwrap();
-        let rb = simulate_unified(&base, &cfg());
-        let rl = simulate_unified_l0(&with, &cfg());
+        let l = LoopBuilder::new("slp")
+            .trip_count(512)
+            .visits(2)
+            .store_load_pair(4)
+            .build();
+        let base = compile(&l, &cfg(), Arch::Baseline);
+        let with = compile(&l, &cfg(), Arch::L0);
+        let rb = simulate_arch(&base, &cfg(), Arch::Baseline);
+        let rl = simulate_arch(&with, &cfg(), Arch::L0);
         assert!(
             rl.total_cycles() < rb.total_cycles(),
             "L0 {} !< base {}",
@@ -202,9 +199,12 @@ mod tests {
 
     #[test]
     fn l0_hit_rate_is_high_for_streams() {
-        let l = LoopBuilder::new("ew").trip_count(1024).elementwise(2).build();
-        let s = compile_for_l0(&l, &cfg()).unwrap();
-        let r = simulate_unified_l0(&s, &cfg());
+        let l = LoopBuilder::new("ew")
+            .trip_count(1024)
+            .elementwise(2)
+            .build();
+        let s = compile(&l, &cfg(), Arch::L0);
+        let r = simulate_arch(&s, &cfg(), Arch::L0);
         assert!(
             r.mem_stats.l0_hit_rate() > 0.9,
             "hit rate {:.3} too low",
@@ -214,9 +214,13 @@ mod tests {
 
     #[test]
     fn compute_cycles_match_schedule_arithmetic() {
-        let l = LoopBuilder::new("ew").trip_count(100).visits(3).elementwise(4).build();
-        let s = compile_base(&l, &cfg().without_l0()).unwrap();
-        let r = simulate_unified(&s, &cfg());
+        let l = LoopBuilder::new("ew")
+            .trip_count(100)
+            .visits(3)
+            .elementwise(4)
+            .build();
+        let s = compile(&l, &cfg(), Arch::Baseline);
+        let r = simulate_arch(&s, &cfg(), Arch::Baseline);
         assert_eq!(r.compute_cycles, 3 * s.compute_cycles_per_visit());
     }
 
@@ -224,8 +228,8 @@ mod tests {
     fn unbounded_buffers_never_thrash() {
         let l = LoopBuilder::new("fir6").trip_count(512).fir(6, 2).build();
         let c = cfg().with_l0_entries(L0Capacity::Unbounded);
-        let s = compile_for_l0(&l, &c).unwrap();
-        let r = simulate_unified_l0(&s, &c);
+        let s = compile(&l, &c, Arch::L0);
+        let r = simulate_arch(&s, &c, Arch::L0);
         assert!(r.mem_stats.l0_hit_rate() > 0.9);
     }
 
@@ -235,10 +239,10 @@ mod tests {
         let l = LoopBuilder::new("fir6").trip_count(512).fir(6, 2).build();
         let small_cfg = cfg().with_l0_entries(L0Capacity::Bounded(2));
         let big_cfg = cfg().with_l0_entries(L0Capacity::Bounded(8));
-        let s_small = compile_for_l0(&l, &small_cfg).unwrap();
-        let s_big = compile_for_l0(&l, &big_cfg).unwrap();
-        let r_small = simulate_unified_l0(&s_small, &small_cfg);
-        let r_big = simulate_unified_l0(&s_big, &big_cfg);
+        let s_small = compile(&l, &small_cfg, Arch::L0);
+        let s_big = compile(&l, &big_cfg, Arch::L0);
+        let r_small = simulate_arch(&s_small, &small_cfg, Arch::L0);
+        let r_big = simulate_arch(&s_big, &big_cfg, Arch::L0);
         assert!(
             r_big.total_cycles() <= r_small.total_cycles(),
             "8-entry {} should beat 2-entry {}",
@@ -249,47 +253,80 @@ mod tests {
 
     #[test]
     fn irregular_loads_stall_on_l1_misses() {
-        let l = LoopBuilder::new("irr").trip_count(1024).irregular(4, 1 << 20).build();
-        let s = compile_for_l0(&l, &cfg()).unwrap();
-        let r = simulate_unified_l0(&s, &cfg());
+        let l = LoopBuilder::new("irr")
+            .trip_count(1024)
+            .irregular(4, 1 << 20)
+            .build();
+        let s = compile(&l, &cfg(), Arch::L0);
+        let r = simulate_arch(&s, &cfg(), Arch::L0);
         assert!(r.stall_cycles > 0, "huge random table must miss in 8KB L1");
         assert!(r.mem_stats.l1_hit_rate() < 0.9);
     }
 
     #[test]
     fn multivliw_runs_and_mostly_hits_locally() {
-        let l = LoopBuilder::new("ew").trip_count(512).elementwise(4).build();
-        let s = compile_multivliw(&l, &cfg().without_l0()).unwrap();
-        let r = simulate_multivliw(&s, &cfg());
+        let l = LoopBuilder::new("ew")
+            .trip_count(512)
+            .elementwise(4)
+            .build();
+        let s = compile(&l, &cfg(), Arch::MultiVliw);
+        let r = simulate_arch(&s, &cfg(), Arch::MultiVliw);
         assert!(r.total_cycles() > 0);
         assert!(r.mem_stats.accesses > 0);
     }
 
     #[test]
     fn word_interleaved_attraction_buffers_catch_reuse() {
-        let l = LoopBuilder::new("ew").trip_count(512).elementwise(4).build();
-        let s1 = compile_interleaved(&l, &cfg().without_l0(), InterleavedHeuristic::One).unwrap();
-        let r1 = simulate_interleaved(&s1, &cfg());
+        let l = LoopBuilder::new("ew")
+            .trip_count(512)
+            .elementwise(4)
+            .build();
+        let s1 = compile(&l, &cfg(), Arch::Interleaved1);
+        let r1 = simulate_arch(&s1, &cfg(), Arch::Interleaved1);
         assert!(r1.total_cycles() > 0);
-        let s2 = compile_interleaved(&l, &cfg().without_l0(), InterleavedHeuristic::Two).unwrap();
-        let r2 = simulate_interleaved(&s2, &cfg());
+        let s2 = compile(&l, &cfg(), Arch::Interleaved2);
+        let r2 = simulate_arch(&s2, &cfg(), Arch::Interleaved2);
         assert!(r2.total_cycles() > 0);
     }
 
     #[test]
     fn deterministic_across_runs() {
-        let l = LoopBuilder::new("irr").trip_count(256).irregular(4, 65536).build();
-        let s = compile_for_l0(&l, &cfg()).unwrap();
-        let a = simulate_unified_l0(&s, &cfg());
-        let b = simulate_unified_l0(&s, &cfg());
+        let l = LoopBuilder::new("irr")
+            .trip_count(256)
+            .irregular(4, 65536)
+            .build();
+        let s = compile(&l, &cfg(), Arch::L0);
+        let a = simulate_arch(&s, &cfg(), Arch::L0);
+        let b = simulate_arch(&s, &cfg(), Arch::L0);
         assert_eq!(a, b);
     }
 
     #[test]
+    fn deterministic_across_runs_for_every_arch() {
+        // Companion guard for the experiment engine: parallel grid
+        // execution is only safe because every (schedule, arch) pair
+        // simulates identically no matter when or where it runs.
+        let l = LoopBuilder::new("irr")
+            .trip_count(256)
+            .irregular(4, 65536)
+            .build();
+        for arch in Arch::ALL {
+            let s = compile(&l, &cfg(), arch);
+            let a = simulate_arch(&s, &cfg(), arch);
+            let b = simulate_arch(&s, &cfg(), arch);
+            assert_eq!(a, b, "{arch}");
+        }
+    }
+
+    #[test]
     fn flush_on_exit_costs_one_cycle_per_visit() {
-        let l = LoopBuilder::new("ew").trip_count(64).visits(4).elementwise(2).build();
-        let s = compile_for_l0(&l, &cfg()).unwrap();
-        let r = simulate_unified_l0(&s, &cfg());
+        let l = LoopBuilder::new("ew")
+            .trip_count(64)
+            .visits(4)
+            .elementwise(2)
+            .build();
+        let s = compile(&l, &cfg(), Arch::L0);
+        let r = simulate_arch(&s, &cfg(), Arch::L0);
         assert_eq!(
             r.compute_cycles,
             4 * (s.compute_cycles_per_visit() + 1),
@@ -305,9 +342,12 @@ mod tests {
         // the PAR store and never goes stale. We can't check values (the
         // simulator is timing-only) but the schedule must respect the
         // constraint and simulation must complete.
-        let l = LoopBuilder::new("slp").trip_count(256).store_load_pair(4).build();
-        let s = compile_for_l0(&l, &cfg()).unwrap();
-        let r = simulate_unified_l0(&s, &cfg());
+        let l = LoopBuilder::new("slp")
+            .trip_count(256)
+            .store_load_pair(4)
+            .build();
+        let s = compile(&l, &cfg(), Arch::L0);
+        let r = simulate_arch(&s, &cfg(), Arch::L0);
         assert!(r.total_cycles() > 0);
     }
 }

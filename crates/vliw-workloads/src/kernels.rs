@@ -38,7 +38,11 @@ pub fn adpcm_predictor(name: &str, trip: u64, visits: u64) -> LoopNest {
 /// shape where the automatic prefetch fires too close to its consumer
 /// (§5.2). 2-byte elements, element-wise.
 pub fn small_ii_stream(name: &str, trip: u64, visits: u64) -> LoopNest {
-    LoopBuilder::new(name).trip_count(trip).visits(visits).elementwise(2).build()
+    LoopBuilder::new(name)
+        .trip_count(trip)
+        .visits(visits)
+        .elementwise(2)
+        .build()
 }
 
 /// A realistic media streaming kernel: `streams` unit-stride input
@@ -82,7 +86,11 @@ pub fn media_stream(
 /// A row-major filter pass with good strides (the IDCT row pass, GSM
 /// filter sections, ...).
 pub fn row_filter(name: &str, taps: usize, trip: u64, visits: u64) -> LoopNest {
-    LoopBuilder::new(name).trip_count(trip).visits(visits).fir(taps, 2).build()
+    LoopBuilder::new(name)
+        .trip_count(trip)
+        .visits(visits)
+        .fir(taps, 2)
+        .build()
 }
 
 /// A column walk over a row-major matrix (IDCT column pass, wavelet
@@ -101,7 +109,9 @@ pub fn column_pass(name: &str, row_bytes: u64, rows: u64, trip: u64, visits: u64
         array: m,
         offset_bytes: 0,
         elem_bytes: 2,
-        stride: StridePattern::Affine { stride_bytes: row_bytes as i64 },
+        stride: StridePattern::Affine {
+            stride_bytes: row_bytes as i64,
+        },
     };
     let (_, v) = b.load(acc);
     let (_, r) = b.alu(OpKind::IntAlu, &[v]);
@@ -157,7 +167,11 @@ pub fn big_stream(name: &str, working_set: u64, trip: u64, visits: u64) -> LoopN
 /// An irregular lookup over a working set far larger than L1 (crypto /
 /// entropy coding with low locality).
 pub fn big_table(name: &str, span: u64, trip: u64, visits: u64) -> LoopNest {
-    LoopBuilder::new(name).trip_count(trip).visits(visits).irregular(2, span).build()
+    LoopBuilder::new(name)
+        .trip_count(trip)
+        .visits(visits)
+        .irregular(2, span)
+        .build()
 }
 
 /// The jpegdec memory-pressure loop: enough independent streams that the
@@ -241,15 +255,33 @@ mod tests {
         l.validate().unwrap();
         let sets = MemDepSets::build(&l);
         let st = l.ops.iter().find(|o| o.is_store()).unwrap().id;
-        assert!(!sets.is_unconstrained(st, &l), "state store aliases the state load");
+        assert!(
+            !sets.is_unconstrained(st, &l),
+            "state store aliases the state load"
+        );
         // the recurrence forces a nontrivial II with L1-latency loads
         let g = DataDepGraph::build(&l);
-        let rec = g.rec_mii(|op| if l.op(op).is_load() { 6 } else { l.op(op).default_latency() });
+        let rec = g.rec_mii(|op| {
+            if l.op(op).is_load() {
+                6
+            } else {
+                l.op(op).default_latency()
+            }
+        });
         assert!(rec >= 8, "L1-latency recurrence II = {rec}");
-        let rec_l0 = g.rec_mii(|op| if l.op(op).is_load() { 1 } else { l.op(op).default_latency() });
+        let rec_l0 = g.rec_mii(|op| {
+            if l.op(op).is_load() {
+                1
+            } else {
+                l.op(op).default_latency()
+            }
+        });
         // the load latency sits on the recurrence: II shrinks by the
         // L1/L0 latency difference (11 -> 6 with the default op latencies)
-        assert!(rec_l0 + 4 <= rec, "the L0 latency shortens the recurrence: {rec_l0} vs {rec}");
+        assert!(
+            rec_l0 + 4 <= rec,
+            "the L0 latency shortens the recurrence: {rec_l0} vs {rec}"
+        );
     }
 
     #[test]
@@ -259,17 +291,13 @@ mod tests {
         let irregular = l
             .ops
             .iter()
-            .filter(|o| {
-                o.is_load() && !o.kind.mem_access().unwrap().stride.is_strided()
-            })
+            .filter(|o| o.is_load() && !o.kind.mem_access().unwrap().stride.is_strided())
             .count();
         assert_eq!(irregular, 2);
         let strided_mem = l
             .ops
             .iter()
-            .filter(|o| {
-                o.kind.is_mem() && o.kind.mem_access().unwrap().stride.is_strided()
-            })
+            .filter(|o| o.kind.is_mem() && o.kind.mem_access().unwrap().stride.is_strided())
             .count();
         assert_eq!(strided_mem, 2, "input load + output store");
     }

@@ -7,8 +7,10 @@ use vliw_ir::{stride, LoopNest, StrideClass};
 /// fraction.
 #[derive(Debug, Clone)]
 pub struct BenchmarkSpec {
-    /// Benchmark name (matches Table 1).
-    pub name: &'static str,
+    /// Benchmark name (matches Table 1 for the Mediabench suite; synthetic
+    /// single-kernel specs built by the experiment engine use the kernel's
+    /// loop name).
+    pub name: String,
     /// Inner loops; their trip counts/visits encode their weights.
     pub loops: Vec<LoopNest>,
     /// Fraction of total execution spent in non-loop scalar code
@@ -49,7 +51,10 @@ impl BenchmarkSpec {
 
     /// Total dynamic memory accesses across the loop mix.
     pub fn dynamic_mem_accesses(&self) -> u64 {
-        self.loops.iter().map(|l| l.dynamic_iterations() * l.mem_ops().count() as u64).sum()
+        self.loops
+            .iter()
+            .map(|l| l.dynamic_iterations() * l.mem_ops().count() as u64)
+            .sum()
     }
 
     /// Scalar cycles implied by a measured loop-portion execution time:
@@ -57,6 +62,24 @@ impl BenchmarkSpec {
     pub fn scalar_cycles_for(&self, loop_cycles: u64) -> u64 {
         let f = self.scalar_fraction.clamp(0.0, 0.95);
         (loop_cycles as f64 * f / (1.0 - f)).round() as u64
+    }
+
+    /// Wraps a set of standalone kernels as a benchmark with no scalar
+    /// portion — used by the experiment engine's microworkload sweeps
+    /// (ablations, cluster scaling).
+    pub fn from_kernels(name: impl Into<String>, loops: Vec<LoopNest>) -> Self {
+        BenchmarkSpec {
+            name: name.into(),
+            loops,
+            scalar_fraction: 0.0,
+        }
+    }
+
+    /// Wraps one kernel as a standalone benchmark (see
+    /// [`BenchmarkSpec::from_kernels`]); the spec inherits the loop's name.
+    pub fn from_kernel(loop_: LoopNest) -> Self {
+        let name = loop_.name.clone();
+        BenchmarkSpec::from_kernels(name, vec![loop_])
     }
 }
 
@@ -80,9 +103,9 @@ mod tests {
     #[test]
     fn stats_weight_by_dynamic_iterations() {
         let spec = BenchmarkSpec {
-            name: "test",
+            name: "test".into(),
             loops: vec![
-                kernels::small_ii_stream("good", 100, 1), // 2 strided ops
+                kernels::small_ii_stream("good", 100, 1),   // 2 strided ops
                 kernels::big_table("bad", 1 << 16, 100, 1), // 2 good + 1 non
             ],
             scalar_fraction: 0.2,
@@ -97,7 +120,7 @@ mod tests {
     #[test]
     fn scalar_cycles_match_fraction() {
         let spec = BenchmarkSpec {
-            name: "t",
+            name: "t".into(),
             loops: vec![kernels::small_ii_stream("s", 10, 1)],
             scalar_fraction: 0.2,
         };

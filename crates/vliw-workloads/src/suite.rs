@@ -21,7 +21,9 @@ fn motion_comp(name: &str, row_bytes: u64, rows: u64, trip: u64, visits: u64) ->
         array: arr,
         offset_bytes: off,
         elem_bytes: 2,
-        stride: StridePattern::Affine { stride_bytes: row_bytes as i64 },
+        stride: StridePattern::Affine {
+            stride_bytes: row_bytes as i64,
+        },
     };
     let (_, v0) = b.load(col(frame0, 0));
     let (_, v1) = b.load(col(frame1, 0));
@@ -41,7 +43,7 @@ pub fn mediabench_suite() -> Vec<BenchmarkSpec> {
         // small-II stream (the prefetch-too-late signature loop), and
         // conservative dependence sets removed by code specialization.
         BenchmarkSpec {
-            name: "epicdec",
+            name: "epicdec".into(),
             loops: vec![
                 column_pass("epic-vert", 544, 40, 600, 9),
                 adpcm_predictor("epic-rle", 48, 8),
@@ -54,7 +56,7 @@ pub fn mediabench_suite() -> Vec<BenchmarkSpec> {
         // g721dec: ADPCM — the predictor recurrence through memory (the
         // biggest L0 latency win) plus reconstruction streams.
         BenchmarkSpec {
-            name: "g721dec",
+            name: "g721dec".into(),
             loops: vec![
                 adpcm_predictor("g721-pred", 64, 55),
                 media_stream("g721-recon", 2, 6, 2, 128, 30, false),
@@ -63,7 +65,7 @@ pub fn mediabench_suite() -> Vec<BenchmarkSpec> {
             scalar_fraction: 0.20,
         },
         BenchmarkSpec {
-            name: "g721enc",
+            name: "g721enc".into(),
             loops: vec![
                 adpcm_predictor("g721e-pred", 64, 60),
                 media_stream("g721e-diff", 2, 6, 2, 128, 28, false),
@@ -74,7 +76,7 @@ pub fn mediabench_suite() -> Vec<BenchmarkSpec> {
         // gsmdec: LPC filter sections (good strides) + a small decode
         // table.
         BenchmarkSpec {
-            name: "gsmdec",
+            name: "gsmdec".into(),
             loops: vec![
                 adpcm_predictor("gsm-synth", 40, 60),
                 row_filter("gsm-lpc", 8, 160, 14),
@@ -85,7 +87,7 @@ pub fn mediabench_suite() -> Vec<BenchmarkSpec> {
             scalar_fraction: 0.22,
         },
         BenchmarkSpec {
-            name: "gsmenc",
+            name: "gsmenc".into(),
             loops: vec![
                 adpcm_predictor("gsme-ltp", 40, 55),
                 row_filter("gsme-lpc", 8, 160, 16),
@@ -99,7 +101,7 @@ pub fn mediabench_suite() -> Vec<BenchmarkSpec> {
         // 4-entry LRU-thrash row pass + the PAR_ACCESS memory-pressure
         // loop (§5.2's two jpegdec anomalies).
         BenchmarkSpec {
-            name: "jpegdec",
+            name: "jpegdec".into(),
             loops: vec![
                 table_lookup("jpeg-huff", 6, 1 << 16, 60, 60),
                 column_pass("jpeg-idct-col", 16, 56, 56, 150),
@@ -109,7 +111,7 @@ pub fn mediabench_suite() -> Vec<BenchmarkSpec> {
             scalar_fraction: 0.20,
         },
         BenchmarkSpec {
-            name: "jpegenc",
+            name: "jpegenc".into(),
             loops: vec![
                 table_lookup("jpege-huff", 8, 1 << 16, 64, 30),
                 column_pass("jpege-dct-col", 16, 48, 48, 56),
@@ -122,7 +124,7 @@ pub fn mediabench_suite() -> Vec<BenchmarkSpec> {
         // frame stride (54% "other" strides) with poor L1 locality; IDCT
         // rows are good strides.
         BenchmarkSpec {
-            name: "mpeg2dec",
+            name: "mpeg2dec".into(),
             loops: vec![
                 motion_comp("mpeg-mc", 1440, 24, 512, 12),
                 adpcm_predictor("mpeg-dequant", 32, 24),
@@ -135,7 +137,7 @@ pub fn mediabench_suite() -> Vec<BenchmarkSpec> {
         // set far beyond L1 (low L1 hit rate even with unbounded L0)
         // plus long bignum streams.
         BenchmarkSpec {
-            name: "pegwitdec",
+            name: "pegwitdec".into(),
             loops: vec![
                 table_lookup("pegd-sbox", 3, 1 << 17, 50, 60),
                 big_stream("pegd-bignum", 512 * 1024, 96, 8),
@@ -144,7 +146,7 @@ pub fn mediabench_suite() -> Vec<BenchmarkSpec> {
             scalar_fraction: 0.25,
         },
         BenchmarkSpec {
-            name: "pegwitenc",
+            name: "pegwitenc".into(),
             loops: vec![
                 table_lookup("pege-sbox", 3, 1 << 17, 50, 56),
                 big_stream("pege-bignum", 512 * 1024, 96, 11),
@@ -156,7 +158,7 @@ pub fn mediabench_suite() -> Vec<BenchmarkSpec> {
         // specialization) and feedback recurrences that keep the unroll
         // factor low.
         BenchmarkSpec {
-            name: "pgpdec",
+            name: "pgpdec".into(),
             loops: vec![
                 media_stream("pgpd-mpi", 3, 4, 2, 96, 22, true),
                 adpcm_predictor("pgpd-feedback", 48, 26),
@@ -166,7 +168,7 @@ pub fn mediabench_suite() -> Vec<BenchmarkSpec> {
             scalar_fraction: 0.22,
         },
         BenchmarkSpec {
-            name: "pgpenc",
+            name: "pgpenc".into(),
             loops: vec![
                 media_stream("pgpe-mpi", 3, 4, 2, 96, 18, true),
                 adpcm_predictor("pgpe-feedback", 48, 30),
@@ -177,7 +179,7 @@ pub fn mediabench_suite() -> Vec<BenchmarkSpec> {
         // rasta: FP filterbank + small-II streams (prefetch-too-late
         // stalls) + conservative sets.
         BenchmarkSpec {
-            name: "rasta",
+            name: "rasta".into(),
             loops: vec![
                 adpcm_predictor("rasta-iir", 64, 40),
                 fp_filterbank("rasta-bank", 96, 40),
@@ -217,7 +219,7 @@ mod tests {
         let suite = mediabench_suite();
         assert_eq!(suite.len(), 13);
         for (spec, (name, ..)) in suite.iter().zip(TABLE1.iter()) {
-            assert_eq!(&spec.name, name);
+            assert_eq!(spec.name, *name);
         }
     }
 
@@ -225,7 +227,8 @@ mod tests {
     fn all_loops_validate() {
         for spec in mediabench_suite() {
             for l in &spec.loops {
-                l.validate().unwrap_or_else(|e| panic!("{}/{}: {e}", spec.name, l.name));
+                l.validate()
+                    .unwrap_or_else(|e| panic!("{}/{}: {e}", spec.name, l.name));
             }
         }
     }
@@ -259,7 +262,7 @@ mod tests {
     fn good_stride_benchmarks_are_nearly_all_good() {
         let suite = mediabench_suite();
         for spec in &suite {
-            if matches!(spec.name, "g721dec" | "g721enc") {
+            if matches!(spec.name.as_str(), "g721dec" | "g721enc") {
                 let t = spec.table1_stats();
                 assert!(t.good_pct > 95.0, "{}: {:.1}", spec.name, t.good_pct);
             }

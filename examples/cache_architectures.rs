@@ -3,15 +3,14 @@
 //! baseline, flexible L0 buffers, MultiVLIW (MSI distributed L1), and a
 //! word-interleaved cache with attraction buffers.
 //!
+//! With the shared `Arch` dispatch this is one loop over `Arch::ALL`
+//! instead of four hand-rolled compile/simulate pairs.
+//!
 //! Run with: `cargo run --release --example cache_architectures`
 
 use clustered_vliw_l0::machine::MachineConfig;
-use clustered_vliw_l0::sched::{
-    compile_base, compile_for_l0, compile_interleaved, compile_multivliw, InterleavedHeuristic,
-};
-use clustered_vliw_l0::sim::{
-    simulate_interleaved, simulate_multivliw, simulate_unified, simulate_unified_l0, SimResult,
-};
+use clustered_vliw_l0::sched::{Arch, L0Options};
+use clustered_vliw_l0::sim::{simulate_arch, SimResult};
 use clustered_vliw_l0::workloads::kernels;
 
 fn main() {
@@ -22,46 +21,29 @@ fn main() {
         kernels::row_filter("fir8", 8, 160, 8),
     ];
 
-    let mut rows: Vec<(&str, SimResult)> = Vec::new();
-
-    let mut run_all = |label: &'static str,
-                       compile: &dyn Fn(&clustered_vliw_l0::ir::LoopNest) -> clustered_vliw_l0::sched::Schedule,
-                       sim: &dyn Fn(&clustered_vliw_l0::sched::Schedule) -> SimResult| {
-        let mut merged = SimResult::default();
-        for l in &loops {
-            let s = compile(l);
-            merged.merge(&sim(&s));
-        }
-        rows.push((label, merged));
-    };
-
-    run_all(
-        "unified L1 (baseline)",
-        &|l| compile_base(l, &cfg.without_l0()).expect("schedulable"),
-        &|s| simulate_unified(s, &cfg),
-    );
-    run_all(
-        "L0 buffers",
-        &|l| compile_for_l0(l, &cfg).expect("schedulable"),
-        &|s| simulate_unified_l0(s, &cfg),
-    );
-    run_all(
-        "MultiVLIW (MSI)",
-        &|l| compile_multivliw(l, &cfg.without_l0()).expect("schedulable"),
-        &|s| simulate_multivliw(s, &cfg),
-    );
-    run_all(
-        "word-interleaved (h2)",
-        &|l| compile_interleaved(l, &cfg.without_l0(), InterleavedHeuristic::Two).expect("schedulable"),
-        &|s| simulate_interleaved(s, &cfg),
-    );
+    let rows: Vec<(Arch, SimResult)> = Arch::ALL
+        .into_iter()
+        .map(|arch| {
+            let mut merged = SimResult::default();
+            for l in &loops {
+                let s = arch
+                    .compile(l, &cfg, L0Options::default())
+                    .expect("schedulable");
+                merged.merge(&simulate_arch(&s, &cfg, arch));
+            }
+            (arch, merged)
+        })
+        .collect();
 
     let base_total = rows[0].1.total_cycles() as f64;
-    println!("{:<24} {:>10} {:>10} {:>8} {:>11}", "architecture", "compute", "stall", "total", "normalized");
-    for (label, r) in &rows {
+    println!(
+        "{:<24} {:>10} {:>10} {:>8} {:>11}",
+        "architecture", "compute", "stall", "total", "normalized"
+    );
+    for (arch, r) in &rows {
         println!(
             "{:<24} {:>10} {:>10} {:>8} {:>11.3}",
-            label,
+            arch.label(),
             r.compute_cycles,
             r.stall_cycles,
             r.total_cycles(),

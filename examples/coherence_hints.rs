@@ -5,8 +5,9 @@
 //! Run with: `cargo run --release --example coherence_hints`
 
 use clustered_vliw_l0::machine::MachineConfig;
+use clustered_vliw_l0::sched::Arch;
 use clustered_vliw_l0::sched::{compile_for_l0_with, CoherencePolicy, L0Options};
-use clustered_vliw_l0::sim::simulate_unified_l0;
+use clustered_vliw_l0::sim::simulate_arch;
 use clustered_vliw_l0::workloads::kernels;
 
 fn main() {
@@ -19,7 +20,10 @@ fn main() {
     // removes them and the coherence question disappears.
     let spurious = kernels::conservative_stream("spurious-dep", 96, 20);
 
-    for (label, loop_) in [("true dependences", &true_dep), ("conservative dependences", &spurious)] {
+    for (label, loop_) in [
+        ("true dependences", &true_dep),
+        ("conservative dependences", &spurious),
+    ] {
         println!("{label} ({}):", loop_.name);
         for (policy_label, policy) in [
             ("NL0 (bypass buffers)", CoherencePolicy::ForceNl0),
@@ -28,9 +32,13 @@ fn main() {
             ("Auto (the paper's driver)", CoherencePolicy::Auto),
         ] {
             for specialize in [false, true] {
-                let opts = L0Options { policy, specialize, ..Default::default() };
+                let opts = L0Options {
+                    policy,
+                    specialize,
+                    ..Default::default()
+                };
                 let s = compile_for_l0_with(loop_, &cfg, opts).expect("schedulable");
-                let r = simulate_unified_l0(&s, &cfg);
+                let r = simulate_arch(&s, &cfg, Arch::L0);
                 println!(
                     "  {:<26} specialization {:<3}  II={:<3} replicas={:<2} cycles={}",
                     policy_label,

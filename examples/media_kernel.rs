@@ -7,8 +7,8 @@
 //! Run with: `cargo run --release --example media_kernel`
 
 use clustered_vliw_l0::machine::MachineConfig;
-use clustered_vliw_l0::sched::{compile_base, compile_for_l0};
-use clustered_vliw_l0::sim::{simulate_unified, simulate_unified_l0};
+use clustered_vliw_l0::sched::{Arch, L0Options};
+use clustered_vliw_l0::sim::simulate_arch;
 use clustered_vliw_l0::workloads::kernels;
 
 fn main() {
@@ -24,14 +24,32 @@ fn main() {
     println!("memory-dependent sets:");
     for (i, set) in sets.sets().iter().enumerate() {
         let mixed = sets.set_mixes_loads_and_stores(i, &pred);
-        println!("  S{i}: {} ops{}", set.len(), if mixed { " (loads+stores: constrained)" } else { "" });
+        println!(
+            "  S{i}: {} ops{}",
+            set.len(),
+            if mixed {
+                " (loads+stores: constrained)"
+            } else {
+                ""
+            }
+        );
     }
 
-    let base = compile_base(&pred, &cfg.without_l0()).expect("schedulable");
-    let l0 = compile_for_l0(&pred, &cfg).expect("schedulable");
+    let base = Arch::Baseline
+        .compile(&pred, &cfg, L0Options::default())
+        .expect("schedulable");
+    let l0 = Arch::L0
+        .compile(&pred, &cfg, L0Options::default())
+        .expect("schedulable");
     println!();
-    println!("baseline II = {} (6-cycle loads on the recurrence)", base.ii());
-    println!("L0 II       = {} (1-cycle loads on the recurrence)", l0.ii());
+    println!(
+        "baseline II = {} (6-cycle loads on the recurrence)",
+        base.ii()
+    );
+    println!(
+        "L0 II       = {} (1-cycle loads on the recurrence)",
+        l0.ii()
+    );
 
     // The 1C coherence solution: the state load and store share a cluster
     // so the store's write-through updates the only L0 copy.
@@ -40,7 +58,11 @@ fn main() {
         .iter()
         .filter(|p| {
             let op = l0.loop_.op(p.op);
-            op.kind.is_mem() && sets.set_of(p.op).map(|s| sets.sets()[s].len() > 1).unwrap_or(false)
+            op.kind.is_mem()
+                && sets
+                    .set_of(p.op)
+                    .map(|s| sets.sets()[s].len() > 1)
+                    .unwrap_or(false)
         })
         .collect();
     println!();
@@ -50,13 +72,17 @@ fn main() {
             "  {} in {} ({}, {})",
             p.op,
             p.cluster,
-            if l0.loop_.op(p.op).is_load() { "load" } else { "store" },
+            if l0.loop_.op(p.op).is_load() {
+                "load"
+            } else {
+                "store"
+            },
             p.hints
         );
     }
 
-    let r_base = simulate_unified(&base, &cfg);
-    let r_l0 = simulate_unified_l0(&l0, &cfg);
+    let r_base = simulate_arch(&base, &cfg, Arch::Baseline);
+    let r_l0 = simulate_arch(&l0, &cfg, Arch::L0);
     println!();
     println!("baseline:   {} cycles", r_base.total_cycles());
     println!("L0 buffers: {} cycles", r_l0.total_cycles());

@@ -21,8 +21,12 @@ fn main() {
 
     // Compile for the baseline (no L0 buffers, every load pays the
     // 6-cycle L1 latency) and for the L0-buffer architecture.
-    let base = compile_base(&loop_, &cfg.without_l0()).expect("baseline schedulable");
-    let with_l0 = compile_for_l0(&loop_, &cfg).expect("L0 schedulable");
+    let base = Arch::Baseline
+        .compile(&loop_, &cfg, L0Options::default())
+        .expect("baseline schedulable");
+    let with_l0 = Arch::L0
+        .compile(&loop_, &cfg, L0Options::default())
+        .expect("L0 schedulable");
 
     println!("baseline:   II={} stages={}", base.ii(), base.stage_count());
     println!(
@@ -48,8 +52,8 @@ fn main() {
     }
 
     // Execute both on the cycle-level simulator.
-    let r_base = simulate_unified(&base, &cfg);
-    let r_l0 = simulate_unified_l0(&with_l0, &cfg);
+    let r_base = simulate_arch(&base, &cfg, Arch::Baseline);
+    let r_l0 = simulate_arch(&with_l0, &cfg, Arch::L0);
 
     println!();
     println!(

@@ -32,13 +32,13 @@
 //!     .build();
 //!
 //! // Compile it with the L0-aware modulo scheduler and run it.
-//! let schedule = compile_for_l0(&loop_, &cfg).expect("schedulable");
-//! let result = simulate_unified_l0(&schedule, &cfg);
+//! let schedule = Arch::L0.compile(&loop_, &cfg, L0Options::default()).expect("schedulable");
+//! let result = simulate_arch(&schedule, &cfg, Arch::L0);
 //! assert!(result.total_cycles() > 0);
 //! ```
 
-pub use vliw_machine as machine;
 pub use vliw_ir as ir;
+pub use vliw_machine as machine;
 pub use vliw_mem as mem;
 pub use vliw_sched as sched;
 pub use vliw_sim as sim;
@@ -50,7 +50,7 @@ pub mod prelude {
     pub use vliw_machine::{
         AccessHint, L0Capacity, MachineConfig, MappingHint, MemHints, PrefetchHint,
     };
-    pub use vliw_sched::{compile_base, compile_for_l0, Schedule};
-    pub use vliw_sim::{simulate_unified, simulate_unified_l0, SimResult};
+    pub use vliw_sched::{compile_base, compile_for_l0, Arch, L0Options, Schedule};
+    pub use vliw_sim::{simulate_arch, MemoryModelKind, SimResult};
     pub use vliw_workloads::{mediabench_suite, BenchmarkSpec};
 }

@@ -1,32 +1,34 @@
 //! End-to-end integration tests spanning every crate: IR → scheduler →
 //! memory hierarchy → simulator.
 
+use clustered_vliw_l0::ir::{LoopBuilder, LoopNest};
 use clustered_vliw_l0::machine::{L0Capacity, MachineConfig};
-use clustered_vliw_l0::ir::LoopBuilder;
-use clustered_vliw_l0::sched::{compile_base, compile_for_l0, compile_interleaved, compile_multivliw};
-use clustered_vliw_l0::sched::InterleavedHeuristic;
-use clustered_vliw_l0::sim::{
-    simulate_interleaved, simulate_multivliw, simulate_unified, simulate_unified_l0,
-};
+use clustered_vliw_l0::sched::{Arch, L0Options, Schedule};
+use clustered_vliw_l0::sim::simulate_arch;
 use clustered_vliw_l0::workloads::kernels;
 
 fn cfg() -> MachineConfig {
     MachineConfig::micro2003()
 }
 
+fn compile(l: &LoopNest, c: &MachineConfig, arch: Arch) -> Schedule {
+    arch.compile(l, c, L0Options::default())
+        .expect("schedulable")
+}
+
 #[test]
 fn recurrence_loop_gains_from_l0_latency() {
     let l = kernels::adpcm_predictor("pred", 64, 20);
-    let base = compile_base(&l, &cfg().without_l0()).unwrap();
-    let l0 = compile_for_l0(&l, &cfg()).unwrap();
+    let base = compile(&l, &cfg(), Arch::Baseline);
+    let l0 = compile(&l, &cfg(), Arch::L0);
     assert!(
         l0.ii() + 3 <= base.ii(),
         "the L0 latency must shorten the memory recurrence: {} vs {}",
         l0.ii(),
         base.ii()
     );
-    let rb = simulate_unified(&base, &cfg());
-    let rl = simulate_unified_l0(&l0, &cfg());
+    let rb = simulate_arch(&base, &cfg(), Arch::Baseline);
+    let rl = simulate_arch(&l0, &cfg(), Arch::L0);
     assert!(
         (rl.total_cycles() as f64) < 0.75 * rb.total_cycles() as f64,
         "expected a large win: {} vs {}",
@@ -47,15 +49,13 @@ fn every_architecture_compiles_and_runs_every_kernel_shape() {
     ];
     let c = cfg();
     for l in &loops {
-        let b = compile_base(l, &c.without_l0()).unwrap();
-        assert!(simulate_unified(&b, &c).total_cycles() > 0, "{}", l.name);
-        let s = compile_for_l0(l, &c).unwrap();
-        assert!(simulate_unified_l0(&s, &c).total_cycles() > 0, "{}", l.name);
-        let m = compile_multivliw(l, &c.without_l0()).unwrap();
-        assert!(simulate_multivliw(&m, &c).total_cycles() > 0, "{}", l.name);
-        for h in [InterleavedHeuristic::One, InterleavedHeuristic::Two] {
-            let i = compile_interleaved(l, &c.without_l0(), h).unwrap();
-            assert!(simulate_interleaved(&i, &c).total_cycles() > 0, "{}", l.name);
+        for arch in Arch::ALL {
+            let s = compile(l, &c, arch);
+            assert!(
+                simulate_arch(&s, &c, arch).total_cycles() > 0,
+                "{}/{arch}",
+                l.name
+            );
         }
     }
 }
@@ -67,8 +67,8 @@ fn bigger_buffers_never_lose_on_multi_stream_loops() {
         .iter()
         .map(|&e| {
             let c = cfg().with_l0_entries(L0Capacity::Bounded(e));
-            let s = compile_for_l0(&l, &c).unwrap();
-            simulate_unified_l0(&s, &c).total_cycles()
+            let s = compile(&l, &c, Arch::L0);
+            simulate_arch(&s, &c, Arch::L0).total_cycles()
         })
         .collect();
     assert!(
@@ -84,10 +84,10 @@ fn unbounded_matches_or_beats_sixteen_entries() {
     let l = kernels::row_filter("fir6", 6, 96, 4);
     let c16 = cfg().with_l0_entries(L0Capacity::Bounded(16));
     let cu = cfg().with_l0_entries(L0Capacity::Unbounded);
-    let s16 = compile_for_l0(&l, &c16).unwrap();
-    let su = compile_for_l0(&l, &cu).unwrap();
-    let r16 = simulate_unified_l0(&s16, &c16);
-    let ru = simulate_unified_l0(&su, &cu);
+    let s16 = compile(&l, &c16, Arch::L0);
+    let su = compile(&l, &cu, Arch::L0);
+    let r16 = simulate_arch(&s16, &c16, Arch::L0);
+    let ru = simulate_arch(&su, &cu, Arch::L0);
     assert!(ru.total_cycles() <= r16.total_cycles() + r16.total_cycles() / 50);
 }
 
@@ -95,12 +95,14 @@ fn unbounded_matches_or_beats_sixteen_entries() {
 fn simulation_is_deterministic_across_all_architectures() {
     let l = kernels::table_lookup("tbl", 3, 1 << 16, 64, 3);
     let c = cfg();
-    let s = compile_for_l0(&l, &c).unwrap();
-    assert_eq!(simulate_unified_l0(&s, &c), simulate_unified_l0(&s, &c));
-    let m = compile_multivliw(&l, &c.without_l0()).unwrap();
-    assert_eq!(simulate_multivliw(&m, &c), simulate_multivliw(&m, &c));
-    let i = compile_interleaved(&l, &c.without_l0(), InterleavedHeuristic::One).unwrap();
-    assert_eq!(simulate_interleaved(&i, &c), simulate_interleaved(&i, &c));
+    for arch in Arch::ALL {
+        let s = compile(&l, &c, arch);
+        assert_eq!(
+            simulate_arch(&s, &c, arch),
+            simulate_arch(&s, &c, arch),
+            "{arch}"
+        );
+    }
 }
 
 #[test]
@@ -111,22 +113,26 @@ fn schedules_respect_machine_resources_end_to_end() {
         kernels::row_filter("b", 10, 64, 1),
         kernels::stream_pressure("c", 9, 32, 1),
     ] {
-        let s = compile_for_l0(&l, &c).unwrap();
+        let s = compile(&l, &c, Arch::L0);
         s.validate(&c).unwrap_or_else(|e| panic!("{}: {e}", l.name));
-        let b = compile_base(&l, &c.without_l0()).unwrap();
+        let b = compile(&l, &c, Arch::Baseline);
         b.validate(&c).unwrap_or_else(|e| panic!("{}: {e}", l.name));
     }
 }
 
 #[test]
 fn prefetch_distance_two_helps_small_ii_streams() {
-    let l = LoopBuilder::new("tiny-ii").trip_count(256).visits(8).elementwise(2).build();
+    let l = LoopBuilder::new("tiny-ii")
+        .trip_count(256)
+        .visits(8)
+        .elementwise(2)
+        .build();
     let d1 = cfg();
     let d2 = cfg().with_prefetch_distance(2);
-    let s1 = compile_for_l0(&l, &d1).unwrap();
-    let s2 = compile_for_l0(&l, &d2).unwrap();
-    let r1 = simulate_unified_l0(&s1, &d1);
-    let r2 = simulate_unified_l0(&s2, &d2);
+    let s1 = compile(&l, &d1, Arch::L0);
+    let s2 = compile(&l, &d2, Arch::L0);
+    let r1 = simulate_arch(&s1, &d1, Arch::L0);
+    let r2 = simulate_arch(&s2, &d2, Arch::L0);
     assert!(
         r2.stall_cycles < r1.stall_cycles,
         "distance 2 must reduce prefetch-too-late stalls: {} vs {}",
@@ -139,10 +145,14 @@ fn prefetch_distance_two_helps_small_ii_streams() {
 fn flush_on_exit_isolates_visits() {
     // With flushes, every visit cold-starts: stats must show one flush per
     // cluster per visit.
-    let l = LoopBuilder::new("flush").trip_count(64).visits(5).elementwise(2).build();
+    let l = LoopBuilder::new("flush")
+        .trip_count(64)
+        .visits(5)
+        .elementwise(2)
+        .build();
     let c = cfg();
-    let s = compile_for_l0(&l, &c).unwrap();
+    let s = compile(&l, &c, Arch::L0);
     assert!(s.flush_on_exit);
-    let r = simulate_unified_l0(&s, &c);
+    let r = simulate_arch(&s, &c, Arch::L0);
     assert_eq!(r.mem_stats.buffer_flushes, 5 * 4);
 }

@@ -11,7 +11,10 @@ fn pick<'a>(
     suite: &'a [clustered_vliw_l0::workloads::BenchmarkSpec],
     name: &str,
 ) -> &'a clustered_vliw_l0::workloads::BenchmarkSpec {
-    suite.iter().find(|s| s.name == name).expect("benchmark exists")
+    suite
+        .iter()
+        .find(|s| s.name == name)
+        .expect("benchmark exists")
 }
 
 #[test]
@@ -20,9 +23,18 @@ fn g721_wins_big_with_eight_entry_buffers() {
     let spec = pick(&suite, "g721dec");
     let cfg = MachineConfig::micro2003();
     let base = baseline_run(spec, &cfg);
-    let l0 = run_benchmark(spec, &cfg, Arch::L0, L0Options::default(), base.loops.total_cycles());
+    let l0 = run_benchmark(
+        spec,
+        &cfg,
+        Arch::L0,
+        L0Options::default(),
+        base.loops.total_cycles(),
+    );
     let norm = l0.total() as f64 / base.total() as f64;
-    assert!(norm < 0.85, "g721dec normalized {norm:.3} must show a clear win");
+    assert!(
+        norm < 0.85,
+        "g721dec normalized {norm:.3} must show a clear win"
+    );
 }
 
 #[test]
@@ -32,9 +44,18 @@ fn jpegdec_does_not_benefit() {
     let spec = pick(&suite, "jpegdec");
     let cfg = MachineConfig::micro2003();
     let base = baseline_run(spec, &cfg);
-    let l0 = run_benchmark(spec, &cfg, Arch::L0, L0Options::default(), base.loops.total_cycles());
+    let l0 = run_benchmark(
+        spec,
+        &cfg,
+        Arch::L0,
+        L0Options::default(),
+        base.loops.total_cycles(),
+    );
     let norm = l0.total() as f64 / base.total() as f64;
-    assert!(norm > 0.95, "jpegdec normalized {norm:.3} should be ~1.0 or worse");
+    assert!(
+        norm > 0.95,
+        "jpegdec normalized {norm:.3} should be ~1.0 or worse"
+    );
 }
 
 #[test]
@@ -45,9 +66,20 @@ fn eight_entries_beat_two_entries() {
     let big = MachineConfig::micro2003().with_l0_entries(L0Capacity::Bounded(8));
     let small = MachineConfig::micro2003().with_l0_entries(L0Capacity::Bounded(2));
     let base = baseline_run(spec, &big);
-    let r8 = run_benchmark(spec, &big, Arch::L0, L0Options::default(), base.loops.total_cycles());
-    let r2 =
-        run_benchmark(spec, &small, Arch::L0, L0Options::default(), base.loops.total_cycles());
+    let r8 = run_benchmark(
+        spec,
+        &big,
+        Arch::L0,
+        L0Options::default(),
+        base.loops.total_cycles(),
+    );
+    let r2 = run_benchmark(
+        spec,
+        &small,
+        Arch::L0,
+        L0Options::default(),
+        base.loops.total_cycles(),
+    );
     assert!(
         r8.total() <= r2.total(),
         "8 entries ({}) must not lose to 2 ({})",
@@ -63,9 +95,20 @@ fn multivliw_is_close_to_l0_and_interleaved_is_behind() {
     let spec = pick(&suite, "g721enc");
     let cfg = MachineConfig::micro2003();
     let base = baseline_run(spec, &cfg);
-    let l0 = run_benchmark(spec, &cfg, Arch::L0, L0Options::default(), base.loops.total_cycles());
-    let mv =
-        run_benchmark(spec, &cfg, Arch::MultiVliw, L0Options::default(), base.loops.total_cycles());
+    let l0 = run_benchmark(
+        spec,
+        &cfg,
+        Arch::L0,
+        L0Options::default(),
+        base.loops.total_cycles(),
+    );
+    let mv = run_benchmark(
+        spec,
+        &cfg,
+        Arch::MultiVliw,
+        L0Options::default(),
+        base.loops.total_cycles(),
+    );
     let i1 = run_benchmark(
         spec,
         &cfg,
@@ -76,15 +119,21 @@ fn multivliw_is_close_to_l0_and_interleaved_is_behind() {
     let n_l0 = l0.total() as f64 / base.total() as f64;
     let n_mv = mv.total() as f64 / base.total() as f64;
     let n_i1 = i1.total() as f64 / base.total() as f64;
-    assert!((n_l0 - n_mv).abs() < 0.15, "L0 {n_l0:.3} close to MultiVLIW {n_mv:.3}");
-    assert!(n_l0 < n_i1, "L0 {n_l0:.3} beats word-interleaved h1 {n_i1:.3}");
+    assert!(
+        (n_l0 - n_mv).abs() < 0.15,
+        "L0 {n_l0:.3} close to MultiVLIW {n_mv:.3}"
+    );
+    assert!(
+        n_l0 < n_i1,
+        "L0 {n_l0:.3} beats word-interleaved h1 {n_i1:.3}"
+    );
 }
 
 #[test]
 fn table1_stride_shape_holds() {
     for spec in mediabench_suite() {
         let t = spec.table1_stats();
-        match spec.name {
+        match spec.name.as_str() {
             "g721dec" | "g721enc" => assert!(t.good_pct > 95.0, "{}: {t:?}", spec.name),
             "mpeg2dec" => assert!(t.other_pct > 30.0, "{}: {t:?}", spec.name),
             "jpegdec" | "jpegenc" | "pegwitdec" | "pegwitenc" => {
@@ -102,7 +151,7 @@ fn hints_are_legal_across_the_suite() {
     let cfg = MachineConfig::micro2003();
     for spec in mediabench_suite().iter().take(4) {
         for loop_ in &spec.loops {
-            let s = vliw_bench::compile_loop(loop_, &cfg, Arch::L0, L0Options::default());
+            let s = Arch::L0.compile_or_panic(loop_, &cfg, L0Options::default());
             let ii = s.ii() as i64;
             let mem_slots: std::collections::HashSet<(usize, i64)> = s
                 .placements

@@ -1,101 +1,143 @@
-//! Cross-crate property-based tests: randomly generated loops must always
+//! Cross-crate property tests: randomly generated loops must always
 //! produce valid schedules on every architecture, and simulation must be
 //! deterministic and total.
+//!
+//! The loop generator is driven by `vliw-testutil`'s deterministic PRNG
+//! instead of proptest (which is unavailable offline): the same 48 cases
+//! run on every machine, so failures reproduce from the printed case
+//! index.
 
 use clustered_vliw_l0::ir::{LoopBuilder, LoopNest, MemAccess, OpKind, StridePattern};
 use clustered_vliw_l0::machine::{L0Capacity, MachineConfig};
-use clustered_vliw_l0::sched::{compile_base, compile_for_l0};
-use clustered_vliw_l0::sim::{simulate_unified, simulate_unified_l0};
-use proptest::prelude::*;
+use clustered_vliw_l0::sched::{Arch, L0Options};
+use clustered_vliw_l0::sim::simulate_arch;
+use vliw_testutil::Rng;
+
+const CASES: u64 = 48;
 
 /// A random but well-formed loop: a handful of streams with assorted
 /// strides/element sizes, arithmetic in between, and optionally an
 /// aliasing in-place update.
-fn arb_loop() -> impl Strategy<Value = LoopNest> {
-    (
-        1usize..4,                    // streams
-        0usize..6,                    // extra int work
-        prop::sample::select(vec![1u8, 2, 4]), // element size
-        prop_oneof![Just(-1i64), Just(0), Just(1), Just(3)], // stride in elements
-        1u64..6,                      // visits
-        16u64..128,                   // trip count
-        any::<bool>(),                // include an aliasing update
-    )
-        .prop_map(|(streams, work, elem, stride_elems, visits, trip, aliasing)| {
-            let mut b = LoopBuilder::new("prop").trip_count(trip).visits(visits);
-            let out = b.array("out", trip * elem as u64 + 64);
-            let mut val = None;
-            for s in 0..streams {
-                let arr = b.array(format!("in{s}"), (trip + 8) * elem as u64 + 64);
-                let acc = MemAccess {
-                    array: arr,
-                    offset_bytes: 4,
-                    elem_bytes: elem,
-                    stride: StridePattern::Affine {
-                        stride_bytes: stride_elems * elem as i64,
-                    },
-                };
-                let (_, v) = b.load(acc);
-                val = Some(match val {
-                    None => v,
-                    Some(a) => b.alu(OpKind::IntAlu, &[a, v]).1,
-                });
-            }
-            let mut v = val.expect("streams >= 1");
-            for _ in 0..work {
-                v = b.alu(OpKind::IntAlu, &[v]).1;
-            }
-            b.store(MemAccess::unit(out, elem, 0), v);
-            if aliasing {
-                let (ld, prev) = b.load(MemAccess::unit(out, elem, -(elem as i64)));
-                let (_, w) = b.alu(OpKind::IntAlu, &[prev]);
-                let st = b.store(MemAccess::unit(out, elem, 8), w);
-                b.dep_mem(st, ld, 1, false);
-            }
-            b.build()
-        })
+fn random_loop(case: u64) -> LoopNest {
+    let mut rng = Rng::new(case);
+    let streams = rng.range_usize(1, 4);
+    let work = rng.range_usize(0, 6);
+    let elem: u8 = rng.pick(&[1u8, 2, 4]);
+    let stride_elems: i64 = rng.pick(&[-1i64, 0, 1, 3]);
+    let visits = rng.range(1, 6);
+    let trip = rng.range(16, 128);
+    let aliasing = rng.flip();
+
+    let mut b = LoopBuilder::new("prop").trip_count(trip).visits(visits);
+    let out = b.array("out", trip * elem as u64 + 64);
+    let mut val = None;
+    for s in 0..streams {
+        let arr = b.array(format!("in{s}"), (trip + 8) * elem as u64 + 64);
+        let acc = MemAccess {
+            array: arr,
+            offset_bytes: 4,
+            elem_bytes: elem,
+            stride: StridePattern::Affine {
+                stride_bytes: stride_elems * elem as i64,
+            },
+        };
+        let (_, v) = b.load(acc);
+        val = Some(match val {
+            None => v,
+            Some(a) => b.alu(OpKind::IntAlu, &[a, v]).1,
+        });
+    }
+    let mut v = val.expect("streams >= 1");
+    for _ in 0..work {
+        v = b.alu(OpKind::IntAlu, &[v]).1;
+    }
+    b.store(MemAccess::unit(out, elem, 0), v);
+    if aliasing {
+        let (ld, prev) = b.load(MemAccess::unit(out, elem, -(elem as i64)));
+        let (_, w) = b.alu(OpKind::IntAlu, &[prev]);
+        let st = b.store(MemAccess::unit(out, elem, 8), w);
+        b.dep_mem(st, ld, 1, false);
+    }
+    b.build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn random_loops_always_schedule_validly(l in arb_loop()) {
-        let cfg = MachineConfig::micro2003();
-        let base = compile_base(&l, &cfg.without_l0()).expect("baseline schedulable");
-        base.validate(&cfg).expect("baseline valid");
-        let l0 = compile_for_l0(&l, &cfg).expect("L0 schedulable");
-        l0.validate(&cfg).expect("L0 valid");
+#[test]
+fn random_loops_always_schedule_validly() {
+    let cfg = MachineConfig::micro2003();
+    for case in 0..CASES {
+        let l = random_loop(case);
+        let base = Arch::Baseline
+            .compile(&l, &cfg, L0Options::default())
+            .unwrap_or_else(|e| panic!("case {case}: baseline: {e}"));
+        base.validate(&cfg)
+            .unwrap_or_else(|e| panic!("case {case}: baseline valid: {e}"));
+        let l0 = Arch::L0
+            .compile(&l, &cfg, L0Options::default())
+            .unwrap_or_else(|e| panic!("case {case}: L0: {e}"));
+        l0.validate(&cfg)
+            .unwrap_or_else(|e| panic!("case {case}: L0 valid: {e}"));
         // the L0 latency can only relax dependence constraints
-        prop_assert!(l0.ii() <= base.ii() + 1);
+        assert!(
+            l0.ii() <= base.ii() + 1,
+            "case {case}: {} > {} + 1",
+            l0.ii(),
+            base.ii()
+        );
     }
+}
 
-    #[test]
-    fn random_loops_simulate_deterministically(l in arb_loop()) {
-        let cfg = MachineConfig::micro2003();
-        let s = compile_for_l0(&l, &cfg).expect("schedulable");
-        let a = simulate_unified_l0(&s, &cfg);
-        let b = simulate_unified_l0(&s, &cfg);
-        prop_assert_eq!(a, b);
+#[test]
+fn random_loops_simulate_deterministically() {
+    let cfg = MachineConfig::micro2003();
+    for case in 0..CASES {
+        let l = random_loop(case);
+        let s = Arch::L0
+            .compile(&l, &cfg, L0Options::default())
+            .expect("schedulable");
+        let a = simulate_arch(&s, &cfg, Arch::L0);
+        let b = simulate_arch(&s, &cfg, Arch::L0);
+        assert_eq!(a, b, "case {case}");
     }
+}
 
-    #[test]
-    fn stalls_never_make_compute_negative_and_totals_add_up(l in arb_loop()) {
-        let cfg = MachineConfig::micro2003();
-        let base = compile_base(&l, &cfg.without_l0()).expect("schedulable");
-        let r = simulate_unified(&base, &cfg);
-        prop_assert_eq!(r.total_cycles(), r.compute_cycles + r.stall_cycles);
-        prop_assert!(r.compute_cycles >= l.visits * base.compute_cycles_per_visit());
+#[test]
+fn stalls_never_make_compute_negative_and_totals_add_up() {
+    let cfg = MachineConfig::micro2003();
+    for case in 0..CASES {
+        let l = random_loop(case);
+        let base = Arch::Baseline
+            .compile(&l, &cfg, L0Options::default())
+            .expect("schedulable");
+        let r = simulate_arch(&base, &cfg, Arch::Baseline);
+        assert_eq!(
+            r.total_cycles(),
+            r.compute_cycles + r.stall_cycles,
+            "case {case}"
+        );
+        assert!(
+            r.compute_cycles >= l.visits * base.compute_cycles_per_visit(),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn capacity_sweep_is_safe_for_any_loop(l in arb_loop()) {
-        for entries in [L0Capacity::Bounded(2), L0Capacity::Bounded(8), L0Capacity::Unbounded] {
+#[test]
+fn capacity_sweep_is_safe_for_any_loop() {
+    for case in 0..CASES / 4 {
+        let l = random_loop(case);
+        for entries in [
+            L0Capacity::Bounded(2),
+            L0Capacity::Bounded(8),
+            L0Capacity::Unbounded,
+        ] {
             let cfg = MachineConfig::micro2003().with_l0_entries(entries);
-            let s = compile_for_l0(&l, &cfg).expect("schedulable");
-            let r = simulate_unified_l0(&s, &cfg);
-            prop_assert!(r.total_cycles() > 0);
-            prop_assert!(r.mem_stats.l0_hit_rate() >= 0.0 && r.mem_stats.l0_hit_rate() <= 1.0);
+            let s = Arch::L0
+                .compile(&l, &cfg, L0Options::default())
+                .expect("schedulable");
+            let r = simulate_arch(&s, &cfg, Arch::L0);
+            assert!(r.total_cycles() > 0, "case {case} {entries}");
+            let rate = r.mem_stats.l0_hit_rate();
+            assert!((0.0..=1.0).contains(&rate), "case {case} {entries}: {rate}");
         }
     }
 }
