@@ -1,14 +1,53 @@
-//! Generality sweep: the paper notes "all the proposed techniques and
-//! mechanisms can be extended to an architecture with any number of
-//! clusters". This bin runs the L0-vs-baseline comparison on 2-, 4- and
-//! 8-cluster machines (subblock = 32-byte block / N = 16, 8 and 4 bytes).
+//! Cluster-count scaling study: the paper notes "all the proposed
+//! techniques and mechanisms can be extended to an architecture with any
+//! number of clusters", and its 4-cluster machine assumes a flat,
+//! contention-free path to the unified L1. This bin stresses both claims
+//! at once by sweeping N = 2…64 clusters along two variant axes:
+//!
+//! * **flat** — the paper's idealized network extrapolated as-is (the
+//!   generality sweep the seed shipped, extended past 8 clusters);
+//! * **hierarchical** — a banked, port-limited two-level interconnect
+//!   (N/4 banks × 2 ports, 4-cluster tiles, 1-cycle hops) where bank
+//!   contention, not raw latency, grows with the cluster count.
+//!
+//! Per-cluster resources co-scale with N so the study varies *scale*,
+//! not total capacity: the L0 entry budget (32 subblocks, the paper's
+//! 4 × 8) is split N ways, the L1 block grows as 8 B × N to keep 8-byte
+//! subblocks, and the L1 itself grows as 2 KB × N. Contention stalls are
+//! reported per cell and land in the `BENCH_*.json` artifact, which CI
+//! diffs against a checked-in golden grid with `bench-diff`.
 //!
 //! `--json <path>` emits the structured grid result.
 
 use vliw_bench::experiment::{write_json, BinArgs, SweepGrid, Variant};
 use vliw_bench::Arch;
-use vliw_machine::MachineConfig;
+use vliw_machine::{InterconnectConfig, L0Capacity, MachineConfig};
 use vliw_workloads::{kernels, BenchmarkSpec};
+
+/// The cluster counts of the scaling curve.
+const CLUSTER_COUNTS: [usize; 6] = [2, 4, 8, 16, 32, 64];
+
+/// Total L0 entry budget split across clusters (the paper's 4 × 8).
+const L0_ENTRY_BUDGET: usize = 32;
+
+/// An L0 variant at `n` clusters with co-scaled geometry.
+fn scaled(n: usize) -> Variant {
+    Variant::new(Arch::L0)
+        .clusters(n)
+        .l0(L0Capacity::Bounded((L0_ENTRY_BUDGET / n).max(1)))
+        .l1_block_bytes(8 * n)
+        .l1_size_bytes(2 * 1024 * n)
+        .labeled(format!("{n} flat"))
+}
+
+/// The same machine behind a banked, port-limited hierarchical network.
+fn contended(n: usize) -> Variant {
+    scaled(n)
+        .interconnect(
+            InterconnectConfig::hierarchical((n / 4).max(1), 1, 4).with_bank_interleave(8 * n),
+        )
+        .labeled(format!("{n} hier"))
+}
 
 fn main() {
     let args = BinArgs::parse();
@@ -22,23 +61,27 @@ fn main() {
     );
 
     let grid = SweepGrid::new("sweep_clusters", MachineConfig::micro2003(), vec![spec])
-        .with_variants([2usize, 4, 8].map(|n| Variant::new(Arch::L0).clusters(n)));
+        .with_variants(CLUSTER_COUNTS.iter().map(|&n| scaled(n)))
+        .with_variants(CLUSTER_COUNTS.iter().map(|&n| contended(n)));
     let result = grid.run();
 
-    println!("Cluster-count sweep (subblock = 32B block / N):");
+    println!("Cluster-count scaling (per-cluster L0 = 32-entry budget / N, subblock = 8B):");
     println!(
-        "{:>8} {:>9} {:>14} {:>14} {:>12}",
-        "clusters", "subblock", "baseline cyc", "L0 cyc", "normalized"
+        "{:>10} {:>9} {:>14} {:>14} {:>12} {:>11} {:>11}",
+        "variant", "L0/clstr", "baseline cyc", "L0 cyc", "normalized", "cont.stall", "ic queue"
     );
-    let block_bytes = MachineConfig::micro2003().l1.block_bytes;
     for cell in &result.cells {
         println!(
-            "{:>8} {:>8}B {:>14} {:>14} {:>12.3}",
-            cell.clusters,
-            block_bytes / cell.clusters,
+            "{:>10} {:>9} {:>14} {:>14} {:>12.3} {:>11} {:>11}",
+            cell.variant,
+            cell.l0_entries
+                .map(|e| e.to_string().replace(" entries", ""))
+                .unwrap_or_default(),
             cell.baseline_total_cycles,
             cell.total_cycles,
-            cell.normalized
+            cell.normalized,
+            cell.contention_stall_cycles,
+            cell.mem.ic_queue_cycles,
         );
     }
 

@@ -28,6 +28,10 @@ pub struct Cell {
     pub compute_cycles: u64,
     /// Stall cycles (loop portion only; scalar code never stalls).
     pub stall_cycles: u64,
+    /// Of `stall_cycles`, the cycles traceable to interconnect port
+    /// queueing (always 0 on the paper's flat network — nonzero cells are
+    /// the cluster-scaling study's contention signal).
+    pub contention_stall_cycles: u64,
     /// Total cycles of the memoized baseline this cell normalizes to.
     pub baseline_total_cycles: u64,
     /// `total_cycles / baseline_total_cycles` — the paper's normalized
@@ -76,6 +80,7 @@ mod tests {
             total_cycles: 840,
             compute_cycles: 800,
             stall_cycles: 40,
+            contention_stall_cycles: 4,
             baseline_total_cycles: 1000,
             normalized: 0.84,
             normalized_compute: 0.8,
@@ -107,6 +112,7 @@ mod tests {
             "\"benchmark\"",
             "\"normalized\"",
             "\"l0_entries\"",
+            "\"contention_stall_cycles\"",
             "\"mem\"",
         ] {
             assert!(json.contains(key), "{key} missing from {json}");

@@ -36,6 +36,22 @@ impl BinArgs {
     pub fn json_path(&self) -> Option<PathBuf> {
         self.value_of("--json").map(PathBuf::from)
     }
+
+    /// Positional (non-flag) arguments, in order. Every `--flag` consumes
+    /// the token after it as its value (all of the bins' flags do).
+    pub fn positional(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < self.args.len() {
+            if self.args[i].starts_with("--") {
+                i += 2;
+            } else {
+                out.push(self.args[i].as_str());
+                i += 1;
+            }
+        }
+        out
+    }
 }
 
 /// Writes `value` as pretty-printed JSON to `path` and tells the user —
@@ -73,6 +89,16 @@ mod tests {
     fn trailing_flag_without_value_is_none() {
         let args = BinArgs::from_vec(vec!["--json".to_string()]);
         assert_eq!(args.json_path(), None);
+    }
+
+    #[test]
+    fn positional_args_skip_flags_and_their_values() {
+        let args = BinArgs::from_vec(
+            ["a.json", "--threshold", "0.05", "b.json"]
+                .map(String::from)
+                .to_vec(),
+        );
+        assert_eq!(args.positional(), vec!["a.json", "b.json"]);
     }
 
     #[test]

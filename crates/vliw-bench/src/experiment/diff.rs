@@ -1,0 +1,215 @@
+//! Grid-to-grid comparison: the trajectory differ behind the `bench-diff`
+//! bin (ROADMAP "Trajectory tooling").
+//!
+//! Two `BENCH_*.json` runs of the same grid are aligned cell-by-cell on
+//! `(benchmark, variant)` and compared on the paper's normalized
+//! execution time. A positive delta means the *after* run got slower; the
+//! caller supplies the relative threshold above which a slowdown counts
+//! as a regression (CI fails the build on any).
+
+use crate::experiment::GridResult;
+use serde::{Deserialize, Serialize};
+
+/// One aligned cell pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellDelta {
+    /// Row (benchmark) name.
+    pub benchmark: String,
+    /// Column (variant) label.
+    pub variant: String,
+    /// Normalized execution time in the *before* run.
+    pub before: f64,
+    /// Normalized execution time in the *after* run.
+    pub after: f64,
+    /// `after - before` (positive = slower).
+    pub delta: f64,
+    /// `delta / before` (0 when `before` is 0).
+    pub relative: f64,
+}
+
+/// The full comparison of two grid runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridDiff {
+    /// Grid names of the two runs (they need not match; the differ warns
+    /// through [`GridDiff::same_grid`]).
+    pub before_grid: String,
+    /// Name of the *after* grid.
+    pub after_grid: String,
+    /// Aligned cells in the *before* run's order.
+    pub cells: Vec<CellDelta>,
+    /// `(benchmark, variant)` keys present only in the *before* run.
+    pub only_in_before: Vec<(String, String)>,
+    /// `(benchmark, variant)` keys present only in the *after* run.
+    pub only_in_after: Vec<(String, String)>,
+}
+
+impl GridDiff {
+    /// Aligns `after` against `before` on `(benchmark, variant)`.
+    pub fn compare(before: &GridResult, after: &GridResult) -> GridDiff {
+        let key = |b: &str, v: &str| (b.to_string(), v.to_string());
+        let mut cells = Vec::new();
+        let mut only_in_before = Vec::new();
+        let mut matched = std::collections::HashSet::new();
+        for b in &before.cells {
+            match after
+                .cells
+                .iter()
+                .position(|a| a.benchmark == b.benchmark && a.variant == b.variant)
+            {
+                Some(i) => {
+                    matched.insert(i);
+                    let a = &after.cells[i];
+                    let delta = a.normalized - b.normalized;
+                    cells.push(CellDelta {
+                        benchmark: b.benchmark.clone(),
+                        variant: b.variant.clone(),
+                        before: b.normalized,
+                        after: a.normalized,
+                        delta,
+                        relative: if b.normalized == 0.0 {
+                            0.0
+                        } else {
+                            delta / b.normalized
+                        },
+                    });
+                }
+                None => only_in_before.push(key(&b.benchmark, &b.variant)),
+            }
+        }
+        let only_in_after = after
+            .cells
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !matched.contains(i))
+            .map(|(_, a)| key(&a.benchmark, &a.variant))
+            .collect();
+        GridDiff {
+            before_grid: before.grid.clone(),
+            after_grid: after.grid.clone(),
+            cells,
+            only_in_before,
+            only_in_after,
+        }
+    }
+
+    /// `true` when both runs came from the same grid declaration and
+    /// every cell aligned.
+    pub fn same_grid(&self) -> bool {
+        self.before_grid == self.after_grid
+            && self.only_in_before.is_empty()
+            && self.only_in_after.is_empty()
+    }
+
+    /// Cells whose relative slowdown exceeds `threshold` (e.g. `0.02` =
+    /// 2 % slower than before).
+    pub fn regressions(&self, threshold: f64) -> Vec<&CellDelta> {
+        self.cells
+            .iter()
+            .filter(|c| c.relative > threshold)
+            .collect()
+    }
+
+    /// The worst relative slowdown across all aligned cells (negative
+    /// when everything got faster; 0 when nothing aligned).
+    pub fn worst_relative(&self) -> f64 {
+        if self.cells.is_empty() {
+            return 0.0;
+        }
+        self.cells
+            .iter()
+            .map(|c| c.relative)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Renders the comparison as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<12} {:<18} {:>9} {:>9} {:>8} {:>8}\n",
+            "benchmark", "variant", "before", "after", "delta", "rel%"
+        ));
+        for c in &self.cells {
+            out.push_str(&format!(
+                "{:<12} {:<18} {:>9.3} {:>9.3} {:>+8.3} {:>+7.2}%\n",
+                c.benchmark,
+                c.variant,
+                c.before,
+                c.after,
+                c.delta,
+                c.relative * 100.0
+            ));
+        }
+        for (b, v) in &self.only_in_before {
+            out.push_str(&format!("{b:<12} {v:<18} removed in after\n"));
+        }
+        for (b, v) in &self.only_in_after {
+            out.push_str(&format!("{b:<12} {v:<18} new in after\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{SweepGrid, Variant};
+    use vliw_machine::{L0Capacity, MachineConfig};
+    use vliw_sched::Arch;
+    use vliw_workloads::{kernels, BenchmarkSpec};
+
+    fn grid() -> SweepGrid {
+        SweepGrid::new(
+            "diff-test",
+            MachineConfig::micro2003(),
+            vec![BenchmarkSpec::from_kernel(kernels::adpcm_predictor(
+                "pred", 64, 2,
+            ))],
+        )
+        .variant(Variant::new(Arch::L0).l0(L0Capacity::Bounded(4)))
+        .variant(Variant::new(Arch::L0).l0(L0Capacity::Bounded(8)))
+    }
+
+    #[test]
+    fn identical_runs_diff_to_zero() {
+        let r = grid().run();
+        let d = GridDiff::compare(&r, &r);
+        assert!(d.same_grid());
+        assert_eq!(d.cells.len(), 2);
+        assert!(d.cells.iter().all(|c| c.delta == 0.0));
+        assert!(d.regressions(0.0).is_empty(), "zero delta is not > 0");
+        assert_eq!(d.worst_relative(), 0.0);
+    }
+
+    #[test]
+    fn slowdown_beyond_threshold_is_a_regression() {
+        let before = grid().run();
+        let mut after = before.clone();
+        after.cells[1].normalized *= 1.10; // 10 % slower
+        let d = GridDiff::compare(&before, &after);
+        assert_eq!(d.regressions(0.02).len(), 1);
+        assert!(d.regressions(0.15).is_empty());
+        assert!((d.worst_relative() - 0.10).abs() < 1e-9);
+        let table = d.render();
+        assert!(table.contains("benchmark"), "{table}");
+    }
+
+    #[test]
+    fn shape_mismatches_are_reported_not_hidden() {
+        let before = grid().run();
+        let mut after = before.clone();
+        after.cells.pop();
+        let d = GridDiff::compare(&before, &after);
+        assert!(!d.same_grid());
+        assert_eq!(d.only_in_before.len(), 1);
+        assert!(d.only_in_after.is_empty());
+    }
+
+    #[test]
+    fn diff_round_trips_through_json() {
+        let r = grid().run();
+        let d = GridDiff::compare(&r, &r);
+        let json = serde_json::to_string_pretty(&d).unwrap();
+        let back: GridDiff = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, d);
+    }
+}

@@ -1,6 +1,6 @@
 //! Declarative sweep definitions: what to run, not how to run it.
 
-use vliw_machine::{L0Capacity, MachineConfig};
+use vliw_machine::{InterconnectConfig, L0Capacity, MachineConfig};
 use vliw_sched::{Arch, L0Options};
 use vliw_workloads::BenchmarkSpec;
 
@@ -33,6 +33,14 @@ pub struct Variant {
     pub clusters: Option<usize>,
     /// Automatic-prefetch distance override.
     pub prefetch_distance: Option<usize>,
+    /// Cluster ↔ bank interconnect override.
+    pub interconnect: Option<InterconnectConfig>,
+    /// L1 block-size override in bytes (cluster-scaling sweeps keep the
+    /// subblock geometry sane by co-scaling the block with the cluster
+    /// count).
+    pub l1_block_bytes: Option<usize>,
+    /// L1 capacity override in bytes.
+    pub l1_size_bytes: Option<usize>,
     /// L0 compiler options (ablation knobs).
     pub opts: L0Options,
     /// Apply selective inter-loop flushing across the benchmark's loops
@@ -51,6 +59,9 @@ impl Variant {
             l0: None,
             clusters: None,
             prefetch_distance: None,
+            interconnect: None,
+            l1_block_bytes: None,
+            l1_size_bytes: None,
             opts: L0Options::default(),
             selective_flush: false,
             auto_label: true,
@@ -89,6 +100,25 @@ impl Variant {
         self.auto_label(format!("dist {distance}"))
     }
 
+    /// Overrides the cluster ↔ bank interconnect.
+    pub fn interconnect(mut self, ic: InterconnectConfig) -> Self {
+        let label = ic.topology.to_string();
+        self.interconnect = Some(ic);
+        self.auto_label(label)
+    }
+
+    /// Overrides the L1 block size (bytes).
+    pub fn l1_block_bytes(mut self, bytes: usize) -> Self {
+        self.l1_block_bytes = Some(bytes);
+        self
+    }
+
+    /// Overrides the L1 capacity (bytes).
+    pub fn l1_size_bytes(mut self, bytes: usize) -> Self {
+        self.l1_size_bytes = Some(bytes);
+        self
+    }
+
     /// Sets the L0 compiler options.
     pub fn opts(mut self, opts: L0Options) -> Self {
         self.opts = opts;
@@ -117,6 +147,15 @@ impl Variant {
         }
         if let Some(d) = self.prefetch_distance {
             cfg = cfg.with_prefetch_distance(d);
+        }
+        if let Some(ic) = self.interconnect {
+            cfg.interconnect = ic;
+        }
+        if let Some(bytes) = self.l1_block_bytes {
+            cfg.l1.block_bytes = bytes;
+        }
+        if let Some(bytes) = self.l1_size_bytes {
+            cfg.l1.size_bytes = bytes;
         }
         cfg.validate()
             .unwrap_or_else(|e| panic!("variant '{}': {e}", self.label));
@@ -203,6 +242,27 @@ mod tests {
         assert_eq!(cfg.clusters, 8);
         assert_eq!(cfg.l0.unwrap().entries, L0Capacity::Bounded(2));
         assert_eq!(cfg.l0.unwrap().prefetch_distance, 2);
+    }
+
+    #[test]
+    fn variant_interconnect_and_l1_geometry_overrides() {
+        let base = MachineConfig::micro2003();
+        let v = Variant::new(Arch::L0)
+            .clusters(16)
+            .interconnect(InterconnectConfig::hierarchical(4, 2, 4))
+            .l1_block_bytes(128)
+            .l1_size_bytes(32 * 1024);
+        assert_eq!(v.label, "hierarchical", "label tracks the latest knob");
+        let cfg = v.config(&base);
+        assert_eq!(cfg.clusters, 16);
+        assert!(!cfg.interconnect.is_flat());
+        assert_eq!(cfg.l1.block_bytes, 128);
+        assert_eq!(cfg.l1.size_bytes, 32 * 1024);
+        assert_eq!(
+            cfg.subblock_bytes(),
+            8,
+            "co-scaled geometry keeps 8B subblocks"
+        );
     }
 
     #[test]

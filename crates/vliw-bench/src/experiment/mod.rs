@@ -36,12 +36,14 @@
 
 pub mod cell;
 pub mod cli;
+pub mod diff;
 pub mod grid;
 pub mod render;
 pub mod run;
 
 pub use cell::Cell;
 pub use cli::{write_json, BinArgs};
+pub use diff::{CellDelta, GridDiff};
 pub use grid::{SweepGrid, Variant};
 pub use render::render_matrix;
 pub use run::{ExecMode, GridResult};

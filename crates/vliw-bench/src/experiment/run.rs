@@ -157,6 +157,7 @@ fn run_cell(grid: &SweepGrid, bench: usize, variant: &Variant, baseline: &Baseli
         total_cycles: total,
         compute_cycles: compute,
         stall_cycles: run.sim.stall_cycles,
+        contention_stall_cycles: run.sim.contention_stall_cycles,
         baseline_total_cycles: baseline.total,
         normalized: total as f64 / denom,
         normalized_compute: compute as f64 / denom,

@@ -19,7 +19,8 @@
 //! | `ablation_prefetch` | §5.2 in-text: prefetch distance 2 |
 //! | `ablation_coherence` | §4.1: NL0 / 1C / PSR comparison |
 //! | `ablation_flush` | §4.1 future work: selective inter-loop flushing |
-//! | `sweep_clusters` | generality: N = 2/4/8 clusters |
+//! | `sweep_clusters` | scaling study: N = 2…64 clusters, flat vs. contended interconnect |
+//! | `bench-diff` | compares two `BENCH_*.json` runs (CI regression gate) |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

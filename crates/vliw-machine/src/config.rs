@@ -2,6 +2,7 @@
 //! two distributed-cache baselines of §5.3.
 
 use crate::ids::ClusterId;
+use crate::interconnect::InterconnectConfig;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -332,6 +333,9 @@ pub struct MachineConfig {
     pub l1: L1Config,
     /// L2 latency in cycles; the paper's L2 always hits.
     pub l2_latency: u32,
+    /// Cluster ↔ memory-bank interconnect. [`InterconnectConfig::flat`]
+    /// reproduces the paper's contention-free machine bit-exactly.
+    pub interconnect: InterconnectConfig,
 }
 
 impl MachineConfig {
@@ -345,6 +349,15 @@ impl MachineConfig {
             l0: Some(L0Config::default()),
             l1: L1Config::micro2003(),
             l2_latency: 10,
+            interconnect: InterconnectConfig::flat(),
+        }
+    }
+
+    /// Same machine with a different cluster ↔ bank interconnect.
+    pub fn with_interconnect(&self, interconnect: InterconnectConfig) -> Self {
+        MachineConfig {
+            interconnect,
+            ..self.clone()
         }
     }
 
@@ -443,6 +456,7 @@ impl MachineConfig {
         if self.regs_per_cluster == 0 {
             return Err("clusters must have registers".into());
         }
+        self.interconnect.validate()?;
         Ok(())
     }
 }
@@ -490,11 +504,12 @@ impl fmt::Display for MachineConfig {
             "L2 Cache                {} cycle latency, always hits",
             self.l2_latency
         )?;
-        write!(
+        writeln!(
             f,
             "Comm. Buses             {} buses with {}-cycle latency",
             self.buses.count, self.buses.latency
-        )
+        )?;
+        write!(f, "Interconnect            {}", self.interconnect)
     }
 }
 
@@ -592,6 +607,25 @@ mod tests {
         assert!(s.contains("4 clusters"));
         assert!(s.contains("8-byte subblocks"));
         assert!(s.contains("8KB"));
+    }
+
+    #[test]
+    fn default_interconnect_is_flat_and_overridable() {
+        let cfg = MachineConfig::micro2003();
+        assert!(
+            cfg.interconnect.is_flat(),
+            "paper machine is contention-free"
+        );
+        let scaled = cfg.with_interconnect(InterconnectConfig::crossbar(4, 2));
+        assert!(!scaled.interconnect.is_flat());
+        scaled.validate().unwrap();
+        assert_ne!(cfg, scaled, "interconnect participates in config identity");
+    }
+
+    #[test]
+    fn validation_rejects_bad_interconnects() {
+        let cfg = MachineConfig::micro2003().with_interconnect(InterconnectConfig::crossbar(4, 0));
+        assert!(cfg.validate().is_err());
     }
 
     #[test]

@@ -1,0 +1,293 @@
+//! Cluster ↔ memory-bank interconnect configuration.
+//!
+//! The paper's 4-cluster machine assumes every cluster reaches the unified
+//! L1 in a flat, contention-free step (latencies folded into
+//! [`L1Config::latency`](crate::L1Config)). That assumption stops being
+//! defensible past ~8 clusters: shared-L1 manycore clusters show that
+//! bank/port *contention*, not raw latency, dominates at scale. This
+//! module describes the interconnect between clusters and memory banks:
+//! how many banks the backing store is split into, how many requests a
+//! bank accepts per cycle, and how many network hops a request pays as a
+//! function of the cluster ↔ bank distance. The dynamic (queueing) side
+//! lives in `vliw-mem`'s `Interconnect`; see DESIGN.md §6.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Shape of the cluster ↔ bank network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Topology {
+    /// The paper's idealized network: no banking, no port limits, no hop
+    /// latency. Bit-exact with the pre-interconnect simulator — every
+    /// Table 2 / Figure 5 pin runs on this.
+    Flat,
+    /// A single-stage crossbar: every cluster is one hop from every bank;
+    /// banks have a bounded number of ports and queue excess requests.
+    Crossbar,
+    /// A two-level tree: clusters are grouped into tiles of
+    /// [`InterconnectConfig::group_size`]; a bank in the same tile is one
+    /// hop away, a bank in another tile is three (up, across the root,
+    /// down).
+    Hierarchical,
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Topology::Flat => "flat",
+            Topology::Crossbar => "crossbar",
+            Topology::Hierarchical => "hierarchical",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Static description of the cluster ↔ bank interconnect.
+///
+/// Part of [`MachineConfig`](crate::MachineConfig), so it is hashed into
+/// the experiment engine's configuration key and serialized into every
+/// `BENCH_*.json` cell like any other machine parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct InterconnectConfig {
+    /// Network shape.
+    pub topology: Topology,
+    /// Number of independent memory banks the L1 storage is split into.
+    /// Ignored (treated as 1 ideal bank) under [`Topology::Flat`].
+    pub banks: usize,
+    /// Requests one bank accepts per cycle; excess requests queue and are
+    /// drained in round-robin order. Ignored under [`Topology::Flat`].
+    pub ports_per_bank: usize,
+    /// Cycles one network hop costs (paid in both directions).
+    pub hop_latency: u32,
+    /// Clusters per tile for [`Topology::Hierarchical`] (ignored by the
+    /// other topologies).
+    pub group_size: usize,
+    /// Byte granularity at which consecutive addresses rotate across
+    /// banks (the L1 block size is the natural choice: one block lives
+    /// entirely in one bank).
+    pub bank_interleave_bytes: usize,
+}
+
+impl InterconnectConfig {
+    /// The paper's flat, contention-free network (the default; keeps the
+    /// 4-cluster configuration bit-exact with the original simulator).
+    pub fn flat() -> Self {
+        InterconnectConfig {
+            topology: Topology::Flat,
+            banks: 1,
+            ports_per_bank: 1,
+            hop_latency: 0,
+            group_size: 4,
+            bank_interleave_bytes: 32,
+        }
+    }
+
+    /// A single-stage crossbar with `banks` banks of `ports_per_bank`
+    /// ports each and 1-cycle hops.
+    pub fn crossbar(banks: usize, ports_per_bank: usize) -> Self {
+        InterconnectConfig {
+            topology: Topology::Crossbar,
+            banks,
+            ports_per_bank,
+            hop_latency: 1,
+            group_size: 4,
+            bank_interleave_bytes: 32,
+        }
+    }
+
+    /// A two-level tree of `group_size`-cluster tiles over `banks` banks.
+    pub fn hierarchical(banks: usize, ports_per_bank: usize, group_size: usize) -> Self {
+        InterconnectConfig {
+            topology: Topology::Hierarchical,
+            banks,
+            ports_per_bank,
+            hop_latency: 1,
+            group_size,
+            bank_interleave_bytes: 32,
+        }
+    }
+
+    /// Same network with a different per-hop latency.
+    pub fn with_hop_latency(mut self, cycles: u32) -> Self {
+        self.hop_latency = cycles;
+        self
+    }
+
+    /// Same network with a different bank-interleave granularity.
+    pub fn with_bank_interleave(mut self, bytes: usize) -> Self {
+        self.bank_interleave_bytes = bytes;
+        self
+    }
+
+    /// `true` for the idealized contention-free network.
+    pub fn is_flat(&self) -> bool {
+        self.topology == Topology::Flat
+    }
+
+    /// The bank that services `addr`.
+    pub fn bank_of(&self, addr: u64) -> usize {
+        if self.is_flat() || self.banks <= 1 {
+            0
+        } else {
+            ((addr as usize) / self.bank_interleave_bytes) % self.banks
+        }
+    }
+
+    /// The tile a cluster belongs to under the hierarchical topology.
+    pub fn group_of_cluster(&self, cluster: usize) -> usize {
+        cluster / self.group_size.max(1)
+    }
+
+    /// The tile a bank is attached to: banks are spread evenly over the
+    /// cluster tiles (`n_clusters` tells the mapping how many tiles there
+    /// are).
+    pub fn group_of_bank(&self, bank: usize, n_clusters: usize) -> usize {
+        let groups = n_clusters.div_ceil(self.group_size.max(1)).max(1);
+        bank % groups
+    }
+
+    /// Network hops between `cluster` and `bank` (one direction).
+    pub fn hops(&self, cluster: usize, bank: usize, n_clusters: usize) -> u32 {
+        match self.topology {
+            Topology::Flat => 0,
+            Topology::Crossbar => 1,
+            Topology::Hierarchical => {
+                if self.group_of_cluster(cluster) == self.group_of_bank(bank, n_clusters) {
+                    1
+                } else {
+                    3
+                }
+            }
+        }
+    }
+
+    /// Network hops between two *clusters* (one direction) — the distance
+    /// snoops, cache-to-cache transfers and remote-word accesses pay in
+    /// the distributed models, where the target structure is co-located
+    /// with a cluster rather than being an interleaved bank.
+    pub fn cluster_hops(&self, from: usize, to: usize) -> u32 {
+        match self.topology {
+            Topology::Flat => 0,
+            Topology::Crossbar => 1,
+            Topology::Hierarchical => {
+                if self.group_of_cluster(from) == self.group_of_cluster(to) {
+                    1
+                } else {
+                    3
+                }
+            }
+        }
+    }
+
+    /// Cycles one direction of the cluster → bank traversal costs.
+    pub fn hop_cycles(&self, cluster: usize, bank: usize, n_clusters: usize) -> u64 {
+        self.hops(cluster, bank, n_clusters) as u64 * self.hop_latency as u64
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.is_flat() {
+            return Ok(());
+        }
+        if self.banks == 0 {
+            return Err("interconnect must have at least one bank".into());
+        }
+        if self.ports_per_bank == 0 {
+            return Err("interconnect banks must have at least one port".into());
+        }
+        if self.bank_interleave_bytes == 0 {
+            return Err("bank interleave granularity must be nonzero".into());
+        }
+        if self.topology == Topology::Hierarchical && self.group_size == 0 {
+            return Err("hierarchical interconnect needs a nonzero group size".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for InterconnectConfig {
+    fn default() -> Self {
+        InterconnectConfig::flat()
+    }
+}
+
+impl fmt::Display for InterconnectConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_flat() {
+            write!(f, "flat (ideal, contention-free)")
+        } else {
+            write!(
+                f,
+                "{} with {} banks x {} ports, {}-cycle hops",
+                self.topology, self.banks, self.ports_per_bank, self.hop_latency
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_is_free_everywhere() {
+        let ic = InterconnectConfig::flat();
+        assert!(ic.is_flat());
+        assert_eq!(ic.bank_of(0xdead_beef), 0);
+        assert_eq!(ic.hop_cycles(7, 3, 16), 0);
+        ic.validate().unwrap();
+    }
+
+    #[test]
+    fn crossbar_is_one_hop_uniform() {
+        let ic = InterconnectConfig::crossbar(4, 2);
+        assert_eq!(ic.hops(0, 0, 16), 1);
+        assert_eq!(ic.hops(15, 3, 16), 1);
+        ic.validate().unwrap();
+    }
+
+    #[test]
+    fn hierarchical_distance_depends_on_tiles() {
+        // 16 clusters in tiles of 4 -> 4 tiles; 4 banks, one per tile.
+        let ic = InterconnectConfig::hierarchical(4, 1, 4);
+        assert_eq!(ic.group_of_cluster(0), 0);
+        assert_eq!(ic.group_of_cluster(5), 1);
+        assert_eq!(ic.group_of_bank(2, 16), 2);
+        assert_eq!(ic.hops(0, 0, 16), 1, "same tile");
+        assert_eq!(ic.hops(0, 2, 16), 3, "cross tile pays the root");
+        assert!(ic.hop_cycles(0, 2, 16) > ic.hop_cycles(0, 0, 16));
+    }
+
+    #[test]
+    fn cluster_to_cluster_distance_uses_tiles_not_bank_indices() {
+        let ic = InterconnectConfig::hierarchical(4, 1, 4);
+        assert_eq!(ic.cluster_hops(0, 3), 1, "clusters 0 and 3 share tile 0");
+        assert_eq!(ic.cluster_hops(0, 4), 3, "cluster 4 is in tile 1");
+        assert_eq!(ic.cluster_hops(15, 12), 1, "tile 3 internally");
+        assert_eq!(InterconnectConfig::crossbar(4, 1).cluster_hops(0, 7), 1);
+        assert_eq!(InterconnectConfig::flat().cluster_hops(0, 7), 0);
+    }
+
+    #[test]
+    fn banks_rotate_at_block_granularity() {
+        let ic = InterconnectConfig::crossbar(4, 1);
+        assert_eq!(ic.bank_of(0), 0);
+        assert_eq!(ic.bank_of(31), 0);
+        assert_eq!(ic.bank_of(32), 1);
+        assert_eq!(ic.bank_of(4 * 32), 0);
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_networks() {
+        let mut ic = InterconnectConfig::crossbar(0, 1);
+        assert!(ic.validate().is_err());
+        ic = InterconnectConfig::crossbar(4, 0);
+        assert!(ic.validate().is_err());
+        ic = InterconnectConfig::hierarchical(4, 1, 0);
+        assert!(ic.validate().is_err());
+    }
+}

@@ -43,6 +43,7 @@
 pub mod config;
 pub mod hints;
 pub mod ids;
+pub mod interconnect;
 
 pub use config::{
     BusConfig, FuKind, FuMix, L0Capacity, L0Config, L1Config, MachineConfig, MultiVliwConfig,
@@ -50,3 +51,4 @@ pub use config::{
 };
 pub use hints::{AccessHint, MappingHint, MemHints, PrefetchHint};
 pub use ids::ClusterId;
+pub use interconnect::{InterconnectConfig, Topology};

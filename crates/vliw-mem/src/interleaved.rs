@@ -10,10 +10,11 @@
 //! structure with the flexible L0 buffers.
 
 use crate::cache::SetAssocCache;
+use crate::interconnect::Interconnect;
 use crate::request::{MemReply, MemRequest, ReqKind, ServicedBy};
 use crate::stats::MemStats;
 use crate::MemoryModel;
-use vliw_machine::{ClusterId, MachineConfig, WordInterleavedConfig};
+use vliw_machine::{ClusterId, InterconnectConfig, MachineConfig, WordInterleavedConfig};
 
 /// One attraction-buffer entry: a remotely-mapped word.
 #[derive(Debug, Clone, Copy)]
@@ -107,18 +108,35 @@ pub struct WordInterleavedMem {
     n_clusters: usize,
     banks: Vec<SetAssocCache<()>>,
     attraction: Vec<AttractionBuffer>,
+    ic: Interconnect,
     stats: MemStats,
 }
 
 impl WordInterleavedMem {
     /// Builds the word-interleaved memory for `machine` with the default
-    /// parameters.
+    /// parameters and the machine's interconnect.
     pub fn new(machine: &MachineConfig) -> Self {
-        Self::with_config(machine.clusters, WordInterleavedConfig::micro2003())
+        Self::with_network(
+            machine.clusters,
+            WordInterleavedConfig::micro2003(),
+            machine.interconnect,
+        )
     }
 
-    /// Builds with explicit parameters.
+    /// Builds with explicit parameters on the paper's flat network.
     pub fn with_config(clusters: usize, cfg: WordInterleavedConfig) -> Self {
+        Self::with_network(clusters, cfg, InterconnectConfig::flat())
+    }
+
+    /// Builds with explicit parameters and network. Remote word traffic
+    /// rides the interconnect cluster-to-cluster (the cache module is
+    /// co-located with its home cluster) and queues on the home tile's
+    /// bank port.
+    pub fn with_network(
+        clusters: usize,
+        cfg: WordInterleavedConfig,
+        net: InterconnectConfig,
+    ) -> Self {
         WordInterleavedMem {
             cfg,
             n_clusters: clusters,
@@ -134,6 +152,7 @@ impl WordInterleavedMem {
             attraction: (0..clusters)
                 .map(|_| AttractionBuffer::new(cfg.attraction_entries, cfg.word_bytes as u64))
                 .collect(),
+            ic: Interconnect::new(clusters, net),
             stats: MemStats::default(),
         }
     }
@@ -177,10 +196,7 @@ impl WordInterleavedMem {
 impl MemoryModel for WordInterleavedMem {
     fn access(&mut self, req: &MemRequest) -> MemReply {
         if matches!(req.kind, ReqKind::Prefetch | ReqKind::StoreReplica) {
-            return MemReply {
-                ready_at: req.cycle + 1,
-                serviced_by: ServicedBy::L1,
-            };
+            return MemReply::new(req.cycle + 1, ServicedBy::L1);
         }
         self.stats.accesses += 1;
         let me = req.cluster.index();
@@ -190,10 +206,10 @@ impl MemoryModel for WordInterleavedMem {
         if owner == me {
             self.stats.local_accesses += 1;
             let (lat, hit) = self.bank_access(owner, req.addr, req.cycle);
-            return MemReply {
-                ready_at: req.cycle + lat,
-                serviced_by: if hit { ServicedBy::L1 } else { ServicedBy::L2 },
-            };
+            return MemReply::new(
+                req.cycle + lat,
+                if hit { ServicedBy::L1 } else { ServicedBy::L2 },
+            );
         }
 
         // Remotely-mapped word.
@@ -209,37 +225,46 @@ impl MemoryModel for WordInterleavedMem {
                 }
             }
             self.attraction[me].probe(req.addr, req.cycle); // refresh if present
+            let (overhead, queue) =
+                self.ic
+                    .cluster_overhead(&mut self.stats, req.cluster, owner, req.cycle);
             let bus_round =
                 2 * (self.cfg.remote_latency as u64 - self.cfg.local_latency as u64) / 2;
-            return MemReply {
-                ready_at: req.cycle + lat + bus_round,
-                serviced_by: ServicedBy::Remote,
-            };
+            return MemReply::new(req.cycle + lat + bus_round + overhead, ServicedBy::Remote)
+                .with_queue(queue);
         }
 
         // Remote load: attraction buffer first.
         if let Some(ready) = self.attraction[me].probe(req.addr, req.cycle) {
             self.stats.l0_hits += 1;
-            return MemReply {
-                ready_at: ready.max(req.cycle) + self.cfg.attraction_latency as u64,
-                serviced_by: ServicedBy::L0,
-            };
+            return MemReply::new(
+                ready.max(req.cycle) + self.cfg.attraction_latency as u64,
+                ServicedBy::L0,
+            );
         }
         self.stats.l0_misses += 1;
         self.stats.remote_accesses += 1;
         let (bank_lat, hit) = self.bank_access(owner, req.addr, req.cycle);
         // bus to the remote bank and back
         let bus_round = self.cfg.remote_latency as u64 - self.cfg.local_latency as u64;
-        let ready = req.cycle + bank_lat + bus_round;
+        let (overhead, queue) =
+            self.ic
+                .cluster_overhead(&mut self.stats, req.cluster, owner, req.cycle);
+        let ready = req.cycle + bank_lat + bus_round + overhead;
         self.attraction[me].insert(req.addr, req.cycle, ready);
-        MemReply {
-            ready_at: ready,
-            serviced_by: if hit {
+        MemReply::new(
+            ready,
+            if hit {
                 ServicedBy::Remote
             } else {
                 ServicedBy::L2
             },
-        }
+        )
+        .with_queue(queue)
+    }
+
+    fn tick(&mut self, cycle: u64) {
+        self.ic.tick(cycle);
     }
 
     fn stats(&self) -> &MemStats {

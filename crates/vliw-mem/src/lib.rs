@@ -16,6 +16,15 @@
 //! (L0 hit rates, linear vs. interleaved subblock mix, local/remote access
 //! counts, ...).
 //!
+//! All four models route refill/snoop/remote traffic through a shared
+//! [`Interconnect`] (per-bank request queues, port-limited grants,
+//! distance-dependent hop latency — see DESIGN.md §6). The default
+//! [`InterconnectConfig`](vliw_machine::InterconnectConfig) is the
+//! paper's flat, contention-free network, under which every route is a
+//! zero-cost no-op and the models are bit-exact with their
+//! pre-interconnect behaviour; banked topologies add queueing that the
+//! simulator surfaces as contention stalls.
+//!
 //! # Example
 //!
 //! ```
@@ -38,6 +47,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod interconnect;
 pub mod interleaved;
 pub mod l0;
 pub mod multivliw;
@@ -46,6 +56,7 @@ pub mod stats;
 pub mod unified;
 
 pub use cache::SetAssocCache;
+pub use interconnect::{Interconnect, Route};
 pub use interleaved::WordInterleavedMem;
 pub use l0::{L0Buffer, L0LookupResult};
 pub use multivliw::MultiVliwMem;
@@ -68,6 +79,11 @@ pub trait MemoryModel {
     /// every entry of its L0-like structure). No-op for models without
     /// per-cluster buffers.
     fn invalidate_buffers(&mut self, _cluster: ClusterId, _cycle: u64) {}
+
+    /// Advances the model's interconnect to `cycle` (prunes arbitration
+    /// state that can no longer matter). The runner calls this once per
+    /// drained issue cycle; models without an interconnect ignore it.
+    fn tick(&mut self, _cycle: u64) {}
 
     /// Statistics accumulated so far.
     fn stats(&self) -> &MemStats;

@@ -10,10 +10,11 @@
 //! cache-to-cache transfer 6 cycles, L2 miss 10 cycles.
 
 use crate::cache::SetAssocCache;
+use crate::interconnect::Interconnect;
 use crate::request::{MemReply, MemRequest, ReqKind, ServicedBy};
 use crate::stats::MemStats;
 use crate::MemoryModel;
-use vliw_machine::{MachineConfig, MultiVliwConfig};
+use vliw_machine::{InterconnectConfig, MachineConfig, MultiVliwConfig};
 
 /// MSI protocol states (Invalid = not resident).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,23 +28,38 @@ enum Msi {
 pub struct MultiVliwMem {
     cfg: MultiVliwConfig,
     banks: Vec<SetAssocCache<Msi>>,
+    ic: Interconnect,
     stats: MemStats,
 }
 
 impl MultiVliwMem {
     /// Builds the MultiVLIW memory for a machine with `machine.clusters`
-    /// clusters using the default latency parameters.
+    /// clusters using the default latency parameters and the machine's
+    /// interconnect.
     pub fn new(machine: &MachineConfig) -> Self {
-        Self::with_config(machine.clusters, MultiVliwConfig::micro2003())
+        Self::with_network(
+            machine.clusters,
+            MultiVliwConfig::micro2003(),
+            machine.interconnect,
+        )
     }
 
-    /// Builds with explicit parameters.
+    /// Builds with explicit parameters on the paper's flat network.
     pub fn with_config(clusters: usize, cfg: MultiVliwConfig) -> Self {
+        Self::with_network(clusters, cfg, InterconnectConfig::flat())
+    }
+
+    /// Builds with explicit parameters and network. Snoop traffic between
+    /// clusters rides the interconnect cluster-to-cluster (the L1 bank is
+    /// co-located with its cluster) and queues on the target tile's bank
+    /// port.
+    pub fn with_network(clusters: usize, cfg: MultiVliwConfig, net: InterconnectConfig) -> Self {
         MultiVliwMem {
             cfg,
             banks: (0..clusters)
                 .map(|_| SetAssocCache::new(cfg.bank_bytes, cfg.block_bytes, cfg.associativity))
                 .collect(),
+            ic: Interconnect::new(clusters, net),
             stats: MemStats::default(),
         }
     }
@@ -61,15 +77,13 @@ impl MemoryModel for MultiVliwMem {
         // L0-specific request kinds degenerate: MultiVLIW has no
         // compiler-managed buffers.
         if matches!(req.kind, ReqKind::Prefetch | ReqKind::StoreReplica) {
-            return MemReply {
-                ready_at: req.cycle + 1,
-                serviced_by: ServicedBy::L1,
-            };
+            return MemReply::new(req.cycle + 1, ServicedBy::L1);
         }
         self.stats.accesses += 1;
         let me = req.cluster.index();
         let is_store = req.kind == ReqKind::Store;
         let local = self.banks[me].lookup(req.addr, req.cycle);
+        let mut queue = 0;
 
         let (latency, serviced) = match (local, is_store) {
             (Some(_), false) => {
@@ -84,33 +98,66 @@ impl MemoryModel for MultiVliwMem {
                 (self.cfg.local_latency as u64, ServicedBy::L1)
             }
             (Some(Msi::Shared), true) => {
-                // upgrade: invalidate other sharers over the snoop bus
+                // upgrade: invalidate other sharers over the snoop bus;
+                // the farthest sharer bounds the acknowledgement time
                 let holders = self.holders(me, req.addr);
+                let mut overhead = 0;
                 for h in &holders {
                     self.banks[*h].invalidate(req.addr);
                     self.stats.invalidations += 1;
+                    let (o, q) =
+                        self.ic
+                            .cluster_overhead(&mut self.stats, req.cluster, *h, req.cycle);
+                    overhead = overhead.max(o);
+                    queue = queue.max(q);
                 }
                 self.banks[me].set_state(req.addr, Msi::Modified);
                 self.stats.local_accesses += 1;
                 self.stats.l1_hits += 1;
-                (self.cfg.remote_latency as u64, ServicedBy::L1)
+                (self.cfg.remote_latency as u64 + overhead, ServicedBy::L1)
             }
             (None, _) => {
                 // miss: snoop remote banks, else L2
                 let holders = self.holders(me, req.addr);
                 let (latency, serviced) = if holders.is_empty() {
                     self.stats.l1_misses += 1;
-                    // bank probe + L2 round trip, matching the unified
-                    // hierarchy's miss path cost
+                    // bank probe + L2 round trip over the network, matching
+                    // the unified hierarchy's miss path cost on the flat
+                    // configuration
+                    let (overhead, q) =
+                        self.ic
+                            .memory_overhead(&mut self.stats, req.cluster, req.addr, req.cycle);
+                    queue = q;
                     (
-                        self.cfg.local_latency as u64 + self.cfg.l2_latency as u64,
+                        self.cfg.local_latency as u64 + self.cfg.l2_latency as u64 + overhead,
                         ServicedBy::L2,
                     )
                 } else {
                     self.stats.c2c_transfers += 1;
                     self.stats.remote_accesses += 1;
                     self.stats.l1_hits += 1;
-                    (self.cfg.remote_latency as u64, ServicedBy::Remote)
+                    // the cache-to-cache transfer comes from the first
+                    // holder's bank over the network; for RWITM the other
+                    // sharers' invalidations cross it too, and the
+                    // farthest acknowledgement bounds completion (same
+                    // accounting as the S -> M upgrade path)
+                    let mut overhead = 0;
+                    let snoop_targets = if is_store {
+                        &holders[..]
+                    } else {
+                        &holders[..1]
+                    };
+                    for h in snoop_targets {
+                        let (o, q) =
+                            self.ic
+                                .cluster_overhead(&mut self.stats, req.cluster, *h, req.cycle);
+                        overhead = overhead.max(o);
+                        queue = queue.max(q);
+                    }
+                    (
+                        self.cfg.remote_latency as u64 + overhead,
+                        ServicedBy::Remote,
+                    )
                 };
                 if is_store {
                     // RWITM: everyone else invalidates
@@ -129,10 +176,11 @@ impl MemoryModel for MultiVliwMem {
                 (latency, serviced)
             }
         };
-        MemReply {
-            ready_at: req.cycle + latency,
-            serviced_by: serviced,
-        }
+        MemReply::new(req.cycle + latency, serviced).with_queue(queue)
+    }
+
+    fn tick(&mut self, cycle: u64) {
+        self.ic.tick(cycle);
     }
 
     fn stats(&self) -> &MemStats {

@@ -96,6 +96,27 @@ pub struct MemReply {
     pub ready_at: u64,
     /// Which level serviced the request.
     pub serviced_by: ServicedBy,
+    /// Of the cycles until `ready_at`, how many were spent queued behind
+    /// interconnect bank ports (0 on the paper's flat network). The
+    /// runner uses this to attribute pipeline stalls to contention.
+    pub queue_cycles: u64,
+}
+
+impl MemReply {
+    /// A reply serviced with no interconnect queueing.
+    pub fn new(ready_at: u64, serviced_by: ServicedBy) -> Self {
+        MemReply {
+            ready_at,
+            serviced_by,
+            queue_cycles: 0,
+        }
+    }
+
+    /// Annotates the reply with interconnect queueing cycles.
+    pub fn with_queue(mut self, queue_cycles: u64) -> Self {
+        self.queue_cycles = queue_cycles;
+        self
+    }
 }
 
 #[cfg(test)]

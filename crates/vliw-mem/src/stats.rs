@@ -38,6 +38,14 @@ pub struct MemStats {
     pub invalidations: u64,
     /// `invalidate_buffer` instructions executed.
     pub buffer_flushes: u64,
+    /// Requests routed through a non-flat interconnect.
+    pub ic_requests: u64,
+    /// Cycles requests spent queued behind interconnect bank ports (the
+    /// contention signal of the cluster-scaling study; 0 on the paper's
+    /// flat network).
+    pub ic_queue_cycles: u64,
+    /// Cycles requests spent traversing interconnect hops (both ways).
+    pub ic_hop_cycles: u64,
 }
 
 impl MemStats {
@@ -99,6 +107,26 @@ impl MemStats {
         self.c2c_transfers += other.c2c_transfers;
         self.invalidations += other.invalidations;
         self.buffer_flushes += other.buffer_flushes;
+        self.ic_requests += other.ic_requests;
+        self.ic_queue_cycles += other.ic_queue_cycles;
+        self.ic_hop_cycles += other.ic_hop_cycles;
+    }
+
+    /// Mean cycles of interconnect queueing per routed request (0 when
+    /// nothing was routed).
+    pub fn ic_queue_per_request(&self) -> f64 {
+        if self.ic_requests == 0 {
+            0.0
+        } else {
+            self.ic_queue_cycles as f64 / self.ic_requests as f64
+        }
+    }
+
+    /// Records one interconnect route outcome.
+    pub fn record_route(&mut self, route: &crate::interconnect::Route) {
+        self.ic_requests += 1;
+        self.ic_queue_cycles += route.queue_cycles;
+        self.ic_hop_cycles += route.hop_cycles;
     }
 }
 

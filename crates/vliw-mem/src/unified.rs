@@ -2,26 +2,46 @@
 //! paper's proposal with them.
 
 use crate::cache::SetAssocCache;
+use crate::interconnect::Interconnect;
 use crate::l0::{Entry, EntryMapping, L0Buffer, L0LookupResult, PrefetchAction};
 use crate::request::{MemReply, MemRequest, ReqKind, ServicedBy};
 use crate::stats::MemStats;
 use crate::MemoryModel;
 use vliw_machine::{AccessHint, ClusterId, MachineConfig, MappingHint, PrefetchHint};
 
-/// Shared L1 + L2 timing: probes the unified L1 and returns
-/// `(latency, hit)`, allocating on miss.
+/// Shared L1 + L2 timing: routes the request over the interconnect to the
+/// bank owning `addr`, probes the unified L1 (allocating on miss) and
+/// returns `(latency_from_cycle, hit, queue_cycles)`.
+///
+/// On the flat network the route is free and the timing is exactly the
+/// pre-interconnect `L1 latency (+ L2 on miss)`; otherwise the request
+/// additionally pays forward hops, port queueing at the bank, and return
+/// hops.
 fn l1_access(
     l1: &mut SetAssocCache<()>,
+    ic: &mut Interconnect,
+    stats: &mut MemStats,
     cfg: &MachineConfig,
+    cluster: ClusterId,
     addr: u64,
     cycle: u64,
-) -> (u64, bool) {
-    if l1.lookup(addr, cycle).is_some() {
+) -> (u64, bool, u64) {
+    let route = ic.route(cluster, addr, cycle);
+    if !ic.is_flat() {
+        stats.record_route(&route);
+    }
+    let (service, hit) = if l1.lookup(addr, route.bank_start).is_some() {
         (cfg.l1.latency as u64, true)
     } else {
-        l1.insert(addr, (), cycle);
+        l1.insert(addr, (), route.bank_start);
         (cfg.l1.latency as u64 + cfg.l2_latency as u64, false)
-    }
+    };
+    let return_hops = route.hop_cycles / 2;
+    (
+        (route.bank_start - cycle) + service + return_hops,
+        hit,
+        route.queue_cycles,
+    )
 }
 
 /// Per-cluster bus to the unified L1: one request slot per cycle; a busy
@@ -75,6 +95,7 @@ pub struct UnifiedL1 {
     cfg: MachineConfig,
     l1: SetAssocCache<()>,
     buses: ClusterBuses,
+    ic: Interconnect,
     stats: MemStats,
 }
 
@@ -86,6 +107,7 @@ impl UnifiedL1 {
             cfg: cfg.clone(),
             l1: SetAssocCache::new(cfg.l1.size_bytes, cfg.l1.block_bytes, cfg.l1.associativity),
             buses: ClusterBuses::new(cfg.clusters),
+            ic: Interconnect::new(cfg.clusters, cfg.interconnect),
             stats: MemStats::default(),
         }
     }
@@ -96,25 +118,35 @@ impl MemoryModel for UnifiedL1 {
         match req.kind {
             ReqKind::Prefetch | ReqKind::StoreReplica => {
                 // No L0 buffers: prefetches/replicas degenerate to no-ops.
-                return MemReply {
-                    ready_at: req.cycle + 1,
-                    serviced_by: ServicedBy::L1,
-                };
+                return MemReply::new(req.cycle + 1, ServicedBy::L1);
             }
             ReqKind::Load | ReqKind::Store => {}
         }
         self.stats.accesses += 1;
         let start = self.buses.acquire(req.cluster, req.cycle);
-        let (lat, hit) = l1_access(&mut self.l1, &self.cfg, req.addr, start);
+        let (lat, hit, queue) = l1_access(
+            &mut self.l1,
+            &mut self.ic,
+            &mut self.stats,
+            &self.cfg,
+            req.cluster,
+            req.addr,
+            start,
+        );
         if hit {
             self.stats.l1_hits += 1;
         } else {
             self.stats.l1_misses += 1;
         }
-        MemReply {
-            ready_at: start + lat,
-            serviced_by: if hit { ServicedBy::L1 } else { ServicedBy::L2 },
-        }
+        MemReply::new(
+            start + lat,
+            if hit { ServicedBy::L1 } else { ServicedBy::L2 },
+        )
+        .with_queue(queue)
+    }
+
+    fn tick(&mut self, cycle: u64) {
+        self.ic.tick(cycle);
     }
 
     fn stats(&self) -> &MemStats {
@@ -134,6 +166,7 @@ pub struct UnifiedWithL0 {
     l0: Vec<L0Buffer>,
     l1: SetAssocCache<()>,
     buses: ClusterBuses,
+    ic: Interconnect,
     stats: MemStats,
 }
 
@@ -154,6 +187,7 @@ impl UnifiedWithL0 {
                 .collect(),
             l1: SetAssocCache::new(cfg.l1.size_bytes, cfg.l1.block_bytes, cfg.l1.associativity),
             buses: ClusterBuses::new(cfg.clusters),
+            ic: Interconnect::new(cfg.clusters, cfg.interconnect),
             stats: MemStats::default(),
         }
     }
@@ -169,7 +203,8 @@ impl UnifiedWithL0 {
     }
 
     /// Fills subblock(s) for a load/prefetch miss according to the mapping
-    /// hint. Returns the cycle the data is available.
+    /// hint. Returns the cycle the data is available and the interconnect
+    /// queueing the refill suffered.
     fn fill(
         &mut self,
         cluster: ClusterId,
@@ -178,9 +213,17 @@ impl UnifiedWithL0 {
         mapping: MappingHint,
         prefetch: PrefetchHint,
         cycle: u64,
-    ) -> u64 {
+    ) -> (u64, u64) {
         let start = self.buses.acquire(cluster, cycle);
-        let (l1_lat, l1_hit) = l1_access(&mut self.l1, &self.cfg, addr, start);
+        let (l1_lat, l1_hit, queue) = l1_access(
+            &mut self.l1,
+            &mut self.ic,
+            &mut self.stats,
+            &self.cfg,
+            cluster,
+            addr,
+            start,
+        );
         if l1_hit {
             self.stats.l1_hits += 1;
         } else {
@@ -201,7 +244,7 @@ impl UnifiedWithL0 {
                     elem_bytes: size,
                 });
                 self.stats.linear_subblocks += 1;
-                ready
+                (ready, queue)
             }
             MappingHint::Interleaved => {
                 // Whole block fetched, shuffled (+1 cycle), and dealt to
@@ -229,7 +272,7 @@ impl UnifiedWithL0 {
                     });
                     self.stats.interleaved_subblocks += 1;
                 }
-                ready
+                (ready, queue)
             }
         }
     }
@@ -278,7 +321,7 @@ impl UnifiedWithL0 {
                 continue; // already resident or in flight
             }
             self.stats.hint_prefetches += 1;
-            self.fill(
+            let _ = self.fill(
                 cluster,
                 target,
                 action.elem_bytes,
@@ -299,16 +342,25 @@ impl MemoryModel for UnifiedWithL0 {
                 match req.hints.access {
                     AccessHint::NoAccess => {
                         let start = self.buses.acquire(req.cluster, req.cycle);
-                        let (lat, hit) = l1_access(&mut self.l1, &self.cfg, req.addr, start);
+                        let (lat, hit, queue) = l1_access(
+                            &mut self.l1,
+                            &mut self.ic,
+                            &mut self.stats,
+                            &self.cfg,
+                            req.cluster,
+                            req.addr,
+                            start,
+                        );
                         if hit {
                             self.stats.l1_hits += 1;
                         } else {
                             self.stats.l1_misses += 1;
                         }
-                        MemReply {
-                            ready_at: start + lat,
-                            serviced_by: if hit { ServicedBy::L1 } else { ServicedBy::L2 },
-                        }
+                        MemReply::new(
+                            start + lat,
+                            if hit { ServicedBy::L1 } else { ServicedBy::L2 },
+                        )
+                        .with_queue(queue)
                     }
                     AccessHint::SeqAccess | AccessHint::ParAccess => {
                         let (result, action) = self.l0[req.cluster.index()].probe(
@@ -325,14 +377,19 @@ impl MemoryModel for UnifiedWithL0 {
                                 self.stats.l0_hits += 1;
                                 if req.hints.access == AccessHint::ParAccess {
                                     // the parallel L1 probe still occupies
-                                    // the bus even though its reply is
-                                    // discarded
-                                    self.buses.acquire(req.cluster, req.cycle);
+                                    // the bus — and, on a banked network,
+                                    // a bank port — even though its reply
+                                    // is discarded; it reaches the bank
+                                    // only once the bus slot is granted
+                                    let start = self.buses.acquire(req.cluster, req.cycle);
+                                    let _ = self.ic.memory_overhead(
+                                        &mut self.stats,
+                                        req.cluster,
+                                        req.addr,
+                                        start,
+                                    );
                                 }
-                                MemReply {
-                                    ready_at: ready_at.max(req.cycle) + l0lat,
-                                    serviced_by: ServicedBy::L0,
-                                }
+                                MemReply::new(ready_at.max(req.cycle) + l0lat, ServicedBy::L0)
                             }
                             L0LookupResult::Miss => {
                                 self.stats.l0_misses += 1;
@@ -342,7 +399,7 @@ impl MemoryModel for UnifiedWithL0 {
                                     AccessHint::SeqAccess => req.cycle + l0lat,
                                     _ => req.cycle,
                                 };
-                                let ready = self.fill(
+                                let (ready, queue) = self.fill(
                                     req.cluster,
                                     req.addr,
                                     req.size,
@@ -350,10 +407,7 @@ impl MemoryModel for UnifiedWithL0 {
                                     req.hints.prefetch,
                                     fwd_cycle,
                                 );
-                                MemReply {
-                                    ready_at: ready,
-                                    serviced_by: ServicedBy::L1,
-                                }
+                                MemReply::new(ready, ServicedBy::L1).with_queue(queue)
                             }
                         }
                     }
@@ -365,7 +419,15 @@ impl MemoryModel for UnifiedWithL0 {
                 // copy is updated only when the store is marked to access
                 // the buffers. Remote buffers are never touched (§3.3).
                 let start = self.buses.acquire(req.cluster, req.cycle);
-                let (_, hit) = l1_access(&mut self.l1, &self.cfg, req.addr, start);
+                let (_, hit, _) = l1_access(
+                    &mut self.l1,
+                    &mut self.ic,
+                    &mut self.stats,
+                    &self.cfg,
+                    req.cluster,
+                    req.addr,
+                    start,
+                );
                 if hit {
                     self.stats.l1_hits += 1;
                 } else {
@@ -379,21 +441,15 @@ impl MemoryModel for UnifiedWithL0 {
                     );
                     self.stats.invalidations += invalidated as u64;
                 }
-                MemReply {
-                    ready_at: start + 1,
-                    serviced_by: ServicedBy::L1,
-                }
+                MemReply::new(start + 1, ServicedBy::L1)
             }
             ReqKind::Prefetch => {
                 // Explicit prefetch: linear map into the issuing cluster.
                 if self.l0[req.cluster.index()].covers(req.addr) {
-                    return MemReply {
-                        ready_at: req.cycle + 1,
-                        serviced_by: ServicedBy::L0,
-                    };
+                    return MemReply::new(req.cycle + 1, ServicedBy::L0);
                 }
                 self.stats.explicit_prefetches += 1;
-                let ready = self.fill(
+                let (ready, queue) = self.fill(
                     req.cluster,
                     req.addr,
                     req.size,
@@ -401,18 +457,12 @@ impl MemoryModel for UnifiedWithL0 {
                     PrefetchHint::None,
                     req.cycle,
                 );
-                MemReply {
-                    ready_at: ready,
-                    serviced_by: ServicedBy::L1,
-                }
+                MemReply::new(ready, ServicedBy::L1).with_queue(queue)
             }
             ReqKind::StoreReplica => {
                 let n = self.l0[req.cluster.index()].invalidate_addr(req.addr, req.size as u64);
                 self.stats.invalidations += n as u64;
-                MemReply {
-                    ready_at: req.cycle + 1,
-                    serviced_by: ServicedBy::L0,
-                }
+                MemReply::new(req.cycle + 1, ServicedBy::L0)
             }
         }
     }
@@ -420,6 +470,10 @@ impl MemoryModel for UnifiedWithL0 {
     fn invalidate_buffers(&mut self, cluster: ClusterId, _cycle: u64) {
         self.l0[cluster.index()].invalidate_all();
         self.stats.buffer_flushes += 1;
+    }
+
+    fn tick(&mut self, cycle: u64) {
+        self.ic.tick(cycle);
     }
 
     fn stats(&self) -> &MemStats {

@@ -10,7 +10,12 @@
 //!   local L0 copy (1C sets with L0-latency loads in the same cluster).
 //! * **mapping**: `INTERLEAVED_MAP` when the load's unrolled siblings
 //!   spread over several clusters (the loop was unrolled by N and the
-//!   stride is good); `LINEAR_MAP` otherwise.
+//!   stride is good); `LINEAR_MAP` otherwise. On a hierarchical
+//!   interconnect the assignment is additionally *distance-aware*:
+//!   interleaved fills deal one lane to every sibling cluster, so when
+//!   the siblings span interconnect tiles the cross-tile deals pay root
+//!   hops on every block — the mapping falls back to `LINEAR_MAP` and
+//!   each cluster fills its L0 buffer from its near bank instead.
 //! * **prefetch**: `POSITIVE`/`NEGATIVE` by stride sign for good strides;
 //!   among interleaved siblings only the first in schedule order carries
 //!   the hint (one trigger refetches the whole next block — redundant
@@ -19,7 +24,23 @@
 use crate::schedule::Schedule;
 use std::collections::{HashMap, HashSet};
 use vliw_ir::{stride, MemDepSets, OpId, StrideClass};
-use vliw_machine::{AccessHint, MachineConfig, MappingHint, MemHints, PrefetchHint};
+use vliw_machine::{
+    AccessHint, ClusterId, MachineConfig, MappingHint, MemHints, PrefetchHint, Topology,
+};
+
+/// `true` when dealing interleaved lanes to `clusters` stays within one
+/// interconnect tile (always true on flat/crossbar networks, where every
+/// cluster is equidistant from every bank).
+fn siblings_are_near(cfg: &MachineConfig, clusters: &HashSet<ClusterId>) -> bool {
+    if cfg.interconnect.topology != Topology::Hierarchical {
+        return true;
+    }
+    let tiles: HashSet<usize> = clusters
+        .iter()
+        .map(|c| cfg.interconnect.group_of_cluster(c.index()))
+        .collect();
+    tiles.len() <= 1
+}
 
 /// Occupancy of memory slots: `(cluster, slot) -> #mem ops`.
 fn mem_slot_occupancy(schedule: &Schedule) -> HashMap<(usize, i64), usize> {
@@ -84,7 +105,7 @@ pub fn assign_hints(schedule: &mut Schedule, cfg: &MachineConfig) {
                 .iter()
                 .map(|&m| schedule.placement(m).cluster)
                 .collect();
-            if clusters.len() >= 2 {
+            if clusters.len() >= 2 && siblings_are_near(cfg, &clusters) {
                 interleaved_groups.insert(*origin);
             }
         }
@@ -269,6 +290,46 @@ mod tests {
             .filter(|o| s.placement(o.id).hints.prefetch != PrefetchHint::None)
             .count();
         assert_eq!(carriers, 1, "redundant prefetches avoided");
+    }
+
+    #[test]
+    fn cross_tile_siblings_fall_back_to_linear_mapping() {
+        use vliw_machine::InterconnectConfig;
+
+        let l = LoopBuilder::new("ew")
+            .trip_count(256)
+            .elementwise(2)
+            .build();
+        let u = vliw_ir::unroll(&l, 4);
+
+        // Flat network: the unrolled good-stride group interleaves.
+        let flat = MachineConfig::micro2003();
+        let mut s = run(&u, &flat, l0_mode()).unwrap();
+        assign_hints(&mut s, &flat);
+        let interleaved = |s: &crate::schedule::Schedule, l: &vliw_ir::LoopNest| {
+            l.ops
+                .iter()
+                .filter(|o| o.is_load())
+                .filter(|o| s.placement(o.id).hints.mapping == MappingHint::Interleaved)
+                .count()
+        };
+        assert_eq!(interleaved(&s, &u), 4);
+
+        // Hierarchical network with 2-cluster tiles: the 4 siblings span
+        // two tiles, so the distance-aware assignment prefers near-bank
+        // linear fills.
+        let tiled = flat.with_interconnect(InterconnectConfig::hierarchical(2, 1, 2));
+        let mut s = run(&u, &tiled, l0_mode()).unwrap();
+        assign_hints(&mut s, &tiled);
+        assert_eq!(interleaved(&s, &u), 0, "cross-tile deals are demoted");
+        // the loads still use the L0 buffers, just with linear mapping
+        let l0_loads = u
+            .ops
+            .iter()
+            .filter(|o| o.is_load())
+            .filter(|o| s.placement(o.id).hints.access.uses_l0())
+            .count();
+        assert_eq!(l0_loads, 4);
     }
 
     #[test]

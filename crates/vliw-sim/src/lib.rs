@@ -11,7 +11,10 @@
 //! * **stall time** — cycles lost to "memory accesses that have been
 //!   scheduled too close to their consumers" (§5.2): an access whose
 //!   actual latency exceeds its scheduled use distance stalls the
-//!   pipeline for the remainder.
+//!   pipeline for the remainder. Stalls are attributed per static op
+//!   ([`result::OpStall`]), and on a contended (non-flat) interconnect
+//!   the share traceable to bank-port queueing is split out as
+//!   [`SimResult::contention_stall_cycles`].
 //!
 //! # Example
 //!
@@ -41,6 +44,6 @@ pub mod result;
 pub mod runner;
 
 pub use model::{simulate_arch, MemoryModelKind};
-pub use result::SimResult;
+pub use result::{OpStall, SimResult};
 pub use runner::simulate;
 pub use vliw_sched::Arch;

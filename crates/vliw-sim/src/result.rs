@@ -1,7 +1,18 @@
 //! Simulation results and aggregation helpers.
 
 use serde::{Deserialize, Serialize};
+use vliw_ir::OpId;
 use vliw_mem::MemStats;
+
+/// Stall cycles attributed to one static operation of the simulated loop
+/// (diagnostics: which load is scheduled too close to its consumer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpStall {
+    /// The memory operation whose reply arrived late.
+    pub op: OpId,
+    /// Total pipeline stall cycles this operation caused.
+    pub stall_cycles: u64,
+}
 
 /// The outcome of simulating one loop (or an aggregate of several).
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -10,6 +21,12 @@ pub struct SimResult {
     pub compute_cycles: u64,
     /// Cycles lost to memory accesses arriving later than scheduled.
     pub stall_cycles: u64,
+    /// Of [`SimResult::stall_cycles`], the cycles traceable to
+    /// interconnect port queueing (0 on the paper's flat network).
+    pub contention_stall_cycles: u64,
+    /// Per-op stall attribution, sorted by op id; ops that never stalled
+    /// are omitted. Aggregated results merge entry-wise.
+    pub op_stalls: Vec<OpStall>,
     /// Memory-system counters.
     pub mem_stats: MemStats,
 }
@@ -43,10 +60,44 @@ impl SimResult {
     }
 
     /// Accumulates another result (weighted benchmark aggregation).
+    ///
+    /// `op_stalls` merge by op id — meaningful when aggregating runs of
+    /// the *same* loop; across different loops the ids are per-loop and
+    /// the merged attribution is only a coarse histogram.
     pub fn merge(&mut self, other: &SimResult) {
         self.compute_cycles += other.compute_cycles;
         self.stall_cycles += other.stall_cycles;
+        self.contention_stall_cycles += other.contention_stall_cycles;
+        for s in &other.op_stalls {
+            self.add_op_stall(s.op, s.stall_cycles);
+        }
         self.mem_stats.merge(&other.mem_stats);
+    }
+
+    /// Adds `cycles` of stall attributed to `op`, keeping the list sorted.
+    pub fn add_op_stall(&mut self, op: OpId, cycles: u64) {
+        if cycles == 0 {
+            return;
+        }
+        match self.op_stalls.binary_search_by_key(&op, |s| s.op) {
+            Ok(i) => self.op_stalls[i].stall_cycles += cycles,
+            Err(i) => self.op_stalls.insert(
+                i,
+                OpStall {
+                    op,
+                    stall_cycles: cycles,
+                },
+            ),
+        }
+    }
+
+    /// The heaviest stall contributors, most expensive first (at most
+    /// `n` entries).
+    pub fn top_stall_ops(&self, n: usize) -> Vec<OpStall> {
+        let mut sorted = self.op_stalls.clone();
+        sorted.sort_by_key(|s| std::cmp::Reverse(s.stall_cycles));
+        sorted.truncate(n);
+        sorted
     }
 
     /// Adds pure compute cycles (the non-loop scalar code fraction, which
@@ -91,15 +142,53 @@ mod tests {
         let mut a = SimResult {
             compute_cycles: 10,
             stall_cycles: 1,
+            contention_stall_cycles: 1,
             ..Default::default()
         };
         a.merge(&SimResult {
             compute_cycles: 5,
             stall_cycles: 2,
+            contention_stall_cycles: 2,
             ..Default::default()
         });
         assert_eq!(a.compute_cycles, 15);
         assert_eq!(a.stall_cycles, 3);
+        assert_eq!(a.contention_stall_cycles, 3);
+    }
+
+    #[test]
+    fn op_stall_attribution_merges_by_op() {
+        let mut a = SimResult::default();
+        a.add_op_stall(OpId(3), 5);
+        a.add_op_stall(OpId(1), 2);
+        a.add_op_stall(OpId(3), 1);
+        a.add_op_stall(OpId(2), 0); // zero-cycle stalls are not recorded
+        assert_eq!(
+            a.op_stalls,
+            vec![
+                OpStall {
+                    op: OpId(1),
+                    stall_cycles: 2
+                },
+                OpStall {
+                    op: OpId(3),
+                    stall_cycles: 6
+                },
+            ],
+            "sorted by op id"
+        );
+
+        let mut b = SimResult::default();
+        b.add_op_stall(OpId(1), 10);
+        b.merge(&a);
+        assert_eq!(b.op_stalls[0].stall_cycles, 12);
+        assert_eq!(
+            b.top_stall_ops(1),
+            vec![OpStall {
+                op: OpId(1),
+                stall_cycles: 12
+            }]
+        );
     }
 
     #[test]

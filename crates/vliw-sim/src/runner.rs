@@ -21,8 +21,7 @@ struct Event {
     /// Cycles until the earliest consumer needs the value (`None`: the
     /// value is never consumed in the schedule — no stall possible).
     use_distance: Option<u32>,
-    /// Op identity (diagnostics).
-    #[allow(dead_code)]
+    /// Op identity (per-op stall attribution in [`SimResult::op_stalls`]).
     op: OpId,
 }
 
@@ -96,8 +95,17 @@ fn build_events(schedule: &Schedule) -> Vec<Event> {
 
 /// Simulates `schedule` against `model`.
 ///
-/// Returns the compute/stall split and the memory statistics the model
-/// accumulated *during this run* (the model should be fresh).
+/// Each iteration's events form a pending-request queue drained one issue
+/// slot at a time: the model's interconnect is ticked once per slot, and
+/// the slot's requests are issued together. On a contended (non-flat)
+/// network the service order within a slot rotates round-robin with the
+/// iteration index, so no cluster is structurally first at every bank
+/// arbitration; on the flat network the order is fixed and the loop is
+/// bit-exact with the original fixed-delay runner.
+///
+/// Returns the compute/stall split — with stalls attributed per op and
+/// the interconnect-queueing share split out — and the memory statistics
+/// the model accumulated *during this run* (the model should be fresh).
 pub fn simulate(
     schedule: &Schedule,
     cfg: &MachineConfig,
@@ -109,38 +117,61 @@ pub fn simulate(
     let trip = loop_.trip_count.max(1);
     let visit_compute =
         schedule.compute_cycles_per_visit() + if schedule.flush_on_exit { 1 } else { 0 };
+    let flat = cfg.interconnect.is_flat();
 
-    let mut compute: u64 = 0;
+    let mut result = SimResult::default();
     let mut slip: u64 = 0; // accumulated stall
     let mut clock_base: u64 = 0; // start cycle of the current visit
 
     for _visit in 0..loop_.visits {
         for i in 0..trip {
             let iter_base = clock_base + i * ii;
-            for e in &events {
-                let issue = (iter_base as i64 + e.t) as u64 + slip;
-                let iter = match e.kind {
-                    ReqKind::Prefetch => i + e.lookahead,
-                    _ => i,
+            // Drain the iteration's pending events one issue slot at a
+            // time (events are sorted by `t`, so slots are contiguous).
+            let mut lo = 0;
+            while lo < events.len() {
+                let t = events[lo].t;
+                let mut hi = lo + 1;
+                while hi < events.len() && events[hi].t == t {
+                    hi += 1;
+                }
+                let slot = &events[lo..hi];
+                model.tick((iter_base as i64 + t) as u64 + slip);
+                let rotation = if flat {
+                    0
+                } else {
+                    (i % slot.len() as u64) as usize
                 };
-                let addr = e.stream.address(iter);
-                let req = MemRequest {
-                    cluster: e.cluster,
-                    addr,
-                    size: e.size,
-                    kind: e.kind,
-                    hints: e.hints,
-                    cycle: issue,
-                };
-                let reply = model.access(&req);
-                if e.kind == ReqKind::Load {
-                    if let Some(allowed) = e.use_distance {
-                        let deadline = issue + allowed as u64;
-                        if reply.ready_at > deadline {
-                            slip += reply.ready_at - deadline;
+                for k in 0..slot.len() {
+                    let e = &slot[(k + rotation) % slot.len()];
+                    let issue = (iter_base as i64 + e.t) as u64 + slip;
+                    let iter = match e.kind {
+                        ReqKind::Prefetch => i + e.lookahead,
+                        _ => i,
+                    };
+                    let addr = e.stream.address(iter);
+                    let req = MemRequest {
+                        cluster: e.cluster,
+                        addr,
+                        size: e.size,
+                        kind: e.kind,
+                        hints: e.hints,
+                        cycle: issue,
+                    };
+                    let reply = model.access(&req);
+                    if e.kind == ReqKind::Load {
+                        if let Some(allowed) = e.use_distance {
+                            let deadline = issue + allowed as u64;
+                            if reply.ready_at > deadline {
+                                let stall = reply.ready_at - deadline;
+                                slip += stall;
+                                result.add_op_stall(e.op, stall);
+                                result.contention_stall_cycles += stall.min(reply.queue_cycles);
+                            }
                         }
                     }
                 }
+                lo = hi;
             }
         }
         if schedule.flush_on_exit {
@@ -148,15 +179,13 @@ pub fn simulate(
                 model.invalidate_buffers(c, clock_base + visit_compute + slip);
             }
         }
-        compute += visit_compute;
+        result.compute_cycles += visit_compute;
         clock_base += visit_compute;
     }
 
-    SimResult {
-        compute_cycles: compute,
-        stall_cycles: slip,
-        mem_stats: *model.stats(),
-    }
+    result.stall_cycles = slip;
+    result.mem_stats = *model.stats();
+    result
 }
 
 #[cfg(test)]

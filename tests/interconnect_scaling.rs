@@ -1,0 +1,140 @@
+//! Guards for the interconnect refactor:
+//!
+//! 1. **Flat-network equivalence** — with the default
+//!    [`InterconnectConfig::flat`] (the zero-contention network), the
+//!    refactored memory stack reproduces the pre-interconnect simulator
+//!    *cycle-for-cycle*. The pins below are the exact totals the seed
+//!    simulator produced for two benchmarks before the interconnect
+//!    existed; any drift means the flat special case broke.
+//! 2. **Contention at scale** — on a banked, port-limited hierarchical
+//!    network at ≥16 clusters, contention stalls are nonzero and appear
+//!    both in [`SimResult`]-level accounting and in the serialized grid
+//!    cells (the `BENCH_*.json` scaling-curve format).
+
+use clustered_vliw_l0::machine::{InterconnectConfig, L0Capacity, MachineConfig};
+use vliw_bench::experiment::{GridResult, SweepGrid, Variant};
+use vliw_bench::Arch;
+use vliw_workloads::{kernels, mediabench_suite, BenchmarkSpec};
+
+/// Exact seed-simulator totals for the 8-entry L0 configuration
+/// (benchmark, total, compute, stall, baseline total), recorded from the
+/// pre-interconnect `fig5` run.
+const SEED_PINS: [(&str, u64, u64, u64, u64); 2] = [
+    ("g721dec", 56_197, 54_327, 1_870, 72_686),
+    ("jpegdec", 237_546, 91_459, 146_087, 235_419),
+];
+
+fn pinned_suite() -> Vec<BenchmarkSpec> {
+    mediabench_suite()
+        .into_iter()
+        .filter(|s| SEED_PINS.iter().any(|(name, ..)| *name == s.name))
+        .collect()
+}
+
+#[test]
+fn flat_interconnect_is_cycle_exact_with_the_seed_simulator() {
+    // Belt and braces: the default machine *is* the flat network…
+    let base = MachineConfig::micro2003();
+    assert!(base.interconnect.is_flat());
+    // …and an explicitly-set flat network is the identical configuration.
+    assert_eq!(base, base.with_interconnect(InterconnectConfig::flat()));
+
+    let grid = SweepGrid::new("flat-equivalence", base, pinned_suite())
+        .variant(Variant::new(Arch::L0).l0(L0Capacity::Bounded(8)));
+    let result = grid.run();
+
+    for (name, total, compute, stall, baseline) in SEED_PINS {
+        let (idx, _) = result
+            .benchmarks
+            .iter()
+            .enumerate()
+            .find(|(_, b)| b.as_str() == name)
+            .unwrap_or_else(|| panic!("suite has {name}"));
+        let cell = result.cell(idx, 0);
+        assert_eq!(cell.total_cycles, total, "{name} total drifted");
+        assert_eq!(cell.compute_cycles, compute, "{name} compute drifted");
+        assert_eq!(cell.stall_cycles, stall, "{name} stall drifted");
+        assert_eq!(
+            cell.baseline_total_cycles, baseline,
+            "{name} baseline drifted"
+        );
+        assert_eq!(
+            cell.contention_stall_cycles, 0,
+            "flat network cannot have contention"
+        );
+        assert_eq!(cell.mem.ic_requests, 0);
+        assert_eq!(cell.mem.ic_queue_cycles, 0);
+    }
+}
+
+fn scaling_spec() -> BenchmarkSpec {
+    BenchmarkSpec::from_kernels(
+        "kernels",
+        vec![
+            kernels::adpcm_predictor("pred", 64, 4),
+            kernels::media_stream("stream", 3, 6, 2, 128, 3, false),
+            kernels::row_filter("fir6", 6, 96, 3),
+        ],
+    )
+}
+
+/// A 16-cluster machine variant mirroring `sweep_clusters`' co-scaled
+/// geometry (8-byte subblocks, 32-entry total L0 budget).
+fn sixteen_clusters(ic: Option<InterconnectConfig>) -> Variant {
+    let mut v = Variant::new(Arch::L0)
+        .clusters(16)
+        .l0(L0Capacity::Bounded(2))
+        .l1_block_bytes(128)
+        .l1_size_bytes(32 * 1024);
+    if let Some(ic) = ic {
+        v = v.interconnect(ic);
+    }
+    v
+}
+
+#[test]
+fn contended_sixteen_cluster_grid_reports_nonzero_contention() {
+    let contended = InterconnectConfig::hierarchical(4, 1, 4).with_bank_interleave(128);
+    let grid = SweepGrid::new(
+        "scaling-contention",
+        MachineConfig::micro2003(),
+        vec![scaling_spec()],
+    )
+    .variant(sixteen_clusters(None).labeled("flat"))
+    .variant(sixteen_clusters(Some(contended)).labeled("hier"));
+    let result = grid.run();
+
+    let flat = result.cell(0, 0);
+    let hier = result.cell(0, 1);
+    assert_eq!(flat.contention_stall_cycles, 0);
+    assert_eq!(flat.mem.ic_queue_cycles, 0);
+    assert!(
+        hier.mem.ic_requests > 0,
+        "16-cluster traffic must ride the network"
+    );
+    assert!(
+        hier.mem.ic_queue_cycles > 0,
+        "one port per bank must queue at 16 clusters"
+    );
+    assert!(
+        hier.contention_stall_cycles > 0,
+        "queueing must surface as pipeline stalls"
+    );
+    assert!(
+        hier.contention_stall_cycles <= hier.stall_cycles,
+        "attribution is a subset of total stalls"
+    );
+
+    // The contention counters survive the BENCH_*.json round trip the
+    // scaling curve is published through.
+    let json = serde_json::to_string_pretty(&result).unwrap();
+    let back: GridResult = serde_json::from_str(&json).unwrap();
+    assert_eq!(
+        back.cell(0, 1).contention_stall_cycles,
+        hier.contention_stall_cycles
+    );
+    assert_eq!(
+        back.cell(0, 1).mem.ic_queue_cycles,
+        hier.mem.ic_queue_cycles
+    );
+}
