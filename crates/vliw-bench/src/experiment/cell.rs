@@ -3,7 +3,40 @@
 use serde::{Deserialize, Serialize};
 use vliw_machine::L0Capacity;
 use vliw_mem::MemStats;
-use vliw_sched::Arch;
+use vliw_sched::{Arch, BackendKind, IiProof, L0Options, Schedule, UnrollPolicy};
+
+/// Per-cell tallies of the scheduler's II proof statuses, one count per
+/// compiled loop (see [`IiProof`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProofCounts {
+    /// Loops whose II is provably minimal under the backend's model.
+    pub optimal: u64,
+    /// Loops whose proof search ran out of node budget.
+    pub truncated: u64,
+    /// Loops scheduled heuristically with no optimality claim.
+    pub heuristic: u64,
+}
+
+impl ProofCounts {
+    /// Tallies one loop's schedule.
+    pub fn record(&mut self, schedule: &Schedule) {
+        match schedule.ii_proof {
+            IiProof::Optimal => self.optimal += 1,
+            IiProof::Truncated => self.truncated += 1,
+            IiProof::Heuristic => self.heuristic += 1,
+        }
+    }
+
+    /// Total loops tallied.
+    pub fn total(&self) -> u64 {
+        self.optimal + self.truncated + self.heuristic
+    }
+
+    /// `true` when every tallied loop carries an optimality proof.
+    pub fn all_optimal(&self) -> bool {
+        self.total() > 0 && self.optimal == self.total()
+    }
+}
 
 /// One cell of an experiment grid, fully accounted and normalized.
 ///
@@ -47,6 +80,20 @@ pub struct Cell {
     /// Dynamic-weighted average initiation interval across the
     /// benchmark's loops.
     pub avg_ii: f64,
+    /// Dynamic-weighted average MII across the benchmark's loops — the
+    /// floor `avg_ii` is measured against (`None` in artifacts written
+    /// before the backend axis existed).
+    pub avg_mii: Option<f64>,
+    /// Scheduler backend that compiled the cell (`None` in pre-backend
+    /// artifacts, which were always SMS).
+    pub backend: Option<BackendKind>,
+    /// Resolved L0 compile options (`None` in pre-backend artifacts).
+    pub opts: Option<L0Options>,
+    /// Unroll-selection policy the cell compiled under (`None` in
+    /// pre-backend artifacts, which were always `Auto`).
+    pub unroll_policy: Option<UnrollPolicy>,
+    /// Per-loop II proof tallies (`None` in pre-backend artifacts).
+    pub proof: Option<ProofCounts>,
     /// `invalidate_buffer` executions removed by selective inter-loop
     /// flushing (0 unless the variant enables it).
     pub flushes_removed: u64,
@@ -87,6 +134,15 @@ mod tests {
             normalized_stall: 0.04,
             avg_unroll: 2.5,
             avg_ii: 3.25,
+            avg_mii: Some(3.0),
+            backend: Some(BackendKind::Sms),
+            opts: Some(L0Options::default()),
+            unroll_policy: Some(UnrollPolicy::Auto),
+            proof: Some(ProofCounts {
+                optimal: 2,
+                truncated: 0,
+                heuristic: 1,
+            }),
             flushes_removed: 0,
             mem: MemStats {
                 accesses: 10,
@@ -114,9 +170,71 @@ mod tests {
             "\"l0_entries\"",
             "\"contention_stall_cycles\"",
             "\"mem\"",
+            "\"backend\"",
+            "\"opts\"",
+            "\"avg_mii\"",
+            "\"proof\"",
+            "\"unroll_policy\"",
         ] {
             assert!(json.contains(key), "{key} missing from {json}");
         }
+    }
+
+    #[test]
+    fn pre_backend_artifacts_still_deserialize() {
+        // A genuine pre-backend artifact *omits* the new keys entirely
+        // (it was serialized before they existed), so strip them from the
+        // compact JSON and check every one reads back as `None`.
+        let mut json = serde_json::to_string(&sample()).unwrap();
+        for key in ["avg_mii", "backend", "opts", "unroll_policy", "proof"] {
+            let start = json.find(&format!("\"{key}\":")).expect("key present");
+            // Values here are scalars, strings or brace-balanced objects:
+            // cut through the comma that precedes the next top-level key.
+            let mut depth = 0usize;
+            let mut end = start;
+            for (i, ch) in json[start..].char_indices() {
+                match ch {
+                    '{' | '[' => depth += 1,
+                    '}' | ']' if depth > 0 => depth -= 1,
+                    ',' if depth == 0 && json[start + i..].starts_with(",\"") => {
+                        end = start + i + 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            assert!(end > start, "{key} not followed by another key");
+            json.replace_range(start..end, "");
+            assert!(!json.contains(&format!("\"{key}\"")), "{key} removed");
+        }
+        let back: Cell = serde_json::from_str(&json).unwrap();
+        let mut legacy = sample();
+        legacy.avg_mii = None;
+        legacy.backend = None;
+        legacy.opts = None;
+        legacy.unroll_policy = None;
+        legacy.proof = None;
+        assert_eq!(back, legacy, "absent keys deserialize as None");
+    }
+
+    #[test]
+    fn proof_counts_tally_consistently() {
+        let p = ProofCounts {
+            optimal: 3,
+            truncated: 1,
+            heuristic: 0,
+        };
+        assert_eq!(p.total(), 4);
+        assert!(!p.all_optimal());
+        let q = ProofCounts {
+            optimal: 2,
+            ..Default::default()
+        };
+        assert!(q.all_optimal());
+        assert!(
+            !ProofCounts::default().all_optimal(),
+            "vacuous is not proof"
+        );
     }
 
     #[test]

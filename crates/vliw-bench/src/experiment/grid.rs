@@ -1,7 +1,7 @@
 //! Declarative sweep definitions: what to run, not how to run it.
 
 use vliw_machine::{InterconnectConfig, L0Capacity, MachineConfig};
-use vliw_sched::{Arch, L0Options};
+use vliw_sched::{Arch, BackendKind, CompileRequest, L0Options, UnrollPolicy};
 use vliw_workloads::BenchmarkSpec;
 
 /// One experiment variant — a column of a figure or table.
@@ -43,6 +43,10 @@ pub struct Variant {
     pub l1_size_bytes: Option<usize>,
     /// L0 compiler options (ablation knobs).
     pub opts: L0Options,
+    /// Scheduler backend (the SMS-vs-exact axis).
+    pub backend: BackendKind,
+    /// Unroll-factor selection policy.
+    pub unroll: UnrollPolicy,
     /// Apply selective inter-loop flushing across the benchmark's loops
     /// after compilation (§4.1 future work).
     pub selective_flush: bool,
@@ -63,6 +67,8 @@ impl Variant {
             l1_block_bytes: None,
             l1_size_bytes: None,
             opts: L0Options::default(),
+            backend: BackendKind::default(),
+            unroll: UnrollPolicy::default(),
             selective_flush: false,
             auto_label: true,
         }
@@ -123,6 +129,27 @@ impl Variant {
     pub fn opts(mut self, opts: L0Options) -> Self {
         self.opts = opts;
         self
+    }
+
+    /// Selects the scheduler backend (the SMS-vs-exact axis).
+    pub fn backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self.auto_label(backend.label().to_string())
+    }
+
+    /// Sets the unroll-factor selection policy.
+    pub fn unroll(mut self, unroll: UnrollPolicy) -> Self {
+        self.unroll = unroll;
+        self
+    }
+
+    /// The fully-resolved compile request this variant schedules with —
+    /// recorded verbatim in every [`Cell`](crate::experiment::Cell).
+    pub fn request(&self) -> CompileRequest {
+        CompileRequest::new(self.arch)
+            .backend(self.backend)
+            .opts(self.opts)
+            .unroll(self.unroll)
     }
 
     /// Enables selective inter-loop flushing.
@@ -222,6 +249,10 @@ mod tests {
         );
         assert_eq!(Variant::new(Arch::L0).clusters(2).label, "2 clusters");
         assert_eq!(
+            Variant::new(Arch::L0).backend(BackendKind::Exact).label,
+            "exact"
+        );
+        assert_eq!(
             Variant::new(Arch::L0)
                 .labeled("all-candidates")
                 .l0(L0Capacity::Bounded(4))
@@ -263,6 +294,26 @@ mod tests {
             8,
             "co-scaled geometry keeps 8B subblocks"
         );
+    }
+
+    #[test]
+    fn variant_request_carries_every_compile_knob() {
+        use vliw_sched::{CoherencePolicy, MarkPolicy};
+        let v = Variant::new(Arch::L0)
+            .backend(BackendKind::Exact)
+            .unroll(UnrollPolicy::Never)
+            .opts(L0Options {
+                mark: MarkPolicy::AllCandidates,
+                policy: CoherencePolicy::Force1c,
+                specialize: false,
+            });
+        let r = v.request();
+        assert_eq!(r.arch, Arch::L0);
+        assert_eq!(r.backend, BackendKind::Exact);
+        assert_eq!(r.unroll, UnrollPolicy::Never);
+        assert_eq!(r.opts.mark, MarkPolicy::AllCandidates);
+        assert_eq!(r.opts.policy, CoherencePolicy::Force1c);
+        assert!(!r.opts.specialize);
     }
 
     #[test]

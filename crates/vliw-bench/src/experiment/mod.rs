@@ -41,7 +41,7 @@ pub mod grid;
 pub mod render;
 pub mod run;
 
-pub use cell::Cell;
+pub use cell::{Cell, ProofCounts};
 pub use cli::{write_json, BinArgs};
 pub use diff::{CellDelta, GridDiff};
 pub use grid::{SweepGrid, Variant};

@@ -1,11 +1,12 @@
 //! Grid execution: memoized baselines, parallel cells, structured output.
 
+use crate::experiment::cell::ProofCounts;
 use crate::experiment::{Cell, SweepGrid, Variant};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use vliw_machine::MachineConfig;
-use vliw_sched::{apply_selective_flushing, Arch, L0Options, Schedule};
+use vliw_sched::{apply_selective_flushing, Arch, CompileRequest, Schedule};
 use vliw_sim::{simulate_arch, SimResult};
 use vliw_workloads::BenchmarkSpec;
 
@@ -71,8 +72,10 @@ struct SpecRun {
     sim: SimResult,
     unroll_weighted: f64,
     ii_weighted: f64,
+    mii_weighted: f64,
     weight: f64,
     flushes_removed: u64,
+    proof: ProofCounts,
 }
 
 /// Compiles and simulates every loop of `spec` — the one place the
@@ -80,14 +83,13 @@ struct SpecRun {
 fn run_spec(
     spec: &BenchmarkSpec,
     cfg: &MachineConfig,
-    arch: Arch,
-    opts: L0Options,
+    request: CompileRequest,
     selective_flush: bool,
 ) -> SpecRun {
     let mut schedules: Vec<Schedule> = spec
         .loops
         .iter()
-        .map(|l| arch.compile_or_panic(l, cfg, opts))
+        .map(|l| request.compile_or_panic(l, cfg))
         .collect();
     let flushes_removed = if selective_flush {
         apply_selective_flushing(&mut schedules) as u64
@@ -98,15 +100,19 @@ fn run_spec(
         sim: SimResult::default(),
         unroll_weighted: 0.0,
         ii_weighted: 0.0,
+        mii_weighted: 0.0,
         weight: 0.0,
         flushes_removed,
+        proof: ProofCounts::default(),
     };
     for schedule in &schedules {
-        let r = simulate_arch(schedule, cfg, arch);
+        let r = simulate_arch(schedule, cfg, request.arch);
         let w = r.total_cycles() as f64;
         run.unroll_weighted += schedule.loop_.unroll_factor as f64 * w;
         run.ii_weighted += f64::from(schedule.ii()) * w;
+        run.mii_weighted += f64::from(schedule.mii) * w;
         run.weight += w;
+        run.proof.record(schedule);
         run.sim.merge(&r);
     }
     run
@@ -121,7 +127,7 @@ struct Baseline {
 }
 
 fn compute_baseline(spec: &BenchmarkSpec, cfg: &MachineConfig) -> Baseline {
-    let run = run_spec(spec, cfg, Arch::Baseline, L0Options::default(), false);
+    let run = run_spec(spec, cfg, CompileRequest::new(Arch::Baseline), false);
     let loops_total = run.sim.total_cycles();
     Baseline {
         loops_total,
@@ -132,13 +138,8 @@ fn compute_baseline(spec: &BenchmarkSpec, cfg: &MachineConfig) -> Baseline {
 fn run_cell(grid: &SweepGrid, bench: usize, variant: &Variant, baseline: &Baseline) -> Cell {
     let spec = &grid.benchmarks[bench];
     let cfg = variant.config(&grid.base_cfg);
-    let run = run_spec(
-        spec,
-        &cfg,
-        variant.arch,
-        variant.opts,
-        variant.selective_flush,
-    );
+    let request = variant.request();
+    let run = run_spec(spec, &cfg, request, variant.selective_flush);
     let scalar = spec.scalar_cycles_for(baseline.loops_total);
     let total = run.sim.total_cycles() + scalar;
     let compute = run.sim.compute_cycles + scalar;
@@ -164,6 +165,11 @@ fn run_cell(grid: &SweepGrid, bench: usize, variant: &Variant, baseline: &Baseli
         normalized_stall: run.sim.stall_cycles as f64 / denom,
         avg_unroll: run.unroll_weighted / weight,
         avg_ii: run.ii_weighted / weight,
+        avg_mii: Some(run.mii_weighted / weight),
+        backend: Some(request.backend),
+        opts: Some(request.opts),
+        unroll_policy: Some(request.unroll),
+        proof: Some(run.proof),
         flushes_removed: run.flushes_removed,
         mem: run.sim.mem_stats,
     }
@@ -291,6 +297,36 @@ mod tests {
         let json = serde_json::to_string_pretty(&result).unwrap();
         let back: GridResult = serde_json::from_str(&json).unwrap();
         assert_eq!(back, result);
+    }
+
+    #[test]
+    fn cells_record_their_resolved_compile_request() {
+        use vliw_sched::{BackendKind, UnrollPolicy};
+        let grid = SweepGrid::new(
+            "backends",
+            MachineConfig::micro2003(),
+            vec![BenchmarkSpec::from_kernel(kernels::adpcm_predictor(
+                "pred", 64, 2,
+            ))],
+        )
+        .variant(Variant::new(Arch::L0).backend(BackendKind::Sms))
+        .variant(Variant::new(Arch::L0).backend(BackendKind::Exact));
+        let result = grid.run();
+        assert_eq!(result.variants, vec!["sms", "exact"]);
+        let sms = result.cell(0, 0);
+        let exact = result.cell(0, 1);
+        assert_eq!(sms.backend, Some(BackendKind::Sms));
+        assert_eq!(exact.backend, Some(BackendKind::Exact));
+        assert_eq!(sms.unroll_policy, Some(UnrollPolicy::Auto));
+        assert!(sms.opts.is_some());
+        for cell in [sms, exact] {
+            let mii = cell.avg_mii.expect("recorded");
+            assert!(mii > 0.0 && mii <= cell.avg_ii, "MII is the floor");
+            let proof = cell.proof.expect("recorded");
+            assert_eq!(proof.total(), 1, "one loop compiled");
+        }
+        // The exact backend never tallies a bare heuristic verdict.
+        assert_eq!(exact.proof.unwrap().heuristic, 0);
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! | `ablation_coherence` | §4.1: NL0 / 1C / PSR comparison |
 //! | `ablation_flush` | §4.1 future work: selective inter-loop flushing |
 //! | `sweep_clusters` | scaling study: N = 2…64 clusters, flat vs. contended interconnect |
+//! | `sweep_backends` | scheduler backends: SMS vs. exact branch-and-bound, II gap + proofs |
 //! | `bench-diff` | compares two `BENCH_*.json` runs (CI regression gate) |
 
 #![forbid(unsafe_code)]

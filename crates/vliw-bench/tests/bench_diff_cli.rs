@@ -1,0 +1,127 @@
+//! Edge-case coverage for `GridDiff` and the `bench-diff` CLI, driven by
+//! the two small synthetic `BENCH_*.json` fixtures under
+//! `tests/fixtures/`:
+//!
+//! * `diff_before.json` — benchmarks `alpha` (normalized 1.00) and `beta`;
+//! * `diff_after.json` — `alpha` exactly 25 % slower (a float-exact
+//!   threshold boundary), `beta` removed, `gamma` added.
+//!
+//! The fixtures are written in the *pre-backend* cell format (no
+//! `backend`/`opts`/`avg_mii`/`proof`/`unroll_policy` keys), so loading
+//! them also pins backward compatibility of the trajectory format.
+
+use std::path::PathBuf;
+use std::process::Command;
+use vliw_bench::experiment::{GridDiff, GridResult};
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn load(name: &str) -> GridResult {
+    let text = std::fs::read_to_string(fixture(name)).unwrap();
+    serde_json::from_str(&text).unwrap_or_else(|e| panic!("{name}: {e:?}"))
+}
+
+#[test]
+fn pre_backend_fixtures_deserialize_with_absent_fields_as_none() {
+    let before = load("diff_before.json");
+    assert_eq!(before.cells.len(), 2);
+    for cell in &before.cells {
+        assert_eq!(cell.backend, None);
+        assert_eq!(cell.opts, None);
+        assert_eq!(cell.avg_mii, None);
+        assert_eq!(cell.proof, None);
+        assert_eq!(cell.unroll_policy, None);
+        assert!(cell.total_cycles > 0, "old fields still read");
+    }
+}
+
+#[test]
+fn added_and_removed_cells_are_reported_not_hidden() {
+    let diff = GridDiff::compare(&load("diff_before.json"), &load("diff_after.json"));
+    assert!(!diff.same_grid(), "shape mismatch must be surfaced");
+    assert_eq!(
+        diff.only_in_before,
+        vec![("beta".to_string(), "v1".to_string())]
+    );
+    assert_eq!(
+        diff.only_in_after,
+        vec![("gamma".to_string(), "v1".to_string())]
+    );
+    assert_eq!(diff.cells.len(), 1, "only alpha aligns");
+    let rendered = diff.render();
+    assert!(rendered.contains("removed in after"), "{rendered}");
+    assert!(rendered.contains("new in after"), "{rendered}");
+}
+
+#[test]
+fn threshold_boundary_is_exclusive() {
+    let diff = GridDiff::compare(&load("diff_before.json"), &load("diff_after.json"));
+    let alpha = &diff.cells[0];
+    assert_eq!(alpha.relative, 0.25, "fixture is float-exactly at 25 %");
+    // `relative > threshold` is the contract: exactly-at-threshold passes.
+    assert!(diff.regressions(0.25).is_empty());
+    assert_eq!(diff.regressions(0.2499).len(), 1);
+    assert_eq!(diff.regressions(0.0).len(), 1);
+    assert_eq!(diff.worst_relative(), 0.25);
+}
+
+fn run_cli(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_bench-diff"))
+        .args(args)
+        .output()
+        .expect("bench-diff runs")
+}
+
+#[test]
+fn cli_exit_code_contract() {
+    let before = fixture("diff_before.json");
+    let after = fixture("diff_after.json");
+    let (before, after) = (before.to_str().unwrap(), after.to_str().unwrap());
+
+    // 0: nothing above threshold (identical inputs).
+    let ok = run_cli(&[before, before]);
+    assert_eq!(ok.status.code(), Some(0), "{ok:?}");
+
+    // 0: the 25 % slowdown sits exactly at an explicit threshold
+    // (`relative > threshold` is exclusive), and the shape mismatch is
+    // warned about without failing the run.
+    let at_threshold = run_cli(&[before, after, "--threshold", "0.25"]);
+    assert_eq!(at_threshold.status.code(), Some(0), "{at_threshold:?}");
+    let stderr = String::from_utf8_lossy(&at_threshold.stderr);
+    assert!(stderr.contains("grids do not align"), "{stderr}");
+
+    // 1: the same slowdown regresses under the default 2 % threshold.
+    let regressed = run_cli(&[before, after]);
+    assert_eq!(regressed.status.code(), Some(1), "{regressed:?}");
+    let stderr = String::from_utf8_lossy(&regressed.stderr);
+    assert!(stderr.contains("REGRESSION"), "{stderr}");
+    assert!(stderr.contains("alpha"), "{stderr}");
+
+    // 2: usage error without the two positional paths.
+    let usage = run_cli(&[before]);
+    assert_eq!(usage.status.code(), Some(2), "{usage:?}");
+}
+
+#[test]
+fn cli_writes_the_diff_artifact_on_request() {
+    let dir = std::env::temp_dir().join("vliw-bench-diff-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = dir.join("diff.json");
+    let before = fixture("diff_before.json");
+    let status = run_cli(&[
+        before.to_str().unwrap(),
+        before.to_str().unwrap(),
+        "--json",
+        out.to_str().unwrap(),
+    ]);
+    assert_eq!(status.status.code(), Some(0));
+    let text = std::fs::read_to_string(&out).unwrap();
+    let diff: GridDiff = serde_json::from_str(text.trim()).unwrap();
+    assert!(diff.same_grid());
+    assert_eq!(diff.cells.len(), 2);
+    std::fs::remove_dir_all(&dir).ok();
+}

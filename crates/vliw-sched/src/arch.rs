@@ -8,10 +8,7 @@
 //! arch→compiler dispatch point, and `vliw_sim::MemoryModelKind` is the
 //! single arch→memory-model dispatch point.
 
-use crate::compile::{
-    compile_base, compile_for_l0_with, compile_interleaved, compile_multivliw,
-    InterleavedHeuristic, L0Options,
-};
+use crate::compile::{CompileRequest, L0Options};
 use crate::engine::ScheduleError;
 use crate::schedule::Schedule;
 use serde::{Deserialize, Serialize};
@@ -61,8 +58,9 @@ impl Arch {
         matches!(self, Arch::L0)
     }
 
-    /// Compiles one loop for this architecture — the single arch→compiler
-    /// dispatch point.
+    /// Compiles one loop for this architecture with the default (SMS)
+    /// backend — a thin wrapper over [`CompileRequest`], which owns the
+    /// full knob set (backend, marking, coherence, unrolling).
     ///
     /// Architectures without L0 buffers are compiled against
     /// `cfg.without_l0()`, so callers always pass the full machine
@@ -77,17 +75,7 @@ impl Arch {
         cfg: &MachineConfig,
         opts: L0Options,
     ) -> Result<Schedule, ScheduleError> {
-        match self {
-            Arch::Baseline => compile_base(loop_, &cfg.without_l0()),
-            Arch::L0 => compile_for_l0_with(loop_, cfg, opts),
-            Arch::MultiVliw => compile_multivliw(loop_, &cfg.without_l0()),
-            Arch::Interleaved1 => {
-                compile_interleaved(loop_, &cfg.without_l0(), InterleavedHeuristic::One)
-            }
-            Arch::Interleaved2 => {
-                compile_interleaved(loop_, &cfg.without_l0(), InterleavedHeuristic::Two)
-            }
-        }
+        CompileRequest::new(self).opts(opts).compile(loop_, cfg)
     }
 
     /// [`Arch::compile`] for loops that are schedulable by construction.
@@ -102,8 +90,9 @@ impl Arch {
         cfg: &MachineConfig,
         opts: L0Options,
     ) -> Schedule {
-        self.compile(loop_, cfg, opts)
-            .unwrap_or_else(|e| panic!("{}: cannot schedule {}: {e}", self.label(), loop_.name))
+        CompileRequest::new(self)
+            .opts(opts)
+            .compile_or_panic(loop_, cfg)
     }
 }
 

@@ -1,0 +1,924 @@
+//! Pluggable scheduler backends (ROADMAP "SMT scheduler backend").
+//!
+//! The compilation drivers of [`crate::compile`] are backend-agnostic:
+//! everything between code specialization and hint assignment goes through
+//! the [`SchedulerBackend`] trait, so alternative schedulers plug in
+//! without forking the drivers. Two backends ship:
+//!
+//! * [`SmsBackend`] — the paper's SMS-style heuristic ([`engine::run`]),
+//!   bit-exact with the pre-trait scheduler. The default.
+//! * [`ExactBackend`] — a branch-and-bound search over `(cluster, cycle)`
+//!   placements under modulo-resource (MRT) and dependence-distance
+//!   constraints. It starts at the MII and proves each II infeasible
+//!   before trying the next, so the II it returns is minimal under its
+//!   latency model (see below) — an offline stand-in for the SMT-solver
+//!   formulation of "Optimal Software Pipelining using an SMT-Solver"
+//!   (PAPERS.md), reporting the per-loop optimality gap of SMS.
+//!
+//! # The exact backend's model
+//!
+//! The search is exhaustive over op placements, with three documented
+//! approximations (DESIGN.md §7 discusses each):
+//!
+//! * **Static latencies.** Memory latencies are fixed before the search:
+//!   L0 candidates are marked once (selective marking by static slack,
+//!   bounded by the total entry budget; the search additionally debits a
+//!   per-cluster entry budget so no cluster's buffer is oversubscribed),
+//!   and memory-dependent sets that mix loads and stores are
+//!   conservatively given the NL0 treatment — every member bypasses the
+//!   buffers, which is coherence-safe without 1C pinning or PSR
+//!   replication.
+//! * **Greedy bus copies.** Inter-cluster copies are placed at the
+//!   earliest free bus slot in their legal window; a branch whose copy
+//!   finds no slot is pruned. With the paper's four buses per cycle the
+//!   bus is essentially never the binding resource.
+//! * **Bounded horizon.** Start cycles are searched inside the
+//!   dependence window `[ASAP, ALAP + 2·II]` — the usual horizon
+//!   discipline of ILP schedulers.
+//!
+//! Within that model every infeasibility verdict is a real refutation.
+//! The backend always schedules with SMS first and uses its result as the
+//! incumbent, so by construction `MII ≤ exact II ≤ SMS II` — the search
+//! can only improve on the heuristic, never regress it.
+
+use crate::engine::{self, Mode, ScheduleError};
+use crate::mrt::ModuloReservationTable;
+use crate::schedule::{CopySlot, IiProof, Schedule};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use vliw_ir::{stride, DataDepGraph, LoopNest, MemDepSets, OpId};
+use vliw_machine::{ClusterId, MachineConfig};
+
+/// A modulo scheduler: turns one (specialized, possibly unrolled) loop
+/// into a [`Schedule`] for `cfg` under the architecture-specific `mode`.
+///
+/// Implementations must record the MII they searched from in
+/// [`Schedule::mii`] and their optimality claim in [`Schedule::ii_proof`].
+pub trait SchedulerBackend {
+    /// Short label used in error messages, experiment columns and
+    /// serialized artifacts (e.g. `"sms"`, `"exact"`).
+    fn label(&self) -> &'static str;
+
+    /// Schedules `loop_`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError`] when no feasible II exists up to the
+    /// search cap or the machine configuration is invalid.
+    fn schedule(
+        &self,
+        loop_: &LoopNest,
+        cfg: &MachineConfig,
+        mode: Mode,
+    ) -> Result<Schedule, ScheduleError>;
+}
+
+/// The paper's SMS-style heuristic scheduler — a thin veneer over
+/// [`engine::run`], bit-exact with the pre-trait compilation path.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SmsBackend;
+
+impl SchedulerBackend for SmsBackend {
+    fn label(&self) -> &'static str {
+        "sms"
+    }
+
+    fn schedule(
+        &self,
+        loop_: &LoopNest,
+        cfg: &MachineConfig,
+        mode: Mode,
+    ) -> Result<Schedule, ScheduleError> {
+        engine::run(loop_, cfg, mode)
+    }
+}
+
+/// Serializable backend selector — the experiment-grid axis. Use
+/// [`BackendKind::as_backend`] to obtain the implementation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BackendKind {
+    /// [`SmsBackend`] (the default).
+    #[default]
+    Sms,
+    /// [`ExactBackend`] with its default node budget.
+    Exact,
+}
+
+impl BackendKind {
+    /// Every backend, SMS first.
+    pub const ALL: [BackendKind; 2] = [BackendKind::Sms, BackendKind::Exact];
+
+    /// The backend's display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            BackendKind::Sms => "sms",
+            BackendKind::Exact => "exact",
+        }
+    }
+
+    /// The implementation behind the selector.
+    pub fn as_backend(self) -> &'static dyn SchedulerBackend {
+        match self {
+            BackendKind::Sms => &SmsBackend,
+            BackendKind::Exact => &ExactBackend {
+                node_budget: ExactBackend::DEFAULT_NODE_BUDGET,
+            },
+        }
+    }
+}
+
+impl fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Branch-and-bound modulo scheduler: finds the smallest II feasible
+/// under its latency model, proving per-II infeasibility on the way up
+/// from the MII (see the module docs for the model's scope).
+#[derive(Debug, Clone, Copy)]
+pub struct ExactBackend {
+    /// Placement-attempt budget per candidate II (each attempt is
+    /// O(edges) of work). When a proof attempt exceeds it, that II is
+    /// skipped unproven and the final schedule is marked
+    /// [`IiProof::Truncated`].
+    pub node_budget: u64,
+}
+
+impl ExactBackend {
+    /// Default per-II budget in *placement attempts* (each one O(edges)
+    /// of work): large enough to settle the synthetic Mediabench suite's
+    /// L0 loops, small enough that a pathological loop degrades to
+    /// "truncated" instead of hanging the sweep.
+    pub const DEFAULT_NODE_BUDGET: u64 = 200_000;
+}
+
+impl Default for ExactBackend {
+    fn default() -> Self {
+        ExactBackend {
+            node_budget: Self::DEFAULT_NODE_BUDGET,
+        }
+    }
+}
+
+impl SchedulerBackend for ExactBackend {
+    fn label(&self) -> &'static str {
+        "exact"
+    }
+
+    fn schedule(
+        &self,
+        loop_: &LoopNest,
+        cfg: &MachineConfig,
+        mode: Mode,
+    ) -> Result<Schedule, ScheduleError> {
+        // SMS provides the incumbent: an upper bound and a fallback, so
+        // the exact backend can only improve on the heuristic.
+        let sms = engine::run(loop_, cfg, mode).map_err(|e| e.with_backend(self.label()))?;
+        if sms.ii() <= sms.mii {
+            return Ok(sms); // already proved optimal by hitting the MII
+        }
+
+        let ddg = DataDepGraph::build(loop_);
+        // Ops in mixed load/store sets get the NL0 treatment (II-independent,
+        // so computed once for the whole II sweep).
+        let banned = mixed_set_members(loop_);
+        let mut proved_all_below = true;
+        for ii in sms.mii..sms.ii() {
+            match Search::run(loop_, cfg, &ddg, &banned, mode, ii, self.node_budget) {
+                Outcome::Found(schedule) => {
+                    let mut schedule = *schedule;
+                    schedule.mii = sms.mii;
+                    schedule.ii_proof = if proved_all_below {
+                        IiProof::Optimal
+                    } else {
+                        IiProof::Truncated
+                    };
+                    return Ok(schedule);
+                }
+                Outcome::Infeasible => {}
+                Outcome::Budget => proved_all_below = false,
+            }
+        }
+
+        // No II below the heuristic's is feasible (or provable): the SMS
+        // schedule stands, now with a settled proof status.
+        let mut sms = sms;
+        sms.ii_proof = if proved_all_below {
+            IiProof::Optimal
+        } else {
+            IiProof::Truncated
+        };
+        Ok(sms)
+    }
+}
+
+/// Per-op latency in the exact model: `base` everywhere except in the
+/// op's statically-owned home cluster (word-interleaved heuristic 2).
+#[derive(Debug, Clone, Copy)]
+struct LatSpec {
+    base: u32,
+    home: Option<(ClusterId, u32)>,
+}
+
+impl LatSpec {
+    fn fixed(base: u32) -> Self {
+        LatSpec { base, home: None }
+    }
+
+    fn in_cluster(&self, cluster: ClusterId) -> u32 {
+        match self.home {
+            Some((h, lat)) if h == cluster => lat,
+            _ => self.base,
+        }
+    }
+
+    /// The smallest latency any cluster offers (window computation).
+    fn best(&self) -> u32 {
+        self.home
+            .map(|(_, l)| l.min(self.base))
+            .unwrap_or(self.base)
+    }
+}
+
+/// Membership in a memory-dependent set that mixes loads and stores —
+/// those ops get the coherence-safe NL0 treatment in the exact model.
+fn mixed_set_members(loop_: &LoopNest) -> Vec<bool> {
+    let sets = MemDepSets::build(loop_);
+    let mut banned = vec![false; loop_.ops.len()];
+    for (si, members) in sets.sets().iter().enumerate() {
+        if sets.set_mixes_loads_and_stores(si, loop_) {
+            for &m in members {
+                banned[m.index()] = true;
+            }
+        }
+    }
+    banned
+}
+
+/// Fixes the exact model's per-op latencies before the search (see the
+/// module docs: static L0 marking, NL0 for mixed sets, per-home-cluster
+/// word-interleaved latencies). Also returns each op's L0 entry cost
+/// (nonzero exactly for the loads assumed at the L0 latency), which the
+/// search debits against the per-cluster entry budget.
+fn lat_model(
+    loop_: &LoopNest,
+    cfg: &MachineConfig,
+    ddg: &DataDepGraph,
+    banned: &[bool],
+    mode: Mode,
+    ii: u32,
+) -> (Vec<LatSpec>, Vec<i64>) {
+    let n = loop_.ops.len();
+    let mut lats = Vec::with_capacity(n);
+    let l0_assigned = match mode {
+        Mode::L0 { mark, .. } => static_l0_assignment(loop_, cfg, ddg, banned, mark, ii),
+        _ => vec![false; n],
+    };
+    for op in &loop_.ops {
+        let spec = match &op.kind {
+            vliw_ir::OpKind::Load(_) => match mode {
+                Mode::Base { load_latency } => LatSpec::fixed(load_latency),
+                Mode::L0 { .. } => {
+                    if l0_assigned[op.id.index()] {
+                        LatSpec::fixed(cfg.l0.map(|l| l.latency).unwrap_or(1))
+                    } else {
+                        LatSpec::fixed(cfg.l1.latency)
+                    }
+                }
+                Mode::WordInterleaved {
+                    owner_aware,
+                    local_latency,
+                    remote_latency,
+                    word_bytes,
+                } => {
+                    if owner_aware {
+                        let home = engine::preferred_owner(loop_, op.id, word_bytes, cfg.clusters)
+                            .map(|h| (h, local_latency));
+                        LatSpec {
+                            base: remote_latency,
+                            home,
+                        }
+                    } else {
+                        LatSpec::fixed(remote_latency)
+                    }
+                }
+            },
+            vliw_ir::OpKind::Store(_) => LatSpec::fixed(1),
+            _ => LatSpec::fixed(op.default_latency()),
+        };
+        lats.push(spec);
+    }
+    let costs: Vec<i64> = (0..n)
+        .map(|i| {
+            if l0_assigned[i] {
+                engine::entry_cost(loop_, cfg, ii, OpId(i as u32))
+            } else {
+                0
+            }
+        })
+        .collect();
+    (lats, costs)
+}
+
+/// Which loads get the L0 latency in the exact model: candidates marked by
+/// ascending static slack within the total entry budget (step ➋ applied
+/// once), minus every member of a mixed load/store set (NL0).
+fn static_l0_assignment(
+    loop_: &LoopNest,
+    cfg: &MachineConfig,
+    ddg: &DataDepGraph,
+    banned: &[bool],
+    mark: engine::MarkPolicy,
+    ii: u32,
+) -> Vec<bool> {
+    let n = loop_.ops.len();
+    let mut assigned = vec![false; n];
+    let Some(l0) = cfg.l0 else {
+        return assigned;
+    };
+    let mut candidates: Vec<OpId> = loop_
+        .ops
+        .iter()
+        .filter(|o| {
+            o.is_load()
+                && !banned[o.id.index()]
+                && o.kind
+                    .mem_access()
+                    .map(stride::is_candidate)
+                    .unwrap_or(false)
+        })
+        .map(|o| o.id)
+        .collect();
+    match mark {
+        engine::MarkPolicy::AllCandidates => {
+            for op in candidates {
+                assigned[op.index()] = true;
+            }
+        }
+        engine::MarkPolicy::Selective => {
+            let opt = |op: OpId| {
+                engine::optimistic_latency(
+                    loop_,
+                    cfg,
+                    Mode::L0 {
+                        mark,
+                        policy: crate::coherence::CoherencePolicy::Auto,
+                    },
+                    op,
+                )
+            };
+            let timing = ddg.asap_alap(ii, opt);
+            let slack = |op: OpId| timing.as_ref().map(|t| t.slack(op)).unwrap_or(0);
+            candidates.sort_by_key(|&op| (slack(op), op.0));
+            let budget = match l0.entries {
+                vliw_machine::L0Capacity::Bounded(e) => (e * cfg.clusters) as i64,
+                vliw_machine::L0Capacity::Unbounded => i64::MAX / 4,
+            };
+            let mut remaining = budget;
+            for op in candidates {
+                let cost = engine::entry_cost(loop_, cfg, ii, op);
+                if remaining >= cost {
+                    remaining -= cost;
+                    assigned[op.index()] = true;
+                }
+            }
+        }
+    }
+    assigned
+}
+
+/// Result of one per-II search.
+enum Outcome {
+    /// A feasible schedule exists at this II.
+    Found(Box<Schedule>),
+    /// The search space was exhausted: this II is infeasible under the
+    /// exact model.
+    Infeasible,
+    /// The node budget ran out before the proof settled.
+    Budget,
+}
+
+/// Inner DFS status (separates "subtree exhausted" from "out of budget").
+enum Step {
+    Found,
+    Exhausted,
+    Budget,
+}
+
+/// What `try_place` reserved, for backtracking.
+struct Undo {
+    op: OpId,
+    fu: Option<(ClusterId, vliw_machine::FuKind, i64)>,
+    bus_ts: Vec<i64>,
+    new_copies: usize,
+}
+
+/// One branch-and-bound attempt at a fixed II.
+struct Search<'a> {
+    loop_: &'a LoopNest,
+    cfg: &'a MachineConfig,
+    ddg: &'a DataDepGraph,
+    ii: u32,
+    lats: Vec<LatSpec>,
+    order: Vec<OpId>,
+    win_lo: Vec<i64>,
+    win_hi: Vec<i64>,
+    mrt: ModuloReservationTable,
+    placed: Vec<Option<engine::Draft>>,
+    cluster_pop: Vec<u32>,
+    copies: Vec<CopySlot>,
+    copy_index: HashMap<(OpId, ClusterId), i64>,
+    /// Per-op L0 entry cost (0 for ops not assumed at the L0 latency).
+    l0_cost: Vec<i64>,
+    /// Remaining L0 entries per cluster (SMS's `free_l0` bound).
+    free_l0: Vec<i64>,
+    nodes: u64,
+    budget: u64,
+    /// `false` when home clusters make clusters distinguishable a priori
+    /// (disables the empty-cluster symmetry pruning).
+    symmetric: bool,
+}
+
+impl<'a> Search<'a> {
+    fn run(
+        loop_: &'a LoopNest,
+        cfg: &'a MachineConfig,
+        ddg: &'a DataDepGraph,
+        banned: &[bool],
+        mode: Mode,
+        ii: u32,
+        budget: u64,
+    ) -> Outcome {
+        let n = loop_.ops.len();
+        let (lats, l0_cost) = lat_model(loop_, cfg, ddg, banned, mode, ii);
+        let entries_per_cluster: i64 = match cfg.l0.map(|l| l.entries) {
+            Some(vliw_machine::L0Capacity::Bounded(e)) => e as i64,
+            Some(vliw_machine::L0Capacity::Unbounded) => i64::MAX / 4,
+            None => 0,
+        };
+
+        // Self recurrences under the model's *best* latency: a sound
+        // refutation needs only the most optimistic assignment to fail.
+        let ii_i = ii as i64;
+        for e in ddg.edges() {
+            if e.src == e.dst && !e.kind.is_mem() {
+                let lat = lats[e.src.index()].best() as i64;
+                if lat > ii_i * e.distance as i64 {
+                    return Outcome::Infeasible;
+                }
+            }
+        }
+
+        // Dependence windows under the best-case latencies (ASAP is a true
+        // lower bound; ALAP is extended by two extra stages of resource
+        // slack — the horizon discipline documented in the module docs).
+        let best = |op: OpId| lats[op.index()].best();
+        let Some(timing) = ddg.asap_alap(ii, best) else {
+            return Outcome::Infeasible; // a recurrence cannot fit this II
+        };
+        let win_lo: Vec<i64> = (0..n).map(|i| timing.asap[i]).collect();
+        let win_hi: Vec<i64> = (0..n).map(|i| timing.alap[i] + 2 * ii_i).collect();
+
+        // Static fail-first order: tightest dependence window first.
+        let mut order: Vec<OpId> = (0..n).map(|i| OpId(i as u32)).collect();
+        order.sort_by_key(|&op| (win_hi[op.index()] - win_lo[op.index()], op.0));
+
+        let symmetric = !lats.iter().any(|l| l.home.is_some());
+        let mut search = Search {
+            loop_,
+            cfg,
+            ddg,
+            ii,
+            lats,
+            order,
+            win_lo,
+            win_hi,
+            mrt: ModuloReservationTable::new(cfg, ii),
+            placed: vec![None; n],
+            cluster_pop: vec![0; cfg.clusters],
+            copies: Vec::new(),
+            copy_index: HashMap::new(),
+            l0_cost,
+            free_l0: vec![entries_per_cluster; cfg.clusters],
+            nodes: 0,
+            budget,
+            symmetric,
+        };
+        match search.dfs(0) {
+            Step::Found => {
+                let max_live =
+                    engine::max_live(loop_, ddg, cfg, ii, &search.placed, &search.copy_index);
+                Outcome::Found(Box::new(engine::finish_schedule(
+                    loop_,
+                    cfg,
+                    ddg,
+                    ii,
+                    search.placed,
+                    search.copies,
+                    search.copy_index,
+                    Vec::new(),
+                    max_live,
+                )))
+            }
+            Step::Exhausted => Outcome::Infeasible,
+            Step::Budget => Outcome::Budget,
+        }
+    }
+
+    fn dfs(&mut self, k: usize) -> Step {
+        if k == self.order.len() {
+            // Global register-pressure check at the leaf (same bound SMS
+            // enforces); a violation just exhausts this branch.
+            let live = engine::max_live(
+                self.loop_,
+                self.ddg,
+                self.cfg,
+                self.ii,
+                &self.placed,
+                &self.copy_index,
+            );
+            if live.iter().any(|&m| m as usize > self.cfg.regs_per_cluster) {
+                return Step::Exhausted;
+            }
+            return Step::Found;
+        }
+        let op = self.order[k];
+        let Some((lo, hi)) = self.bounds(op) else {
+            return Step::Exhausted;
+        };
+        for t in lo..=hi {
+            let mut tried_fresh_cluster = false;
+            for c in ClusterId::all(self.cfg.clusters) {
+                // Empty clusters are interchangeable (unless home clusters
+                // break the symmetry): trying one refutes them all.
+                if self.symmetric && self.cluster_pop[c.index()] == 0 {
+                    if tried_fresh_cluster {
+                        continue;
+                    }
+                    tried_fresh_cluster = true;
+                }
+                // The budget counts *placement attempts* (the unit of real
+                // work — each is O(edges)), so wide windows cannot blow
+                // past it between checks.
+                self.nodes += 1;
+                if self.nodes > self.budget {
+                    return Step::Budget;
+                }
+                let Some(undo) = self.try_place(op, c, t) else {
+                    continue;
+                };
+                match self.dfs(k + 1) {
+                    Step::Found => return Step::Found,
+                    Step::Budget => {
+                        self.undo(undo);
+                        return Step::Budget;
+                    }
+                    Step::Exhausted => self.undo(undo),
+                }
+            }
+        }
+        Step::Exhausted
+    }
+
+    /// The op's start-cycle bounds given every already-placed neighbour
+    /// (cluster-independent part; `try_place` enforces the rest).
+    fn bounds(&self, op: OpId) -> Option<(i64, i64)> {
+        let ii = self.ii as i64;
+        let mut lo = self.win_lo[op.index()];
+        let mut hi = self.win_hi[op.index()];
+        for e in self.ddg.pred_edges(op) {
+            if e.src == op {
+                continue;
+            }
+            if let Some(src) = self.placed[e.src.index()] {
+                let elat = if e.kind.is_mem() { 1 } else { src.lat as i64 };
+                lo = lo.max(src.t + elat - ii * e.distance as i64);
+            }
+        }
+        let own_best = self.lats[op.index()].best() as i64;
+        for e in self.ddg.succ_edges(op) {
+            if e.dst == op {
+                continue;
+            }
+            if let Some(dst) = self.placed[e.dst.index()] {
+                let elat = if e.kind.is_mem() { 1 } else { own_best };
+                hi = hi.min(dst.t + ii * e.distance as i64 - elat);
+            }
+        }
+        (lo <= hi).then_some((lo, hi))
+    }
+
+    /// Earliest free bus slot in `[lo, hi]` (slots repeat modulo II).
+    fn find_bus_slot(&self, lo: i64, hi: i64) -> Option<i64> {
+        if lo > hi {
+            return None;
+        }
+        let span = (hi - lo).min(self.ii as i64 - 1);
+        (lo..=lo + span).find(|&t| self.mrt.bus_free(t))
+    }
+
+    /// Attempts to place `op` at exactly `(cluster, t)`, reserving its
+    /// functional unit and any inter-cluster copies. Returns the undo
+    /// token on success.
+    fn try_place(&mut self, op: OpId, cluster: ClusterId, t: i64) -> Option<Undo> {
+        let o = self.loop_.op(op);
+        let ii = self.ii as i64;
+        let bus_lat = self.cfg.buses.latency as i64;
+        let lat = self.lats[op.index()].in_cluster(cluster) as i64;
+
+        let fu_kind = o.kind.fu_kind();
+        if let Some(kind) = fu_kind {
+            if !self.mrt.fu_free(cluster, kind, t) {
+                return None;
+            }
+        }
+
+        // Per-cluster L0 capacity: an L0-assumed load must fit in its
+        // cluster's remaining entry budget (mirrors SMS's `free_l0`).
+        let l0_cost = self.l0_cost[op.index()];
+        if l0_cost > 0 && self.free_l0[cluster.index()] < l0_cost {
+            return None;
+        }
+
+        // Copies needed for this placement: (producer, destination, bus
+        // window). One physical copy serves every consumer of a value in
+        // a cluster, so duplicate wants *merge* — the window tightens to
+        // the latest `earliest` and the earliest `deadline`.
+        let mut wanted: Vec<(OpId, ClusterId, i64, i64)> = Vec::new();
+        let want = |wanted: &mut Vec<(OpId, ClusterId, i64, i64)>,
+                    src: OpId,
+                    to: ClusterId,
+                    earliest: i64,
+                    deadline: i64| {
+            if let Some(w) = wanted.iter_mut().find(|w| w.0 == src && w.1 == to) {
+                w.2 = w.2.max(earliest);
+                w.3 = w.3.min(deadline);
+            } else {
+                wanted.push((src, to, earliest, deadline));
+            }
+        };
+        for e in self.ddg.pred_edges(op) {
+            if e.src == op {
+                continue;
+            }
+            let Some(src) = self.placed[e.src.index()] else {
+                continue;
+            };
+            let dist = ii * e.distance as i64;
+            if e.kind.is_mem() {
+                if t + dist < src.t + 1 {
+                    return None;
+                }
+                continue;
+            }
+            if src.cluster == cluster {
+                if t + dist < src.t + src.lat as i64 {
+                    return None;
+                }
+            } else if let Some(&copy_t) = self.copy_index.get(&(e.src, cluster)) {
+                if t + dist < copy_t + bus_lat {
+                    return None;
+                }
+            } else {
+                want(
+                    &mut wanted,
+                    e.src,
+                    cluster,
+                    src.t + src.lat as i64,
+                    t + dist - bus_lat,
+                );
+            }
+        }
+        for e in self.ddg.succ_edges(op) {
+            if e.dst == op {
+                continue;
+            }
+            let Some(dst) = self.placed[e.dst.index()] else {
+                continue;
+            };
+            let dist = ii * e.distance as i64;
+            if e.kind.is_mem() {
+                if dst.t + dist < t + 1 {
+                    return None;
+                }
+                continue;
+            }
+            if dst.cluster == cluster {
+                if dst.t + dist < t + lat {
+                    return None;
+                }
+            } else {
+                want(
+                    &mut wanted,
+                    op,
+                    dst.cluster,
+                    t + lat,
+                    dst.t + dist - bus_lat,
+                );
+            }
+        }
+
+        // Reserve: FU first, then the copies (greedy earliest bus slot).
+        if let Some(kind) = fu_kind {
+            self.mrt.reserve_fu(cluster, kind, t);
+        }
+        let mut undo = Undo {
+            op,
+            fu: fu_kind.map(|k| (cluster, k, t)),
+            bus_ts: Vec::new(),
+            new_copies: 0,
+        };
+        for (src, to_cluster, earliest, deadline) in wanted {
+            match self.find_bus_slot(earliest, deadline) {
+                Some(copy_t) => {
+                    self.mrt.reserve_bus(copy_t);
+                    undo.bus_ts.push(copy_t);
+                    self.copies.push(CopySlot {
+                        from_op: src,
+                        to_cluster,
+                        t: copy_t,
+                    });
+                    self.copy_index.insert((src, to_cluster), copy_t);
+                    undo.new_copies += 1;
+                }
+                None => {
+                    self.undo(undo);
+                    return None;
+                }
+            }
+        }
+
+        self.placed[op.index()] = Some(engine::Draft {
+            cluster,
+            t,
+            lat: lat as u32,
+        });
+        self.cluster_pop[cluster.index()] += 1;
+        self.free_l0[cluster.index()] -= l0_cost;
+        Some(undo)
+    }
+
+    /// Rolls back one `try_place` (also used for the failure path, where
+    /// the draft was not yet committed).
+    fn undo(&mut self, undo: Undo) {
+        if let Some(d) = self.placed[undo.op.index()].take() {
+            self.cluster_pop[d.cluster.index()] -= 1;
+            self.free_l0[d.cluster.index()] += self.l0_cost[undo.op.index()];
+        }
+        for _ in 0..undo.new_copies {
+            let c = self.copies.pop().expect("copy pushed by try_place");
+            self.copy_index.remove(&(c.from_op, c.to_cluster));
+        }
+        for bt in undo.bus_ts {
+            self.mrt.release_bus(bt);
+        }
+        if let Some((c, k, t)) = undo.fu {
+            self.mrt.release_fu(c, k, t);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coherence::CoherencePolicy;
+    use crate::engine::MarkPolicy;
+    use vliw_ir::LoopBuilder;
+
+    fn cfg() -> MachineConfig {
+        MachineConfig::micro2003()
+    }
+
+    fn l0_mode() -> Mode {
+        Mode::L0 {
+            mark: MarkPolicy::Selective,
+            policy: CoherencePolicy::Auto,
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct_and_stable() {
+        assert_eq!(SmsBackend.label(), "sms");
+        assert_eq!(ExactBackend::default().label(), "exact");
+        for kind in BackendKind::ALL {
+            assert_eq!(kind.as_backend().label(), kind.label());
+        }
+    }
+
+    #[test]
+    fn backend_kind_round_trips_through_serde() {
+        for kind in BackendKind::ALL {
+            let json = serde_json::to_string(&kind).unwrap();
+            let back: BackendKind = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, kind);
+        }
+    }
+
+    #[test]
+    fn sms_backend_is_engine_run() {
+        let l = LoopBuilder::new("ew").trip_count(64).elementwise(2).build();
+        let c = cfg();
+        let via_backend = SmsBackend.schedule(&l, &c, l0_mode()).unwrap();
+        let via_engine = engine::run(&l, &c, l0_mode()).unwrap();
+        assert_eq!(via_backend.ii(), via_engine.ii());
+        assert_eq!(via_backend.mii, via_engine.mii);
+        assert_eq!(via_backend.placements, via_engine.placements);
+    }
+
+    #[test]
+    fn exact_equals_sms_when_sms_hits_the_mii() {
+        let l = LoopBuilder::new("ew").trip_count(64).elementwise(2).build();
+        let c = cfg();
+        let sms = SmsBackend.schedule(&l, &c, l0_mode()).unwrap();
+        assert_eq!(sms.ii(), sms.mii, "precondition: SMS achieves the MII");
+        let exact = ExactBackend::default().schedule(&l, &c, l0_mode()).unwrap();
+        assert_eq!(exact.ii(), sms.ii());
+        assert_eq!(exact.ii_proof, IiProof::Optimal);
+    }
+
+    #[test]
+    fn exact_ii_bounded_by_mii_and_sms_on_a_tight_loop() {
+        // 9 memory ops over 4 memory units plus a carried recurrence:
+        // plenty of room for the heuristic to be off the floor.
+        let l = LoopBuilder::new("fir8")
+            .trip_count(64)
+            .fir(8, 2)
+            .int_overhead(3)
+            .build();
+        let c = cfg();
+        let sms = SmsBackend.schedule(&l, &c, l0_mode()).unwrap();
+        let exact = ExactBackend::default().schedule(&l, &c, l0_mode()).unwrap();
+        assert!(exact.ii() >= exact.mii, "II below the MII is impossible");
+        assert!(
+            exact.ii() <= sms.ii(),
+            "exact {} must not regress SMS {}",
+            exact.ii(),
+            sms.ii()
+        );
+        exact.validate(&c).unwrap();
+    }
+
+    #[test]
+    fn exact_schedules_are_valid_on_every_mode() {
+        let l = LoopBuilder::new("slp")
+            .trip_count(64)
+            .store_load_pair(4)
+            .build();
+        let c = cfg();
+        let wi = vliw_machine::WordInterleavedConfig::micro2003();
+        let modes = [
+            Mode::Base { load_latency: 6 },
+            l0_mode(),
+            Mode::WordInterleaved {
+                owner_aware: true,
+                local_latency: wi.local_latency,
+                remote_latency: wi.remote_latency,
+                word_bytes: wi.word_bytes as u64,
+            },
+        ];
+        for mode in modes {
+            let base_cfg = if matches!(mode, Mode::L0 { .. }) {
+                c.clone()
+            } else {
+                c.without_l0()
+            };
+            let s = ExactBackend::default()
+                .schedule(&l, &base_cfg, mode)
+                .unwrap();
+            s.validate(&base_cfg).unwrap();
+            assert!(s.ii() >= s.mii);
+        }
+    }
+
+    #[test]
+    fn truncated_budget_still_returns_a_schedule() {
+        let l = LoopBuilder::new("fir8")
+            .trip_count(64)
+            .fir(8, 2)
+            .int_overhead(3)
+            .build();
+        let c = cfg();
+        let starved = ExactBackend { node_budget: 1 };
+        let sms = SmsBackend.schedule(&l, &c, l0_mode()).unwrap();
+        let s = starved.schedule(&l, &c, l0_mode()).unwrap();
+        assert!(s.ii() <= sms.ii(), "fallback never regresses SMS");
+        if s.ii() > s.mii {
+            assert_eq!(s.ii_proof, IiProof::Truncated);
+        }
+    }
+
+    #[test]
+    fn no_feasible_ii_error_names_loop_and_backend() {
+        let e = ScheduleError::NoFeasibleIi {
+            loop_name: "tight".into(),
+            backend: "exact".into(),
+            max_ii_tried: 512,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("'tight'"), "{msg}");
+        assert!(msg.contains("exact"), "{msg}");
+        assert!(msg.contains("512"), "{msg}");
+    }
+}

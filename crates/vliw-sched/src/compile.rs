@@ -6,16 +6,25 @@
 //! 2. unroll-factor selection (1 vs. N, by statically-estimated compute
 //!    time — the same heuristic for every architecture so comparisons are
 //!    not biased by unrolling, §5.1),
-//! 3. cluster assignment + modulo scheduling ([`engine`]),
+//! 3. cluster assignment + modulo scheduling (a pluggable
+//!    [`SchedulerBackend`]; [`SmsBackend`](crate::backend::SmsBackend) by
+//!    default),
 //! 4. hint assignment (L0 target only),
 //! 5. explicit prefetch insertion for "other"-stride L0 loads,
 //!    plus the inter-loop flush (`invalidate_buffer` on exit).
+//!
+//! The drivers are reached through a [`CompileRequest`]: one builder that
+//! owns every compilation knob (architecture, backend, marking, coherence,
+//! specialization, unrolling). The free `compile_*` functions and
+//! [`Arch::compile`](crate::Arch::compile) are thin wrappers over it.
 
+use crate::backend::{BackendKind, SchedulerBackend};
 use crate::coherence::CoherencePolicy;
-use crate::engine::{self, Mode, ScheduleError};
+use crate::engine::{Mode, ScheduleError};
 use crate::hints::assign_hints;
 use crate::mrt::ModuloReservationTable;
 use crate::schedule::{PrefetchSlot, Schedule};
+use serde::{Deserialize, Serialize};
 use vliw_ir::{specialize, stride, unroll, LoopNest, StrideClass};
 use vliw_machine::{FuKind, MachineConfig, WordInterleavedConfig};
 
@@ -23,7 +32,7 @@ pub use crate::engine::MarkPolicy;
 
 /// The two published scheduling heuristics for the word-interleaved
 /// baseline (the "Interleaved 1" / "Interleaved 2" bars of Figure 7).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum InterleavedHeuristic {
     /// Placement-blind: clusters chosen only by communication/balance;
     /// loads scheduled with the (safe) remote latency.
@@ -34,7 +43,7 @@ pub enum InterleavedHeuristic {
 }
 
 /// Options for the L0-aware driver (ablation knobs of §5.2).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct L0Options {
     /// Candidate marking policy (selective vs. all-candidates).
     pub mark: MarkPolicy,
@@ -54,6 +63,158 @@ impl Default for L0Options {
     }
 }
 
+/// Step 1's unroll-factor selection policy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UnrollPolicy {
+    /// §4.3 step 1: schedule both flat and unrolled-by-N, keep the one
+    /// with the cheaper statically-estimated compute time (the default).
+    #[default]
+    Auto,
+    /// Always keep the loop flat (isolates the backend axis from the
+    /// unrolling heuristic).
+    Never,
+}
+
+/// A fully-resolved compilation request: architecture, scheduler backend
+/// and every driver knob. Serializable, so experiment artifacts can record
+/// exactly how each cell was compiled.
+///
+/// ```
+/// use vliw_ir::LoopBuilder;
+/// use vliw_machine::MachineConfig;
+/// use vliw_sched::{Arch, BackendKind, CompileRequest};
+///
+/// let l = LoopBuilder::new("ew").trip_count(256).elementwise(2).build();
+/// let cfg = MachineConfig::micro2003();
+/// let sms = CompileRequest::new(Arch::L0).compile(&l, &cfg).unwrap();
+/// let exact = CompileRequest::new(Arch::L0)
+///     .backend(BackendKind::Exact)
+///     .compile(&l, &cfg)
+///     .unwrap();
+/// // The exact backend can only improve on the heuristic.
+/// assert!(exact.ii() <= sms.ii());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompileRequest {
+    /// Target architecture.
+    pub arch: crate::Arch,
+    /// Scheduler backend.
+    pub backend: BackendKind,
+    /// L0 driver options (only the L0 architecture reads them).
+    pub opts: L0Options,
+    /// Unroll-factor selection policy.
+    pub unroll: UnrollPolicy,
+}
+
+impl CompileRequest {
+    /// A request for `arch` with every knob at its default (SMS backend,
+    /// selective marking, auto coherence, specialization on, auto unroll).
+    pub fn new(arch: crate::Arch) -> Self {
+        CompileRequest {
+            arch,
+            backend: BackendKind::default(),
+            opts: L0Options::default(),
+            unroll: UnrollPolicy::default(),
+        }
+    }
+
+    /// Selects the scheduler backend.
+    #[must_use]
+    pub fn backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Sets the candidate-marking policy.
+    #[must_use]
+    pub fn mark(mut self, mark: MarkPolicy) -> Self {
+        self.opts.mark = mark;
+        self
+    }
+
+    /// Sets the coherence policy for mixed memory-dependent sets.
+    #[must_use]
+    pub fn coherence(mut self, policy: CoherencePolicy) -> Self {
+        self.opts.policy = policy;
+        self
+    }
+
+    /// Enables or disables code specialization (§4.1).
+    #[must_use]
+    pub fn specialize(mut self, on: bool) -> Self {
+        self.opts.specialize = on;
+        self
+    }
+
+    /// Sets the unroll-factor selection policy.
+    #[must_use]
+    pub fn unroll(mut self, unroll: UnrollPolicy) -> Self {
+        self.unroll = unroll;
+        self
+    }
+
+    /// Replaces the whole L0 option block.
+    #[must_use]
+    pub fn opts(mut self, opts: L0Options) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Compiles one loop — the single arch×backend→driver dispatch point.
+    ///
+    /// Architectures without L0 buffers are compiled against
+    /// `cfg.without_l0()`, so callers always pass the full machine
+    /// configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the backend's error when the loop cannot be scheduled.
+    pub fn compile(
+        &self,
+        loop_: &LoopNest,
+        cfg: &MachineConfig,
+    ) -> Result<Schedule, ScheduleError> {
+        use crate::Arch;
+        let backend = self.backend.as_backend();
+        match self.arch {
+            Arch::Baseline => compile_base_with(loop_, &cfg.without_l0(), backend, self.unroll),
+            Arch::L0 => compile_l0_with(loop_, cfg, self.opts, backend, self.unroll),
+            Arch::MultiVliw => {
+                compile_multivliw_with(loop_, &cfg.without_l0(), backend, self.unroll)
+            }
+            Arch::Interleaved1 => compile_interleaved_with(
+                loop_,
+                &cfg.without_l0(),
+                InterleavedHeuristic::One,
+                backend,
+                self.unroll,
+            ),
+            Arch::Interleaved2 => compile_interleaved_with(
+                loop_,
+                &cfg.without_l0(),
+                InterleavedHeuristic::Two,
+                backend,
+                self.unroll,
+            ),
+        }
+    }
+
+    /// [`CompileRequest::compile`] for loops that are schedulable by
+    /// construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the loop cannot be scheduled — the benchmark suite's
+    /// loops all are, so a failure is a harness bug. The message names the
+    /// loop and the backend (via [`ScheduleError`]).
+    pub fn compile_or_panic(&self, loop_: &LoopNest, cfg: &MachineConfig) -> Schedule {
+        // `NoFeasibleIi` already names the loop and backend; `BadConfig`
+        // does not, so the panic names the loop for both.
+        self.compile(loop_, cfg)
+            .unwrap_or_else(|e| panic!("{} ('{}'): {e}", self.arch.label(), loop_.name))
+    }
+}
+
 /// Statically-estimated compute cost per *original* iteration — the
 /// quantity step 1 minimizes when choosing the unroll factor.
 fn cost_per_iteration(schedule: &Schedule, unroll_factor: u64) -> f64 {
@@ -61,21 +222,23 @@ fn cost_per_iteration(schedule: &Schedule, unroll_factor: u64) -> f64 {
     schedule.compute_cycles_per_visit() as f64 / orig_iters as f64
 }
 
-/// Step 1 + step 3: schedules `loop_` both unrolled by N and not unrolled,
-/// returns the cheaper schedule (compute-time estimate, ties prefer the
-/// unrolled version only when it is strictly cheaper).
+/// Step 1 + step 3: schedules `loop_` both unrolled by N and not unrolled
+/// through `backend`, returns the cheaper schedule (compute-time estimate,
+/// ties prefer the unrolled version only when it is strictly cheaper).
 fn schedule_best_unroll(
     loop_: &LoopNest,
     cfg: &MachineConfig,
     mode: Mode,
+    backend: &dyn SchedulerBackend,
+    policy: UnrollPolicy,
 ) -> Result<Schedule, ScheduleError> {
-    let flat = engine::run(loop_, cfg, mode)?;
+    let flat = backend.schedule(loop_, cfg, mode)?;
     let n = cfg.clusters;
-    if n <= 1 || loop_.trip_count < n as u64 {
+    if policy == UnrollPolicy::Never || n <= 1 || loop_.trip_count < n as u64 {
         return Ok(flat);
     }
     let unrolled_loop = unroll(loop_, n);
-    match engine::run(&unrolled_loop, cfg, mode) {
+    match backend.schedule(&unrolled_loop, cfg, mode) {
         Ok(unrolled) => {
             let cost_flat = cost_per_iteration(&flat, 1);
             let cost_unrolled = cost_per_iteration(&unrolled, n as u64);
@@ -97,6 +260,20 @@ fn schedule_best_unroll(
 /// Returns [`ScheduleError`] when no feasible II exists (pathologically
 /// over-constrained loops) or the machine configuration is invalid.
 pub fn compile_base(loop_: &LoopNest, cfg: &MachineConfig) -> Result<Schedule, ScheduleError> {
+    compile_base_with(
+        loop_,
+        cfg,
+        BackendKind::default().as_backend(),
+        UnrollPolicy::default(),
+    )
+}
+
+fn compile_base_with(
+    loop_: &LoopNest,
+    cfg: &MachineConfig,
+    backend: &dyn SchedulerBackend,
+    unroll: UnrollPolicy,
+) -> Result<Schedule, ScheduleError> {
     let lowered = specialize(loop_);
     schedule_best_unroll(
         &lowered,
@@ -104,6 +281,8 @@ pub fn compile_base(loop_: &LoopNest, cfg: &MachineConfig) -> Result<Schedule, S
         Mode::Base {
             load_latency: cfg.l1.latency,
         },
+        backend,
+        unroll,
     )
 }
 
@@ -127,6 +306,22 @@ pub fn compile_for_l0_with(
     cfg: &MachineConfig,
     opts: L0Options,
 ) -> Result<Schedule, ScheduleError> {
+    compile_l0_with(
+        loop_,
+        cfg,
+        opts,
+        BackendKind::default().as_backend(),
+        UnrollPolicy::default(),
+    )
+}
+
+fn compile_l0_with(
+    loop_: &LoopNest,
+    cfg: &MachineConfig,
+    opts: L0Options,
+    backend: &dyn SchedulerBackend,
+    unroll: UnrollPolicy,
+) -> Result<Schedule, ScheduleError> {
     if cfg.l0.is_none() {
         return Err(ScheduleError::BadConfig(
             "compile_for_l0 needs an L0 configuration".into(),
@@ -141,7 +336,7 @@ pub fn compile_for_l0_with(
         mark: opts.mark,
         policy: opts.policy,
     };
-    let mut schedule = schedule_best_unroll(&lowered, cfg, mode)?;
+    let mut schedule = schedule_best_unroll(&lowered, cfg, mode, backend, unroll)?;
     assign_hints(&mut schedule, cfg);
     insert_explicit_prefetches(&mut schedule, cfg);
     schedule.flush_on_exit = true; // inter-loop coherence (§4.1)
@@ -155,6 +350,20 @@ pub fn compile_for_l0_with(
 ///
 /// See [`compile_base`].
 pub fn compile_multivliw(loop_: &LoopNest, cfg: &MachineConfig) -> Result<Schedule, ScheduleError> {
+    compile_multivliw_with(
+        loop_,
+        cfg,
+        BackendKind::default().as_backend(),
+        UnrollPolicy::default(),
+    )
+}
+
+fn compile_multivliw_with(
+    loop_: &LoopNest,
+    cfg: &MachineConfig,
+    backend: &dyn SchedulerBackend,
+    unroll: UnrollPolicy,
+) -> Result<Schedule, ScheduleError> {
     let lowered = specialize(loop_);
     let local = vliw_machine::MultiVliwConfig::micro2003().local_latency;
     schedule_best_unroll(
@@ -163,6 +372,8 @@ pub fn compile_multivliw(loop_: &LoopNest, cfg: &MachineConfig) -> Result<Schedu
         Mode::Base {
             load_latency: local,
         },
+        backend,
+        unroll,
     )
 }
 
@@ -177,6 +388,22 @@ pub fn compile_interleaved(
     cfg: &MachineConfig,
     heuristic: InterleavedHeuristic,
 ) -> Result<Schedule, ScheduleError> {
+    compile_interleaved_with(
+        loop_,
+        cfg,
+        heuristic,
+        BackendKind::default().as_backend(),
+        UnrollPolicy::default(),
+    )
+}
+
+fn compile_interleaved_with(
+    loop_: &LoopNest,
+    cfg: &MachineConfig,
+    heuristic: InterleavedHeuristic,
+    backend: &dyn SchedulerBackend,
+    unroll: UnrollPolicy,
+) -> Result<Schedule, ScheduleError> {
     let lowered = specialize(loop_);
     let wi = WordInterleavedConfig::micro2003();
     let mode = Mode::WordInterleaved {
@@ -185,7 +412,7 @@ pub fn compile_interleaved(
         remote_latency: wi.remote_latency,
         word_bytes: wi.word_bytes as u64,
     };
-    schedule_best_unroll(&lowered, cfg, mode)
+    schedule_best_unroll(&lowered, cfg, mode, backend, unroll)
 }
 
 /// Step 5: adds an explicit software prefetch for every L0-latency load

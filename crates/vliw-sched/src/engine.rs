@@ -22,6 +22,7 @@ use crate::mii;
 use crate::mrt::ModuloReservationTable;
 use crate::schedule::{CopySlot, Placement, ReplicaSlot, Schedule};
 use crate::sms::sms_order;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use vliw_ir::{stride, DataDepGraph, DepKind, LoopNest, MemDepSets, OpId};
 use vliw_machine::{ClusterId, MachineConfig, MemHints};
@@ -31,6 +32,10 @@ use vliw_machine::{ClusterId, MachineConfig, MemHints};
 pub enum ScheduleError {
     /// No feasible II was found up to the search cap.
     NoFeasibleIi {
+        /// Name of the loop that could not be scheduled.
+        loop_name: String,
+        /// Label of the backend that gave up (e.g. `"sms"`, `"exact"`).
+        backend: String,
         /// The largest II attempted.
         max_ii_tried: u32,
     },
@@ -38,11 +43,32 @@ pub enum ScheduleError {
     BadConfig(String),
 }
 
+impl ScheduleError {
+    /// Rebrands the error with the label of the backend that surfaced it
+    /// (backends that wrap other backends re-attribute failures to
+    /// themselves).
+    #[must_use]
+    pub fn with_backend(mut self, label: &str) -> Self {
+        if let ScheduleError::NoFeasibleIi { backend, .. } = &mut self {
+            *backend = label.to_string();
+        }
+        self
+    }
+}
+
 impl std::fmt::Display for ScheduleError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ScheduleError::NoFeasibleIi { max_ii_tried } => {
-                write!(f, "no feasible II found (tried up to {max_ii_tried})")
+            ScheduleError::NoFeasibleIi {
+                loop_name,
+                backend,
+                max_ii_tried,
+            } => {
+                write!(
+                    f,
+                    "no feasible II for loop '{loop_name}' via the {backend} backend \
+                     (tried up to {max_ii_tried})"
+                )
             }
             ScheduleError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
         }
@@ -53,7 +79,7 @@ impl std::error::Error for ScheduleError {}
 
 /// How aggressively memory candidates are marked to use the buffers
 /// (§5.2 in-text ablation).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub enum MarkPolicy {
     /// The paper's policy: only the most critical candidates, bounded by
     /// the total number of L0 entries.
@@ -92,12 +118,12 @@ pub enum Mode {
     },
 }
 
-/// Internal draft placement.
+/// Internal draft placement (shared with the exact backend).
 #[derive(Debug, Clone, Copy)]
-struct Draft {
-    cluster: ClusterId,
-    t: i64,
-    lat: u32,
+pub(crate) struct Draft {
+    pub(crate) cluster: ClusterId,
+    pub(crate) t: i64,
+    pub(crate) lat: u32,
 }
 
 /// The engine's mutable state for one `try_schedule` attempt.
@@ -120,7 +146,7 @@ struct Attempt<'a> {
     static_slack: Vec<i64>,
 }
 
-const MAX_II: u32 = 512;
+pub(crate) const MAX_II: u32 = 512;
 
 impl<'a> Attempt<'a> {
     fn l1_lat(&self) -> u32 {
@@ -134,55 +160,12 @@ impl<'a> Attempt<'a> {
     /// Optimistic latency function for ordering/slack (step ➋ assumption:
     /// all candidates at the L0 latency).
     fn optimistic_latency(&self, op: OpId) -> u32 {
-        let o = self.loop_.op(op);
-        match &o.kind {
-            vliw_ir::OpKind::Load(acc) => match self.mode {
-                Mode::Base { load_latency } => load_latency,
-                Mode::L0 { .. } => {
-                    if stride::is_candidate(acc) {
-                        self.l0_lat()
-                    } else {
-                        self.l1_lat()
-                    }
-                }
-                Mode::WordInterleaved {
-                    owner_aware,
-                    local_latency,
-                    remote_latency,
-                    ..
-                } => {
-                    if owner_aware {
-                        local_latency
-                    } else {
-                        remote_latency
-                    }
-                }
-            },
-            vliw_ir::OpKind::Store(_) => 1,
-            _ => o.default_latency(),
-        }
+        optimistic_latency(self.loop_, self.cfg, self.mode, op)
     }
 
-    /// L0 entries a load effectively occupies: good strides keep one
-    /// live subblock (the hint prefetch transiently adds one — the paper
-    /// does *not* account for it, which is exactly the jpegdec 4-entry
-    /// anomaly we preserve); "other" strides touch a new subblock every
-    /// iteration and keep `lookahead` explicit prefetches in flight.
+    /// See [`entry_cost`].
     fn entry_cost(&self, op: OpId) -> i64 {
-        let Some(acc) = self.loop_.op(op).kind.mem_access() else {
-            return 1;
-        };
-        match stride::classify(acc, self.loop_.unroll_factor) {
-            stride::StrideClass::Other => {
-                // current subblock + one being filled + `lookahead`
-                // outstanding explicit prefetches (the prefetch lookahead
-                // covers a worst-case L1 miss; keep in sync with step 5)
-                let lookahead = (self.l1_lat() + self.cfg.l2_latency + self.l0_lat())
-                    .div_ceil(self.ii.max(1)) as i64;
-                2 + lookahead.max(1)
-            }
-            _ => 1,
-        }
+        entry_cost(self.loop_, self.cfg, self.ii, op)
     }
 
     /// The latency `op` would be scheduled with in `cluster` right now
@@ -662,56 +645,137 @@ impl<'a> Attempt<'a> {
 
     /// Register-pressure estimate: values live per cluster per kernel slot.
     fn max_live(&self) -> Vec<u32> {
-        let ii = self.ii as i64;
-        let mut live = vec![vec![0u32; self.ii as usize]; self.cfg.clusters];
-        let mut bump = |cluster: ClusterId, from: i64, to: i64| {
-            if to <= from {
-                return;
+        max_live(
+            self.loop_,
+            self.ddg,
+            self.cfg,
+            self.ii,
+            &self.placed,
+            &self.copy_index,
+        )
+    }
+}
+
+/// Register-pressure estimate over a draft placement: peak values live per
+/// cluster per kernel slot (shared with the exact backend).
+pub(crate) fn max_live(
+    loop_: &LoopNest,
+    ddg: &DataDepGraph,
+    cfg: &MachineConfig,
+    ii: u32,
+    placed: &[Option<Draft>],
+    copy_index: &HashMap<(OpId, ClusterId), i64>,
+) -> Vec<u32> {
+    let ii_u = ii;
+    let ii = ii as i64;
+    let mut live = vec![vec![0u32; ii_u as usize]; cfg.clusters];
+    let mut bump = |cluster: ClusterId, from: i64, to: i64| {
+        if to <= from {
+            return;
+        }
+        let span = ((to - from).min(ii)) as usize;
+        for k in 0..span {
+            let slot = (from + k as i64).rem_euclid(ii) as usize;
+            live[cluster.index()][slot] += 1;
+        }
+        // lifetimes longer than II overlap themselves: every slot
+        // gains floor((to-from)/II) extra live copies
+        let extra = ((to - from) / ii) as u32;
+        if extra > 0 {
+            for slot in live[cluster.index()].iter_mut() {
+                *slot += extra;
             }
-            let span = ((to - from).min(ii)) as usize;
-            for k in 0..span {
-                let slot = (from + k as i64).rem_euclid(ii) as usize;
-                live[cluster.index()][slot] += 1;
-            }
-            // lifetimes longer than II overlap themselves: every slot
-            // gains floor((to-from)/II) extra live copies
-            let extra = ((to - from) / ii) as u32;
-            if extra > 0 {
-                for slot in live[cluster.index()].iter_mut() {
-                    *slot += extra;
-                }
-            }
-        };
-        for (i, d) in self.placed.iter().enumerate() {
-            let Some(d) = d else { continue };
-            let op = &self.loop_.ops[i];
-            if op.writes.is_none() {
+        }
+    };
+    for (i, d) in placed.iter().enumerate() {
+        let Some(d) = d else { continue };
+        let op = &loop_.ops[i];
+        if op.writes.is_none() {
+            continue;
+        }
+        let mut last_use = d.t + d.lat as i64;
+        for e in ddg.succ_edges(op.id) {
+            if e.kind.is_mem() {
                 continue;
             }
-            let mut last_use = d.t + d.lat as i64;
-            for e in self.ddg.succ_edges(op.id) {
-                if e.kind.is_mem() {
-                    continue;
-                }
-                if let Some(dd) = self.placed[e.dst.index()] {
-                    let use_t = dd.t + ii * e.distance as i64;
-                    last_use = last_use.max(use_t);
-                }
+            if let Some(dd) = placed[e.dst.index()] {
+                let use_t = dd.t + ii * e.distance as i64;
+                last_use = last_use.max(use_t);
             }
-            if let Some(&copy_t) = self
-                .copy_index
-                .iter()
-                .filter(|((src, _), _)| *src == op.id)
-                .map(|(_, t)| t)
-                .max()
-            {
-                last_use = last_use.max(copy_t);
-            }
-            bump(d.cluster, d.t, last_use);
         }
-        live.into_iter()
-            .map(|slots| slots.into_iter().max().unwrap_or(0))
-            .collect()
+        if let Some(&copy_t) = copy_index
+            .iter()
+            .filter(|((src, _), _)| *src == op.id)
+            .map(|(_, t)| t)
+            .max()
+        {
+            last_use = last_use.max(copy_t);
+        }
+        bump(d.cluster, d.t, last_use);
+    }
+    live.into_iter()
+        .map(|slots| slots.into_iter().max().unwrap_or(0))
+        .collect()
+}
+
+/// Optimistic per-op latency: what the engine assumes for MII computation
+/// and node ordering before any placement decision is made (step ➋: every
+/// L0 candidate at the L0 latency; owner-aware word-interleaved loads at
+/// the local latency).
+pub(crate) fn optimistic_latency(
+    loop_: &LoopNest,
+    cfg: &MachineConfig,
+    mode: Mode,
+    op: OpId,
+) -> u32 {
+    let o = loop_.op(op);
+    match &o.kind {
+        vliw_ir::OpKind::Load(acc) => match mode {
+            Mode::Base { load_latency } => load_latency,
+            Mode::L0 { .. } => {
+                if stride::is_candidate(acc) {
+                    cfg.l0.map(|l| l.latency).unwrap_or(1)
+                } else {
+                    cfg.l1.latency
+                }
+            }
+            Mode::WordInterleaved {
+                owner_aware,
+                local_latency,
+                remote_latency,
+                ..
+            } => {
+                if owner_aware {
+                    local_latency
+                } else {
+                    remote_latency
+                }
+            }
+        },
+        vliw_ir::OpKind::Store(_) => 1,
+        _ => o.default_latency(),
+    }
+}
+
+/// L0 entries a load effectively occupies: good strides keep one
+/// live subblock (the hint prefetch transiently adds one — the paper
+/// does *not* account for it, which is exactly the jpegdec 4-entry
+/// anomaly we preserve); "other" strides touch a new subblock every
+/// iteration and keep `lookahead` explicit prefetches in flight.
+pub(crate) fn entry_cost(loop_: &LoopNest, cfg: &MachineConfig, ii: u32, op: OpId) -> i64 {
+    let Some(acc) = loop_.op(op).kind.mem_access() else {
+        return 1;
+    };
+    match stride::classify(acc, loop_.unroll_factor) {
+        stride::StrideClass::Other => {
+            // current subblock + one being filled + `lookahead`
+            // outstanding explicit prefetches (the prefetch lookahead
+            // covers a worst-case L1 miss; keep in sync with step 5)
+            let l0_lat = cfg.l0.map(|l| l.latency).unwrap_or(1);
+            let lookahead = (cfg.l1.latency + cfg.l2_latency + l0_lat).div_ceil(ii.max(1)) as i64;
+            2 + lookahead.max(1)
+        }
+        _ => 1,
     }
 }
 
@@ -749,35 +813,27 @@ pub fn run(loop_: &LoopNest, cfg: &MachineConfig, mode: Mode) -> Result<Schedule
     let sets = MemDepSets::build(loop_);
 
     // optimistic latency for MII / ordering
-    let probe = Attempt {
-        loop_,
-        cfg,
-        ddg: &ddg,
-        sets: &sets,
-        mode,
-        ii: 1,
-        mrt: ModuloReservationTable::new(cfg, 1),
-        placed: vec![None; loop_.ops.len()],
-        copies: Vec::new(),
-        copy_index: HashMap::new(),
-        replicas: Vec::new(),
-        free_l0: vec![0; cfg.clusters],
-        l0_assigned: vec![false; loop_.ops.len()],
-        recommended: vec![None; loop_.ops.len()],
-        set_solutions: HashMap::new(),
-        static_slack: vec![0; loop_.ops.len()],
-    };
-    let opt_lat = |op: OpId| probe.optimistic_latency(op);
+    let opt_lat = |op: OpId| optimistic_latency(loop_, cfg, mode, op);
     let mii0 = mii::mii(loop_, &ddg, cfg, opt_lat);
 
     let mut ii = mii0;
     while ii <= MAX_II {
-        if let Some(schedule) = try_schedule(loop_, cfg, &ddg, &sets, mode, ii) {
+        if let Some(mut schedule) = try_schedule(loop_, cfg, &ddg, &sets, mode, ii) {
+            schedule.mii = mii0;
+            // Hitting the MII is the one II a heuristic *can* prove
+            // minimal: nothing legal is below it.
+            schedule.ii_proof = if ii == mii0 {
+                crate::schedule::IiProof::Optimal
+            } else {
+                crate::schedule::IiProof::Heuristic
+            };
             return Ok(schedule);
         }
         ii += 1;
     }
     Err(ScheduleError::NoFeasibleIi {
+        loop_name: loop_.name.clone(),
+        backend: "sms".to_string(),
         max_ii_tried: MAX_II,
     })
 }
@@ -902,40 +958,68 @@ fn try_schedule(
         return None;
     }
 
+    Some(finish_schedule(
+        loop_,
+        cfg,
+        ddg,
+        ii,
+        a.placed,
+        a.copies,
+        a.copy_index,
+        a.replicas,
+        max_live,
+    ))
+}
+
+/// Turns a complete draft placement into a [`Schedule`]: normalizes flat
+/// times to start at 0, computes per-load `use_distance`, and attaches the
+/// register-pressure estimate. Shared by the SMS engine and the exact
+/// backend so both produce structurally identical schedules.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn finish_schedule(
+    loop_: &LoopNest,
+    cfg: &MachineConfig,
+    ddg: &DataDepGraph,
+    ii: u32,
+    mut placed: Vec<Option<Draft>>,
+    mut copies: Vec<CopySlot>,
+    mut copy_index: HashMap<(OpId, ClusterId), i64>,
+    mut replicas: Vec<ReplicaSlot>,
+    max_live: Vec<u32>,
+) -> Schedule {
     // Normalize: shift the flat schedule so the earliest op starts at 0
     // (slot assignments are modulo II, so a uniform shift by a multiple of
     // II preserves every reservation; shifting by the exact min also works
     // because reservations are only ever *read* modulo II from here on).
-    let min_t = a
-        .placed
+    let min_t = placed
         .iter()
         .flatten()
         .map(|d| d.t)
-        .chain(a.copies.iter().map(|c| c.t))
+        .chain(copies.iter().map(|c| c.t))
         .min()
         .unwrap_or(0);
     if min_t != 0 {
         // keep slot alignment: shift by a multiple of II covering min_t
         let ii_i = ii as i64;
         let shift = (-min_t).div_euclid(ii_i) * ii_i + if (-min_t) % ii_i != 0 { ii_i } else { 0 };
-        for d in a.placed.iter_mut().flatten() {
+        for d in placed.iter_mut().flatten() {
             d.t += shift;
         }
-        for c in a.copies.iter_mut() {
+        for c in copies.iter_mut() {
             c.t += shift;
         }
-        for r in a.replicas.iter_mut() {
+        for r in replicas.iter_mut() {
             r.t += shift;
         }
-        let keys: Vec<_> = a.copy_index.keys().copied().collect();
+        let keys: Vec<_> = copy_index.keys().copied().collect();
         for k in keys {
-            *a.copy_index.get_mut(&k).expect("key exists") += shift;
+            *copy_index.get_mut(&k).expect("key exists") += shift;
         }
     }
 
     // Build the schedule.
     let mut placements = Vec::with_capacity(loop_.ops.len());
-    for (i, d) in a.placed.iter().enumerate() {
+    for (i, d) in placed.iter().enumerate() {
         let d = d.expect("all ops placed");
         placements.push(Placement {
             op: OpId(i as u32),
@@ -963,7 +1047,7 @@ fn try_schedule(
             let d = if dd.cluster == placements[i].cluster {
                 dd.t + ii_i * e.distance as i64 - t_op
             } else {
-                match a.copy_index.get(&(op, dd.cluster)) {
+                match copy_index.get(&(op, dd.cluster)) {
                     Some(&copy_t) => copy_t - t_op,
                     None => dd.t + ii_i * e.distance as i64 - t_op,
                 }
@@ -973,11 +1057,11 @@ fn try_schedule(
         placements[i].use_distance = dist.map(|d| d.max(0) as u32);
     }
 
-    let mut schedule = Schedule::new(loop_.clone(), ii, placements, a.copies.clone());
-    schedule.replicas = a.replicas.clone();
+    let mut schedule = Schedule::new(loop_.clone(), ii, placements, copies);
+    schedule.replicas = replicas;
     schedule.max_live = max_live;
     debug_assert_eq!(schedule.validate(cfg), Ok(()));
-    Some(schedule)
+    schedule
 }
 
 #[cfg(test)]

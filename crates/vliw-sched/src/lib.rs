@@ -16,8 +16,12 @@
 //! * [`coherence`] — the intra-loop coherence solutions NL0 / 1C / PSR
 //!   (§4.1) and the decision logic of step ➍.
 //! * [`hints`] — step 4: access/mapping/prefetch hint assignment.
-//! * [`compile`] — the five end-to-end drivers: [`compile_base`],
-//!   [`compile_for_l0`], [`compile_multivliw`],
+//! * [`backend`] — the pluggable [`SchedulerBackend`] axis: [`SmsBackend`]
+//!   (the paper's heuristic, default) and [`ExactBackend`] (branch-and-
+//!   bound search for provably-minimal IIs, an offline SMT-solver
+//!   stand-in).
+//! * [`compile`] — the end-to-end drivers behind the [`CompileRequest`]
+//!   builder: [`compile_base`], [`compile_for_l0`], [`compile_multivliw`],
 //!   [`compile_interleaved`], and the unroll-factor selection of step 1.
 //!
 //! # Example
@@ -42,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod arch;
+pub mod backend;
 pub mod coherence;
 pub mod compile;
 pub mod engine;
@@ -54,11 +59,12 @@ pub mod schedule;
 pub mod sms;
 
 pub use arch::Arch;
+pub use backend::{BackendKind, ExactBackend, SchedulerBackend, SmsBackend};
 pub use coherence::{CoherencePolicy, CoherenceSolution};
 pub use compile::{
     compile_base, compile_for_l0, compile_for_l0_with, compile_interleaved, compile_multivliw,
-    InterleavedHeuristic, L0Options, MarkPolicy,
+    CompileRequest, InterleavedHeuristic, L0Options, MarkPolicy, UnrollPolicy,
 };
 pub use engine::ScheduleError;
 pub use flush::{apply_selective_flushing, needs_flush_between};
-pub use schedule::{Placement, PrefetchSlot, ReplicaSlot, Schedule};
+pub use schedule::{IiProof, Placement, PrefetchSlot, ReplicaSlot, Schedule};

@@ -62,6 +62,24 @@ pub struct CopySlot {
     pub t: i64,
 }
 
+/// How a schedule's achieved II relates to the provable minimum — set by
+/// the [`SchedulerBackend`](crate::backend::SchedulerBackend) that
+/// produced the schedule.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IiProof {
+    /// No optimality claim: the II came from a heuristic placement order
+    /// (SMS above the MII).
+    #[default]
+    Heuristic,
+    /// The achieved II is provably minimal under the backend's latency
+    /// model: it equals the MII, or every smaller II was refuted by an
+    /// exhaustive search.
+    Optimal,
+    /// The exact search exhausted its node budget before settling the
+    /// proof — the II is an upper bound on the backend's optimum.
+    Truncated,
+}
+
 /// A complete modulo schedule for one loop.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Schedule {
@@ -71,6 +89,12 @@ pub struct Schedule {
     ii: u32,
     /// Number of overlapped stages.
     stage_count: u32,
+    /// `max(ResMII, RecMII)` under the optimistic latency assignment the
+    /// backend searched from — the floor no legal II can beat. `1` (the
+    /// trivial bound) until a backend records the real value.
+    pub mii: u32,
+    /// Whether [`ii`](Self::ii) is provably minimal (see [`IiProof`]).
+    pub ii_proof: IiProof,
     /// Placements indexed by op (same order as `loop_.ops`).
     pub placements: Vec<Placement>,
     /// Inter-cluster copies.
@@ -106,6 +130,8 @@ impl Schedule {
             loop_,
             ii,
             stage_count,
+            mii: 1,
+            ii_proof: IiProof::default(),
             placements,
             copies,
             prefetches: Vec::new(),

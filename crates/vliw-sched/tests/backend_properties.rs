@@ -1,0 +1,161 @@
+//! Property-based tests on the scheduler-backend axis: for every target
+//! architecture and every random loop nest, the exact backend's II sits in
+//! `[MII, SMS II]`, and wherever the heuristic already achieves the MII
+//! the exact backend returns the identical II with an optimality proof.
+//!
+//! The II comparison is only meaningful between schedules of the *same*
+//! loop, so the tests pin `UnrollPolicy::Never` (and separately exercise
+//! the explicitly unrolled body): under `Auto`, a backend that improves
+//! the unrolled candidate can legitimately flip the driver's unroll
+//! choice, changing the raw II while improving cycles per iteration.
+//!
+//! Inputs come from `vliw-testutil`'s deterministic generator (proptest is
+//! unavailable offline).
+
+use vliw_ir::{unroll, LoopBuilder, LoopNest};
+use vliw_machine::MachineConfig;
+use vliw_sched::{Arch, BackendKind, CompileRequest, IiProof, Schedule, UnrollPolicy};
+use vliw_testutil::{cases, Rng};
+
+/// Fewer cases than the pure-SMS property suite: every case compiles each
+/// loop twice per arch, and the exact side may run a bounded search per
+/// candidate II.
+const CASES: u64 = 24;
+
+fn random_kernel(rng: &mut Rng) -> LoopNest {
+    let taps = rng.range_usize(1, 4);
+    let work = rng.range_usize(0, 6);
+    let elem: u8 = rng.pick(&[1u8, 2, 4]);
+    let trip = rng.range(16, 128);
+    let kind = rng.pick(&["fir", "ew", "slp", "red", "stencil"]);
+    let b = LoopBuilder::new(format!("{kind}-backend-prop")).trip_count(trip);
+    let b = match kind {
+        "fir" => b.fir(taps.max(1), elem),
+        "ew" => b.elementwise(elem),
+        "slp" => b.store_load_pair(4),
+        "red" => b.reduction(elem.max(2)),
+        _ => b.stencil3(elem),
+    };
+    b.int_overhead(work).build()
+}
+
+/// SMS and exact schedules of the *same* loop (unrolling pinned off).
+fn flat_pair(l: &LoopNest, cfg: &MachineConfig, arch: Arch) -> (Schedule, Schedule) {
+    let sms = CompileRequest::new(arch)
+        .unroll(UnrollPolicy::Never)
+        .compile(l, cfg)
+        .expect("sms schedulable");
+    let exact = CompileRequest::new(arch)
+        .backend(BackendKind::Exact)
+        .unroll(UnrollPolicy::Never)
+        .compile(l, cfg)
+        .expect("exact schedulable");
+    (sms, exact)
+}
+
+#[test]
+fn exact_ii_between_mii_and_sms_on_every_arch() {
+    let cfg = MachineConfig::micro2003();
+    cases(CASES, |case, rng| {
+        let l = random_kernel(rng);
+        for arch in Arch::ALL {
+            let (sms, exact) = flat_pair(&l, &cfg, arch);
+            assert!(
+                exact.ii() >= exact.mii,
+                "case {case} {arch}: exact II {} below MII {}",
+                exact.ii(),
+                exact.mii
+            );
+            assert!(
+                exact.ii() <= sms.ii(),
+                "case {case} {arch}: exact II {} above SMS II {}",
+                exact.ii(),
+                sms.ii()
+            );
+        }
+    });
+}
+
+#[test]
+fn exact_ii_bounds_hold_on_unrolled_bodies_too() {
+    let cfg = MachineConfig::micro2003();
+    cases(CASES / 2, |case, rng| {
+        let l = random_kernel(rng);
+        if l.trip_count < cfg.clusters as u64 {
+            return;
+        }
+        let u = unroll(&l, cfg.clusters);
+        for arch in [Arch::Baseline, Arch::L0] {
+            let (sms, exact) = flat_pair(&u, &cfg, arch);
+            assert!(
+                exact.mii <= exact.ii() && exact.ii() <= sms.ii(),
+                "case {case} {arch}: exact II {} outside [MII {}, SMS {}]",
+                exact.ii(),
+                exact.mii,
+                sms.ii()
+            );
+        }
+    });
+}
+
+#[test]
+fn exact_matches_sms_wherever_sms_achieves_the_mii() {
+    let cfg = MachineConfig::micro2003();
+    cases(CASES, |case, rng| {
+        let l = random_kernel(rng);
+        for arch in Arch::ALL {
+            let (sms, exact) = flat_pair(&l, &cfg, arch);
+            if sms.ii() == sms.mii {
+                assert_eq!(
+                    exact.ii(),
+                    sms.ii(),
+                    "case {case} {arch}: SMS already minimal but exact differs"
+                );
+                assert_eq!(
+                    exact.ii_proof,
+                    IiProof::Optimal,
+                    "case {case} {arch}: an II at the MII is proved minimal"
+                );
+            }
+        }
+    });
+}
+
+#[test]
+fn exact_schedules_are_resource_legal() {
+    let cfg = MachineConfig::micro2003();
+    cases(CASES, |case, rng| {
+        let l = random_kernel(rng);
+        for arch in Arch::ALL {
+            let s = CompileRequest::new(arch)
+                .backend(BackendKind::Exact)
+                .compile(&l, &cfg)
+                .expect("schedulable");
+            s.validate(&cfg)
+                .unwrap_or_else(|e| panic!("case {case} {arch}: {e}"));
+        }
+    });
+}
+
+#[test]
+fn optimality_proofs_never_contradict_the_ii() {
+    let cfg = MachineConfig::micro2003();
+    cases(CASES, |case, rng| {
+        let l = random_kernel(rng);
+        for arch in Arch::ALL {
+            let (_, exact) = flat_pair(&l, &cfg, arch);
+            if exact.ii() == exact.mii {
+                assert_eq!(
+                    exact.ii_proof,
+                    IiProof::Optimal,
+                    "case {case} {arch}: MII-achieving II must carry a proof"
+                );
+            }
+            assert_ne!(
+                exact.ii_proof,
+                IiProof::Heuristic,
+                "case {case} {arch}: the exact backend always settles a status"
+            );
+        }
+    });
+}
