@@ -2,26 +2,36 @@
 //! techniques and mechanisms can be extended to an architecture with any
 //! number of clusters", and its 4-cluster machine assumes a flat,
 //! contention-free path to the unified L1. This bin stresses both claims
-//! at once by sweeping N = 2…64 clusters along two variant axes:
+//! at once by sweeping N = 2…64 clusters along five variant axes:
 //!
 //! * **flat** — the paper's idealized network extrapolated as-is (the
 //!   generality sweep the seed shipped, extended past 8 clusters);
-//! * **hierarchical** — a banked, port-limited two-level interconnect
-//!   (N/4 banks × 2 ports, 4-cluster tiles, 1-cycle hops) where bank
-//!   contention, not raw latency, grows with the cluster count.
+//! * **hier** — a banked, port-limited two-level interconnect
+//!   (N/4 banks × 1 port, 4-cluster tiles, 1-cycle hops) where bank
+//!   contention, not raw latency, grows with the cluster count;
+//! * **mesh** — a 2D mesh NoC over the same banks: XY routing, per-link
+//!   occupancy (a hop stalls when its link is saturated), banks spread
+//!   diagonally over the grid;
+//! * **mesh mshr** — the mesh plus 4 MSHRs per bank, so secondary misses
+//!   to an in-flight line merge instead of re-queueing a refill;
+//! * **mesh mshr aware** — additionally turns on the contention-aware
+//!   cluster-assignment pass (`CompileRequest::assignment`), which
+//!   places memory ops near their home banks.
 //!
 //! Per-cluster resources co-scale with N so the study varies *scale*,
 //! not total capacity: the L0 entry budget (32 subblocks, the paper's
 //! 4 × 8) is split N ways, the L1 block grows as 8 B × N to keep 8-byte
-//! subblocks, and the L1 itself grows as 2 KB × N. Contention stalls are
-//! reported per cell and land in the `BENCH_*.json` artifact, which CI
-//! diffs against a checked-in golden grid with `bench-diff`.
+//! subblocks, and the L1 itself grows as 2 KB × N. Contention stalls,
+//! link stalls and MSHR merges are reported per cell and land in the
+//! `BENCH_*.json` artifact, which CI diffs against a checked-in golden
+//! grid with `bench-diff`.
 //!
 //! `--json <path>` emits the structured grid result.
 
 use vliw_bench::experiment::{write_json, BinArgs, SweepGrid, Variant};
 use vliw_bench::Arch;
 use vliw_machine::{InterconnectConfig, L0Capacity, MachineConfig};
+use vliw_sched::AssignmentPolicy;
 use vliw_workloads::{kernels, BenchmarkSpec};
 
 /// The cluster counts of the scaling curve.
@@ -29,6 +39,9 @@ const CLUSTER_COUNTS: [usize; 6] = [2, 4, 8, 16, 32, 64];
 
 /// Total L0 entry budget split across clusters (the paper's 4 × 8).
 const L0_ENTRY_BUDGET: usize = 32;
+
+/// MSHRs per bank on the merging axes.
+const MSHRS_PER_BANK: usize = 4;
 
 /// An L0 variant at `n` clusters with co-scaled geometry.
 fn scaled(n: usize) -> Variant {
@@ -49,6 +62,33 @@ fn contended(n: usize) -> Variant {
         .labeled(format!("{n} hier"))
 }
 
+/// The mesh NoC over the same banks (XY routing, single-flit links).
+fn mesh_ic(n: usize) -> InterconnectConfig {
+    InterconnectConfig::mesh((n / 4).max(1), 1).with_bank_interleave(8 * n)
+}
+
+/// The same machine behind the mesh NoC.
+fn mesh(n: usize) -> Variant {
+    scaled(n)
+        .interconnect(mesh_ic(n))
+        .labeled(format!("{n} mesh"))
+}
+
+/// Mesh + MSHR miss merging at the banks.
+fn mesh_mshr(n: usize) -> Variant {
+    scaled(n)
+        .interconnect(mesh_ic(n).with_mshr(MSHRS_PER_BANK))
+        .labeled(format!("{n} mesh mshr"))
+}
+
+/// Mesh + MSHRs + the contention-aware cluster-assignment pass.
+fn mesh_mshr_aware(n: usize) -> Variant {
+    scaled(n)
+        .interconnect(mesh_ic(n).with_mshr(MSHRS_PER_BANK))
+        .assignment(AssignmentPolicy::ContentionAware)
+        .labeled(format!("{n} mesh mshr aware"))
+}
+
 fn main() {
     let args = BinArgs::parse();
     let spec = BenchmarkSpec::from_kernels(
@@ -62,17 +102,28 @@ fn main() {
 
     let grid = SweepGrid::new("sweep_clusters", MachineConfig::micro2003(), vec![spec])
         .with_variants(CLUSTER_COUNTS.iter().map(|&n| scaled(n)))
-        .with_variants(CLUSTER_COUNTS.iter().map(|&n| contended(n)));
+        .with_variants(CLUSTER_COUNTS.iter().map(|&n| contended(n)))
+        .with_variants(CLUSTER_COUNTS.iter().map(|&n| mesh(n)))
+        .with_variants(CLUSTER_COUNTS.iter().map(|&n| mesh_mshr(n)))
+        .with_variants(CLUSTER_COUNTS.iter().map(|&n| mesh_mshr_aware(n)));
     let result = grid.run();
 
     println!("Cluster-count scaling (per-cluster L0 = 32-entry budget / N, subblock = 8B):");
     println!(
-        "{:>10} {:>9} {:>14} {:>14} {:>12} {:>11} {:>11}",
-        "variant", "L0/clstr", "baseline cyc", "L0 cyc", "normalized", "cont.stall", "ic queue"
+        "{:>18} {:>9} {:>13} {:>13} {:>11} {:>10} {:>10} {:>9} {:>7}",
+        "variant",
+        "L0/clstr",
+        "baseline cyc",
+        "L0 cyc",
+        "normalized",
+        "cont.stall",
+        "link.stall",
+        "ic queue",
+        "merges"
     );
     for cell in &result.cells {
         println!(
-            "{:>10} {:>9} {:>14} {:>14} {:>12.3} {:>11} {:>11}",
+            "{:>18} {:>9} {:>13} {:>13} {:>11.3} {:>10} {:>10} {:>9} {:>7}",
             cell.variant,
             cell.l0_entries
                 .map(|e| e.to_string().replace(" entries", ""))
@@ -81,7 +132,9 @@ fn main() {
             cell.total_cycles,
             cell.normalized,
             cell.contention_stall_cycles,
+            cell.link_stalls(),
             cell.mem.ic_queue_cycles,
+            cell.mem.merges(),
         );
     }
 

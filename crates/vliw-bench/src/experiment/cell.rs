@@ -3,7 +3,7 @@
 use serde::{Deserialize, Serialize};
 use vliw_machine::L0Capacity;
 use vliw_mem::MemStats;
-use vliw_sched::{Arch, BackendKind, IiProof, L0Options, Schedule, UnrollPolicy};
+use vliw_sched::{Arch, AssignmentPolicy, BackendKind, IiProof, L0Options, Schedule, UnrollPolicy};
 
 /// Per-cell tallies of the scheduler's II proof statuses, one count per
 /// compiled loop (see [`IiProof`]).
@@ -65,6 +65,10 @@ pub struct Cell {
     /// queueing (always 0 on the paper's flat network — nonzero cells are
     /// the cluster-scaling study's contention signal).
     pub contention_stall_cycles: u64,
+    /// Of `stall_cycles`, the cycles traceable to saturated mesh links —
+    /// disjoint from `contention_stall_cycles` (`None` in artifacts
+    /// written before the mesh existed; treat as 0).
+    pub link_stall_cycles: Option<u64>,
     /// Total cycles of the memoized baseline this cell normalizes to.
     pub baseline_total_cycles: u64,
     /// `total_cycles / baseline_total_cycles` — the paper's normalized
@@ -92,6 +96,9 @@ pub struct Cell {
     /// Unroll-selection policy the cell compiled under (`None` in
     /// pre-backend artifacts, which were always `Auto`).
     pub unroll_policy: Option<UnrollPolicy>,
+    /// Cluster-assignment policy the cell compiled under (`None` in
+    /// pre-mesh artifacts, which were always distance-blind).
+    pub assignment: Option<AssignmentPolicy>,
     /// Per-loop II proof tallies (`None` in pre-backend artifacts).
     pub proof: Option<ProofCounts>,
     /// `invalidate_buffer` executions removed by selective inter-loop
@@ -111,6 +118,33 @@ impl Cell {
     pub fn interleaved_ratio(&self) -> f64 {
         self.mem.interleaved_ratio()
     }
+
+    /// Link-stall share of the stall cycles, with the pre-mesh `None`
+    /// read as 0.
+    pub fn link_stalls(&self) -> u64 {
+        self.link_stall_cycles.unwrap_or(0)
+    }
+
+    /// Port-queueing contention stalls per *miss event* — the per-miss
+    /// queueing cost the mesh/MSHR acceptance pins compare across
+    /// topologies. The denominator sums the L0- and L1-level miss
+    /// counters, so one access that misses both levels contributes two
+    /// events. Note the denominator is not fully network-independent
+    /// (the hint layer's mapping demotions branch on topology, which can
+    /// shift the miss mix), so the acceptance pins always pair this
+    /// ratio with the raw `contention_stall_cycles` ordering rather
+    /// than relying on it alone. (Link stalls are a separate axis: the
+    /// mesh trades a little link occupancy for far less port queueing,
+    /// and [`Cell::link_stalls`] reports them on their own.) 0 when
+    /// nothing missed.
+    pub fn contention_per_miss(&self) -> f64 {
+        let misses = self.mem.l0_misses + self.mem.l1_misses;
+        if misses == 0 {
+            0.0
+        } else {
+            self.contention_stall_cycles as f64 / misses as f64
+        }
+    }
 }
 
 #[cfg(test)]
@@ -128,6 +162,7 @@ mod tests {
             compute_cycles: 800,
             stall_cycles: 40,
             contention_stall_cycles: 4,
+            link_stall_cycles: Some(2),
             baseline_total_cycles: 1000,
             normalized: 0.84,
             normalized_compute: 0.8,
@@ -138,6 +173,7 @@ mod tests {
             backend: Some(BackendKind::Sms),
             opts: Some(L0Options::default()),
             unroll_policy: Some(UnrollPolicy::Auto),
+            assignment: Some(AssignmentPolicy::ContentionBlind),
             proof: Some(ProofCounts {
                 optimal: 2,
                 truncated: 0,
@@ -175,6 +211,8 @@ mod tests {
             "\"avg_mii\"",
             "\"proof\"",
             "\"unroll_policy\"",
+            "\"assignment\"",
+            "\"link_stall_cycles\"",
         ] {
             assert!(json.contains(key), "{key} missing from {json}");
         }
@@ -186,7 +224,15 @@ mod tests {
         // (it was serialized before they existed), so strip them from the
         // compact JSON and check every one reads back as `None`.
         let mut json = serde_json::to_string(&sample()).unwrap();
-        for key in ["avg_mii", "backend", "opts", "unroll_policy", "proof"] {
+        for key in [
+            "avg_mii",
+            "backend",
+            "opts",
+            "unroll_policy",
+            "proof",
+            "assignment",
+            "link_stall_cycles",
+        ] {
             let start = json.find(&format!("\"{key}\":")).expect("key present");
             // Values here are scalars, strings or brace-balanced objects:
             // cut through the comma that precedes the next top-level key.
@@ -214,7 +260,10 @@ mod tests {
         legacy.opts = None;
         legacy.unroll_policy = None;
         legacy.proof = None;
+        legacy.assignment = None;
+        legacy.link_stall_cycles = None;
         assert_eq!(back, legacy, "absent keys deserialize as None");
+        assert_eq!(legacy.link_stalls(), 0, "pre-mesh artifacts read as 0");
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Declarative sweep definitions: what to run, not how to run it.
 
 use vliw_machine::{InterconnectConfig, L0Capacity, MachineConfig};
-use vliw_sched::{Arch, BackendKind, CompileRequest, L0Options, UnrollPolicy};
+use vliw_sched::{Arch, AssignmentPolicy, BackendKind, CompileRequest, L0Options, UnrollPolicy};
 use vliw_workloads::BenchmarkSpec;
 
 /// One experiment variant — a column of a figure or table.
@@ -45,6 +45,8 @@ pub struct Variant {
     pub opts: L0Options,
     /// Scheduler backend (the SMS-vs-exact axis).
     pub backend: BackendKind,
+    /// Cluster-assignment policy (the contention-aware placement axis).
+    pub assignment: AssignmentPolicy,
     /// Unroll-factor selection policy.
     pub unroll: UnrollPolicy,
     /// Apply selective inter-loop flushing across the benchmark's loops
@@ -68,6 +70,7 @@ impl Variant {
             l1_size_bytes: None,
             opts: L0Options::default(),
             backend: BackendKind::default(),
+            assignment: AssignmentPolicy::default(),
             unroll: UnrollPolicy::default(),
             selective_flush: false,
             auto_label: true,
@@ -137,6 +140,16 @@ impl Variant {
         self.auto_label(backend.label().to_string())
     }
 
+    /// Selects the cluster-assignment policy.
+    pub fn assignment(mut self, assignment: AssignmentPolicy) -> Self {
+        self.assignment = assignment;
+        let label = match assignment {
+            AssignmentPolicy::ContentionBlind => "blind",
+            AssignmentPolicy::ContentionAware => "aware",
+        };
+        self.auto_label(label.to_string())
+    }
+
     /// Sets the unroll-factor selection policy.
     pub fn unroll(mut self, unroll: UnrollPolicy) -> Self {
         self.unroll = unroll;
@@ -150,6 +163,7 @@ impl Variant {
             .backend(self.backend)
             .opts(self.opts)
             .unroll(self.unroll)
+            .assignment(self.assignment)
     }
 
     /// Enables selective inter-loop flushing.

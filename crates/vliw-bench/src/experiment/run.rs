@@ -159,6 +159,7 @@ fn run_cell(grid: &SweepGrid, bench: usize, variant: &Variant, baseline: &Baseli
         compute_cycles: compute,
         stall_cycles: run.sim.stall_cycles,
         contention_stall_cycles: run.sim.contention_stall_cycles,
+        link_stall_cycles: Some(run.sim.link_stall_cycles),
         baseline_total_cycles: baseline.total,
         normalized: total as f64 / denom,
         normalized_compute: compute as f64 / denom,
@@ -169,6 +170,7 @@ fn run_cell(grid: &SweepGrid, bench: usize, variant: &Variant, baseline: &Baseli
         backend: Some(request.backend),
         opts: Some(request.opts),
         unroll_policy: Some(request.unroll),
+        assignment: Some(request.assignment),
         proof: Some(run.proof),
         flushes_removed: run.flushes_removed,
         mem: run.sim.mem_stats,

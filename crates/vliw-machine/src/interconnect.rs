@@ -14,6 +14,15 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+/// Greatest common divisor (for the mesh bank-host stride).
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
 /// Shape of the cluster ↔ bank network.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Topology {
@@ -29,6 +38,13 @@ pub enum Topology {
     /// hop away, a bank in another tile is three (up, across the root,
     /// down).
     Hierarchical,
+    /// A 2D mesh NoC: clusters sit on a near-square grid (row-major), a
+    /// bank is attached to a host node
+    /// ([`InterconnectConfig::mesh_bank_host`]), and requests take the
+    /// dimension-ordered XY route. Hop count is the Manhattan distance;
+    /// the dynamic side additionally models per-link occupancy (a hop
+    /// stalls when its link is saturated — see `vliw-mem`).
+    Mesh,
 }
 
 impl fmt::Display for Topology {
@@ -37,6 +53,7 @@ impl fmt::Display for Topology {
             Topology::Flat => "flat",
             Topology::Crossbar => "crossbar",
             Topology::Hierarchical => "hierarchical",
+            Topology::Mesh => "mesh",
         };
         f.write_str(s)
     }
@@ -66,6 +83,16 @@ pub struct InterconnectConfig {
     /// banks (the L1 block size is the natural choice: one block lives
     /// entirely in one bank).
     pub bank_interleave_bytes: usize,
+    /// Miss-status-holding registers per bank: secondary misses to a line
+    /// whose refill is already in flight attach to the existing MSHR
+    /// instead of re-queueing a refill at the bank's ports. `0` disables
+    /// merging (the pre-MSHR behaviour, and the default everywhere so
+    /// existing configurations stay bit-exact).
+    pub mshr_entries: usize,
+    /// Requests one mesh link forwards per cycle; excess hops stall at
+    /// the link ([`Topology::Mesh`] only — the other topologies contend
+    /// at bank ports, not links).
+    pub link_capacity: usize,
 }
 
 impl InterconnectConfig {
@@ -79,6 +106,8 @@ impl InterconnectConfig {
             hop_latency: 0,
             group_size: 4,
             bank_interleave_bytes: 32,
+            mshr_entries: 0,
+            link_capacity: 1,
         }
     }
 
@@ -92,6 +121,8 @@ impl InterconnectConfig {
             hop_latency: 1,
             group_size: 4,
             bank_interleave_bytes: 32,
+            mshr_entries: 0,
+            link_capacity: 1,
         }
     }
 
@@ -104,7 +135,36 @@ impl InterconnectConfig {
             hop_latency: 1,
             group_size,
             bank_interleave_bytes: 32,
+            mshr_entries: 0,
+            link_capacity: 1,
         }
+    }
+
+    /// A 2D mesh NoC over `banks` banks of `ports_per_bank` ports each,
+    /// with 1-cycle hops and single-flit links.
+    pub fn mesh(banks: usize, ports_per_bank: usize) -> Self {
+        InterconnectConfig {
+            topology: Topology::Mesh,
+            banks,
+            ports_per_bank,
+            hop_latency: 1,
+            group_size: 4,
+            bank_interleave_bytes: 32,
+            mshr_entries: 0,
+            link_capacity: 1,
+        }
+    }
+
+    /// Same network with `entries` MSHRs per bank (0 disables merging).
+    pub fn with_mshr(mut self, entries: usize) -> Self {
+        self.mshr_entries = entries;
+        self
+    }
+
+    /// Same network with a different per-link forwarding capacity.
+    pub fn with_link_capacity(mut self, flits_per_cycle: usize) -> Self {
+        self.link_capacity = flits_per_cycle;
+        self
     }
 
     /// Same network with a different per-hop latency.
@@ -146,6 +206,45 @@ impl InterconnectConfig {
         bank % groups
     }
 
+    /// Columns of the near-square mesh grid for an `n_clusters` machine
+    /// (rows follow as `ceil(n / cols)`; trailing grid nodes without a
+    /// cluster are plain routers).
+    pub fn mesh_cols(n_clusters: usize) -> usize {
+        let n = n_clusters.max(1);
+        (n as f64).sqrt().ceil() as usize
+    }
+
+    /// Grid position of mesh node `idx` (row-major layout).
+    pub fn mesh_pos(idx: usize, n_clusters: usize) -> (usize, usize) {
+        let cols = Self::mesh_cols(n_clusters);
+        (idx % cols, idx / cols)
+    }
+
+    /// The mesh node a bank is attached to: banks walk a diagonal stride
+    /// over the grid so consecutive banks land in different rows *and*
+    /// columns (spreading both bank and link load). The stride is the
+    /// smallest `s ≥ n/banks + 1` coprime with `n`, so `b → b·s mod n`
+    /// is injective — hosts stay distinct whenever `banks ≤ n_clusters`,
+    /// for every banks:clusters ratio (not just the swept powers of two).
+    pub fn mesh_bank_host(&self, bank: usize, n_clusters: usize) -> usize {
+        let n = n_clusters.max(1);
+        let banks = self.banks.max(1);
+        let mut stride = (n / banks + 1).max(1);
+        while gcd(stride, n) != 1 {
+            stride += 1;
+        }
+        (bank * stride) % n
+    }
+
+    /// Manhattan distance between two mesh nodes, floored at one hop
+    /// (even a co-located target pays the network-injection hop, as on
+    /// the crossbar).
+    fn mesh_hops(from: usize, to: usize, n_clusters: usize) -> u32 {
+        let (fx, fy) = Self::mesh_pos(from, n_clusters);
+        let (tx, ty) = Self::mesh_pos(to, n_clusters);
+        (fx.abs_diff(tx) + fy.abs_diff(ty)).max(1) as u32
+    }
+
     /// Network hops between `cluster` and `bank` (one direction).
     pub fn hops(&self, cluster: usize, bank: usize, n_clusters: usize) -> u32 {
         match self.topology {
@@ -158,6 +257,9 @@ impl InterconnectConfig {
                     3
                 }
             }
+            Topology::Mesh => {
+                Self::mesh_hops(cluster, self.mesh_bank_host(bank, n_clusters), n_clusters)
+            }
         }
     }
 
@@ -165,7 +267,7 @@ impl InterconnectConfig {
     /// snoops, cache-to-cache transfers and remote-word accesses pay in
     /// the distributed models, where the target structure is co-located
     /// with a cluster rather than being an interleaved bank.
-    pub fn cluster_hops(&self, from: usize, to: usize) -> u32 {
+    pub fn cluster_hops(&self, from: usize, to: usize, n_clusters: usize) -> u32 {
         match self.topology {
             Topology::Flat => 0,
             Topology::Crossbar => 1,
@@ -176,6 +278,7 @@ impl InterconnectConfig {
                     3
                 }
             }
+            Topology::Mesh => Self::mesh_hops(from, to, n_clusters),
         }
     }
 
@@ -205,6 +308,9 @@ impl InterconnectConfig {
         if self.topology == Topology::Hierarchical && self.group_size == 0 {
             return Err("hierarchical interconnect needs a nonzero group size".into());
         }
+        if self.topology == Topology::Mesh && self.link_capacity == 0 {
+            return Err("mesh links must forward at least one request per cycle".into());
+        }
         Ok(())
     }
 }
@@ -224,7 +330,11 @@ impl fmt::Display for InterconnectConfig {
                 f,
                 "{} with {} banks x {} ports, {}-cycle hops",
                 self.topology, self.banks, self.ports_per_bank, self.hop_latency
-            )
+            )?;
+            if self.mshr_entries > 0 {
+                write!(f, ", {} MSHRs/bank", self.mshr_entries)?;
+            }
+            Ok(())
         }
     }
 }
@@ -265,11 +375,79 @@ mod tests {
     #[test]
     fn cluster_to_cluster_distance_uses_tiles_not_bank_indices() {
         let ic = InterconnectConfig::hierarchical(4, 1, 4);
-        assert_eq!(ic.cluster_hops(0, 3), 1, "clusters 0 and 3 share tile 0");
-        assert_eq!(ic.cluster_hops(0, 4), 3, "cluster 4 is in tile 1");
-        assert_eq!(ic.cluster_hops(15, 12), 1, "tile 3 internally");
-        assert_eq!(InterconnectConfig::crossbar(4, 1).cluster_hops(0, 7), 1);
-        assert_eq!(InterconnectConfig::flat().cluster_hops(0, 7), 0);
+        assert_eq!(
+            ic.cluster_hops(0, 3, 16),
+            1,
+            "clusters 0 and 3 share tile 0"
+        );
+        assert_eq!(ic.cluster_hops(0, 4, 16), 3, "cluster 4 is in tile 1");
+        assert_eq!(ic.cluster_hops(15, 12, 16), 1, "tile 3 internally");
+        assert_eq!(InterconnectConfig::crossbar(4, 1).cluster_hops(0, 7, 16), 1);
+        assert_eq!(InterconnectConfig::flat().cluster_hops(0, 7, 16), 0);
+    }
+
+    #[test]
+    fn mesh_hops_are_manhattan_distances() {
+        // 16 clusters -> 4x4 grid; cluster c at (c % 4, c / 4).
+        let ic = InterconnectConfig::mesh(4, 1);
+        assert_eq!(InterconnectConfig::mesh_cols(16), 4);
+        assert_eq!(InterconnectConfig::mesh_pos(5, 16), (1, 1));
+        // corner to corner: (0,0) -> (3,3) is 6 hops
+        assert_eq!(ic.cluster_hops(0, 15, 16), 6);
+        // neighbours along one axis
+        assert_eq!(ic.cluster_hops(0, 1, 16), 1);
+        assert_eq!(ic.cluster_hops(0, 4, 16), 1);
+        // self-distance floors at the injection hop
+        assert_eq!(ic.cluster_hops(3, 3, 16), 1);
+        // symmetric
+        assert_eq!(ic.cluster_hops(2, 9, 16), ic.cluster_hops(9, 2, 16));
+        ic.validate().unwrap();
+    }
+
+    #[test]
+    fn mesh_banks_spread_over_distinct_hosts() {
+        let ic = InterconnectConfig::mesh(4, 1);
+        let hosts: std::collections::HashSet<usize> =
+            (0..4).map(|b| ic.mesh_bank_host(b, 16)).collect();
+        assert_eq!(hosts.len(), 4, "4 banks on 4 distinct nodes");
+        // diagonal stride: hosts land in different rows and columns
+        let rows: std::collections::HashSet<usize> = hosts
+            .iter()
+            .map(|&h| InterconnectConfig::mesh_pos(h, 16).1)
+            .collect();
+        assert_eq!(rows.len(), 4, "one bank per row");
+        // hop distances to the bank itself use the host node
+        for b in 0..4 {
+            let host = ic.mesh_bank_host(b, 16);
+            assert_eq!(ic.hops(host, b, 16), 1, "co-located bank is one hop");
+        }
+        // non-power-of-two and banks == clusters ratios stay collision
+        // free too (the stride is forced coprime with n)
+        for (banks, n) in [(4usize, 12usize), (4, 4), (3, 9), (8, 12)] {
+            let ic = InterconnectConfig::mesh(banks, 1);
+            let hosts: std::collections::HashSet<usize> =
+                (0..banks).map(|b| ic.mesh_bank_host(b, n)).collect();
+            assert_eq!(hosts.len(), banks, "{banks} banks over {n} clusters");
+        }
+    }
+
+    #[test]
+    fn mshr_and_link_knobs_round_trip() {
+        let ic = InterconnectConfig::mesh(4, 1)
+            .with_mshr(4)
+            .with_link_capacity(2);
+        assert_eq!(ic.mshr_entries, 4);
+        assert_eq!(ic.link_capacity, 2);
+        ic.validate().unwrap();
+        assert!(ic.to_string().contains("4 MSHRs/bank"));
+        assert!(InterconnectConfig::mesh(4, 1)
+            .with_link_capacity(0)
+            .validate()
+            .is_err());
+        // defaults keep merging off everywhere
+        assert_eq!(InterconnectConfig::flat().mshr_entries, 0);
+        assert_eq!(InterconnectConfig::crossbar(2, 1).mshr_entries, 0);
+        assert_eq!(InterconnectConfig::hierarchical(4, 1, 4).mshr_entries, 0);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The dynamic cluster ↔ bank interconnect: per-bank request queues,
-//! port-limited grants, and distance-dependent hop latency.
+//! port-limited grants, distance-dependent hop latency and — on the mesh
+//! topology — per-link occupancy.
 //!
 //! [`InterconnectConfig`](vliw_machine::InterconnectConfig) describes the
 //! network shape; this module owns its cycle-by-cycle behaviour. Every
@@ -9,44 +10,105 @@
 //!   owns the address, queues the request behind that bank's ports, and
 //!   returns when the bank starts servicing it (plus how much of that was
 //!   pure queueing — the contention-stall signal the scaling study plots).
-//! * [`Interconnect::route_to_bank`] is the distributed-model variant where
-//!   the caller already knows the target bank (MultiVLIW snoop targets,
-//!   word-interleaved home banks).
+//! * [`Interconnect::traverse`] / [`Interconnect::grant_port`] split the
+//!   same path in two, so MSHR-aware callers can walk the network to the
+//!   bank and then decide *not* to occupy a port (a secondary miss that
+//!   merges into an in-flight refill).
+//! * [`Interconnect::route_to_cluster`] is the distributed-model variant
+//!   where the caller already knows the target cluster (MultiVLIW snoop
+//!   targets, word-interleaved home modules).
 //! * [`Interconnect::tick`] is called once per drained simulation cycle by
 //!   the runner; it prunes reservations that can no longer influence any
 //!   in-flight request so the queues stay O(active window).
 //!
 //! Arbitration is cycle-accurate and deterministic: each bank grants at
 //! most `ports_per_bank` requests per cycle, excess requests slide to the
-//! next free cycle. Fairness across clusters comes from the runner, which
-//! drains same-cycle requests in a round-robin rotated order (rotating by
-//! cycle), so no cluster is structurally first at every arbitration.
+//! next free cycle. On the mesh, each directed link additionally forwards
+//! at most `link_capacity` requests per cycle along its XY route — a hop
+//! over a saturated link stalls in place, and those cycles are reported
+//! separately ([`Route::link_stall_cycles`]) so the simulator can split
+//! pipeline stalls into port-contention and link-contention shares.
+//! Fairness across clusters comes from the runner, which drains same-cycle
+//! requests in a round-robin rotated order (rotating by iteration), so no
+//! cluster is structurally first at every arbitration.
 //!
 //! Under [`Topology::Flat`](vliw_machine::Topology) every method
 //! short-circuits to zero extra cycles, which keeps the paper's 4-cluster
 //! machine bit-exact with the pre-interconnect simulator.
 
-use std::collections::BTreeMap;
-use vliw_machine::{ClusterId, InterconnectConfig};
+use std::collections::{BTreeMap, HashMap};
+use vliw_machine::{ClusterId, InterconnectConfig, Topology};
 
 /// Outcome of routing one request through the network.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Route {
     /// Cycle at which the bank starts servicing the request (issue +
-    /// forward hops + queueing).
+    /// forward hops + link stalls + queueing).
     pub bank_start: u64,
     /// Cycles spent queued behind the bank's ports (the contention
     /// component; 0 on an uncontended network).
     pub queue_cycles: u64,
-    /// Cycles spent traversing the network, both directions combined.
+    /// Cycles spent traversing the network, both directions combined
+    /// (excluding stalls).
     pub hop_cycles: u64,
+    /// Cycles spent stalled at saturated mesh links on the forward path
+    /// (0 on every non-mesh topology).
+    pub link_stall_cycles: u64,
 }
 
 impl Route {
+    /// A free route (the flat network).
+    fn free(cycle: u64) -> Self {
+        Route {
+            bank_start: cycle,
+            queue_cycles: 0,
+            hop_cycles: 0,
+            link_stall_cycles: 0,
+        }
+    }
+
     /// Total extra cycles this route adds on top of the bank's own
     /// service latency.
     pub fn overhead(&self) -> u64 {
-        self.queue_cycles + self.hop_cycles
+        self.queue_cycles + self.hop_cycles + self.link_stall_cycles
+    }
+}
+
+/// The forward half of a route: the request has reached its bank but has
+/// not yet been granted a port (see [`Interconnect::traverse`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Traverse {
+    /// The port-pool index the request arrived at. For address-routed
+    /// traffic ([`Interconnect::traverse`]) this is a bank index to pass
+    /// to [`Interconnect::grant_port`]; for cluster-routed traffic
+    /// ([`Interconnect::traverse_to_cluster`]) complete the split with
+    /// [`Interconnect::grant_cluster_port`] instead — on the mesh the
+    /// value is the target *node*, which must not be fed to the bank
+    /// pools.
+    pub bank: usize,
+    /// Cycle the request reaches the bank (issue + hops + link stalls).
+    pub arrival: u64,
+    /// One-way traversal cycles (hops × hop latency, excluding stalls).
+    pub one_way_cycles: u64,
+    /// Cycles stalled at saturated links on the way (mesh only).
+    pub link_stall_cycles: u64,
+}
+
+impl Traverse {
+    fn free(cycle: u64) -> Self {
+        Traverse {
+            bank: 0,
+            arrival: cycle,
+            one_way_cycles: 0,
+            link_stall_cycles: 0,
+        }
+    }
+
+    /// Total extra cycles this traversal adds on top of the target's own
+    /// service latency — both directions of hops plus the forward link
+    /// stalls, but no port queueing (the traversal never granted one).
+    pub fn overhead(&self) -> u64 {
+        2 * self.one_way_cycles + self.link_stall_cycles
     }
 }
 
@@ -58,16 +120,32 @@ pub struct Interconnect {
     /// Per-bank `cycle -> grants issued`; a cycle is full once it reaches
     /// `ports_per_bank`.
     granted: Vec<BTreeMap<u64, u32>>,
+    /// Per-directed-link `cycle -> flits forwarded` (mesh only); a cycle
+    /// is full once it reaches `link_capacity`.
+    links: HashMap<(usize, usize), BTreeMap<u64, u32>>,
+    /// Per-node port pools for cluster-directed mesh traffic: each mesh
+    /// node's co-located structure (a MultiVLIW bank, a word-interleaved
+    /// home module) arbitrates its own `ports_per_bank` ports, so
+    /// physically distant nodes never alias into one pool. Empty off the
+    /// mesh (the other topologies keep their bank/tile pools).
+    cluster_ports: Vec<BTreeMap<u64, u32>>,
 }
 
 impl Interconnect {
     /// Builds the network for a machine with `clusters` clusters.
     pub fn new(clusters: usize, cfg: InterconnectConfig) -> Self {
         let banks = if cfg.is_flat() { 0 } else { cfg.banks };
+        let nodes = if cfg.topology == Topology::Mesh {
+            clusters
+        } else {
+            0
+        };
         Interconnect {
             cfg,
             clusters,
             granted: vec![BTreeMap::new(); banks],
+            links: HashMap::new(),
+            cluster_ports: vec![BTreeMap::new(); nodes],
         }
     }
 
@@ -81,102 +159,53 @@ impl Interconnect {
         self.cfg.is_flat()
     }
 
-    /// The bank that owns `addr`.
+    /// The bank that services `addr`.
     pub fn bank_of(&self, addr: u64) -> usize {
         self.cfg.bank_of(addr)
     }
 
-    /// Routes a request from `cluster` to the bank owning `addr`.
-    pub fn route(&mut self, cluster: ClusterId, addr: u64, cycle: u64) -> Route {
+    /// Walks the forward path from `cluster` to the bank owning `addr`
+    /// without granting a bank port. On the mesh this reserves link slots
+    /// along the XY route; elsewhere it only pays the hop latency.
+    pub fn traverse(&mut self, cluster: ClusterId, addr: u64, cycle: u64) -> Traverse {
         if self.is_flat() {
-            return Route {
-                bank_start: cycle,
-                queue_cycles: 0,
-                hop_cycles: 0,
-            };
+            return Traverse::free(cycle);
         }
-        let bank = self.bank_of(addr);
-        self.route_to_bank(cluster, bank, cycle)
-    }
-
-    /// Routes a request from `cluster` to the structure co-located with
-    /// `target` cluster (MultiVLIW snoop targets, word-interleaved home
-    /// modules). Hop distance is cluster-to-cluster — on the hierarchical
-    /// topology two clusters in the same tile are 1 hop apart regardless
-    /// of bank indexing — and the traffic queues on the *target tile's*
-    /// bank port.
-    pub fn route_to_cluster(&mut self, cluster: ClusterId, target: usize, cycle: u64) -> Route {
-        if self.is_flat() {
-            return Route {
-                bank_start: cycle,
-                queue_cycles: 0,
-                hop_cycles: 0,
-            };
-        }
-        let one_way =
-            self.cfg.cluster_hops(cluster.index(), target) as u64 * self.cfg.hop_latency as u64;
-        let bank = self.cfg.group_of_cluster(target) % self.granted.len().max(1);
-        self.finish(bank, one_way, cycle)
-    }
-
-    /// Routes a request from `cluster` to an explicit interleaved `bank`.
-    fn route_to_bank(&mut self, cluster: ClusterId, bank: usize, cycle: u64) -> Route {
-        let bank = bank % self.granted.len().max(1);
-        let one_way = self.cfg.hop_cycles(cluster.index(), bank, self.clusters);
-        self.finish(bank, one_way, cycle)
-    }
-
-    /// Shared routing tail: queue behind `bank`'s ports after the forward
-    /// traversal, pay the hops back.
-    fn finish(&mut self, bank: usize, one_way: u64, cycle: u64) -> Route {
-        let arrival = cycle + one_way;
-        let start = self.grant(bank, arrival);
-        Route {
-            bank_start: start,
-            queue_cycles: start - arrival,
-            hop_cycles: 2 * one_way,
+        let bank = self.bank_of(addr) % self.granted.len().max(1);
+        match self.cfg.topology {
+            Topology::Mesh => {
+                let host = self.cfg.mesh_bank_host(bank, self.clusters);
+                self.traverse_mesh(cluster.index(), host, bank, cycle)
+            }
+            _ => {
+                let one_way = self.cfg.hop_cycles(cluster.index(), bank, self.clusters);
+                Traverse {
+                    bank,
+                    arrival: cycle + one_way,
+                    one_way_cycles: one_way,
+                    link_stall_cycles: 0,
+                }
+            }
         }
     }
 
-    /// Routes a cluster → cluster transfer and records it into `stats`;
-    /// returns `(overhead, queue_cycles)` — both 0 on the flat network.
-    /// The shared helper behind the distributed models' remote traffic.
-    pub fn cluster_overhead(
-        &mut self,
-        stats: &mut crate::stats::MemStats,
-        cluster: ClusterId,
-        target: usize,
-        cycle: u64,
-    ) -> (u64, u64) {
-        if self.is_flat() {
-            return (0, 0);
+    /// Grants the first cycle ≥ `arrival` with a free port on `bank`
+    /// (an immediate no-op grant on the flat, unbanked network).
+    pub fn grant_port(&mut self, bank: usize, arrival: u64) -> u64 {
+        if self.granted.is_empty() {
+            return arrival; // flat network: no banks, no ports
         }
-        let route = self.route_to_cluster(cluster, target, cycle);
-        stats.record_route(&route);
-        (route.overhead(), route.queue_cycles)
+        let idx = bank % self.granted.len();
+        Self::grant_in(
+            &mut self.granted[idx],
+            self.cfg.ports_per_bank as u32,
+            arrival,
+        )
     }
 
-    /// Routes a cluster → memory (bank-of-address) request and records it
-    /// into `stats`; returns `(overhead, queue_cycles)`.
-    pub fn memory_overhead(
-        &mut self,
-        stats: &mut crate::stats::MemStats,
-        cluster: ClusterId,
-        addr: u64,
-        cycle: u64,
-    ) -> (u64, u64) {
-        if self.is_flat() {
-            return (0, 0);
-        }
-        let route = self.route(cluster, addr, cycle);
-        stats.record_route(&route);
-        (route.overhead(), route.queue_cycles)
-    }
-
-    /// Grants the first cycle ≥ `arrival` with a free port on `bank`.
-    fn grant(&mut self, bank: usize, arrival: u64) -> u64 {
-        let ports = self.cfg.ports_per_bank as u32;
-        let slots = &mut self.granted[bank];
+    /// The shared port-arbitration core: first cycle ≥ `arrival` with
+    /// fewer than `ports` grants in `slots`.
+    fn grant_in(slots: &mut BTreeMap<u64, u32>, ports: u32, arrival: u64) -> u64 {
         let mut t = arrival;
         while slots.get(&t).copied().unwrap_or(0) >= ports {
             t += 1;
@@ -185,14 +214,222 @@ impl Interconnect {
         t
     }
 
+    /// Routes a request from `cluster` to the bank owning `addr`.
+    pub fn route(&mut self, cluster: ClusterId, addr: u64, cycle: u64) -> Route {
+        if self.is_flat() {
+            return Route::free(cycle);
+        }
+        let tr = self.traverse(cluster, addr, cycle);
+        self.finish(tr)
+    }
+
+    /// Routes a request from `cluster` to the structure co-located with
+    /// `target` cluster (MultiVLIW snoop targets, word-interleaved home
+    /// modules). Hop distance is cluster-to-cluster — on the hierarchical
+    /// topology two clusters in the same tile are 1 hop apart regardless
+    /// of bank indexing; on the mesh the XY route between the two nodes
+    /// is walked link by link — and the traffic queues on the *target's*
+    /// bank port.
+    pub fn route_to_cluster(&mut self, cluster: ClusterId, target: usize, cycle: u64) -> Route {
+        if self.is_flat() {
+            return Route::free(cycle);
+        }
+        let tr = self.traverse_to_cluster(cluster, target, cycle);
+        let start = self.grant_cluster_port(target, tr.arrival);
+        Route {
+            bank_start: start,
+            queue_cycles: start - tr.arrival,
+            hop_cycles: 2 * tr.one_way_cycles,
+            link_stall_cycles: tr.link_stall_cycles,
+        }
+    }
+
+    /// Grants the first free port cycle on the structure co-located with
+    /// `target` cluster — the arbitration tail matching
+    /// [`Interconnect::traverse_to_cluster`]. On the mesh each node owns
+    /// its own port pool (distinct nodes must never alias, which
+    /// `grant_port`'s bank indexing would do); elsewhere cluster traffic
+    /// arbitrates on the target tile's bank pool, and on the flat
+    /// network the grant is an immediate no-op.
+    pub fn grant_cluster_port(&mut self, target: usize, arrival: u64) -> u64 {
+        if self.is_flat() {
+            return arrival;
+        }
+        if self.cfg.topology == Topology::Mesh {
+            let n = self.cluster_ports.len().max(1);
+            return Self::grant_in(
+                &mut self.cluster_ports[target % n],
+                self.cfg.ports_per_bank as u32,
+                arrival,
+            );
+        }
+        let nbanks = self.granted.len().max(1);
+        self.grant_port(self.cfg.group_of_cluster(target) % nbanks, arrival)
+    }
+
+    /// The forward half of [`Interconnect::route_to_cluster`]: walks the
+    /// network to `target`'s structure without granting a bank port (the
+    /// MSHR-merged variant — a merged request reaches the holder but
+    /// attaches to its in-flight refill instead of occupying a port).
+    pub fn traverse_to_cluster(
+        &mut self,
+        cluster: ClusterId,
+        target: usize,
+        cycle: u64,
+    ) -> Traverse {
+        if self.is_flat() {
+            return Traverse::free(cycle);
+        }
+        let nbanks = self.granted.len().max(1);
+        match self.cfg.topology {
+            Topology::Mesh => {
+                // `bank` names the target node itself: cluster-directed
+                // mesh traffic arbitrates on that node's own port pool
+                // (see `route_to_cluster`), never an interleaved bank.
+                self.traverse_mesh(cluster.index(), target, target, cycle)
+            }
+            _ => {
+                let one_way = self
+                    .cfg
+                    .cluster_hops(cluster.index(), target, self.clusters)
+                    as u64
+                    * self.cfg.hop_latency as u64;
+                Traverse {
+                    bank: self.cfg.group_of_cluster(target) % nbanks,
+                    arrival: cycle + one_way,
+                    one_way_cycles: one_way,
+                    link_stall_cycles: 0,
+                }
+            }
+        }
+    }
+
+    /// Shared routing tail: queue behind the arrival bank's ports, pay
+    /// the hops back.
+    fn finish(&mut self, tr: Traverse) -> Route {
+        let start = self.grant_port(tr.bank, tr.arrival);
+        Route {
+            bank_start: start,
+            queue_cycles: start - tr.arrival,
+            hop_cycles: 2 * tr.one_way_cycles,
+            link_stall_cycles: tr.link_stall_cycles,
+        }
+    }
+
+    /// Reserves one slot on the directed link at the first free cycle
+    /// ≥ `t`; returns the grant cycle (the same arbitration core banks
+    /// use, with the link's flit capacity in place of the port count).
+    fn reserve_link(&mut self, link: (usize, usize), t: u64) -> u64 {
+        let capacity = self.cfg.link_capacity.max(1) as u32;
+        Self::grant_in(self.links.entry(link).or_default(), capacity, t)
+    }
+
+    /// Walks the XY route (X first, then Y — the same path the
+    /// test-only `xy_path` enumerates) from mesh node `from` to mesh
+    /// node `to`, reserving one slot on every directed link in flight
+    /// order without building the path as a list (link state still
+    /// allocates lazily on each link's first touch). A same-node route
+    /// reserves the single ejection self-link, so a co-located target
+    /// still pays the injection hop as in the static model.
+    fn traverse_mesh(&mut self, from: usize, to: usize, bank: usize, cycle: u64) -> Traverse {
+        let hop = self.cfg.hop_latency as u64;
+        let mut t = cycle;
+        let mut stalls = 0u64;
+        let mut hops = 0u64;
+        let mut step = |ic: &mut Self, link: (usize, usize)| {
+            let grant = ic.reserve_link(link, t);
+            stalls += grant - t;
+            t = grant + hop;
+            hops += 1;
+        };
+        if from == to {
+            step(self, (from, from));
+        } else {
+            let cols = InterconnectConfig::mesh_cols(self.clusters);
+            let (mut x, mut y) = InterconnectConfig::mesh_pos(from, self.clusters);
+            let (tx, ty) = InterconnectConfig::mesh_pos(to, self.clusters);
+            let mut node = from;
+            while x != tx {
+                x = if tx > x { x + 1 } else { x - 1 };
+                let next = y * cols + x;
+                step(self, (node, next));
+                node = next;
+            }
+            while y != ty {
+                y = if ty > y { y + 1 } else { y - 1 };
+                let next = y * cols + x;
+                step(self, (node, next));
+                node = next;
+            }
+        }
+        Traverse {
+            bank,
+            arrival: t,
+            one_way_cycles: hops * hop,
+            link_stall_cycles: stalls,
+        }
+    }
+
+    /// Walks the forward path to `target`'s structure and records it
+    /// into `stats` without granting a bank port — the MSHR-merged
+    /// sibling of [`Interconnect::cluster_overhead`], so the
+    /// "skip recording on the flat network" rule lives in one place.
+    pub fn cluster_traverse_overhead(
+        &mut self,
+        stats: &mut crate::stats::MemStats,
+        cluster: ClusterId,
+        target: usize,
+        cycle: u64,
+    ) -> Traverse {
+        if self.is_flat() {
+            return Traverse::free(cycle);
+        }
+        let tr = self.traverse_to_cluster(cluster, target, cycle);
+        stats.record_traverse(&tr);
+        tr
+    }
+
+    /// Routes a cluster → cluster transfer and records it into `stats`;
+    /// returns the route (all-zero on the flat network). The shared
+    /// helper behind the distributed models' remote traffic.
+    pub fn cluster_overhead(
+        &mut self,
+        stats: &mut crate::stats::MemStats,
+        cluster: ClusterId,
+        target: usize,
+        cycle: u64,
+    ) -> Route {
+        if self.is_flat() {
+            return Route::free(cycle);
+        }
+        let route = self.route_to_cluster(cluster, target, cycle);
+        stats.record_route(&route);
+        route
+    }
+
+    /// Routes a cluster → memory (bank-of-address) request and records it
+    /// into `stats`; returns the route (all-zero on the flat network).
+    pub fn memory_overhead(
+        &mut self,
+        stats: &mut crate::stats::MemStats,
+        cluster: ClusterId,
+        addr: u64,
+        cycle: u64,
+    ) -> Route {
+        if self.is_flat() {
+            return Route::free(cycle);
+        }
+        let route = self.route(cluster, addr, cycle);
+        stats.record_route(&route);
+        route
+    }
+
     /// Advances the network to `cycle`: reservations old enough that no
     /// later-issued request can land on them are dropped. The simulator
     /// replays overlapped iterations slightly out of global cycle order,
     /// so a generous horizon is kept.
     pub fn tick(&mut self, cycle: u64) {
-        const HORIZON: u64 = 4096;
-        let cutoff = cycle.saturating_sub(HORIZON);
-        for slots in &mut self.granted {
+        fn prune(slots: &mut BTreeMap<u64, u32>, cutoff: u64) {
             if slots
                 .first_key_value()
                 .is_some_and(|(&first, _)| first < cutoff)
@@ -200,7 +437,46 @@ impl Interconnect {
                 *slots = slots.split_off(&cutoff);
             }
         }
+        let cutoff = cycle.saturating_sub(crate::REPLAY_HORIZON);
+        for slots in &mut self.granted {
+            prune(slots, cutoff);
+        }
+        for slots in self.links.values_mut() {
+            prune(slots, cutoff);
+        }
+        for slots in &mut self.cluster_ports {
+            prune(slots, cutoff);
+        }
     }
+}
+
+/// The dimension-ordered (X first, then Y) sequence of directed links
+/// from mesh node `from` to mesh node `to`. A same-node route is the
+/// single ejection self-link. Reference enumeration of the walk
+/// `traverse_mesh` performs inline — kept for the routing tests.
+#[cfg(test)]
+fn xy_path(from: usize, to: usize, n_clusters: usize) -> Vec<(usize, usize)> {
+    if from == to {
+        return vec![(from, from)];
+    }
+    let cols = InterconnectConfig::mesh_cols(n_clusters);
+    let (mut x, mut y) = InterconnectConfig::mesh_pos(from, n_clusters);
+    let (tx, ty) = InterconnectConfig::mesh_pos(to, n_clusters);
+    let mut path = Vec::with_capacity(x.abs_diff(tx) + y.abs_diff(ty));
+    let mut node = from;
+    while x != tx {
+        x = if tx > x { x + 1 } else { x - 1 };
+        let next = y * cols + x;
+        path.push((node, next));
+        node = next;
+    }
+    while y != ty {
+        y = if ty > y { y + 1 } else { y - 1 };
+        let next = y * cols + x;
+        path.push((node, next));
+        node = next;
+    }
+    path
 }
 
 #[cfg(test)]
@@ -218,8 +494,14 @@ mod tests {
         assert_eq!(r.bank_start, 100);
         assert_eq!(r.overhead(), 0);
         let mut stats = crate::stats::MemStats::default();
-        assert_eq!(ic.memory_overhead(&mut stats, c(3), 0x1234, 100), (0, 0));
-        assert_eq!(ic.cluster_overhead(&mut stats, c(3), 1, 100), (0, 0));
+        assert_eq!(
+            ic.memory_overhead(&mut stats, c(3), 0x1234, 100),
+            Route::free(100)
+        );
+        assert_eq!(
+            ic.cluster_overhead(&mut stats, c(3), 1, 100),
+            Route::free(100)
+        );
         assert_eq!(stats.ic_requests, 0, "flat short-circuits are not counted");
     }
 
@@ -230,6 +512,7 @@ mod tests {
         assert_eq!(r.bank_start, 11, "one hop to the bank");
         assert_eq!(r.hop_cycles, 2, "request + reply");
         assert_eq!(r.queue_cycles, 0);
+        assert_eq!(r.link_stall_cycles, 0);
     }
 
     #[test]
@@ -326,5 +609,101 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn xy_path_goes_x_first_then_y() {
+        // 16 nodes, 4 columns: node 1 = (1,0), node 14 = (2,3).
+        let path = xy_path(1, 14, 16);
+        assert_eq!(path, vec![(1, 2), (2, 6), (6, 10), (10, 14)]);
+        assert_eq!(xy_path(5, 5, 16), vec![(5, 5)], "ejection self-link");
+        assert_eq!(xy_path(3, 0, 16).len(), 3, "westbound route");
+    }
+
+    #[test]
+    fn mesh_route_pays_manhattan_hops() {
+        let mut ic = Interconnect::new(16, InterconnectConfig::mesh(4, 4));
+        // cluster 0 -> cluster 15: 6 hops each way
+        let r = ic.route_to_cluster(c(0), 15, 10);
+        assert_eq!(r.hop_cycles, 12);
+        assert_eq!(r.link_stall_cycles, 0, "empty network never stalls");
+        assert_eq!(r.bank_start, 16, "issue + 6 forward hops");
+    }
+
+    #[test]
+    fn saturated_link_stalls_the_second_flit() {
+        // Two same-cycle routes sharing the first eastbound link on a
+        // single-flit mesh: the second stalls one cycle at the link.
+        let mut ic = Interconnect::new(16, InterconnectConfig::mesh(4, 4));
+        let a = ic.route_to_cluster(c(0), 2, 10); // 0 -> 1 -> 2
+        let b = ic.route_to_cluster(c(0), 1, 10); // 0 -> 1 (same first link)
+        assert_eq!(a.link_stall_cycles, 0);
+        assert_eq!(b.link_stall_cycles, 1, "link (0,1) is full at cycle 10");
+        assert_eq!(b.bank_start, 12, "stall + one hop");
+        // a wider link absorbs both
+        let mut wide = Interconnect::new(16, InterconnectConfig::mesh(4, 4).with_link_capacity(2));
+        wide.route_to_cluster(c(0), 2, 10);
+        assert_eq!(wide.route_to_cluster(c(0), 1, 10).link_stall_cycles, 0);
+    }
+
+    #[test]
+    fn disjoint_mesh_links_do_not_contend() {
+        let mut ic = Interconnect::new(16, InterconnectConfig::mesh(4, 4));
+        let a = ic.route_to_cluster(c(0), 1, 10); // eastbound on row 0
+        let b = ic.route_to_cluster(c(4), 5, 10); // eastbound on row 1
+        let d = ic.route_to_cluster(c(1), 0, 10); // westbound on row 0
+        assert_eq!(a.link_stall_cycles, 0);
+        assert_eq!(b.link_stall_cycles, 0, "different row, different link");
+        assert_eq!(
+            d.link_stall_cycles, 0,
+            "opposite direction is a distinct link"
+        );
+    }
+
+    #[test]
+    fn mesh_deterministic_replay() {
+        let cfg = InterconnectConfig::mesh(4, 1);
+        let run = || {
+            let mut ic = Interconnect::new(16, cfg);
+            (0..96u64)
+                .map(|i| {
+                    let r = ic.route(c((i % 16) as usize), i * 8, i / 4);
+                    (
+                        r.bank_start,
+                        r.queue_cycles,
+                        r.hop_cycles,
+                        r.link_stall_cycles,
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn traverse_then_grant_matches_route() {
+        let cfg = InterconnectConfig::mesh(4, 1);
+        let mut via_route = Interconnect::new(16, cfg);
+        let mut via_parts = Interconnect::new(16, cfg);
+        for i in 0..32u64 {
+            let cl = c((i % 16) as usize);
+            let r = via_route.route(cl, i * 8, i / 2);
+            let tr = via_parts.traverse(cl, i * 8, i / 2);
+            let start = via_parts.grant_port(tr.bank, tr.arrival);
+            assert_eq!(r.bank_start, start, "request {i}");
+            assert_eq!(r.link_stall_cycles, tr.link_stall_cycles, "request {i}");
+        }
+    }
+
+    #[test]
+    fn mesh_tick_prunes_link_state() {
+        let mut ic = Interconnect::new(16, InterconnectConfig::mesh(4, 4));
+        ic.route_to_cluster(c(0), 1, 10);
+        ic.tick(10_000);
+        assert_eq!(
+            ic.route_to_cluster(c(0), 1, 10).link_stall_cycles,
+            0,
+            "stale link reservations are dropped"
+        );
     }
 }

@@ -11,6 +11,7 @@
 
 use crate::cache::SetAssocCache;
 use crate::interconnect::Interconnect;
+use crate::mshr::MshrFile;
 use crate::request::{MemReply, MemRequest, ReqKind, ServicedBy};
 use crate::stats::MemStats;
 use crate::MemoryModel;
@@ -109,6 +110,10 @@ pub struct WordInterleavedMem {
     banks: Vec<SetAssocCache<()>>,
     attraction: Vec<AttractionBuffer>,
     ic: Interconnect,
+    /// One MSHR file per home module: a request to a line whose L2
+    /// refill is still in flight at its home bank merges instead of
+    /// paying a second refill.
+    mshr: MshrFile,
     stats: MemStats,
 }
 
@@ -153,7 +158,8 @@ impl WordInterleavedMem {
                 .map(|_| AttractionBuffer::new(cfg.attraction_entries, cfg.word_bytes as u64))
                 .collect(),
             ic: Interconnect::new(clusters, net),
-            stats: MemStats::default(),
+            mshr: MshrFile::new(clusters, net.mshr_entries),
+            stats: MemStats::for_network(&net),
         }
     }
 
@@ -162,33 +168,92 @@ impl WordInterleavedMem {
         self.cfg.owner_of(addr, self.n_clusters)
     }
 
+    /// Network cost of one trip to `owner`'s home module:
+    /// `(overhead, queue_cycles, link_stalls, return_way)`. An
+    /// MSHR-merged access still walks the network (reserving mesh link
+    /// slots) but attaches to the in-flight refill instead of granting a
+    /// bank port, so its queueing is zero by construction; `return_way`
+    /// is the one-way hop cost the *reply* pays — the leg that cannot
+    /// overlap an in-flight refill.
+    fn home_trip(
+        &mut self,
+        cluster: ClusterId,
+        owner: usize,
+        cycle: u64,
+        merged: bool,
+    ) -> (u64, u64, u64, u64) {
+        if merged {
+            let tr = self
+                .ic
+                .cluster_traverse_overhead(&mut self.stats, cluster, owner, cycle);
+            (tr.overhead(), 0, tr.link_stall_cycles, tr.one_way_cycles)
+        } else {
+            let r = self
+                .ic
+                .cluster_overhead(&mut self.stats, cluster, owner, cycle);
+            (
+                r.overhead(),
+                r.queue_cycles,
+                r.link_stall_cycles,
+                r.hop_cycles / 2,
+            )
+        }
+    }
+
     /// Entries currently held in `cluster`'s attraction buffer.
     pub fn attraction_len(&self, cluster: ClusterId) -> usize {
         self.attraction[cluster.index()].len()
     }
 
-    /// Bank access for the home cluster: `(latency_from_bank, hit)`.
+    /// Bank access for the home cluster:
+    /// `(latency_from_bank, hit, in_flight_ready)`.
     ///
     /// A miss fetches the whole L1 block from L2 and distributes each
     /// bank's share to it — allocation is *block-global* (\[10\] interleaves
     /// blocks across the cache modules), so the distributed cache has the
     /// same block capacity as the unified L1, not per-bank-independent
     /// reach.
-    fn bank_access(&mut self, owner: usize, addr: u64, cycle: u64) -> (u64, bool) {
+    ///
+    /// `in_flight_ready` is `Some(cycle)` when the line's refill is
+    /// still flying and the access MSHR-merged into it: the caller
+    /// finishes no earlier than that cycle, but the wait *overlaps* the
+    /// network trip instead of stacking on top of it. The MSHR window is
+    /// probed at `probe_at` — the cycle the request actually reaches the
+    /// home module (issue + static forward hops), not its issue cycle,
+    /// so a request that arrives after the refill landed takes the
+    /// ordinary port-arbitrated path.
+    fn bank_access(
+        &mut self,
+        owner: usize,
+        addr: u64,
+        cycle: u64,
+        probe_at: u64,
+    ) -> (u64, bool, Option<u64>) {
+        let block = self.banks[owner].block_base(addr);
         if self.banks[owner].lookup(addr, cycle).is_some() {
             self.stats.l1_hits += 1;
-            (self.cfg.local_latency as u64, true)
+            if let Some(ready) = self.mshr.lookup(owner, block, probe_at) {
+                // The home module's refill of this line is still in
+                // flight: the access attaches to it instead of issuing
+                // (or waiting as if it were) a plain hit.
+                self.stats.record_mshr_merge();
+                return (self.cfg.local_latency as u64, true, Some(ready));
+            }
+            (self.cfg.local_latency as u64, true, None)
         } else {
             for bank in &mut self.banks {
                 bank.insert(addr, (), cycle);
             }
             self.stats.l1_misses += 1;
             // miss path: bank probe + L2 round trip (same end-to-end cost
-            // as the unified hierarchy's L1-miss path)
-            (
-                self.cfg.local_latency as u64 + self.cfg.l2_latency as u64,
-                false,
-            )
+            // as the unified hierarchy's L1-miss path). The refill window
+            // lives in home-bank time: it opens when the request reaches
+            // the module (`probe_at`) and the data lands a bank-local
+            // L2 round later.
+            let latency = self.cfg.local_latency as u64 + self.cfg.l2_latency as u64;
+            self.mshr
+                .register(owner, block, probe_at, probe_at + latency);
+            (latency, false, None)
         }
     }
 }
@@ -203,13 +268,25 @@ impl MemoryModel for WordInterleavedMem {
         let owner = self.owner_of(req.addr).index();
         let is_store = req.kind == ReqKind::Store;
 
+        // A remote request's MSHR probe happens when it reaches the home
+        // module: issue + the static forward hop cost (local requests
+        // are already there).
+        let arrival = req.cycle
+            + if owner == me {
+                0
+            } else {
+                let ic_cfg = self.ic.config();
+                ic_cfg.cluster_hops(me, owner, self.n_clusters) as u64 * ic_cfg.hop_latency as u64
+            };
+
         if owner == me {
             self.stats.local_accesses += 1;
-            let (lat, hit) = self.bank_access(owner, req.addr, req.cycle);
+            let (lat, hit, inflight) = self.bank_access(owner, req.addr, req.cycle, arrival);
             return MemReply::new(
-                req.cycle + lat,
+                (req.cycle + lat).max(inflight.unwrap_or(0)),
                 if hit { ServicedBy::L1 } else { ServicedBy::L2 },
-            );
+            )
+            .merged(inflight.is_some());
         }
 
         // Remotely-mapped word.
@@ -218,20 +295,28 @@ impl MemoryModel for WordInterleavedMem {
             // attraction copies elsewhere are invalidated by the snoop,
             // the local one is updated in place.
             self.stats.remote_accesses += 1;
-            let (lat, _) = self.bank_access(owner, req.addr, req.cycle);
+            let (lat, _, inflight) = self.bank_access(owner, req.addr, req.cycle, arrival);
             for (i, ab) in self.attraction.iter_mut().enumerate() {
                 if i != me && ab.invalidate(req.addr) {
                     self.stats.invalidations += 1;
                 }
             }
             self.attraction[me].probe(req.addr, req.cycle); // refresh if present
-            let (overhead, queue) =
-                self.ic
-                    .cluster_overhead(&mut self.stats, req.cluster, owner, req.cycle);
+            let merged = inflight.is_some();
+            let (overhead, queue, links, return_way) =
+                self.home_trip(req.cluster, owner, req.cycle, merged);
             let bus_round =
                 2 * (self.cfg.remote_latency as u64 - self.cfg.local_latency as u64) / 2;
-            return MemReply::new(req.cycle + lat + bus_round + overhead, ServicedBy::Remote)
-                .with_queue(queue);
+            // the wait for an in-flight refill overlaps the *forward*
+            // trip only: the reply still pays its bus share + hops back
+            let merged_done = inflight
+                .map(|r| r + bus_round / 2 + return_way)
+                .unwrap_or(0);
+            let done = (req.cycle + lat + bus_round + overhead).max(merged_done);
+            return MemReply::new(done, ServicedBy::Remote)
+                .with_queue(queue)
+                .with_link_stalls(links)
+                .merged(merged);
         }
 
         // Remote load: attraction buffer first.
@@ -244,13 +329,18 @@ impl MemoryModel for WordInterleavedMem {
         }
         self.stats.l0_misses += 1;
         self.stats.remote_accesses += 1;
-        let (bank_lat, hit) = self.bank_access(owner, req.addr, req.cycle);
+        let (bank_lat, hit, inflight) = self.bank_access(owner, req.addr, req.cycle, arrival);
+        let merged = inflight.is_some();
         // bus to the remote bank and back
         let bus_round = self.cfg.remote_latency as u64 - self.cfg.local_latency as u64;
-        let (overhead, queue) =
-            self.ic
-                .cluster_overhead(&mut self.stats, req.cluster, owner, req.cycle);
-        let ready = req.cycle + bank_lat + bus_round + overhead;
+        let (overhead, queue, links, return_way) =
+            self.home_trip(req.cluster, owner, req.cycle, merged);
+        // the wait for an in-flight refill overlaps the *forward* trip
+        // only: the reply still pays its bus share + hops back
+        let merged_done = inflight
+            .map(|r| r + bus_round / 2 + return_way)
+            .unwrap_or(0);
+        let ready = (req.cycle + bank_lat + bus_round + overhead).max(merged_done);
         self.attraction[me].insert(req.addr, req.cycle, ready);
         MemReply::new(
             ready,
@@ -261,10 +351,13 @@ impl MemoryModel for WordInterleavedMem {
             },
         )
         .with_queue(queue)
+        .with_link_stalls(links)
+        .merged(merged)
     }
 
     fn tick(&mut self, cycle: u64) {
         self.ic.tick(cycle);
+        self.mshr.tick(cycle);
     }
 
     fn stats(&self) -> &MemStats {

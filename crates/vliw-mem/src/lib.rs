@@ -50,21 +50,31 @@ pub mod cache;
 pub mod interconnect;
 pub mod interleaved;
 pub mod l0;
+pub mod mshr;
 pub mod multivliw;
 pub mod request;
 pub mod stats;
 pub mod unified;
 
 pub use cache::SetAssocCache;
-pub use interconnect::{Interconnect, Route};
+pub use interconnect::{Interconnect, Route, Traverse};
 pub use interleaved::WordInterleavedMem;
 pub use l0::{L0Buffer, L0LookupResult};
+pub use mshr::MshrFile;
 pub use multivliw::MultiVliwMem;
-pub use request::{MemReply, MemRequest, ReqKind};
+pub use request::{MemReply, MemRequest, ReqKind, ServicedBy};
 pub use stats::MemStats;
 pub use unified::{UnifiedL1, UnifiedWithL0};
 
 use vliw_machine::ClusterId;
+
+/// How far behind the current drain cycle arbitration/MSHR state is kept
+/// alive. The simulator replays overlapped loop iterations slightly out
+/// of global cycle order, so [`Interconnect::tick`] and
+/// [`MshrFile::tick`](mshr::MshrFile::tick) prune against the same
+/// generous window — one constant so the two structures can never
+/// disagree about what "too old to matter" means.
+pub const REPLAY_HORIZON: u64 = 4096;
 
 /// A cycle-level memory system.
 ///

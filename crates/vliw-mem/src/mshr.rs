@@ -1,0 +1,177 @@
+//! Miss-status-holding registers (MSHRs): per-bank bookkeeping of
+//! in-flight line refills, so *secondary* misses to a line that is
+//! already being fetched attach to the existing refill instead of
+//! re-queueing at the bank's ports.
+//!
+//! The timing models insert a line into the tag store the moment its
+//! refill is *issued* (they are timing-only — there is no data to wait
+//! for), so a secondary miss manifests as a tag hit whose data has not
+//! arrived yet. [`MshrFile::lookup`] detects exactly that window: an
+//! entry matches when the probing request's cycle falls inside
+//! `[issued_at, ready_at)`. Merged requests skip the bank-port grant
+//! entirely — that is the contention relief MSHRs buy on a banked
+//! network — and complete when the in-flight data returns.
+//!
+//! A bank has [`InterconnectConfig::mshr_entries`] registers
+//! (`vliw_machine`); when all of them are busy a new miss simply is not
+//! tracked, and later same-line requests behave as if merging were off.
+//! `mshr_entries == 0` disables the structure, which keeps every
+//! pre-MSHR configuration bit-exact.
+
+use vliw_machine::InterconnectConfig;
+
+/// One in-flight refill.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    block: u64,
+    issued_at: u64,
+    ready_at: u64,
+}
+
+/// The per-bank MSHR state of one memory model.
+#[derive(Debug, Clone)]
+pub struct MshrFile {
+    entries_per_bank: usize,
+    banks: Vec<Vec<Entry>>,
+}
+
+impl MshrFile {
+    /// MSHRs for `banks` banks with `entries_per_bank` registers each
+    /// (`0` disables merging).
+    pub fn new(banks: usize, entries_per_bank: usize) -> Self {
+        MshrFile {
+            entries_per_bank,
+            banks: vec![Vec::new(); banks.max(1)],
+        }
+    }
+
+    /// MSHRs sized from an interconnect configuration: one file per bank
+    /// of the network (a single file when the network is flat/unbanked).
+    pub fn for_config(cfg: &InterconnectConfig) -> Self {
+        Self::new(cfg.banks.max(1), cfg.mshr_entries)
+    }
+
+    /// `true` when the file can track refills at all.
+    pub fn enabled(&self) -> bool {
+        self.entries_per_bank > 0
+    }
+
+    /// The in-flight refill of `block` at `bank`, if the probing request
+    /// (at `cycle`) lands inside the refill's flight window: returns the
+    /// cycle the data arrives at the bank.
+    pub fn lookup(&self, bank: usize, block: u64, cycle: u64) -> Option<u64> {
+        if !self.enabled() {
+            return None;
+        }
+        self.banks[bank % self.banks.len()]
+            .iter()
+            .find(|e| e.block == block && e.issued_at <= cycle && cycle < e.ready_at)
+            .map(|e| e.ready_at)
+    }
+
+    /// Tracks a refill of `block` issued at `issued_at` whose data
+    /// arrives at the bank at `ready_at`. Returns `false` when every
+    /// register of the bank is busy at `issued_at` (the refill proceeds,
+    /// it just cannot absorb secondaries). A refill of the same block
+    /// supersedes any previous entry — stale *or* still in flight: the
+    /// block was evicted and re-missed, so the newest window is the only
+    /// one whose data can still serve secondaries.
+    pub fn register(&mut self, bank: usize, block: u64, issued_at: u64, ready_at: u64) -> bool {
+        if !self.enabled() {
+            return false;
+        }
+        let n = self.banks.len();
+        let bank = &mut self.banks[bank % n];
+        bank.retain(|e| e.block != block);
+        let busy = bank.iter().filter(|e| e.ready_at > issued_at).count();
+        if busy >= self.entries_per_bank {
+            return false;
+        }
+        bank.push(Entry {
+            block,
+            issued_at,
+            ready_at,
+        });
+        true
+    }
+
+    /// Drops registers whose refill completed long enough ago that no
+    /// replayed request can still land inside their window (the shared
+    /// [`REPLAY_HORIZON`](crate::REPLAY_HORIZON) discipline of
+    /// [`Interconnect::tick`](crate::Interconnect::tick)).
+    pub fn tick(&mut self, cycle: u64) {
+        let cutoff = cycle.saturating_sub(crate::REPLAY_HORIZON);
+        for bank in &mut self.banks {
+            bank.retain(|e| e.ready_at >= cutoff);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_file_never_tracks() {
+        let mut m = MshrFile::new(2, 0);
+        assert!(!m.enabled());
+        assert!(!m.register(0, 0x100, 10, 30));
+        assert_eq!(m.lookup(0, 0x100, 15), None);
+    }
+
+    #[test]
+    fn secondary_inside_the_flight_window_merges() {
+        let mut m = MshrFile::new(2, 4);
+        assert!(m.register(1, 0x100, 10, 30));
+        assert_eq!(m.lookup(1, 0x100, 10), Some(30), "issue cycle is covered");
+        assert_eq!(m.lookup(1, 0x100, 29), Some(30));
+        assert_eq!(m.lookup(1, 0x100, 30), None, "data has arrived");
+        assert_eq!(m.lookup(1, 0x100, 9), None, "not yet issued");
+        assert_eq!(m.lookup(1, 0x140, 15), None, "different block");
+        assert_eq!(m.lookup(0, 0x100, 15), None, "different bank");
+    }
+
+    #[test]
+    fn full_bank_rejects_new_refills() {
+        let mut m = MshrFile::new(1, 2);
+        assert!(m.register(0, 0x100, 10, 50));
+        assert!(m.register(0, 0x200, 10, 50));
+        assert!(!m.register(0, 0x300, 12, 52), "both registers busy");
+        // once a refill lands, its register is free again
+        assert!(m.register(0, 0x400, 60, 80));
+    }
+
+    #[test]
+    fn reissued_block_supersedes_stale_entry() {
+        let mut m = MshrFile::new(1, 1);
+        assert!(m.register(0, 0x100, 10, 20));
+        // the line was evicted and missed again later
+        assert!(m.register(0, 0x100, 100, 120));
+        assert_eq!(m.lookup(0, 0x100, 15), None, "old window gone");
+        assert_eq!(m.lookup(0, 0x100, 110), Some(120));
+    }
+
+    #[test]
+    fn reissued_block_supersedes_live_entry_without_duplicating() {
+        // Evicted-and-re-missed while the first refill still flies: the
+        // new window replaces the old one (no duplicate burning a
+        // register, no rejection of the superseding refill).
+        let mut m = MshrFile::new(1, 1);
+        assert!(m.register(0, 0x100, 0, 25));
+        assert!(m.register(0, 0x100, 10, 35), "supersede, not reject");
+        assert_eq!(m.lookup(0, 0x100, 12), Some(35), "newest window wins");
+        // the single register is busy with the new window, nothing else
+        assert!(!m.register(0, 0x200, 12, 40));
+    }
+
+    #[test]
+    fn tick_prunes_completed_refills() {
+        let mut m = MshrFile::new(1, 8);
+        assert!(m.register(0, 0x100, 10, 20));
+        m.tick(10_000);
+        assert_eq!(m.lookup(0, 0x100, 15), None);
+        assert!(m.register(0, 0x200, 10_000, 10_020));
+        m.tick(10_001);
+        assert_eq!(m.lookup(0, 0x200, 10_010), Some(10_020), "live entry kept");
+    }
+}

@@ -11,6 +11,7 @@
 
 use crate::cache::SetAssocCache;
 use crate::interconnect::Interconnect;
+use crate::mshr::MshrFile;
 use crate::request::{MemReply, MemRequest, ReqKind, ServicedBy};
 use crate::stats::MemStats;
 use crate::MemoryModel;
@@ -29,6 +30,10 @@ pub struct MultiVliwMem {
     cfg: MultiVliwConfig,
     banks: Vec<SetAssocCache<Msi>>,
     ic: Interconnect,
+    /// One MSHR file per cluster bank: a snooped request to a line whose
+    /// refill is still in flight at its holder merges there instead of
+    /// paying a full snoop round (the MSI transitions still happen).
+    mshr: MshrFile,
     stats: MemStats,
 }
 
@@ -60,7 +65,8 @@ impl MultiVliwMem {
                 .map(|_| SetAssocCache::new(cfg.bank_bytes, cfg.block_bytes, cfg.associativity))
                 .collect(),
             ic: Interconnect::new(clusters, net),
-            stats: MemStats::default(),
+            mshr: MshrFile::new(clusters, net.mshr_entries),
+            stats: MemStats::for_network(&net),
         }
     }
 
@@ -84,6 +90,8 @@ impl MemoryModel for MultiVliwMem {
         let is_store = req.kind == ReqKind::Store;
         let local = self.banks[me].lookup(req.addr, req.cycle);
         let mut queue = 0;
+        let mut link = 0;
+        let mut merged = false;
 
         let (latency, serviced) = match (local, is_store) {
             (Some(_), false) => {
@@ -105,11 +113,12 @@ impl MemoryModel for MultiVliwMem {
                 for h in &holders {
                     self.banks[*h].invalidate(req.addr);
                     self.stats.invalidations += 1;
-                    let (o, q) =
-                        self.ic
-                            .cluster_overhead(&mut self.stats, req.cluster, *h, req.cycle);
-                    overhead = overhead.max(o);
-                    queue = queue.max(q);
+                    let r = self
+                        .ic
+                        .cluster_overhead(&mut self.stats, req.cluster, *h, req.cycle);
+                    overhead = overhead.max(r.overhead());
+                    queue = queue.max(r.queue_cycles);
+                    link = link.max(r.link_stall_cycles);
                 }
                 self.banks[me].set_state(req.addr, Msi::Modified);
                 self.stats.local_accesses += 1;
@@ -124,40 +133,119 @@ impl MemoryModel for MultiVliwMem {
                     // bank probe + L2 round trip over the network, matching
                     // the unified hierarchy's miss path cost on the flat
                     // configuration
-                    let (overhead, q) =
+                    let r =
                         self.ic
                             .memory_overhead(&mut self.stats, req.cluster, req.addr, req.cycle);
-                    queue = q;
-                    (
-                        self.cfg.local_latency as u64 + self.cfg.l2_latency as u64 + overhead,
-                        ServicedBy::L2,
-                    )
+                    queue = r.queue_cycles;
+                    link = r.link_stall_cycles;
+                    let latency =
+                        self.cfg.local_latency as u64 + self.cfg.l2_latency as u64 + r.overhead();
+                    // Track the refill so a snooped request to this line
+                    // can merge while the data is still in flight. The
+                    // requester and its bank are co-located, so the
+                    // completion cycle *is* the data-at-bank cycle the
+                    // MshrFile contract asks for (unlike the unified
+                    // model, there is no separate return leg to strip).
+                    let block = self.banks[me].block_base(req.addr);
+                    self.mshr
+                        .register(me, block, req.cycle, req.cycle + latency);
+                    (latency, ServicedBy::L2)
                 } else {
                     self.stats.c2c_transfers += 1;
                     self.stats.remote_accesses += 1;
                     self.stats.l1_hits += 1;
-                    // the cache-to-cache transfer comes from the first
-                    // holder's bank over the network; for RWITM the other
-                    // sharers' invalidations cross it too, and the
-                    // farthest acknowledgement bounds completion (same
-                    // accounting as the S -> M upgrade path)
-                    let mut overhead = 0;
-                    let snoop_targets = if is_store {
-                        &holders[..]
+                    let block = self.banks[holders[0]].block_base(req.addr);
+                    // The merge window is probed at the snoop's *arrival*
+                    // at the holder (issue + static forward hops): a
+                    // request that gets there after the refill landed
+                    // takes the ordinary port-arbitrated snoop round.
+                    let snoop_arrival = req.cycle
+                        + self
+                            .ic
+                            .config()
+                            .cluster_hops(me, holders[0], self.banks.len())
+                            as u64
+                            * self.ic.config().hop_latency as u64;
+                    if let Some(ready) = self.mshr.lookup(holders[0], block, snoop_arrival) {
+                        // The holder's own refill is still in flight:
+                        // attach to its MSHR instead of launching a full
+                        // snoop round — the request still walks the
+                        // network to the holder (reserving mesh link
+                        // slots) but grants no bank port, and the
+                        // transfer overlaps the refill's tail. Only the
+                        // *data* access merges: for RWITM the other
+                        // sharers' invalidations are ordinary snoop
+                        // rounds (ports and all), and the farthest
+                        // acknowledgement still bounds completion. State
+                        // transitions below are identical to the
+                        // ordinary c2c path.
+                        let tr = self.ic.cluster_traverse_overhead(
+                            &mut self.stats,
+                            req.cluster,
+                            holders[0],
+                            req.cycle,
+                        );
+                        let mut overhead = tr.overhead();
+                        link = link.max(tr.link_stall_cycles);
+                        if is_store {
+                            for h in &holders[1..] {
+                                let r = self.ic.cluster_overhead(
+                                    &mut self.stats,
+                                    req.cluster,
+                                    *h,
+                                    req.cycle,
+                                );
+                                overhead = overhead.max(r.overhead());
+                                queue = queue.max(r.queue_cycles);
+                                link = link.max(r.link_stall_cycles);
+                            }
+                        }
+                        self.stats.record_mshr_merge();
+                        merged = true;
+                        let base = self.cfg.remote_latency as u64 + overhead;
+                        // Only the *forward* trip overlaps the refill's
+                        // tail: once the data lands at the holder it
+                        // still pays the data-return share of the snoop
+                        // round plus the network hops back.
+                        let data_return = (self
+                            .cfg
+                            .remote_latency
+                            .saturating_sub(self.cfg.local_latency)
+                            as u64)
+                            / 2
+                            + tr.one_way_cycles;
+                        (
+                            ((ready + data_return).saturating_sub(req.cycle)).max(base),
+                            ServicedBy::Remote,
+                        )
                     } else {
-                        &holders[..1]
-                    };
-                    for h in snoop_targets {
-                        let (o, q) =
-                            self.ic
-                                .cluster_overhead(&mut self.stats, req.cluster, *h, req.cycle);
-                        overhead = overhead.max(o);
-                        queue = queue.max(q);
+                        // the cache-to-cache transfer comes from the first
+                        // holder's bank over the network; for RWITM the
+                        // other sharers' invalidations cross it too, and
+                        // the farthest acknowledgement bounds completion
+                        // (same accounting as the S -> M upgrade path)
+                        let mut overhead = 0;
+                        let snoop_targets = if is_store {
+                            &holders[..]
+                        } else {
+                            &holders[..1]
+                        };
+                        for h in snoop_targets {
+                            let r = self.ic.cluster_overhead(
+                                &mut self.stats,
+                                req.cluster,
+                                *h,
+                                req.cycle,
+                            );
+                            overhead = overhead.max(r.overhead());
+                            queue = queue.max(r.queue_cycles);
+                            link = link.max(r.link_stall_cycles);
+                        }
+                        (
+                            self.cfg.remote_latency as u64 + overhead,
+                            ServicedBy::Remote,
+                        )
                     }
-                    (
-                        self.cfg.remote_latency as u64 + overhead,
-                        ServicedBy::Remote,
-                    )
                 };
                 if is_store {
                     // RWITM: everyone else invalidates
@@ -176,11 +264,15 @@ impl MemoryModel for MultiVliwMem {
                 (latency, serviced)
             }
         };
-        MemReply::new(req.cycle + latency, serviced).with_queue(queue)
+        MemReply::new(req.cycle + latency, serviced)
+            .with_queue(queue)
+            .with_link_stalls(link)
+            .merged(merged)
     }
 
     fn tick(&mut self, cycle: u64) {
         self.ic.tick(cycle);
+        self.mshr.tick(cycle);
     }
 
     fn stats(&self) -> &MemStats {

@@ -100,6 +100,13 @@ pub struct MemReply {
     /// interconnect bank ports (0 on the paper's flat network). The
     /// runner uses this to attribute pipeline stalls to contention.
     pub queue_cycles: u64,
+    /// Of the cycles until `ready_at`, how many were spent stalled at
+    /// saturated mesh links (0 off the mesh). Attributed separately from
+    /// port queueing as `link_stall_cycles` in `SimResult`.
+    pub link_stalls: u64,
+    /// `true` when the access merged into an in-flight MSHR refill
+    /// instead of issuing its own.
+    pub mshr_merged: bool,
 }
 
 impl MemReply {
@@ -109,12 +116,26 @@ impl MemReply {
             ready_at,
             serviced_by,
             queue_cycles: 0,
+            link_stalls: 0,
+            mshr_merged: false,
         }
     }
 
     /// Annotates the reply with interconnect queueing cycles.
     pub fn with_queue(mut self, queue_cycles: u64) -> Self {
         self.queue_cycles = queue_cycles;
+        self
+    }
+
+    /// Annotates the reply with link-stall cycles.
+    pub fn with_link_stalls(mut self, link_stalls: u64) -> Self {
+        self.link_stalls = link_stalls;
+        self
+    }
+
+    /// Marks the reply as MSHR-merged.
+    pub fn merged(mut self, merged: bool) -> Self {
+        self.mshr_merged = merged;
         self
     }
 }

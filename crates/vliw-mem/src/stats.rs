@@ -46,6 +46,14 @@ pub struct MemStats {
     pub ic_queue_cycles: u64,
     /// Cycles requests spent traversing interconnect hops (both ways).
     pub ic_hop_cycles: u64,
+    /// Cycles requests spent stalled at saturated mesh links (the
+    /// link-contention signal; 0 on every non-mesh topology). `None` in
+    /// artifacts written before the mesh existed — treat as 0.
+    pub ic_link_stall_cycles: Option<u64>,
+    /// Secondary misses merged into an in-flight refill by the bank
+    /// MSHRs (0 when `mshr_entries` is 0). `None` in artifacts written
+    /// before MSHRs existed — treat as 0.
+    pub mshr_merges: Option<u64>,
 }
 
 impl MemStats {
@@ -110,6 +118,38 @@ impl MemStats {
         self.ic_requests += other.ic_requests;
         self.ic_queue_cycles += other.ic_queue_cycles;
         self.ic_hop_cycles += other.ic_hop_cycles;
+        if let Some(v) = other.ic_link_stall_cycles {
+            *self.ic_link_stall_cycles.get_or_insert(0) += v;
+        }
+        if let Some(v) = other.mshr_merges {
+            *self.mshr_merges.get_or_insert(0) += v;
+        }
+    }
+
+    /// Link-stall cycles with the pre-mesh `None` read as 0.
+    pub fn link_stalls(&self) -> u64 {
+        self.ic_link_stall_cycles.unwrap_or(0)
+    }
+
+    /// MSHR merge count with the pre-MSHR `None` read as 0.
+    pub fn merges(&self) -> u64 {
+        self.mshr_merges.unwrap_or(0)
+    }
+
+    /// Records one MSHR secondary-miss merge.
+    pub fn record_mshr_merge(&mut self) {
+        *self.mshr_merges.get_or_insert(0) += 1;
+    }
+
+    /// Fresh counters for a model running on `net`: the merge counter
+    /// starts at `Some(0)` when the network has MSHRs, so "merging was
+    /// on but nothing merged" stays distinguishable from a pre-MSHR
+    /// artifact's `None`.
+    pub fn for_network(net: &vliw_machine::InterconnectConfig) -> Self {
+        MemStats {
+            mshr_merges: if net.mshr_entries > 0 { Some(0) } else { None },
+            ..Default::default()
+        }
     }
 
     /// Mean cycles of interconnect queueing per routed request (0 when
@@ -122,11 +162,23 @@ impl MemStats {
         }
     }
 
-    /// Records one interconnect route outcome.
+    /// Records one interconnect route outcome. Materializes the
+    /// link-stall counter even when this route did not stall, so any
+    /// artifact written by network-routing code reads `Some(0)` rather
+    /// than the pre-mesh `None`.
     pub fn record_route(&mut self, route: &crate::interconnect::Route) {
         self.ic_requests += 1;
         self.ic_queue_cycles += route.queue_cycles;
         self.ic_hop_cycles += route.hop_cycles;
+        *self.ic_link_stall_cycles.get_or_insert(0) += route.link_stall_cycles;
+    }
+
+    /// Records the forward half of a route (an MSHR-merged request that
+    /// reached the bank but never occupied a port).
+    pub fn record_traverse(&mut self, tr: &crate::interconnect::Traverse) {
+        self.ic_requests += 1;
+        self.ic_hop_cycles += 2 * tr.one_way_cycles;
+        *self.ic_link_stall_cycles.get_or_insert(0) += tr.link_stall_cycles;
     }
 }
 

@@ -2,46 +2,135 @@
 //! paper's proposal with them.
 
 use crate::cache::SetAssocCache;
-use crate::interconnect::Interconnect;
+use crate::interconnect::{Interconnect, Route};
 use crate::l0::{Entry, EntryMapping, L0Buffer, L0LookupResult, PrefetchAction};
+use crate::mshr::MshrFile;
 use crate::request::{MemReply, MemRequest, ReqKind, ServicedBy};
 use crate::stats::MemStats;
 use crate::MemoryModel;
 use vliw_machine::{AccessHint, ClusterId, MachineConfig, MappingHint, PrefetchHint};
 
-/// Shared L1 + L2 timing: routes the request over the interconnect to the
-/// bank owning `addr`, probes the unified L1 (allocating on miss) and
-/// returns `(latency_from_cycle, hit, queue_cycles)`.
+/// Outcome of one trip through the shared unified-L1 path.
+#[derive(Debug, Clone, Copy)]
+struct L1Access {
+    /// Latency from the request cycle until the value is back at the
+    /// cluster.
+    lat: u64,
+    /// `true` when L1 had the line (including in-flight MSHR merges).
+    hit: bool,
+    /// Cycles queued behind the bank's ports.
+    queue: u64,
+    /// Cycles stalled at saturated mesh links.
+    link_stalls: u64,
+    /// `true` when the access merged into an in-flight refill.
+    merged: bool,
+}
+
+/// The shared unified-L1 timing stack: the tag store, the cluster ↔ bank
+/// interconnect and the bank MSHRs, owned together because every access
+/// walks all three in order.
 ///
-/// On the flat network the route is free and the timing is exactly the
-/// pre-interconnect `L1 latency (+ L2 on miss)`; otherwise the request
-/// additionally pays forward hops, port queueing at the bank, and return
-/// hops.
-fn l1_access(
-    l1: &mut SetAssocCache<()>,
-    ic: &mut Interconnect,
-    stats: &mut MemStats,
-    cfg: &MachineConfig,
-    cluster: ClusterId,
-    addr: u64,
-    cycle: u64,
-) -> (u64, bool, u64) {
-    let route = ic.route(cluster, addr, cycle);
-    if !ic.is_flat() {
-        stats.record_route(&route);
+/// With MSHRs disabled (`mshr_entries == 0`, the default) the path is
+/// bit-exact with the pre-MSHR simulator: route (hops + port queue),
+/// probe, L2 on miss, hops back. With MSHRs enabled, a request to a line
+/// whose refill is still in flight attaches to the existing MSHR — it
+/// pays the traversal but **no port grant and no second refill** — and
+/// completes when the in-flight data returns.
+#[derive(Debug)]
+struct L1Stack {
+    l1: SetAssocCache<()>,
+    ic: Interconnect,
+    mshr: MshrFile,
+}
+
+impl L1Stack {
+    fn new(cfg: &MachineConfig) -> Self {
+        L1Stack {
+            l1: SetAssocCache::new(cfg.l1.size_bytes, cfg.l1.block_bytes, cfg.l1.associativity),
+            ic: Interconnect::new(cfg.clusters, cfg.interconnect),
+            mshr: MshrFile::for_config(&cfg.interconnect),
+        }
     }
-    let (service, hit) = if l1.lookup(addr, route.bank_start).is_some() {
-        (cfg.l1.latency as u64, true)
-    } else {
-        l1.insert(addr, (), route.bank_start);
-        (cfg.l1.latency as u64 + cfg.l2_latency as u64, false)
-    };
-    let return_hops = route.hop_cycles / 2;
-    (
-        (route.bank_start - cycle) + service + return_hops,
-        hit,
-        route.queue_cycles,
-    )
+
+    fn tick(&mut self, cycle: u64) {
+        self.ic.tick(cycle);
+        self.mshr.tick(cycle);
+    }
+
+    /// Routes to the bank owning `addr`, probes the unified L1
+    /// (allocating on miss) and returns the end-to-end timing split.
+    ///
+    /// One path serves both the MSHR-off and MSHR-on configurations:
+    /// with `mshr_entries == 0` the merge probe never fires and the
+    /// traverse + port-grant + LRU-at-`start` sequence reproduces the
+    /// pre-MSHR route() path cycle-for-cycle (pinned by the seed-exact
+    /// tests and the untouched contended goldens).
+    fn access(
+        &mut self,
+        stats: &mut MemStats,
+        cfg: &MachineConfig,
+        cluster: ClusterId,
+        addr: u64,
+        cycle: u64,
+    ) -> L1Access {
+        let flat = self.ic.is_flat();
+        let tr = self.ic.traverse(cluster, addr, cycle);
+        let block = self.l1.block_base(addr);
+        let l1_lat = cfg.l1.latency as u64;
+        // peek, not lookup: the LRU refresh happens at the port-grant
+        // cycle below, exactly where the pre-MSHR path put it.
+        let resident = self.l1.peek(addr).is_some();
+        if resident {
+            if let Some(ready) = self.mshr.lookup(tr.bank, block, tr.arrival) {
+                // Secondary miss: the line's refill is still in flight.
+                // Attach to its MSHR — no port grant, no second refill —
+                // and complete when the primary's data lands.
+                if !flat {
+                    stats.record_traverse(&tr);
+                }
+                stats.record_mshr_merge();
+                self.l1.lookup(addr, tr.arrival); // LRU refresh
+                let done = (tr.arrival + l1_lat).max(ready);
+                return L1Access {
+                    lat: (done - cycle) + tr.one_way_cycles,
+                    hit: true,
+                    queue: 0,
+                    link_stalls: tr.link_stall_cycles,
+                    merged: true,
+                };
+            }
+        }
+        let start = if flat {
+            tr.arrival
+        } else {
+            let start = self.ic.grant_port(tr.bank, tr.arrival);
+            stats.record_route(&Route {
+                bank_start: start,
+                queue_cycles: start - tr.arrival,
+                hop_cycles: 2 * tr.one_way_cycles,
+                link_stall_cycles: tr.link_stall_cycles,
+            });
+            start
+        };
+        let (service, hit) = if resident {
+            self.l1.lookup(addr, start); // LRU refresh
+            (l1_lat, true)
+        } else {
+            self.l1.insert(addr, (), start);
+            let service = l1_lat + cfg.l2_latency as u64;
+            // The refill's data reaches the bank when its service ends;
+            // secondaries issued inside [cycle, data_ready) merge.
+            self.mshr.register(tr.bank, block, cycle, start + service);
+            (service, false)
+        };
+        L1Access {
+            lat: (start - cycle) + service + tr.one_way_cycles,
+            hit,
+            queue: start - tr.arrival,
+            link_stalls: tr.link_stall_cycles,
+            merged: false,
+        }
+    }
 }
 
 /// Per-cluster bus to the unified L1: one request slot per cycle; a busy
@@ -93,9 +182,8 @@ impl ClusterBuses {
 #[derive(Debug)]
 pub struct UnifiedL1 {
     cfg: MachineConfig,
-    l1: SetAssocCache<()>,
+    stack: L1Stack,
     buses: ClusterBuses,
-    ic: Interconnect,
     stats: MemStats,
 }
 
@@ -105,10 +193,9 @@ impl UnifiedL1 {
     pub fn new(cfg: &MachineConfig) -> Self {
         UnifiedL1 {
             cfg: cfg.clone(),
-            l1: SetAssocCache::new(cfg.l1.size_bytes, cfg.l1.block_bytes, cfg.l1.associativity),
+            stack: L1Stack::new(cfg),
             buses: ClusterBuses::new(cfg.clusters),
-            ic: Interconnect::new(cfg.clusters, cfg.interconnect),
-            stats: MemStats::default(),
+            stats: MemStats::for_network(&cfg.interconnect),
         }
     }
 }
@@ -124,29 +211,29 @@ impl MemoryModel for UnifiedL1 {
         }
         self.stats.accesses += 1;
         let start = self.buses.acquire(req.cluster, req.cycle);
-        let (lat, hit, queue) = l1_access(
-            &mut self.l1,
-            &mut self.ic,
-            &mut self.stats,
-            &self.cfg,
-            req.cluster,
-            req.addr,
-            start,
-        );
-        if hit {
+        let a = self
+            .stack
+            .access(&mut self.stats, &self.cfg, req.cluster, req.addr, start);
+        if a.hit {
             self.stats.l1_hits += 1;
         } else {
             self.stats.l1_misses += 1;
         }
         MemReply::new(
-            start + lat,
-            if hit { ServicedBy::L1 } else { ServicedBy::L2 },
+            start + a.lat,
+            if a.hit {
+                ServicedBy::L1
+            } else {
+                ServicedBy::L2
+            },
         )
-        .with_queue(queue)
+        .with_queue(a.queue)
+        .with_link_stalls(a.link_stalls)
+        .merged(a.merged)
     }
 
     fn tick(&mut self, cycle: u64) {
-        self.ic.tick(cycle);
+        self.stack.tick(cycle);
     }
 
     fn stats(&self) -> &MemStats {
@@ -164,9 +251,8 @@ impl MemoryModel for UnifiedL1 {
 pub struct UnifiedWithL0 {
     cfg: MachineConfig,
     l0: Vec<L0Buffer>,
-    l1: SetAssocCache<()>,
+    stack: L1Stack,
     buses: ClusterBuses,
-    ic: Interconnect,
     stats: MemStats,
 }
 
@@ -185,10 +271,9 @@ impl UnifiedWithL0 {
             l0: (0..cfg.clusters)
                 .map(|_| L0Buffer::new(l0cfg.entries, sb, bb, cfg.clusters))
                 .collect(),
-            l1: SetAssocCache::new(cfg.l1.size_bytes, cfg.l1.block_bytes, cfg.l1.associativity),
+            stack: L1Stack::new(cfg),
             buses: ClusterBuses::new(cfg.clusters),
-            ic: Interconnect::new(cfg.clusters, cfg.interconnect),
-            stats: MemStats::default(),
+            stats: MemStats::for_network(&cfg.interconnect),
         }
     }
 
@@ -203,8 +288,8 @@ impl UnifiedWithL0 {
     }
 
     /// Fills subblock(s) for a load/prefetch miss according to the mapping
-    /// hint. Returns the cycle the data is available and the interconnect
-    /// queueing the refill suffered.
+    /// hint. Returns the cycle the data is available and the refill's
+    /// interconnect accounting.
     fn fill(
         &mut self,
         cluster: ClusterId,
@@ -213,18 +298,13 @@ impl UnifiedWithL0 {
         mapping: MappingHint,
         prefetch: PrefetchHint,
         cycle: u64,
-    ) -> (u64, u64) {
+    ) -> (u64, L1Access) {
         let start = self.buses.acquire(cluster, cycle);
-        let (l1_lat, l1_hit, queue) = l1_access(
-            &mut self.l1,
-            &mut self.ic,
-            &mut self.stats,
-            &self.cfg,
-            cluster,
-            addr,
-            start,
-        );
-        if l1_hit {
+        let a = self
+            .stack
+            .access(&mut self.stats, &self.cfg, cluster, addr, start);
+        let l1_lat = a.lat;
+        if a.hit {
             self.stats.l1_hits += 1;
         } else {
             self.stats.l1_misses += 1;
@@ -244,7 +324,7 @@ impl UnifiedWithL0 {
                     elem_bytes: size,
                 });
                 self.stats.linear_subblocks += 1;
-                (ready, queue)
+                (ready, a)
             }
             MappingHint::Interleaved => {
                 // Whole block fetched, shuffled (+1 cycle), and dealt to
@@ -272,7 +352,7 @@ impl UnifiedWithL0 {
                     });
                     self.stats.interleaved_subblocks += 1;
                 }
-                (ready, queue)
+                (ready, a)
             }
         }
     }
@@ -342,25 +422,29 @@ impl MemoryModel for UnifiedWithL0 {
                 match req.hints.access {
                     AccessHint::NoAccess => {
                         let start = self.buses.acquire(req.cluster, req.cycle);
-                        let (lat, hit, queue) = l1_access(
-                            &mut self.l1,
-                            &mut self.ic,
+                        let a = self.stack.access(
                             &mut self.stats,
                             &self.cfg,
                             req.cluster,
                             req.addr,
                             start,
                         );
-                        if hit {
+                        if a.hit {
                             self.stats.l1_hits += 1;
                         } else {
                             self.stats.l1_misses += 1;
                         }
                         MemReply::new(
-                            start + lat,
-                            if hit { ServicedBy::L1 } else { ServicedBy::L2 },
+                            start + a.lat,
+                            if a.hit {
+                                ServicedBy::L1
+                            } else {
+                                ServicedBy::L2
+                            },
                         )
-                        .with_queue(queue)
+                        .with_queue(a.queue)
+                        .with_link_stalls(a.link_stalls)
+                        .merged(a.merged)
                     }
                     AccessHint::SeqAccess | AccessHint::ParAccess => {
                         let (result, action) = self.l0[req.cluster.index()].probe(
@@ -382,7 +466,7 @@ impl MemoryModel for UnifiedWithL0 {
                                     // is discarded; it reaches the bank
                                     // only once the bus slot is granted
                                     let start = self.buses.acquire(req.cluster, req.cycle);
-                                    let _ = self.ic.memory_overhead(
+                                    let _ = self.stack.ic.memory_overhead(
                                         &mut self.stats,
                                         req.cluster,
                                         req.addr,
@@ -399,7 +483,7 @@ impl MemoryModel for UnifiedWithL0 {
                                     AccessHint::SeqAccess => req.cycle + l0lat,
                                     _ => req.cycle,
                                 };
-                                let (ready, queue) = self.fill(
+                                let (ready, a) = self.fill(
                                     req.cluster,
                                     req.addr,
                                     req.size,
@@ -407,7 +491,10 @@ impl MemoryModel for UnifiedWithL0 {
                                     req.hints.prefetch,
                                     fwd_cycle,
                                 );
-                                MemReply::new(ready, ServicedBy::L1).with_queue(queue)
+                                MemReply::new(ready, ServicedBy::L1)
+                                    .with_queue(a.queue)
+                                    .with_link_stalls(a.link_stalls)
+                                    .merged(a.merged)
                             }
                         }
                     }
@@ -419,16 +506,10 @@ impl MemoryModel for UnifiedWithL0 {
                 // copy is updated only when the store is marked to access
                 // the buffers. Remote buffers are never touched (§3.3).
                 let start = self.buses.acquire(req.cluster, req.cycle);
-                let (_, hit, _) = l1_access(
-                    &mut self.l1,
-                    &mut self.ic,
-                    &mut self.stats,
-                    &self.cfg,
-                    req.cluster,
-                    req.addr,
-                    start,
-                );
-                if hit {
+                let a = self
+                    .stack
+                    .access(&mut self.stats, &self.cfg, req.cluster, req.addr, start);
+                if a.hit {
                     self.stats.l1_hits += 1;
                 } else {
                     self.stats.l1_misses += 1;
@@ -449,7 +530,7 @@ impl MemoryModel for UnifiedWithL0 {
                     return MemReply::new(req.cycle + 1, ServicedBy::L0);
                 }
                 self.stats.explicit_prefetches += 1;
-                let (ready, queue) = self.fill(
+                let (ready, a) = self.fill(
                     req.cluster,
                     req.addr,
                     req.size,
@@ -457,7 +538,10 @@ impl MemoryModel for UnifiedWithL0 {
                     PrefetchHint::None,
                     req.cycle,
                 );
-                MemReply::new(ready, ServicedBy::L1).with_queue(queue)
+                MemReply::new(ready, ServicedBy::L1)
+                    .with_queue(a.queue)
+                    .with_link_stalls(a.link_stalls)
+                    .merged(a.merged)
             }
             ReqKind::StoreReplica => {
                 let n = self.l0[req.cluster.index()].invalidate_addr(req.addr, req.size as u64);
@@ -473,7 +557,7 @@ impl MemoryModel for UnifiedWithL0 {
     }
 
     fn tick(&mut self, cycle: u64) {
-        self.ic.tick(cycle);
+        self.stack.tick(cycle);
     }
 
     fn stats(&self) -> &MemStats {

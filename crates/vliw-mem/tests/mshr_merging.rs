@@ -1,0 +1,200 @@
+//! MSHR miss-merging tests: a secondary miss to a line whose refill is
+//! in flight attaches to the existing MSHR (no second refill, no bank
+//! port), the merge is attributed in the stats, and the MultiVLIW MSI
+//! protocol still transitions correctly with merging on.
+
+use vliw_machine::{
+    AccessHint, ClusterId, InterconnectConfig, MachineConfig, MappingHint, MemHints,
+};
+use vliw_mem::{MemRequest, MemoryModel, MultiVliwMem, ServicedBy, UnifiedWithL0};
+
+fn c(i: usize) -> ClusterId {
+    ClusterId::new(i)
+}
+
+fn par_linear() -> MemHints {
+    MemHints::new(AccessHint::ParAccess).with_mapping(MappingHint::Linear)
+}
+
+/// A 4-cluster machine on a contended single-bank crossbar, with and
+/// without MSHRs.
+fn crossbar_cfg(mshrs: usize) -> MachineConfig {
+    MachineConfig::micro2003()
+        .with_interconnect(InterconnectConfig::crossbar(1, 1).with_mshr(mshrs))
+}
+
+#[test]
+fn secondary_miss_issues_no_second_refill() {
+    // Two clusters miss on the same block in the same cycle. Without
+    // MSHRs the second refill queues behind the single bank port; with
+    // MSHRs it merges: zero queueing and a recorded merge.
+    let run = |mshrs: usize| {
+        let mut m = UnifiedWithL0::new(&crossbar_cfg(mshrs));
+        let a = m.access(&MemRequest::load(c(0), 0x100, 4, par_linear(), 10));
+        let b = m.access(&MemRequest::load(c(1), 0x104, 4, par_linear(), 10));
+        let merges = m.stats().merges();
+        let ports = m.stats().ic_queue_cycles;
+        (a, b, merges, ports)
+    };
+
+    let (_, b_off, merges_off, queue_off) = run(0);
+    assert_eq!(merges_off, 0);
+    assert!(
+        queue_off > 0,
+        "without MSHRs the second same-block refill queues at the port"
+    );
+    assert!(b_off.queue_cycles > 0);
+
+    let (_, b_on, merges_on, queue_on) = run(8);
+    assert_eq!(merges_on, 1, "the second miss merged");
+    assert!(b_on.mshr_merged, "the reply is flagged as merged");
+    assert_eq!(b_on.queue_cycles, 0, "merged requests skip the port queue");
+    assert!(
+        queue_on < queue_off,
+        "merging removes refill pressure from the bank ports"
+    );
+}
+
+#[test]
+fn merged_secondary_waits_for_the_inflight_data() {
+    // The merged reply cannot beat the primary's data: it completes no
+    // earlier than the refill it attached to (minus the return trip it
+    // shares), and never issues its own L2 round.
+    let cfg = crossbar_cfg(8);
+    let mut m = UnifiedWithL0::new(&cfg);
+    let a = m.access(&MemRequest::load(c(0), 0x200, 4, par_linear(), 10));
+    let b = m.access(&MemRequest::load(c(1), 0x204, 4, par_linear(), 12));
+    assert!(b.mshr_merged);
+    assert!(
+        b.ready_at >= a.ready_at.saturating_sub(2),
+        "secondary ({}) rides the primary's fill ({})",
+        b.ready_at,
+        a.ready_at
+    );
+    // Only one L1 miss was charged; the secondary is an in-flight hit.
+    assert_eq!(m.stats().l1_misses, 1);
+    assert_eq!(m.stats().l1_hits, 1);
+}
+
+#[test]
+fn merge_window_closes_once_the_data_lands() {
+    let cfg = crossbar_cfg(8);
+    let mut m = UnifiedWithL0::new(&cfg);
+    m.access(&MemRequest::load(c(0), 0x300, 4, par_linear(), 10));
+    // Long after the refill completed: a plain L1-resident access, no
+    // merge.
+    let late = m.access(&MemRequest::load(c(1), 0x304, 4, par_linear(), 500));
+    assert!(!late.mshr_merged);
+    assert_eq!(m.stats().merges(), 0);
+}
+
+#[test]
+fn flat_network_with_mshrs_off_is_bit_exact_with_the_default() {
+    // The default machine has mshr_entries == 0; an explicit 0 on the
+    // flat network must produce identical replies.
+    let base = MachineConfig::micro2003();
+    let explicit = base.with_interconnect(InterconnectConfig::flat().with_mshr(0));
+    let mut a = UnifiedWithL0::new(&base);
+    let mut b = UnifiedWithL0::new(&explicit);
+    for i in 0..64u64 {
+        let req = MemRequest::load(c((i % 4) as usize), 0x100 + i * 4, 4, par_linear(), i * 7);
+        assert_eq!(a.access(&req), b.access(&req), "request {i}");
+    }
+    assert_eq!(a.stats(), b.stats());
+}
+
+// ---------------------------------------------------------------------
+// MultiVLIW: MSI transitions under merging
+// ---------------------------------------------------------------------
+
+fn mv(mshrs: usize) -> MultiVliwMem {
+    MultiVliwMem::new(
+        &MachineConfig::micro2003()
+            .with_interconnect(InterconnectConfig::crossbar(4, 1).with_mshr(mshrs)),
+    )
+}
+
+fn load(cl: usize, addr: u64, cycle: u64) -> MemRequest {
+    MemRequest::load(c(cl), addr, 4, MemHints::no_access(), cycle)
+}
+
+fn store(cl: usize, addr: u64, cycle: u64) -> MemRequest {
+    MemRequest::store(c(cl), addr, 4, MemHints::no_access(), cycle)
+}
+
+#[test]
+fn multivliw_merges_snoops_into_inflight_refills() {
+    let mut m = mv(8);
+    // Cluster 0 misses to L2 (registers an MSHR); cluster 1 snoops the
+    // same line while the refill is still in flight: it merges instead
+    // of paying a fresh snoop round.
+    let a = m.access(&load(0, 0x100, 10));
+    assert_eq!(a.serviced_by, ServicedBy::L2);
+    let b = m.access(&load(1, 0x100, 12));
+    assert_eq!(b.serviced_by, ServicedBy::Remote, "still a c2c transfer");
+    assert!(b.mshr_merged);
+    assert_eq!(m.stats().merges(), 1);
+    assert!(
+        b.ready_at >= a.ready_at,
+        "merged snoop waits for the in-flight data"
+    );
+}
+
+#[test]
+fn msi_states_transition_correctly_with_merging_on() {
+    let mut m = mv(8);
+    // read -> read: both end Shared (second merges into the refill).
+    m.access(&load(0, 0x100, 10));
+    let merged = m.access(&load(1, 0x100, 11));
+    assert!(merged.mshr_merged);
+    // Both copies now behave as local Shared lines.
+    assert_eq!(m.access(&load(0, 0x100, 100)).serviced_by, ServicedBy::L1);
+    assert_eq!(m.access(&load(1, 0x100, 110)).serviced_by, ServicedBy::L1);
+
+    // Upgrade: cluster 0 stores -> invalidates cluster 1's Shared copy.
+    let before = m.stats().invalidations;
+    m.access(&store(0, 0x100, 200));
+    assert_eq!(m.stats().invalidations, before + 1);
+    // Cluster 1 must re-fetch via c2c from the Modified owner...
+    assert_eq!(
+        m.access(&load(1, 0x100, 300)).serviced_by,
+        ServicedBy::Remote
+    );
+    // ...and the owner's copy downgraded to Shared, so a further store by
+    // cluster 1 invalidates it again (RWITM path intact).
+    let before = m.stats().invalidations;
+    m.access(&store(1, 0x100, 400));
+    assert!(m.stats().invalidations > before);
+    assert_eq!(
+        m.access(&load(0, 0x100, 500)).serviced_by,
+        ServicedBy::Remote
+    );
+}
+
+#[test]
+fn merged_store_still_takes_ownership() {
+    let mut m = mv(8);
+    // Cluster 0's refill in flight; cluster 1 *stores* to the line while
+    // it flies: RWITM must invalidate cluster 0's copy even on the
+    // merged path.
+    m.access(&load(0, 0x100, 10));
+    let s = m.access(&store(1, 0x100, 12));
+    assert!(s.mshr_merged);
+    assert_eq!(m.stats().invalidations, 1, "holder invalidated");
+    // Cluster 0 lost the line: the next read is remote (from 1's M copy).
+    assert_eq!(
+        m.access(&load(0, 0x100, 200)).serviced_by,
+        ServicedBy::Remote
+    );
+    // Cluster 1 owns it locally.
+    assert_eq!(m.access(&load(1, 0x100, 300)).serviced_by, ServicedBy::L1);
+}
+
+#[test]
+fn multivliw_without_mshrs_never_merges() {
+    let mut m = mv(0);
+    m.access(&load(0, 0x100, 10));
+    let b = m.access(&load(1, 0x100, 12));
+    assert!(!b.mshr_merged);
+    assert_eq!(m.stats().merges(), 0);
+}

@@ -41,7 +41,7 @@
 //! incumbent, so by construction `MII ≤ exact II ≤ SMS II` — the search
 //! can only improve on the heuristic, never regress it.
 
-use crate::engine::{self, Mode, ScheduleError};
+use crate::engine::{self, AssignmentPolicy, Mode, ScheduleError};
 use crate::mrt::ModuloReservationTable;
 use crate::schedule::{CopySlot, IiProof, Schedule};
 use serde::{Deserialize, Serialize};
@@ -60,7 +60,9 @@ pub trait SchedulerBackend {
     /// serialized artifacts (e.g. `"sms"`, `"exact"`).
     fn label(&self) -> &'static str;
 
-    /// Schedules `loop_`.
+    /// Schedules `loop_` under the given cluster-assignment policy
+    /// ([`AssignmentPolicy::ContentionBlind`] reproduces the paper's
+    /// distance-blind ordering bit-exactly).
     ///
     /// # Errors
     ///
@@ -71,6 +73,7 @@ pub trait SchedulerBackend {
         loop_: &LoopNest,
         cfg: &MachineConfig,
         mode: Mode,
+        assignment: AssignmentPolicy,
     ) -> Result<Schedule, ScheduleError>;
 }
 
@@ -89,8 +92,9 @@ impl SchedulerBackend for SmsBackend {
         loop_: &LoopNest,
         cfg: &MachineConfig,
         mode: Mode,
+        assignment: AssignmentPolicy,
     ) -> Result<Schedule, ScheduleError> {
-        engine::run(loop_, cfg, mode)
+        engine::run_with(loop_, cfg, mode, assignment)
     }
 }
 
@@ -172,10 +176,15 @@ impl SchedulerBackend for ExactBackend {
         loop_: &LoopNest,
         cfg: &MachineConfig,
         mode: Mode,
+        assignment: AssignmentPolicy,
     ) -> Result<Schedule, ScheduleError> {
         // SMS provides the incumbent: an upper bound and a fallback, so
-        // the exact backend can only improve on the heuristic.
-        let sms = engine::run(loop_, cfg, mode).map_err(|e| e.with_backend(self.label()))?;
+        // the exact backend can only improve on the heuristic. The
+        // assignment policy biases the incumbent; the DFS below already
+        // enumerates every (cluster, cycle) placement, so its verdicts
+        // are policy-independent.
+        let sms = engine::run_with(loop_, cfg, mode, assignment)
+            .map_err(|e| e.with_backend(self.label()))?;
         if sms.ii() <= sms.mii {
             return Ok(sms); // already proved optimal by hitting the MII
         }
@@ -820,7 +829,9 @@ mod tests {
     fn sms_backend_is_engine_run() {
         let l = LoopBuilder::new("ew").trip_count(64).elementwise(2).build();
         let c = cfg();
-        let via_backend = SmsBackend.schedule(&l, &c, l0_mode()).unwrap();
+        let via_backend = SmsBackend
+            .schedule(&l, &c, l0_mode(), AssignmentPolicy::default())
+            .unwrap();
         let via_engine = engine::run(&l, &c, l0_mode()).unwrap();
         assert_eq!(via_backend.ii(), via_engine.ii());
         assert_eq!(via_backend.mii, via_engine.mii);
@@ -831,9 +842,13 @@ mod tests {
     fn exact_equals_sms_when_sms_hits_the_mii() {
         let l = LoopBuilder::new("ew").trip_count(64).elementwise(2).build();
         let c = cfg();
-        let sms = SmsBackend.schedule(&l, &c, l0_mode()).unwrap();
+        let sms = SmsBackend
+            .schedule(&l, &c, l0_mode(), AssignmentPolicy::default())
+            .unwrap();
         assert_eq!(sms.ii(), sms.mii, "precondition: SMS achieves the MII");
-        let exact = ExactBackend::default().schedule(&l, &c, l0_mode()).unwrap();
+        let exact = ExactBackend::default()
+            .schedule(&l, &c, l0_mode(), AssignmentPolicy::default())
+            .unwrap();
         assert_eq!(exact.ii(), sms.ii());
         assert_eq!(exact.ii_proof, IiProof::Optimal);
     }
@@ -848,8 +863,12 @@ mod tests {
             .int_overhead(3)
             .build();
         let c = cfg();
-        let sms = SmsBackend.schedule(&l, &c, l0_mode()).unwrap();
-        let exact = ExactBackend::default().schedule(&l, &c, l0_mode()).unwrap();
+        let sms = SmsBackend
+            .schedule(&l, &c, l0_mode(), AssignmentPolicy::default())
+            .unwrap();
+        let exact = ExactBackend::default()
+            .schedule(&l, &c, l0_mode(), AssignmentPolicy::default())
+            .unwrap();
         assert!(exact.ii() >= exact.mii, "II below the MII is impossible");
         assert!(
             exact.ii() <= sms.ii(),
@@ -885,7 +904,7 @@ mod tests {
                 c.without_l0()
             };
             let s = ExactBackend::default()
-                .schedule(&l, &base_cfg, mode)
+                .schedule(&l, &base_cfg, mode, AssignmentPolicy::default())
                 .unwrap();
             s.validate(&base_cfg).unwrap();
             assert!(s.ii() >= s.mii);
@@ -901,8 +920,12 @@ mod tests {
             .build();
         let c = cfg();
         let starved = ExactBackend { node_budget: 1 };
-        let sms = SmsBackend.schedule(&l, &c, l0_mode()).unwrap();
-        let s = starved.schedule(&l, &c, l0_mode()).unwrap();
+        let sms = SmsBackend
+            .schedule(&l, &c, l0_mode(), AssignmentPolicy::default())
+            .unwrap();
+        let s = starved
+            .schedule(&l, &c, l0_mode(), AssignmentPolicy::default())
+            .unwrap();
         assert!(s.ii() <= sms.ii(), "fallback never regresses SMS");
         if s.ii() > s.mii {
             assert_eq!(s.ii_proof, IiProof::Truncated);

@@ -20,7 +20,7 @@
 
 use crate::backend::{BackendKind, SchedulerBackend};
 use crate::coherence::CoherencePolicy;
-use crate::engine::{Mode, ScheduleError};
+use crate::engine::{AssignmentPolicy, Mode, ScheduleError};
 use crate::hints::assign_hints;
 use crate::mrt::ModuloReservationTable;
 use crate::schedule::{PrefetchSlot, Schedule};
@@ -104,17 +104,23 @@ pub struct CompileRequest {
     pub opts: L0Options,
     /// Unroll-factor selection policy.
     pub unroll: UnrollPolicy,
+    /// Cluster-assignment policy: distance-blind (the paper, default) or
+    /// contention-aware (placement prefers clusters near each memory
+    /// op's home bank on a non-flat interconnect).
+    pub assignment: AssignmentPolicy,
 }
 
 impl CompileRequest {
     /// A request for `arch` with every knob at its default (SMS backend,
-    /// selective marking, auto coherence, specialization on, auto unroll).
+    /// selective marking, auto coherence, specialization on, auto unroll,
+    /// distance-blind assignment).
     pub fn new(arch: crate::Arch) -> Self {
         CompileRequest {
             arch,
             backend: BackendKind::default(),
             opts: L0Options::default(),
             unroll: UnrollPolicy::default(),
+            assignment: AssignmentPolicy::default(),
         }
     }
 
@@ -123,6 +129,23 @@ impl CompileRequest {
     pub fn backend(mut self, backend: BackendKind) -> Self {
         self.backend = backend;
         self
+    }
+
+    /// Selects the cluster-assignment policy.
+    #[must_use]
+    pub fn assignment(mut self, assignment: AssignmentPolicy) -> Self {
+        self.assignment = assignment;
+        self
+    }
+
+    /// Shorthand for toggling [`AssignmentPolicy::ContentionAware`].
+    #[must_use]
+    pub fn contention_aware(self, on: bool) -> Self {
+        self.assignment(if on {
+            AssignmentPolicy::ContentionAware
+        } else {
+            AssignmentPolicy::ContentionBlind
+        })
     }
 
     /// Sets the candidate-marking policy.
@@ -176,11 +199,14 @@ impl CompileRequest {
     ) -> Result<Schedule, ScheduleError> {
         use crate::Arch;
         let backend = self.backend.as_backend();
+        let assignment = self.assignment;
         match self.arch {
-            Arch::Baseline => compile_base_with(loop_, &cfg.without_l0(), backend, self.unroll),
-            Arch::L0 => compile_l0_with(loop_, cfg, self.opts, backend, self.unroll),
+            Arch::Baseline => {
+                compile_base_with(loop_, &cfg.without_l0(), backend, self.unroll, assignment)
+            }
+            Arch::L0 => compile_l0_with(loop_, cfg, self.opts, backend, self.unroll, assignment),
             Arch::MultiVliw => {
-                compile_multivliw_with(loop_, &cfg.without_l0(), backend, self.unroll)
+                compile_multivliw_with(loop_, &cfg.without_l0(), backend, self.unroll, assignment)
             }
             Arch::Interleaved1 => compile_interleaved_with(
                 loop_,
@@ -188,6 +214,7 @@ impl CompileRequest {
                 InterleavedHeuristic::One,
                 backend,
                 self.unroll,
+                assignment,
             ),
             Arch::Interleaved2 => compile_interleaved_with(
                 loop_,
@@ -195,6 +222,7 @@ impl CompileRequest {
                 InterleavedHeuristic::Two,
                 backend,
                 self.unroll,
+                assignment,
             ),
         }
     }
@@ -231,14 +259,15 @@ fn schedule_best_unroll(
     mode: Mode,
     backend: &dyn SchedulerBackend,
     policy: UnrollPolicy,
+    assignment: AssignmentPolicy,
 ) -> Result<Schedule, ScheduleError> {
-    let flat = backend.schedule(loop_, cfg, mode)?;
+    let flat = backend.schedule(loop_, cfg, mode, assignment)?;
     let n = cfg.clusters;
     if policy == UnrollPolicy::Never || n <= 1 || loop_.trip_count < n as u64 {
         return Ok(flat);
     }
     let unrolled_loop = unroll(loop_, n);
-    match backend.schedule(&unrolled_loop, cfg, mode) {
+    match backend.schedule(&unrolled_loop, cfg, mode, assignment) {
         Ok(unrolled) => {
             let cost_flat = cost_per_iteration(&flat, 1);
             let cost_unrolled = cost_per_iteration(&unrolled, n as u64);
@@ -265,6 +294,7 @@ pub fn compile_base(loop_: &LoopNest, cfg: &MachineConfig) -> Result<Schedule, S
         cfg,
         BackendKind::default().as_backend(),
         UnrollPolicy::default(),
+        AssignmentPolicy::default(),
     )
 }
 
@@ -273,6 +303,7 @@ fn compile_base_with(
     cfg: &MachineConfig,
     backend: &dyn SchedulerBackend,
     unroll: UnrollPolicy,
+    assignment: AssignmentPolicy,
 ) -> Result<Schedule, ScheduleError> {
     let lowered = specialize(loop_);
     schedule_best_unroll(
@@ -283,6 +314,7 @@ fn compile_base_with(
         },
         backend,
         unroll,
+        assignment,
     )
 }
 
@@ -312,6 +344,7 @@ pub fn compile_for_l0_with(
         opts,
         BackendKind::default().as_backend(),
         UnrollPolicy::default(),
+        AssignmentPolicy::default(),
     )
 }
 
@@ -321,6 +354,7 @@ fn compile_l0_with(
     opts: L0Options,
     backend: &dyn SchedulerBackend,
     unroll: UnrollPolicy,
+    assignment: AssignmentPolicy,
 ) -> Result<Schedule, ScheduleError> {
     if cfg.l0.is_none() {
         return Err(ScheduleError::BadConfig(
@@ -336,7 +370,7 @@ fn compile_l0_with(
         mark: opts.mark,
         policy: opts.policy,
     };
-    let mut schedule = schedule_best_unroll(&lowered, cfg, mode, backend, unroll)?;
+    let mut schedule = schedule_best_unroll(&lowered, cfg, mode, backend, unroll, assignment)?;
     assign_hints(&mut schedule, cfg);
     insert_explicit_prefetches(&mut schedule, cfg);
     schedule.flush_on_exit = true; // inter-loop coherence (§4.1)
@@ -355,6 +389,7 @@ pub fn compile_multivliw(loop_: &LoopNest, cfg: &MachineConfig) -> Result<Schedu
         cfg,
         BackendKind::default().as_backend(),
         UnrollPolicy::default(),
+        AssignmentPolicy::default(),
     )
 }
 
@@ -363,6 +398,7 @@ fn compile_multivliw_with(
     cfg: &MachineConfig,
     backend: &dyn SchedulerBackend,
     unroll: UnrollPolicy,
+    assignment: AssignmentPolicy,
 ) -> Result<Schedule, ScheduleError> {
     let lowered = specialize(loop_);
     let local = vliw_machine::MultiVliwConfig::micro2003().local_latency;
@@ -374,6 +410,7 @@ fn compile_multivliw_with(
         },
         backend,
         unroll,
+        assignment,
     )
 }
 
@@ -394,6 +431,7 @@ pub fn compile_interleaved(
         heuristic,
         BackendKind::default().as_backend(),
         UnrollPolicy::default(),
+        AssignmentPolicy::default(),
     )
 }
 
@@ -403,6 +441,7 @@ fn compile_interleaved_with(
     heuristic: InterleavedHeuristic,
     backend: &dyn SchedulerBackend,
     unroll: UnrollPolicy,
+    assignment: AssignmentPolicy,
 ) -> Result<Schedule, ScheduleError> {
     let lowered = specialize(loop_);
     let wi = WordInterleavedConfig::micro2003();
@@ -412,7 +451,7 @@ fn compile_interleaved_with(
         remote_latency: wi.remote_latency,
         word_bytes: wi.word_bytes as u64,
     };
-    schedule_best_unroll(&lowered, cfg, mode, backend, unroll)
+    schedule_best_unroll(&lowered, cfg, mode, backend, unroll, assignment)
 }
 
 /// Step 5: adds an explicit software prefetch for every L0-latency load

@@ -90,6 +90,27 @@ pub enum MarkPolicy {
     AllCandidates,
 }
 
+/// How cluster assignment weighs the machine's interconnect (the
+/// "contention-aware placement" knob of the mesh/NoC study).
+///
+/// The hint layer has been distance-aware since the interconnect landed
+/// (cross-tile interleaved deals are demoted); this policy feeds the same
+/// distance signal into *placement itself*: with
+/// [`AssignmentPolicy::ContentionAware`], the cluster-ordering heuristic
+/// of step ➎ additionally prefers clusters close (in estimated network
+/// hops) to the bank that owns each memory op's stream, so refills pay
+/// fewer hops and saturate fewer links. The default is the paper's
+/// distance-blind ordering, bit-exact with the pre-mesh scheduler.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AssignmentPolicy {
+    /// The paper's ordering: communication neighbours + balance only.
+    #[default]
+    ContentionBlind,
+    /// Additionally sort candidate clusters by estimated hop distance to
+    /// each memory op's home bank (no-op on the flat network).
+    ContentionAware,
+}
+
 /// Scheduling mode: which architecture the engine targets.
 #[derive(Debug, Clone, Copy)]
 pub enum Mode {
@@ -133,6 +154,7 @@ struct Attempt<'a> {
     ddg: &'a DataDepGraph,
     sets: &'a MemDepSets,
     mode: Mode,
+    assignment: AssignmentPolicy,
     ii: u32,
     mrt: ModuloReservationTable,
     placed: Vec<Option<Draft>>,
@@ -502,6 +524,10 @@ impl<'a> Attempt<'a> {
                 Some(_) => 1,
                 None => 1,
             };
+            // Contention-aware placement: estimated network hops from this
+            // cluster to the bank owning the op's stream (0 for non-memory
+            // ops, under the blind policy, and on the flat network).
+            let dist = if is_mem { self.bank_distance(op, c) } else { 0 };
             let l0_avail = if is_mem && matches!(self.mode, Mode::L0 { .. }) {
                 let lat = self.latency_for(op, c);
                 if lat == self.l0_lat() && o.is_load() {
@@ -527,12 +553,34 @@ impl<'a> Attempt<'a> {
                 rec,
                 l0_avail,
                 owner,
+                dist,
                 usize::MAX - neighbors(c),
                 self.mrt.used_in_cluster(c),
                 c.index(),
             )
         });
         order
+    }
+
+    /// Estimated one-way network hops from `cluster` to the bank that
+    /// owns `op`'s address stream (its first-iteration address — strided
+    /// streams stay bank-affine at the block granularity the sweep
+    /// interleaves on). 0 under the distance-blind policy, so the sort
+    /// key degenerates to the paper's ordering.
+    fn bank_distance(&self, op: OpId, cluster: ClusterId) -> u32 {
+        if self.assignment != AssignmentPolicy::ContentionAware {
+            return 0;
+        }
+        let ic = &self.cfg.interconnect;
+        if ic.is_flat() {
+            return 0;
+        }
+        let Some(acc) = self.loop_.op(op).kind.mem_access() else {
+            return 0;
+        };
+        let arr = self.loop_.array(acc.array);
+        let addr = (arr.base_addr as i64 + acc.offset_bytes).max(0) as u64;
+        ic.hops(cluster.index(), ic.bank_of(addr), self.cfg.clusters)
     }
 
     /// Step ➑: after placing `op`, push recommended clusters to its
@@ -806,8 +854,19 @@ pub(crate) fn preferred_owner(
     }
 }
 
-/// Runs the engine: II search loop over `try_schedule` (§4.3 step 3).
+/// Runs the engine: II search loop over `try_schedule` (§4.3 step 3),
+/// with the paper's distance-blind cluster ordering.
 pub fn run(loop_: &LoopNest, cfg: &MachineConfig, mode: Mode) -> Result<Schedule, ScheduleError> {
+    run_with(loop_, cfg, mode, AssignmentPolicy::ContentionBlind)
+}
+
+/// [`run`] with an explicit cluster-assignment policy.
+pub fn run_with(
+    loop_: &LoopNest,
+    cfg: &MachineConfig,
+    mode: Mode,
+    assignment: AssignmentPolicy,
+) -> Result<Schedule, ScheduleError> {
     cfg.validate().map_err(ScheduleError::BadConfig)?;
     let ddg = DataDepGraph::build(loop_);
     let sets = MemDepSets::build(loop_);
@@ -818,7 +877,7 @@ pub fn run(loop_: &LoopNest, cfg: &MachineConfig, mode: Mode) -> Result<Schedule
 
     let mut ii = mii0;
     while ii <= MAX_II {
-        if let Some(mut schedule) = try_schedule(loop_, cfg, &ddg, &sets, mode, ii) {
+        if let Some(mut schedule) = try_schedule(loop_, cfg, &ddg, &sets, mode, assignment, ii) {
             schedule.mii = mii0;
             // Hitting the MII is the one II a heuristic *can* prove
             // minimal: nothing legal is below it.
@@ -845,6 +904,7 @@ fn try_schedule(
     ddg: &DataDepGraph,
     sets: &MemDepSets,
     mode: Mode,
+    assignment: AssignmentPolicy,
     ii: u32,
 ) -> Option<Schedule> {
     let entries_per_cluster: i64 = match (&mode, cfg.l0) {
@@ -861,6 +921,7 @@ fn try_schedule(
         ddg,
         sets,
         mode,
+        assignment,
         ii,
         mrt: ModuloReservationTable::new(cfg, ii),
         placed: vec![None; loop_.ops.len()],

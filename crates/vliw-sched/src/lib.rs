@@ -65,6 +65,6 @@ pub use compile::{
     compile_base, compile_for_l0, compile_for_l0_with, compile_interleaved, compile_multivliw,
     CompileRequest, InterleavedHeuristic, L0Options, MarkPolicy, UnrollPolicy,
 };
-pub use engine::ScheduleError;
+pub use engine::{AssignmentPolicy, ScheduleError};
 pub use flush::{apply_selective_flushing, needs_flush_between};
 pub use schedule::{IiProof, Placement, PrefetchSlot, ReplicaSlot, Schedule};

@@ -24,6 +24,11 @@ pub struct SimResult {
     /// Of [`SimResult::stall_cycles`], the cycles traceable to
     /// interconnect port queueing (0 on the paper's flat network).
     pub contention_stall_cycles: u64,
+    /// Of [`SimResult::stall_cycles`], the cycles traceable to saturated
+    /// mesh links (0 off the mesh; disjoint from
+    /// [`SimResult::contention_stall_cycles`], so the two sum to at most
+    /// `stall_cycles`).
+    pub link_stall_cycles: u64,
     /// Per-op stall attribution, sorted by op id; ops that never stalled
     /// are omitted. Aggregated results merge entry-wise.
     pub op_stalls: Vec<OpStall>,
@@ -68,6 +73,7 @@ impl SimResult {
         self.compute_cycles += other.compute_cycles;
         self.stall_cycles += other.stall_cycles;
         self.contention_stall_cycles += other.contention_stall_cycles;
+        self.link_stall_cycles += other.link_stall_cycles;
         for s in &other.op_stalls {
             self.add_op_stall(s.op, s.stall_cycles);
         }
@@ -104,6 +110,12 @@ impl SimResult {
     /// is identical across the compared architectures).
     pub fn add_scalar_cycles(&mut self, cycles: u64) {
         self.compute_cycles += cycles;
+    }
+
+    /// Secondary misses the bank MSHRs merged into in-flight refills
+    /// (0 when MSHRs are disabled).
+    pub fn mshr_merged(&self) -> u64 {
+        self.mem_stats.merges()
     }
 }
 

@@ -166,7 +166,12 @@ pub fn simulate(
                                 let stall = reply.ready_at - deadline;
                                 slip += stall;
                                 result.add_op_stall(e.op, stall);
-                                result.contention_stall_cycles += stall.min(reply.queue_cycles);
+                                // Attribute the stall to port queueing
+                                // first, then link saturation, so the two
+                                // shares never double-count one cycle.
+                                let port = stall.min(reply.queue_cycles);
+                                result.contention_stall_cycles += port;
+                                result.link_stall_cycles += (stall - port).min(reply.link_stalls);
                             }
                         }
                     }
