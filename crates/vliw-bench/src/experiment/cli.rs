@@ -37,14 +37,29 @@ impl BinArgs {
         self.value_of("--json").map(PathBuf::from)
     }
 
+    /// `true` when the boolean switch `flag` is present.
+    pub fn has_flag(&self, flag: &str) -> bool {
+        self.args.iter().any(|a| a == flag)
+    }
+
     /// Positional (non-flag) arguments, in order. Every `--flag` consumes
     /// the token after it as its value (all of the bins' flags do).
     pub fn positional(&self) -> Vec<&str> {
+        self.positional_with(&[])
+    }
+
+    /// [`BinArgs::positional`] where the flags in `switches` are boolean
+    /// (they consume no value token).
+    pub fn positional_with(&self, switches: &[&str]) -> Vec<&str> {
         let mut out = Vec::new();
         let mut i = 0;
         while i < self.args.len() {
             if self.args[i].starts_with("--") {
-                i += 2;
+                i += if switches.contains(&self.args[i].as_str()) {
+                    1
+                } else {
+                    2
+                };
             } else {
                 out.push(self.args[i].as_str());
                 i += 1;
@@ -99,6 +114,24 @@ mod tests {
                 .to_vec(),
         );
         assert_eq!(args.positional(), vec!["a.json", "b.json"]);
+    }
+
+    #[test]
+    fn boolean_switches_consume_no_value() {
+        let args = BinArgs::from_vec(
+            ["--trend", "a.json", "b.json", "c.json"]
+                .map(String::from)
+                .to_vec(),
+        );
+        assert!(args.has_flag("--trend"));
+        assert!(!args.has_flag("--other"));
+        assert_eq!(
+            args.positional_with(&["--trend"]),
+            vec!["a.json", "b.json", "c.json"],
+            "switch swallows nothing"
+        );
+        // without the hint, --trend would (wrongly) eat a.json
+        assert_eq!(args.positional(), vec!["b.json", "c.json"]);
     }
 
     #[test]

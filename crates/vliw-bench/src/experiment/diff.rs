@@ -149,6 +149,164 @@ impl GridDiff {
     }
 }
 
+/// One cell's trajectory across N runs of the same grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellTrend {
+    /// Row (benchmark) name.
+    pub benchmark: String,
+    /// Column (variant) label.
+    pub variant: String,
+    /// Normalized execution time in each run, oldest first.
+    pub normalized: Vec<f64>,
+    /// Least-squares slope of `normalized` over the run index: positive
+    /// = trending slower, negative = trending faster, per run.
+    pub slope: f64,
+}
+
+impl CellTrend {
+    /// Unicode sparkline of the trajectory, one glyph per run, scaled to
+    /// the cell's own min–max range (a flat trajectory renders as all-low
+    /// bars).
+    pub fn sparkline(&self) -> String {
+        sparkline(&self.normalized)
+    }
+}
+
+/// Renders `values` as `▁▂▃▄▅▆▇█` bars scaled to their min–max range.
+pub fn sparkline(values: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &v in values {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    let span = hi - lo;
+    values
+        .iter()
+        .map(|&v| {
+            if span <= 0.0 {
+                BARS[0]
+            } else {
+                let t = ((v - lo) / span * 7.0).round() as usize;
+                BARS[t.min(7)]
+            }
+        })
+        .collect()
+}
+
+/// Least-squares slope of `values` over their index (0 when fewer than
+/// two points).
+fn slope(values: &[f64]) -> f64 {
+    let n = values.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let xbar = (n - 1) as f64 / 2.0;
+    let ybar = values.iter().sum::<f64>() / n as f64;
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (i, &y) in values.iter().enumerate() {
+        let dx = i as f64 - xbar;
+        num += dx * (y - ybar);
+        den += dx * dx;
+    }
+    num / den
+}
+
+/// The multi-run trend view (ROADMAP "multi-run trend view"): N runs of
+/// the same grid, aligned cell-by-cell, each cell reduced to its
+/// normalized-time trajectory, a sparkline and a least-squares slope.
+/// Runs are given oldest-first — the natural order of a directory of
+/// dated `BENCH_*.json` artifacts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridTrend {
+    /// Grid names of the runs, oldest first.
+    pub grids: Vec<String>,
+    /// Cells present in *every* run, in the first run's order.
+    pub cells: Vec<CellTrend>,
+    /// `(benchmark, variant)` keys missing from at least one run (those
+    /// cells have no full trajectory and are excluded from `cells`).
+    pub incomplete: Vec<(String, String)>,
+}
+
+impl GridTrend {
+    /// Aligns `runs` (oldest first) on `(benchmark, variant)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `runs` is empty — there is nothing to align.
+    pub fn collect(runs: &[&GridResult]) -> GridTrend {
+        assert!(!runs.is_empty(), "trend needs at least one run");
+        let mut cells = Vec::new();
+        let mut incomplete = Vec::new();
+        for first in &runs[0].cells {
+            let series: Vec<Option<f64>> = runs
+                .iter()
+                .map(|r| {
+                    r.cells
+                        .iter()
+                        .find(|c| c.benchmark == first.benchmark && c.variant == first.variant)
+                        .map(|c| c.normalized)
+                })
+                .collect();
+            if series.iter().all(|v| v.is_some()) {
+                let normalized: Vec<f64> = series.into_iter().map(|v| v.unwrap()).collect();
+                let slope = slope(&normalized);
+                cells.push(CellTrend {
+                    benchmark: first.benchmark.clone(),
+                    variant: first.variant.clone(),
+                    normalized,
+                    slope,
+                });
+            } else {
+                incomplete.push((first.benchmark.clone(), first.variant.clone()));
+            }
+        }
+        GridTrend {
+            grids: runs.iter().map(|r| r.grid.clone()).collect(),
+            cells,
+            incomplete,
+        }
+    }
+
+    /// Cells trending slower than `threshold` normalized-time per run.
+    pub fn worsening(&self, threshold: f64) -> Vec<&CellTrend> {
+        self.cells.iter().filter(|c| c.slope > threshold).collect()
+    }
+
+    /// Renders the trend as an aligned text table: one sparkline + slope
+    /// per cell, bracketed by the first and latest values.
+    pub fn render(&self) -> String {
+        let runs = self.cells.first().map_or(0, |c| c.normalized.len());
+        let mut out = format!(
+            "{:<12} {:<18} {:>9} {:>w$} {:>9} {:>10}\n",
+            "benchmark",
+            "variant",
+            "first",
+            "trend",
+            "latest",
+            "slope/run",
+            w = runs.max(5)
+        );
+        for c in &self.cells {
+            out.push_str(&format!(
+                "{:<12} {:<18} {:>9.3} {:>w$} {:>9.3} {:>+10.4}\n",
+                c.benchmark,
+                c.variant,
+                c.normalized.first().copied().unwrap_or(0.0),
+                c.sparkline(),
+                c.normalized.last().copied().unwrap_or(0.0),
+                c.slope,
+                w = runs.max(5)
+            ));
+        }
+        for (b, v) in &self.incomplete {
+            out.push_str(&format!("{b:<12} {v:<18} missing in some runs\n"));
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -211,5 +369,66 @@ mod tests {
         let json = serde_json::to_string_pretty(&d).unwrap();
         let back: GridDiff = serde_json::from_str(&json).unwrap();
         assert_eq!(back, d);
+    }
+
+    #[test]
+    fn sparkline_scales_to_the_cell_range() {
+        assert_eq!(sparkline(&[1.0, 1.0, 1.0]), "▁▁▁", "flat is all-low");
+        assert_eq!(sparkline(&[0.0, 1.0]), "▁█");
+        let s = sparkline(&[0.0, 0.5, 1.0]);
+        assert_eq!(s.chars().count(), 3);
+        assert_eq!(s.chars().next(), Some('▁'));
+        assert_eq!(s.chars().last(), Some('█'));
+        assert_eq!(sparkline(&[]), "");
+    }
+
+    #[test]
+    fn trend_aligns_and_fits_slopes() {
+        let base = grid().run();
+        let mut worse = base.clone();
+        let mut worst = base.clone();
+        // cell 0 degrades linearly; cell 1 stays flat
+        worse.cells[0].normalized = base.cells[0].normalized + 0.10;
+        worst.cells[0].normalized = base.cells[0].normalized + 0.20;
+        let t = GridTrend::collect(&[&base, &worse, &worst]);
+        assert_eq!(t.grids.len(), 3);
+        assert_eq!(t.cells.len(), 2);
+        assert!(t.incomplete.is_empty());
+        let degrading = &t.cells[0];
+        assert!(
+            (degrading.slope - 0.10).abs() < 1e-9,
+            "linear degradation of 0.10/run, got {}",
+            degrading.slope
+        );
+        assert_eq!(degrading.sparkline(), "▁▄█");
+        let flat = &t.cells[1];
+        assert_eq!(flat.slope, 0.0);
+        // worsening() is thresholded on the slope
+        assert_eq!(t.worsening(0.05).len(), 1);
+        assert!(t.worsening(0.15).is_empty());
+        // the rendered table carries first/latest and the sparkline
+        let table = t.render();
+        assert!(table.contains("▁▄█"), "{table}");
+        assert!(table.contains("slope/run"), "{table}");
+    }
+
+    #[test]
+    fn trend_reports_cells_without_full_trajectories() {
+        let a = grid().run();
+        let mut b = a.clone();
+        b.cells.pop();
+        let t = GridTrend::collect(&[&a, &b]);
+        assert_eq!(t.cells.len(), 1);
+        assert_eq!(t.incomplete.len(), 1);
+        assert!(t.render().contains("missing in some runs"));
+    }
+
+    #[test]
+    fn trend_round_trips_through_json() {
+        let r = grid().run();
+        let t = GridTrend::collect(&[&r, &r]);
+        let json = serde_json::to_string_pretty(&t).unwrap();
+        let back: GridTrend = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
     }
 }

@@ -52,6 +52,12 @@ pub struct Variant {
     /// Apply selective inter-loop flushing across the benchmark's loops
     /// after compilation (§4.1 future work).
     pub selective_flush: bool,
+    /// Two-pass profile-guided execution: compile blind (this variant's
+    /// request as declared), simulate, then recompile with the harvested
+    /// [`Profile`](vliw_machine::Profile) — observed placement costs plus
+    /// hot-first L0 marking — and report the second pass. The profiling
+    /// pass is memoized per `(benchmark, configuration, blind request)`.
+    pub profile_guided: bool,
     /// `true` while the label tracks the latest knob automatically.
     auto_label: bool,
 }
@@ -73,6 +79,7 @@ impl Variant {
             assignment: AssignmentPolicy::default(),
             unroll: UnrollPolicy::default(),
             selective_flush: false,
+            profile_guided: false,
             auto_label: true,
         }
     }
@@ -170,6 +177,14 @@ impl Variant {
     pub fn selective_flush(mut self) -> Self {
         self.selective_flush = true;
         self.auto_label("selective flush".to_string())
+    }
+
+    /// Enables two-pass profile-guided execution (compile blind →
+    /// simulate → recompile with the harvested profile; the cell reports
+    /// the recompiled run).
+    pub fn profile_guided(mut self) -> Self {
+        self.profile_guided = true;
+        self.auto_label("pgo".to_string())
     }
 
     /// The machine configuration this variant runs on.

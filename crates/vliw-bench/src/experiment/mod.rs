@@ -43,7 +43,7 @@ pub mod run;
 
 pub use cell::{Cell, ProofCounts};
 pub use cli::{write_json, BinArgs};
-pub use diff::{CellDelta, GridDiff};
+pub use diff::{sparkline, CellDelta, CellTrend, GridDiff, GridTrend};
 pub use grid::{SweepGrid, Variant};
 pub use render::render_matrix;
-pub use run::{ExecMode, GridResult};
+pub use run::{harvest_profile, ExecMode, GridResult};

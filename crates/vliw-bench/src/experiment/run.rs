@@ -5,8 +5,8 @@ use crate::experiment::{Cell, SweepGrid, Variant};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use vliw_machine::MachineConfig;
-use vliw_sched::{apply_selective_flushing, Arch, CompileRequest, Schedule};
+use vliw_machine::{MachineConfig, Profile};
+use vliw_sched::{apply_selective_flushing, base_loop_name, Arch, CompileRequest, Schedule};
 use vliw_sim::{simulate_arch, SimResult};
 use vliw_workloads::BenchmarkSpec;
 
@@ -35,6 +35,11 @@ pub struct GridResult {
     /// How many distinct baseline executions the memo table needed —
     /// one per `(benchmark, baseline configuration)`, not one per cell.
     pub baselines_computed: usize,
+    /// How many distinct *profiling* executions the two-pass engine
+    /// needed — one per `(benchmark, configuration, blind request)`, not
+    /// one per profile-guided cell (`None` in artifacts written before
+    /// profile-guided variants existed).
+    pub profiles_computed: Option<usize>,
 }
 
 impl GridResult {
@@ -68,6 +73,7 @@ impl GridResult {
 }
 
 /// The merged execution of one benchmark's loops on one configuration.
+#[derive(Clone)]
 struct SpecRun {
     sim: SimResult,
     unroll_weighted: f64,
@@ -76,6 +82,9 @@ struct SpecRun {
     weight: f64,
     flushes_removed: u64,
     proof: ProofCounts,
+    /// What this run observed — per-loop stall attribution (rolled up to
+    /// provenance origins) plus the network's per-link / per-bank load.
+    profile: Profile,
 }
 
 /// Compiles and simulates every loop of `spec` — the one place the
@@ -83,7 +92,7 @@ struct SpecRun {
 fn run_spec(
     spec: &BenchmarkSpec,
     cfg: &MachineConfig,
-    request: CompileRequest,
+    request: &CompileRequest,
     selective_flush: bool,
 ) -> SpecRun {
     let mut schedules: Vec<Schedule> = spec
@@ -104,6 +113,7 @@ fn run_spec(
         weight: 0.0,
         flushes_removed,
         proof: ProofCounts::default(),
+        profile: Profile::new(cfg.clusters, cfg.interconnect.topology),
     };
     for schedule in &schedules {
         let r = simulate_arch(schedule, cfg, request.arch);
@@ -113,9 +123,54 @@ fn run_spec(
         run.mii_weighted += f64::from(schedule.mii) * w;
         run.weight += w;
         run.proof.record(schedule);
+        harvest_loop(&mut run.profile, schedule, &r);
         run.sim.merge(&r);
     }
     run
+}
+
+/// Folds one loop's simulation into the run's profile: per-op stalls
+/// rolled up to provenance origins (unroll-invariant) under the base
+/// loop name (unroll-tag-invariant), plus the network observation.
+fn harvest_loop(profile: &mut Profile, schedule: &Schedule, sim: &SimResult) {
+    let name = base_loop_name(&schedule.loop_.name);
+    if profile.loop_profile(name).is_none() {
+        profile
+            .loops
+            .push(vliw_machine::LoopProfile::new(name.to_string()));
+    }
+    let lp = profile
+        .loops
+        .iter_mut()
+        .find(|l| l.name == name)
+        .expect("just inserted");
+    for s in &sim.op_stalls {
+        let origin = schedule.loop_.op(s.op).provenance().0 .0;
+        // Only the *latency* share of the stall is charged to the op: a
+        // contention stall indicts the network, not the scheduled use
+        // distance, and marking a congestion victim into L0 does not
+        // relieve the saturated port its misses still queue at.
+        lp.add(origin, s.latency_cycles());
+    }
+    if let Some(net) = &sim.mem_stats.net {
+        profile.net.merge(net);
+    }
+}
+
+/// Compiles + simulates `spec` once with `request` (applying selective
+/// inter-loop flushing when `selective_flush` is set, exactly as the
+/// grid engine's memoized profiling pass does for a flushing variant)
+/// and returns what the run observed — the profiling pass of the
+/// two-pass (profile-guided) pipeline, exposed for tests and custom
+/// drivers. Deterministic: the same inputs produce the identical
+/// profile.
+pub fn harvest_profile(
+    spec: &BenchmarkSpec,
+    cfg: &MachineConfig,
+    request: &CompileRequest,
+    selective_flush: bool,
+) -> Profile {
+    run_spec(spec, cfg, request, selective_flush).profile
 }
 
 /// A memoized baseline execution for one `(spec, configuration)`.
@@ -127,7 +182,7 @@ struct Baseline {
 }
 
 fn compute_baseline(spec: &BenchmarkSpec, cfg: &MachineConfig) -> Baseline {
-    let run = run_spec(spec, cfg, CompileRequest::new(Arch::Baseline), false);
+    let run = run_spec(spec, cfg, &CompileRequest::new(Arch::Baseline), false);
     let loops_total = run.sim.total_cycles();
     Baseline {
         loops_total,
@@ -135,11 +190,35 @@ fn compute_baseline(spec: &BenchmarkSpec, cfg: &MachineConfig) -> Baseline {
     }
 }
 
-fn run_cell(grid: &SweepGrid, bench: usize, variant: &Variant, baseline: &Baseline) -> Cell {
+fn run_cell(
+    grid: &SweepGrid,
+    bench: usize,
+    variant: &Variant,
+    baseline: &Baseline,
+    base: &SpecRun,
+) -> Cell {
     let spec = &grid.benchmarks[bench];
     let cfg = variant.config(&grid.base_cfg);
+    // A profile-guided cell recompiles the variant's declared
+    // (profile-blind) request with the profile its base run harvested —
+    // observed placement costs + hot-first L0 marking — and ships
+    // whichever of the two measured compiles is better (ties prefer the
+    // recompile). Keeping the measured-better binary is the classic PGO
+    // guarantee: the engine has both measurements in hand, so a
+    // cold-model compile is never replaced by a worse profile-guided
+    // one.
     let request = variant.request();
-    let run = run_spec(spec, &cfg, request, variant.selective_flush);
+    let (run, request) = if variant.profile_guided {
+        let pgo = request.clone().profile_guided(base.profile.clone());
+        let run2 = run_spec(spec, &cfg, &pgo, variant.selective_flush);
+        if run2.sim.total_cycles() <= base.sim.total_cycles() {
+            (run2, pgo)
+        } else {
+            (base.clone(), request)
+        }
+    } else {
+        (base.clone(), request)
+    };
     let scalar = spec.scalar_cycles_for(baseline.loops_total);
     let total = run.sim.total_cycles() + scalar;
     let compute = run.sim.compute_cycles + scalar;
@@ -196,9 +275,18 @@ pub fn run_grid(grid: &SweepGrid, mode: ExecMode) -> GridResult {
     // Baselines depend only on the variant's *baseline* configuration
     // (cluster count etc. — never the L0 capacity), so a multi-column
     // sweep usually collapses to one baseline job per benchmark.
+    // Every cell's *base run* — the declared request, compiled blind and
+    // simulated — is memoized the same way, keyed by the full
+    // (benchmark, configuration, request, flush) tuple: a plain column
+    // and a PGO column of the same machine genuinely share one
+    // simulation, which doubles as the PGO column's profiling pass.
     let mut job_of_key: HashMap<(usize, MachineConfig), usize> = HashMap::new();
     let mut baseline_jobs: Vec<(usize, MachineConfig)> = Vec::new();
-    let mut cell_jobs: Vec<(usize, usize, usize)> = Vec::new();
+    type BaseKey = (usize, MachineConfig, CompileRequest, bool);
+    let mut base_job_of_key: HashMap<BaseKey, usize> = HashMap::new();
+    let mut base_jobs: Vec<BaseKey> = Vec::new();
+    let mut pgo_jobs: std::collections::HashSet<usize> = std::collections::HashSet::new();
+    let mut cell_jobs: Vec<(usize, usize, usize, usize)> = Vec::new();
     for (bi, _) in grid.benchmarks.iter().enumerate() {
         for (vi, variant) in grid.variants.iter().enumerate() {
             let bcfg = variant.config(&grid.base_cfg).without_l0();
@@ -206,16 +294,41 @@ pub fn run_grid(grid: &SweepGrid, mode: ExecMode) -> GridResult {
                 baseline_jobs.push((bi, bcfg));
                 baseline_jobs.len() - 1
             });
-            cell_jobs.push((bi, vi, job));
+            let key: BaseKey = (
+                bi,
+                variant.config(&grid.base_cfg),
+                variant.request(),
+                variant.selective_flush,
+            );
+            let base_job = *base_job_of_key.entry(key.clone()).or_insert_with(|| {
+                base_jobs.push(key);
+                base_jobs.len() - 1
+            });
+            if variant.profile_guided {
+                pgo_jobs.insert(base_job);
+            }
+            cell_jobs.push((bi, vi, job, base_job));
         }
     }
 
     let baselines_computed = baseline_jobs.len();
+    // The trajectory format reports how many of the memoized base runs
+    // served as *profiling* passes (fed a recompile), not the total.
+    let profiles_computed = pgo_jobs.len();
     let baselines: Vec<Baseline> = exec(baseline_jobs, mode, |(bi, cfg)| {
         compute_baseline(&grid.benchmarks[bi], &cfg)
     });
-    let cells: Vec<Cell> = exec(cell_jobs, mode, |(bi, vi, job)| {
-        run_cell(grid, bi, &grid.variants[vi], &baselines[job])
+    let base_runs: Vec<SpecRun> = exec(base_jobs, mode, |(bi, cfg, request, flush)| {
+        run_spec(&grid.benchmarks[bi], &cfg, &request, flush)
+    });
+    let cells: Vec<Cell> = exec(cell_jobs, mode, |(bi, vi, job, base_job)| {
+        run_cell(
+            grid,
+            bi,
+            &grid.variants[vi],
+            &baselines[job],
+            &base_runs[base_job],
+        )
     });
 
     GridResult {
@@ -224,6 +337,7 @@ pub fn run_grid(grid: &SweepGrid, mode: ExecMode) -> GridResult {
         variants: grid.variants.iter().map(|v| v.label.clone()).collect(),
         cells,
         baselines_computed,
+        profiles_computed: Some(profiles_computed),
     }
 }
 
@@ -291,6 +405,45 @@ mod tests {
         let serial = run_grid(&grid, ExecMode::Serial);
         let parallel = run_grid(&grid, ExecMode::Parallel);
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn profiling_passes_are_memoized_per_config_and_request() {
+        // Two PGO variants on the *same* machine + request share one
+        // profiling pass; a different cluster count needs its own. The
+        // two same-machine columns must also produce identical cells —
+        // same profile in, same recompile out.
+        let grid = SweepGrid::new(
+            "pgo-memo",
+            MachineConfig::micro2003(),
+            vec![BenchmarkSpec::from_kernel(kernels::adpcm_predictor(
+                "pred", 64, 2,
+            ))],
+        )
+        .variant(Variant::new(Arch::L0).profile_guided().labeled("pgo a"))
+        .variant(Variant::new(Arch::L0).profile_guided().labeled("pgo b"))
+        .variant(
+            Variant::new(Arch::L0)
+                .clusters(2)
+                .profile_guided()
+                .labeled("pgo 2c"),
+        )
+        .variant(Variant::new(Arch::L0).labeled("plain"));
+        let result = run_grid(&grid, ExecMode::Serial);
+        assert_eq!(
+            result.profiles_computed,
+            Some(2),
+            "two distinct (config, request) keys across three pgo columns"
+        );
+        let a = result.cell(0, 0);
+        let b = result.cell(0, 1);
+        assert_eq!(a.total_cycles, b.total_cycles, "shared pass, same cells");
+        // PGO never ships a compile measured worse than the plain one.
+        let plain = result.cell(0, 3);
+        assert!(a.total_cycles <= plain.total_cycles);
+        // And the parallel walk agrees with the serial one on two-pass
+        // grids too.
+        assert_eq!(run_grid(&grid, ExecMode::Parallel), result);
     }
 
     #[test]

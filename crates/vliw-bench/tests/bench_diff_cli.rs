@@ -12,7 +12,7 @@
 
 use std::path::PathBuf;
 use std::process::Command;
-use vliw_bench::experiment::{GridDiff, GridResult};
+use vliw_bench::experiment::{GridDiff, GridResult, GridTrend};
 
 fn fixture(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -104,6 +104,65 @@ fn cli_exit_code_contract() {
     // 2: usage error without the two positional paths.
     let usage = run_cli(&[before]);
     assert_eq!(usage.status.code(), Some(2), "{usage:?}");
+}
+
+#[test]
+fn pre_profile_fixtures_load_without_the_profiles_counter() {
+    // The fixtures predate the two-pass engine entirely: no
+    // `profiles_computed` on the grid, no `net` inside any cell's
+    // `mem` block — both must read back as `None`.
+    let before = load("diff_before.json");
+    assert_eq!(before.profiles_computed, None);
+    for cell in &before.cells {
+        assert_eq!(cell.mem.net, None);
+    }
+}
+
+#[test]
+fn cli_trend_mode_prints_sparklines_over_n_runs() {
+    let before = fixture("diff_before.json");
+    let after = fixture("diff_after.json");
+    let (before, after) = (before.to_str().unwrap(), after.to_str().unwrap());
+
+    // Three runs: before, before, after — alpha degrades on the last.
+    let out = run_cli(&["--trend", before, before, after]);
+    assert_eq!(out.status.code(), Some(0), "trend view is informational");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("slope/run"), "{stdout}");
+    assert!(stdout.contains("alpha"), "{stdout}");
+    assert!(stdout.contains('▁'), "sparkline rendered: {stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("missing from at least one run"),
+        "beta has no full trajectory: {stderr}"
+    );
+
+    // Fewer than two runs is a usage error.
+    let usage = run_cli(&["--trend", before]);
+    assert_eq!(usage.status.code(), Some(2), "{usage:?}");
+
+    // --json emits the structured trend.
+    let dir = std::env::temp_dir().join("vliw-bench-trend-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let artifact = dir.join("trend.json");
+    let with_json = run_cli(&[
+        "--trend",
+        before,
+        after,
+        "--json",
+        artifact.to_str().unwrap(),
+    ]);
+    assert_eq!(with_json.status.code(), Some(0));
+    let text = std::fs::read_to_string(&artifact).unwrap();
+    let trend: GridTrend = serde_json::from_str(text.trim()).unwrap();
+    assert_eq!(trend.grids.len(), 2);
+    let alpha = trend
+        .cells
+        .iter()
+        .find(|c| c.benchmark == "alpha")
+        .expect("alpha aligns in every run");
+    assert!(alpha.slope > 0.0, "alpha trends slower");
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

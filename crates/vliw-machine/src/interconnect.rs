@@ -245,6 +245,59 @@ impl InterconnectConfig {
         (fx.abs_diff(tx) + fy.abs_diff(ty)).max(1) as u32
     }
 
+    /// Diameter of the near-square mesh grid for an `n_clusters` machine:
+    /// the corner-to-corner Manhattan distance (the longest XY route any
+    /// request can take).
+    pub fn mesh_diameter(n_clusters: usize) -> u32 {
+        let cols = Self::mesh_cols(n_clusters);
+        let rows = n_clusters.max(1).div_ceil(cols);
+        ((cols - 1) + (rows - 1)).max(1) as u32
+    }
+
+    /// The hop radius within which a sibling group still counts as
+    /// "near" for interleaved L0 deals on this topology: half the mesh
+    /// diameter, floored at 2 (so the paper's 4-cluster 2×2 grid keeps
+    /// its whole-machine deals). Hard-coding 2 here would demote *every*
+    /// sibling pair on an 8×8 grid; deriving from the diameter keeps the
+    /// threshold proportional to the machine. Topologies without a
+    /// meaningful hop metric return the hierarchy-free maximum.
+    pub fn near_hop_threshold(&self, n_clusters: usize) -> u32 {
+        match self.topology {
+            Topology::Mesh => (Self::mesh_diameter(n_clusters) / 2).max(2),
+            _ => u32::MAX,
+        }
+    }
+
+    /// The dimension-ordered (X first, then Y) sequence of directed links
+    /// a request takes from mesh node `from` to mesh node `to`. A
+    /// same-node route is the single ejection self-link. This is the
+    /// exact path the dynamic router walks (`vliw-mem`), exposed
+    /// statically so cost models can weigh a route by observed per-link
+    /// load.
+    pub fn mesh_route(from: usize, to: usize, n_clusters: usize) -> Vec<(usize, usize)> {
+        if from == to {
+            return vec![(from, from)];
+        }
+        let cols = Self::mesh_cols(n_clusters);
+        let (mut x, mut y) = Self::mesh_pos(from, n_clusters);
+        let (tx, ty) = Self::mesh_pos(to, n_clusters);
+        let mut path = Vec::with_capacity(x.abs_diff(tx) + y.abs_diff(ty));
+        let mut node = from;
+        while x != tx {
+            x = if tx > x { x + 1 } else { x - 1 };
+            let next = y * cols + x;
+            path.push((node, next));
+            node = next;
+        }
+        while y != ty {
+            y = if ty > y { y + 1 } else { y - 1 };
+            let next = y * cols + x;
+            path.push((node, next));
+            node = next;
+        }
+        path
+    }
+
     /// Network hops between `cluster` and `bank` (one direction).
     pub fn hops(&self, cluster: usize, bank: usize, n_clusters: usize) -> u32 {
         match self.topology {
@@ -457,6 +510,47 @@ mod tests {
         assert_eq!(ic.bank_of(31), 0);
         assert_eq!(ic.bank_of(32), 1);
         assert_eq!(ic.bank_of(4 * 32), 0);
+    }
+
+    #[test]
+    fn mesh_diameter_and_near_threshold_scale_with_the_grid() {
+        // 2x2 grid: diameter 2, threshold floored at the paper's 2.
+        assert_eq!(InterconnectConfig::mesh_diameter(4), 2);
+        assert_eq!(InterconnectConfig::mesh(1, 1).near_hop_threshold(4), 2);
+        // 4x4 grid: corner to corner is 6; threshold 3.
+        assert_eq!(InterconnectConfig::mesh_diameter(16), 6);
+        assert_eq!(InterconnectConfig::mesh(4, 1).near_hop_threshold(16), 3);
+        // 8x8 grid: diameter 14; a hard-coded 2 would demote every
+        // non-adjacent pair, the derived threshold keeps a 7-hop radius.
+        assert_eq!(InterconnectConfig::mesh_diameter(64), 14);
+        assert_eq!(InterconnectConfig::mesh(16, 1).near_hop_threshold(64), 7);
+        // non-mesh topologies have no hop radius to speak of
+        assert_eq!(
+            InterconnectConfig::crossbar(4, 1).near_hop_threshold(16),
+            u32::MAX
+        );
+    }
+
+    #[test]
+    fn mesh_route_is_x_first_then_y() {
+        // 16 nodes, 4 columns: node 1 = (1,0), node 14 = (2,3).
+        let path = InterconnectConfig::mesh_route(1, 14, 16);
+        assert_eq!(path, vec![(1, 2), (2, 6), (6, 10), (10, 14)]);
+        assert_eq!(
+            InterconnectConfig::mesh_route(5, 5, 16),
+            vec![(5, 5)],
+            "ejection self-link"
+        );
+        assert_eq!(InterconnectConfig::mesh_route(3, 0, 16).len(), 3);
+        // route length matches the static hop count
+        let ic = InterconnectConfig::mesh(4, 1);
+        for (from, to) in [(0usize, 15usize), (7, 2), (9, 9)] {
+            assert_eq!(
+                InterconnectConfig::mesh_route(from, to, 16).len() as u32,
+                ic.cluster_hops(from, to, 16),
+                "{from}->{to}"
+            );
+        }
     }
 
     #[test]

@@ -44,6 +44,7 @@ pub mod config;
 pub mod hints;
 pub mod ids;
 pub mod interconnect;
+pub mod profile;
 
 pub use config::{
     BusConfig, FuKind, FuMix, L0Capacity, L0Config, L1Config, MachineConfig, MultiVliwConfig,
@@ -52,3 +53,4 @@ pub use config::{
 pub use hints::{AccessHint, MappingHint, MemHints, PrefetchHint};
 pub use ids::ClusterId;
 pub use interconnect::{InterconnectConfig, Topology};
+pub use profile::{BankLoad, LinkLoad, LoopProfile, NetLoad, OpStallLoad, Profile};

@@ -37,7 +37,7 @@
 //! machine bit-exact with the pre-interconnect simulator.
 
 use std::collections::{BTreeMap, HashMap};
-use vliw_machine::{ClusterId, InterconnectConfig, Topology};
+use vliw_machine::{BankLoad, ClusterId, InterconnectConfig, LinkLoad, NetLoad, Topology};
 
 /// Outcome of routing one request through the network.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -129,6 +129,11 @@ pub struct Interconnect {
     /// physically distant nodes never alias into one pool. Empty off the
     /// mesh (the other topologies keep their bank/tile pools).
     cluster_ports: Vec<BTreeMap<u64, u32>>,
+    /// Cumulative per-directed-link `(traversals, stall cycles)` — the
+    /// profiling counters behind [`Interconnect::network_load`].
+    link_load: HashMap<(usize, usize), (u64, u64)>,
+    /// Cumulative per-bank `(granted requests, queue cycles)`.
+    bank_load: Vec<(u64, u64)>,
 }
 
 impl Interconnect {
@@ -146,7 +151,40 @@ impl Interconnect {
             granted: vec![BTreeMap::new(); banks],
             links: HashMap::new(),
             cluster_ports: vec![BTreeMap::new(); nodes],
+            link_load: HashMap::new(),
+            bank_load: vec![(0, 0); banks],
         }
+    }
+
+    /// Snapshot of the cumulative per-link / per-bank load this network
+    /// has observed — the raw material of a profiling run's
+    /// [`Profile`](vliw_machine::Profile). Links are sorted by
+    /// `(from, to)` and banks by index, so the snapshot is deterministic;
+    /// banks that never granted a request are omitted.
+    pub fn network_load(&self) -> NetLoad {
+        let mut links: Vec<LinkLoad> = self
+            .link_load
+            .iter()
+            .map(|(&(from, to), &(traversals, stall_cycles))| LinkLoad {
+                from: from as u32,
+                to: to as u32,
+                traversals,
+                stall_cycles,
+            })
+            .collect();
+        links.sort_by_key(|l| (l.from, l.to));
+        let banks = self
+            .bank_load
+            .iter()
+            .enumerate()
+            .filter(|(_, &(requests, _))| requests > 0)
+            .map(|(bank, &(requests, queue_cycles))| BankLoad {
+                bank: bank as u32,
+                requests,
+                queue_cycles,
+            })
+            .collect();
+        NetLoad { links, banks }
     }
 
     /// The static configuration this network runs.
@@ -196,11 +234,15 @@ impl Interconnect {
             return arrival; // flat network: no banks, no ports
         }
         let idx = bank % self.granted.len();
-        Self::grant_in(
+        let start = Self::grant_in(
             &mut self.granted[idx],
             self.cfg.ports_per_bank as u32,
             arrival,
-        )
+        );
+        let load = &mut self.bank_load[idx];
+        load.0 += 1;
+        load.1 += start - arrival;
+        start
     }
 
     /// The shared port-arbitration core: first cycle ≥ `arrival` with
@@ -321,7 +363,11 @@ impl Interconnect {
     /// use, with the link's flit capacity in place of the port count).
     fn reserve_link(&mut self, link: (usize, usize), t: u64) -> u64 {
         let capacity = self.cfg.link_capacity.max(1) as u32;
-        Self::grant_in(self.links.entry(link).or_default(), capacity, t)
+        let grant = Self::grant_in(self.links.entry(link).or_default(), capacity, t);
+        let load = self.link_load.entry(link).or_insert((0, 0));
+        load.0 += 1;
+        load.1 += grant - t;
+        grant
     }
 
     /// Walks the XY route (X first, then Y — the same path the
@@ -450,33 +496,13 @@ impl Interconnect {
     }
 }
 
-/// The dimension-ordered (X first, then Y) sequence of directed links
-/// from mesh node `from` to mesh node `to`. A same-node route is the
-/// single ejection self-link. Reference enumeration of the walk
-/// `traverse_mesh` performs inline — kept for the routing tests.
+/// The reference XY link sequence `traverse_mesh` walks inline — now the
+/// *canonical* enumeration lives in
+/// [`InterconnectConfig::mesh_route`] (shared with the scheduler's
+/// observed placement-cost model); the tests assert against it.
 #[cfg(test)]
 fn xy_path(from: usize, to: usize, n_clusters: usize) -> Vec<(usize, usize)> {
-    if from == to {
-        return vec![(from, from)];
-    }
-    let cols = InterconnectConfig::mesh_cols(n_clusters);
-    let (mut x, mut y) = InterconnectConfig::mesh_pos(from, n_clusters);
-    let (tx, ty) = InterconnectConfig::mesh_pos(to, n_clusters);
-    let mut path = Vec::with_capacity(x.abs_diff(tx) + y.abs_diff(ty));
-    let mut node = from;
-    while x != tx {
-        x = if tx > x { x + 1 } else { x - 1 };
-        let next = y * cols + x;
-        path.push((node, next));
-        node = next;
-    }
-    while y != ty {
-        y = if ty > y { y + 1 } else { y - 1 };
-        let next = y * cols + x;
-        path.push((node, next));
-        node = next;
-    }
-    path
+    InterconnectConfig::mesh_route(from, to, n_clusters)
 }
 
 #[cfg(test)]
@@ -693,6 +719,48 @@ mod tests {
             assert_eq!(r.bank_start, start, "request {i}");
             assert_eq!(r.link_stall_cycles, tr.link_stall_cycles, "request {i}");
         }
+    }
+
+    #[test]
+    fn network_load_snapshots_link_and_bank_pressure() {
+        let mut ic = Interconnect::new(16, InterconnectConfig::mesh(4, 1));
+        // Two same-cycle routes over the shared (0,1) link, to the same
+        // bank: one link stall and one port-queue cycle show up.
+        ic.route(c(0), 0, 10);
+        ic.route(c(0), 0, 10);
+        let net = ic.network_load();
+        assert!(!net.is_empty());
+        // bank 0's host is node 0 (diagonal stride), so the route from
+        // cluster 0 is the single ejection self-link
+        assert!(net.link(0, 0).is_some(), "route 0->bank 0 ejects at node 0");
+        let total_traversals: u64 = net.links.iter().map(|l| l.traversals).sum();
+        let total_stalls: u64 = net.links.iter().map(|l| l.stall_cycles).sum();
+        assert!(total_traversals >= 2);
+        assert!(total_stalls >= 1, "single-flit link must stall the second");
+        let bank0 = net.bank(net.banks[0].bank).unwrap();
+        assert_eq!(bank0.requests, 2);
+        // On the crossbar (no links to stagger arrivals) the same pair
+        // queues at the single port, and the pressure is recorded.
+        let mut xbar = Interconnect::new(4, InterconnectConfig::crossbar(1, 1));
+        xbar.route(c(0), 0, 10);
+        xbar.route(c(1), 0, 10);
+        let xnet = xbar.network_load();
+        assert_eq!(xnet.bank(0).unwrap().requests, 2);
+        assert_eq!(
+            xnet.bank(0).unwrap().queue_cycles,
+            1,
+            "one port, two arrivals"
+        );
+        assert!(xnet.links.is_empty(), "crossbars have no mesh links");
+        // links stay sorted for deterministic artifacts
+        assert!(net
+            .links
+            .windows(2)
+            .all(|w| (w[0].from, w[0].to) < (w[1].from, w[1].to)));
+        // the flat network records nothing
+        let mut flat = Interconnect::new(4, InterconnectConfig::flat());
+        flat.route(c(0), 0, 10);
+        assert!(flat.network_load().is_empty());
     }
 
     #[test]

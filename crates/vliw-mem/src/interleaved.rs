@@ -363,6 +363,10 @@ impl MemoryModel for WordInterleavedMem {
     fn stats(&self) -> &MemStats {
         &self.stats
     }
+
+    fn network_load(&self) -> Option<vliw_machine::NetLoad> {
+        (!self.ic.is_flat()).then(|| self.ic.network_load())
+    }
 }
 
 #[cfg(test)]

@@ -97,4 +97,12 @@ pub trait MemoryModel {
 
     /// Statistics accumulated so far.
     fn stats(&self) -> &MemStats;
+
+    /// Snapshot of the per-link / per-bank load the model's interconnect
+    /// has observed so far — the network half of a profiling artifact.
+    /// `None` for models without a routed network (including every flat
+    /// configuration, where nothing is ever routed).
+    fn network_load(&self) -> Option<vliw_machine::NetLoad> {
+        None
+    }
 }

@@ -6,8 +6,10 @@ use serde::{Deserialize, Serialize};
 /// Counters accumulated by a [`MemoryModel`](crate::MemoryModel).
 ///
 /// Not every field is meaningful for every model (e.g. `l0_hits` stays 0
-/// for [`UnifiedL1`](crate::UnifiedL1)); unused counters simply stay zero.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+/// for [`UnifiedL1`](crate::UnifiedL1)); unused counters simply stay
+/// zero. No longer `Copy` since the per-link/per-bank network load
+/// ([`MemStats::net`]) joined the block — clone explicitly.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MemStats {
     /// Loads + stores (prefetches not included).
     pub accesses: u64,
@@ -54,6 +56,11 @@ pub struct MemStats {
     /// MSHRs (0 when `mshr_entries` is 0). `None` in artifacts written
     /// before MSHRs existed — treat as 0.
     pub mshr_merges: Option<u64>,
+    /// Per-directed-link and per-bank load observed by the run — the
+    /// network half of a profiling artifact
+    /// ([`Profile`](vliw_machine::Profile)). `None` on the flat network
+    /// and in artifacts written before profiles existed.
+    pub net: Option<vliw_machine::NetLoad>,
 }
 
 impl MemStats {
@@ -123,6 +130,11 @@ impl MemStats {
         }
         if let Some(v) = other.mshr_merges {
             *self.mshr_merges.get_or_insert(0) += v;
+        }
+        if let Some(n) = &other.net {
+            self.net
+                .get_or_insert_with(vliw_machine::NetLoad::default)
+                .merge(n);
         }
     }
 

@@ -239,6 +239,10 @@ impl MemoryModel for UnifiedL1 {
     fn stats(&self) -> &MemStats {
         &self.stats
     }
+
+    fn network_load(&self) -> Option<vliw_machine::NetLoad> {
+        (!self.stack.ic.is_flat()).then(|| self.stack.ic.network_load())
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -562,6 +566,10 @@ impl MemoryModel for UnifiedWithL0 {
 
     fn stats(&self) -> &MemStats {
         &self.stats
+    }
+
+    fn network_load(&self) -> Option<vliw_machine::NetLoad> {
+        (!self.stack.ic.is_flat()).then(|| self.stack.ic.network_load())
     }
 }
 

@@ -41,6 +41,7 @@
 //! incumbent, so by construction `MII ≤ exact II ≤ SMS II` — the search
 //! can only improve on the heuristic, never regress it.
 
+use crate::cost::PlacementCost;
 use crate::engine::{self, AssignmentPolicy, Mode, ScheduleError};
 use crate::mrt::ModuloReservationTable;
 use crate::schedule::{CopySlot, IiProof, Schedule};
@@ -60,9 +61,12 @@ pub trait SchedulerBackend {
     /// serialized artifacts (e.g. `"sms"`, `"exact"`).
     fn label(&self) -> &'static str;
 
-    /// Schedules `loop_` under the given cluster-assignment policy
-    /// ([`AssignmentPolicy::ContentionBlind`] reproduces the paper's
-    /// distance-blind ordering bit-exactly).
+    /// Schedules `loop_` under the given cluster-assignment policy and
+    /// placement-cost model ([`AssignmentPolicy::ContentionBlind`] with
+    /// [`StaticDistance`](crate::cost::StaticDistance) reproduces the
+    /// paper's distance-blind ordering bit-exactly; an
+    /// [`Observed`](crate::cost::Observed) cost closes the
+    /// profile-guided loop).
     ///
     /// # Errors
     ///
@@ -74,6 +78,7 @@ pub trait SchedulerBackend {
         cfg: &MachineConfig,
         mode: Mode,
         assignment: AssignmentPolicy,
+        cost: &dyn PlacementCost,
     ) -> Result<Schedule, ScheduleError>;
 }
 
@@ -93,8 +98,9 @@ impl SchedulerBackend for SmsBackend {
         cfg: &MachineConfig,
         mode: Mode,
         assignment: AssignmentPolicy,
+        cost: &dyn PlacementCost,
     ) -> Result<Schedule, ScheduleError> {
-        engine::run_with(loop_, cfg, mode, assignment)
+        engine::run_with(loop_, cfg, mode, assignment, cost)
     }
 }
 
@@ -177,13 +183,15 @@ impl SchedulerBackend for ExactBackend {
         cfg: &MachineConfig,
         mode: Mode,
         assignment: AssignmentPolicy,
+        cost: &dyn PlacementCost,
     ) -> Result<Schedule, ScheduleError> {
         // SMS provides the incumbent: an upper bound and a fallback, so
         // the exact backend can only improve on the heuristic. The
-        // assignment policy biases the incumbent; the DFS below already
-        // enumerates every (cluster, cycle) placement, so its verdicts
-        // are policy-independent.
-        let sms = engine::run_with(loop_, cfg, mode, assignment)
+        // assignment policy and cost model bias the incumbent (and the
+        // static L0 marking below); the DFS itself already enumerates
+        // every (cluster, cycle) placement, so its verdicts are
+        // policy-independent.
+        let sms = engine::run_with(loop_, cfg, mode, assignment, cost)
             .map_err(|e| e.with_backend(self.label()))?;
         if sms.ii() <= sms.mii {
             return Ok(sms); // already proved optimal by hitting the MII
@@ -195,7 +203,7 @@ impl SchedulerBackend for ExactBackend {
         let banned = mixed_set_members(loop_);
         let mut proved_all_below = true;
         for ii in sms.mii..sms.ii() {
-            match Search::run(loop_, cfg, &ddg, &banned, mode, ii, self.node_budget) {
+            match Search::run(loop_, cfg, &ddg, &banned, mode, cost, ii, self.node_budget) {
                 Outcome::Found(schedule) => {
                     let mut schedule = *schedule;
                     schedule.mii = sms.mii;
@@ -277,12 +285,13 @@ fn lat_model(
     ddg: &DataDepGraph,
     banned: &[bool],
     mode: Mode,
+    cost: &dyn PlacementCost,
     ii: u32,
 ) -> (Vec<LatSpec>, Vec<i64>) {
     let n = loop_.ops.len();
     let mut lats = Vec::with_capacity(n);
     let l0_assigned = match mode {
-        Mode::L0 { mark, .. } => static_l0_assignment(loop_, cfg, ddg, banned, mark, ii),
+        Mode::L0 { mark, .. } => static_l0_assignment(loop_, cfg, ddg, banned, mark, cost, ii),
         _ => vec![false; n],
     };
     for op in &loop_.ops {
@@ -333,13 +342,16 @@ fn lat_model(
 
 /// Which loads get the L0 latency in the exact model: candidates marked by
 /// ascending static slack within the total entry budget (step ➋ applied
-/// once), minus every member of a mixed load/store set (NL0).
+/// once; profile-guided marking puts observed-hot origins first), minus
+/// every member of a mixed load/store set (NL0).
+#[allow(clippy::too_many_arguments)]
 fn static_l0_assignment(
     loop_: &LoopNest,
     cfg: &MachineConfig,
     ddg: &DataDepGraph,
     banned: &[bool],
     mark: engine::MarkPolicy,
+    cost: &dyn PlacementCost,
     ii: u32,
 ) -> Vec<bool> {
     let n = loop_.ops.len();
@@ -366,7 +378,7 @@ fn static_l0_assignment(
                 assigned[op.index()] = true;
             }
         }
-        engine::MarkPolicy::Selective => {
+        engine::MarkPolicy::Selective | engine::MarkPolicy::ProfileGuided => {
             let opt = |op: OpId| {
                 engine::optimistic_latency(
                     loop_,
@@ -380,7 +392,17 @@ fn static_l0_assignment(
             };
             let timing = ddg.asap_alap(ii, opt);
             let slack = |op: OpId| timing.as_ref().map(|t| t.slack(op)).unwrap_or(0);
-            candidates.sort_by_key(|&op| (slack(op), op.0));
+            if mark == engine::MarkPolicy::ProfileGuided {
+                // Same ordering rule as the SMS engine: observed-hot
+                // provenance origins first, then the slack tiebreak.
+                candidates.sort_by_key(|&op| {
+                    let origin = loop_.op(op).provenance().0 .0;
+                    let heat = cost.stall_weight(&loop_.name, origin);
+                    (std::cmp::Reverse(heat), slack(op), op.0)
+                });
+            } else {
+                candidates.sort_by_key(|&op| (slack(op), op.0));
+            }
             let budget = match l0.entries {
                 vliw_machine::L0Capacity::Bounded(e) => (e * cfg.clusters) as i64,
                 vliw_machine::L0Capacity::Unbounded => i64::MAX / 4,
@@ -451,17 +473,19 @@ struct Search<'a> {
 }
 
 impl<'a> Search<'a> {
+    #[allow(clippy::too_many_arguments)]
     fn run(
         loop_: &'a LoopNest,
         cfg: &'a MachineConfig,
         ddg: &'a DataDepGraph,
         banned: &[bool],
         mode: Mode,
+        cost: &dyn PlacementCost,
         ii: u32,
         budget: u64,
     ) -> Outcome {
         let n = loop_.ops.len();
-        let (lats, l0_cost) = lat_model(loop_, cfg, ddg, banned, mode, ii);
+        let (lats, l0_cost) = lat_model(loop_, cfg, ddg, banned, mode, cost, ii);
         let entries_per_cluster: i64 = match cfg.l0.map(|l| l.entries) {
             Some(vliw_machine::L0Capacity::Bounded(e)) => e as i64,
             Some(vliw_machine::L0Capacity::Unbounded) => i64::MAX / 4,
@@ -793,6 +817,7 @@ impl<'a> Search<'a> {
 mod tests {
     use super::*;
     use crate::coherence::CoherencePolicy;
+    use crate::cost::StaticDistance;
     use crate::engine::MarkPolicy;
     use vliw_ir::LoopBuilder;
 
@@ -830,7 +855,13 @@ mod tests {
         let l = LoopBuilder::new("ew").trip_count(64).elementwise(2).build();
         let c = cfg();
         let via_backend = SmsBackend
-            .schedule(&l, &c, l0_mode(), AssignmentPolicy::default())
+            .schedule(
+                &l,
+                &c,
+                l0_mode(),
+                AssignmentPolicy::default(),
+                &StaticDistance,
+            )
             .unwrap();
         let via_engine = engine::run(&l, &c, l0_mode()).unwrap();
         assert_eq!(via_backend.ii(), via_engine.ii());
@@ -843,11 +874,23 @@ mod tests {
         let l = LoopBuilder::new("ew").trip_count(64).elementwise(2).build();
         let c = cfg();
         let sms = SmsBackend
-            .schedule(&l, &c, l0_mode(), AssignmentPolicy::default())
+            .schedule(
+                &l,
+                &c,
+                l0_mode(),
+                AssignmentPolicy::default(),
+                &StaticDistance,
+            )
             .unwrap();
         assert_eq!(sms.ii(), sms.mii, "precondition: SMS achieves the MII");
         let exact = ExactBackend::default()
-            .schedule(&l, &c, l0_mode(), AssignmentPolicy::default())
+            .schedule(
+                &l,
+                &c,
+                l0_mode(),
+                AssignmentPolicy::default(),
+                &StaticDistance,
+            )
             .unwrap();
         assert_eq!(exact.ii(), sms.ii());
         assert_eq!(exact.ii_proof, IiProof::Optimal);
@@ -864,10 +907,22 @@ mod tests {
             .build();
         let c = cfg();
         let sms = SmsBackend
-            .schedule(&l, &c, l0_mode(), AssignmentPolicy::default())
+            .schedule(
+                &l,
+                &c,
+                l0_mode(),
+                AssignmentPolicy::default(),
+                &StaticDistance,
+            )
             .unwrap();
         let exact = ExactBackend::default()
-            .schedule(&l, &c, l0_mode(), AssignmentPolicy::default())
+            .schedule(
+                &l,
+                &c,
+                l0_mode(),
+                AssignmentPolicy::default(),
+                &StaticDistance,
+            )
             .unwrap();
         assert!(exact.ii() >= exact.mii, "II below the MII is impossible");
         assert!(
@@ -904,7 +959,13 @@ mod tests {
                 c.without_l0()
             };
             let s = ExactBackend::default()
-                .schedule(&l, &base_cfg, mode, AssignmentPolicy::default())
+                .schedule(
+                    &l,
+                    &base_cfg,
+                    mode,
+                    AssignmentPolicy::default(),
+                    &StaticDistance,
+                )
                 .unwrap();
             s.validate(&base_cfg).unwrap();
             assert!(s.ii() >= s.mii);
@@ -921,10 +982,22 @@ mod tests {
         let c = cfg();
         let starved = ExactBackend { node_budget: 1 };
         let sms = SmsBackend
-            .schedule(&l, &c, l0_mode(), AssignmentPolicy::default())
+            .schedule(
+                &l,
+                &c,
+                l0_mode(),
+                AssignmentPolicy::default(),
+                &StaticDistance,
+            )
             .unwrap();
         let s = starved
-            .schedule(&l, &c, l0_mode(), AssignmentPolicy::default())
+            .schedule(
+                &l,
+                &c,
+                l0_mode(),
+                AssignmentPolicy::default(),
+                &StaticDistance,
+            )
             .unwrap();
         assert!(s.ii() <= sms.ii(), "fallback never regresses SMS");
         if s.ii() > s.mii {

@@ -25,7 +25,7 @@ use serde::{Deserialize, Serialize};
 use vliw_machine::ClusterId;
 
 /// Which solutions the scheduler may pick per set.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum CoherencePolicy {
     /// The paper's configuration: choose 1C when the set still has an
     /// L0-latency load and buffer entries remain, NL0 otherwise.

@@ -20,13 +20,14 @@
 
 use crate::backend::{BackendKind, SchedulerBackend};
 use crate::coherence::CoherencePolicy;
+use crate::cost::{Observed, PlacementCost, StaticDistance};
 use crate::engine::{AssignmentPolicy, Mode, ScheduleError};
 use crate::hints::assign_hints;
 use crate::mrt::ModuloReservationTable;
 use crate::schedule::{PrefetchSlot, Schedule};
 use serde::{Deserialize, Serialize};
 use vliw_ir::{specialize, stride, unroll, LoopNest, StrideClass};
-use vliw_machine::{FuKind, MachineConfig, WordInterleavedConfig};
+use vliw_machine::{FuKind, MachineConfig, Profile, WordInterleavedConfig};
 
 pub use crate::engine::MarkPolicy;
 
@@ -43,7 +44,7 @@ pub enum InterleavedHeuristic {
 }
 
 /// Options for the L0-aware driver (ablation knobs of §5.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct L0Options {
     /// Candidate marking policy (selective vs. all-candidates).
     pub mark: MarkPolicy,
@@ -64,7 +65,7 @@ impl Default for L0Options {
 }
 
 /// Step 1's unroll-factor selection policy.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum UnrollPolicy {
     /// §4.3 step 1: schedule both flat and unrolled-by-N, keep the one
     /// with the cheaper statically-estimated compute time (the default).
@@ -94,7 +95,7 @@ pub enum UnrollPolicy {
 /// // The exact backend can only improve on the heuristic.
 /// assert!(exact.ii() <= sms.ii());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct CompileRequest {
     /// Target architecture.
     pub arch: crate::Arch,
@@ -108,12 +109,20 @@ pub struct CompileRequest {
     /// contention-aware (placement prefers clusters near each memory
     /// op's home bank on a non-flat interconnect).
     pub assignment: AssignmentPolicy,
+    /// Profile harvested from a prior simulation run. When present, the
+    /// placement-cost layer switches from [`StaticDistance`] to
+    /// [`Observed`] — routes are weighed by measured link stalls and
+    /// bank queueing, and [`MarkPolicy::ProfileGuided`] reads its per-op
+    /// stall attribution. `None` (the default, and the value every
+    /// pre-profile artifact deserializes to) keeps compilation bit-exact
+    /// with the static pipeline.
+    pub profile: Option<Profile>,
 }
 
 impl CompileRequest {
     /// A request for `arch` with every knob at its default (SMS backend,
     /// selective marking, auto coherence, specialization on, auto unroll,
-    /// distance-blind assignment).
+    /// distance-blind assignment, no profile).
     pub fn new(arch: crate::Arch) -> Self {
         CompileRequest {
             arch,
@@ -121,6 +130,7 @@ impl CompileRequest {
             opts: L0Options::default(),
             unroll: UnrollPolicy::default(),
             assignment: AssignmentPolicy::default(),
+            profile: None,
         }
     }
 
@@ -183,6 +193,34 @@ impl CompileRequest {
         self
     }
 
+    /// Attaches (or clears) the profile the placement-cost layer reads.
+    #[must_use]
+    pub fn profile(mut self, profile: Option<Profile>) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// The full profile-guided recompilation setup in one call: attach
+    /// `profile`, mark hot-stalling refs first
+    /// ([`MarkPolicy::ProfileGuided`]) and let placement read the
+    /// observed costs ([`AssignmentPolicy::ContentionAware`] — a no-op
+    /// on the flat network, where nothing is routed).
+    #[must_use]
+    pub fn profile_guided(self, profile: Profile) -> Self {
+        self.profile(Some(profile))
+            .mark(MarkPolicy::ProfileGuided)
+            .assignment(AssignmentPolicy::ContentionAware)
+    }
+
+    /// The placement-cost model this request compiles under: `Observed`
+    /// over the attached profile, or the bit-exact `StaticDistance`.
+    fn cost(&self) -> Box<dyn PlacementCost + '_> {
+        match &self.profile {
+            Some(p) => Box::new(Observed::new(p)),
+            None => Box::new(StaticDistance),
+        }
+    }
+
     /// Compiles one loop — the single arch×backend→driver dispatch point.
     ///
     /// Architectures without L0 buffers are compiled against
@@ -198,16 +236,47 @@ impl CompileRequest {
         cfg: &MachineConfig,
     ) -> Result<Schedule, ScheduleError> {
         use crate::Arch;
+        // A profile is only meaningful for the machine shape that
+        // produced it: node ids in its link loads and bank indices in
+        // its port loads would silently alias on a different grid.
+        if let Some(p) = &self.profile {
+            if p.clusters != cfg.clusters || p.topology != cfg.interconnect.topology {
+                return Err(ScheduleError::BadConfig(format!(
+                    "profile was harvested on a {}-cluster {} machine but the target is a                      {}-cluster {} machine",
+                    p.clusters, p.topology, cfg.clusters, cfg.interconnect.topology
+                )));
+            }
+        }
         let backend = self.backend.as_backend();
         let assignment = self.assignment;
+        let cost = self.cost();
+        let cost = cost.as_ref();
         match self.arch {
-            Arch::Baseline => {
-                compile_base_with(loop_, &cfg.without_l0(), backend, self.unroll, assignment)
-            }
-            Arch::L0 => compile_l0_with(loop_, cfg, self.opts, backend, self.unroll, assignment),
-            Arch::MultiVliw => {
-                compile_multivliw_with(loop_, &cfg.without_l0(), backend, self.unroll, assignment)
-            }
+            Arch::Baseline => compile_base_with(
+                loop_,
+                &cfg.without_l0(),
+                backend,
+                self.unroll,
+                assignment,
+                cost,
+            ),
+            Arch::L0 => compile_l0_with(
+                loop_,
+                cfg,
+                self.opts,
+                backend,
+                self.unroll,
+                assignment,
+                cost,
+            ),
+            Arch::MultiVliw => compile_multivliw_with(
+                loop_,
+                &cfg.without_l0(),
+                backend,
+                self.unroll,
+                assignment,
+                cost,
+            ),
             Arch::Interleaved1 => compile_interleaved_with(
                 loop_,
                 &cfg.without_l0(),
@@ -215,6 +284,7 @@ impl CompileRequest {
                 backend,
                 self.unroll,
                 assignment,
+                cost,
             ),
             Arch::Interleaved2 => compile_interleaved_with(
                 loop_,
@@ -223,6 +293,7 @@ impl CompileRequest {
                 backend,
                 self.unroll,
                 assignment,
+                cost,
             ),
         }
     }
@@ -260,14 +331,15 @@ fn schedule_best_unroll(
     backend: &dyn SchedulerBackend,
     policy: UnrollPolicy,
     assignment: AssignmentPolicy,
+    cost: &dyn PlacementCost,
 ) -> Result<Schedule, ScheduleError> {
-    let flat = backend.schedule(loop_, cfg, mode, assignment)?;
+    let flat = backend.schedule(loop_, cfg, mode, assignment, cost)?;
     let n = cfg.clusters;
     if policy == UnrollPolicy::Never || n <= 1 || loop_.trip_count < n as u64 {
         return Ok(flat);
     }
     let unrolled_loop = unroll(loop_, n);
-    match backend.schedule(&unrolled_loop, cfg, mode, assignment) {
+    match backend.schedule(&unrolled_loop, cfg, mode, assignment, cost) {
         Ok(unrolled) => {
             let cost_flat = cost_per_iteration(&flat, 1);
             let cost_unrolled = cost_per_iteration(&unrolled, n as u64);
@@ -295,6 +367,7 @@ pub fn compile_base(loop_: &LoopNest, cfg: &MachineConfig) -> Result<Schedule, S
         BackendKind::default().as_backend(),
         UnrollPolicy::default(),
         AssignmentPolicy::default(),
+        &StaticDistance,
     )
 }
 
@@ -304,6 +377,7 @@ fn compile_base_with(
     backend: &dyn SchedulerBackend,
     unroll: UnrollPolicy,
     assignment: AssignmentPolicy,
+    cost: &dyn PlacementCost,
 ) -> Result<Schedule, ScheduleError> {
     let lowered = specialize(loop_);
     schedule_best_unroll(
@@ -315,6 +389,7 @@ fn compile_base_with(
         backend,
         unroll,
         assignment,
+        cost,
     )
 }
 
@@ -345,9 +420,11 @@ pub fn compile_for_l0_with(
         BackendKind::default().as_backend(),
         UnrollPolicy::default(),
         AssignmentPolicy::default(),
+        &StaticDistance,
     )
 }
 
+#[allow(clippy::too_many_arguments)]
 fn compile_l0_with(
     loop_: &LoopNest,
     cfg: &MachineConfig,
@@ -355,6 +432,7 @@ fn compile_l0_with(
     backend: &dyn SchedulerBackend,
     unroll: UnrollPolicy,
     assignment: AssignmentPolicy,
+    cost: &dyn PlacementCost,
 ) -> Result<Schedule, ScheduleError> {
     if cfg.l0.is_none() {
         return Err(ScheduleError::BadConfig(
@@ -370,8 +448,9 @@ fn compile_l0_with(
         mark: opts.mark,
         policy: opts.policy,
     };
-    let mut schedule = schedule_best_unroll(&lowered, cfg, mode, backend, unroll, assignment)?;
-    assign_hints(&mut schedule, cfg);
+    let mut schedule =
+        schedule_best_unroll(&lowered, cfg, mode, backend, unroll, assignment, cost)?;
+    assign_hints(&mut schedule, cfg, cost);
     insert_explicit_prefetches(&mut schedule, cfg);
     schedule.flush_on_exit = true; // inter-loop coherence (§4.1)
     Ok(schedule)
@@ -390,6 +469,7 @@ pub fn compile_multivliw(loop_: &LoopNest, cfg: &MachineConfig) -> Result<Schedu
         BackendKind::default().as_backend(),
         UnrollPolicy::default(),
         AssignmentPolicy::default(),
+        &StaticDistance,
     )
 }
 
@@ -399,6 +479,7 @@ fn compile_multivliw_with(
     backend: &dyn SchedulerBackend,
     unroll: UnrollPolicy,
     assignment: AssignmentPolicy,
+    cost: &dyn PlacementCost,
 ) -> Result<Schedule, ScheduleError> {
     let lowered = specialize(loop_);
     let local = vliw_machine::MultiVliwConfig::micro2003().local_latency;
@@ -411,6 +492,7 @@ fn compile_multivliw_with(
         backend,
         unroll,
         assignment,
+        cost,
     )
 }
 
@@ -432,9 +514,11 @@ pub fn compile_interleaved(
         BackendKind::default().as_backend(),
         UnrollPolicy::default(),
         AssignmentPolicy::default(),
+        &StaticDistance,
     )
 }
 
+#[allow(clippy::too_many_arguments)]
 fn compile_interleaved_with(
     loop_: &LoopNest,
     cfg: &MachineConfig,
@@ -442,6 +526,7 @@ fn compile_interleaved_with(
     backend: &dyn SchedulerBackend,
     unroll: UnrollPolicy,
     assignment: AssignmentPolicy,
+    cost: &dyn PlacementCost,
 ) -> Result<Schedule, ScheduleError> {
     let lowered = specialize(loop_);
     let wi = WordInterleavedConfig::micro2003();
@@ -451,7 +536,7 @@ fn compile_interleaved_with(
         remote_latency: wi.remote_latency,
         word_bytes: wi.word_bytes as u64,
     };
-    schedule_best_unroll(&lowered, cfg, mode, backend, unroll, assignment)
+    schedule_best_unroll(&lowered, cfg, mode, backend, unroll, assignment, cost)
 }
 
 /// Step 5: adds an explicit software prefetch for every L0-latency load

@@ -18,6 +18,7 @@
 //!   their home cluster with the local latency.
 
 use crate::coherence::{self, CoherencePolicy, CoherenceSolution};
+use crate::cost::PlacementCost;
 use crate::mii;
 use crate::mrt::ModuloReservationTable;
 use crate::schedule::{CopySlot, Placement, ReplicaSlot, Schedule};
@@ -79,7 +80,7 @@ impl std::error::Error for ScheduleError {}
 
 /// How aggressively memory candidates are marked to use the buffers
 /// (§5.2 in-text ablation).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum MarkPolicy {
     /// The paper's policy: only the most critical candidates, bounded by
     /// the total number of L0 entries.
@@ -88,6 +89,13 @@ pub enum MarkPolicy {
     /// Mark *every* candidate (overflows small buffers; +6% exec time on
     /// 4-entry buffers in the paper).
     AllCandidates,
+    /// Profile-guided selective marking: candidates whose provenance
+    /// origin *stalled in the profiling run* get L0 slots first (hottest
+    /// first), the cold remainder keeps the paper's slack order, and the
+    /// entry budget bounds the total exactly as under
+    /// [`MarkPolicy::Selective`]. Without a profile on the request this
+    /// degenerates to `Selective` (every op is equally cold).
+    ProfileGuided,
 }
 
 /// How cluster assignment weighs the machine's interconnect (the
@@ -155,6 +163,7 @@ struct Attempt<'a> {
     sets: &'a MemDepSets,
     mode: Mode,
     assignment: AssignmentPolicy,
+    cost: &'a dyn PlacementCost,
     ii: u32,
     mrt: ModuloReservationTable,
     placed: Vec<Option<Draft>>,
@@ -210,7 +219,7 @@ impl<'a> Attempt<'a> {
                         }
                     }
                     let capacity_ok = match mark {
-                        MarkPolicy::Selective => {
+                        MarkPolicy::Selective | MarkPolicy::ProfileGuided => {
                             self.free_l0[cluster.index()] >= self.entry_cost(op)
                         }
                         MarkPolicy::AllCandidates => true,
@@ -562,17 +571,15 @@ impl<'a> Attempt<'a> {
         order
     }
 
-    /// Estimated one-way network hops from `cluster` to the bank that
-    /// owns `op`'s address stream (its first-iteration address — strided
-    /// streams stay bank-affine at the block granularity the sweep
-    /// interleaves on). 0 under the distance-blind policy, so the sort
-    /// key degenerates to the paper's ordering.
-    fn bank_distance(&self, op: OpId, cluster: ClusterId) -> u32 {
+    /// Estimated placement cost of servicing `op`'s address stream from
+    /// `cluster` — delegated to the [`PlacementCost`] layer (static hop
+    /// distance by default; congestion-weighted under a profile). The
+    /// probe address is the op's first-iteration address: strided streams
+    /// stay bank-affine at the block granularity the sweeps interleave
+    /// on, so iteration 0 is a sound proxy. 0 under the distance-blind
+    /// policy, so the sort key degenerates to the paper's ordering.
+    fn bank_distance(&self, op: OpId, cluster: ClusterId) -> u64 {
         if self.assignment != AssignmentPolicy::ContentionAware {
-            return 0;
-        }
-        let ic = &self.cfg.interconnect;
-        if ic.is_flat() {
             return 0;
         }
         let Some(acc) = self.loop_.op(op).kind.mem_access() else {
@@ -580,7 +587,7 @@ impl<'a> Attempt<'a> {
         };
         let arr = self.loop_.array(acc.array);
         let addr = (arr.base_addr as i64 + acc.offset_bytes).max(0) as u64;
-        ic.hops(cluster.index(), ic.bank_of(addr), self.cfg.clusters)
+        self.cost.bank_affinity(self.cfg, cluster, addr)
     }
 
     /// Step ➑: after placing `op`, push recommended clusters to its
@@ -675,8 +682,19 @@ impl<'a> Attempt<'a> {
                     self.l0_assigned[op.index()] = true;
                 }
             }
-            MarkPolicy::Selective => {
-                candidates.sort_by_key(|&op| (self.static_slack[op.index()], op.0));
+            MarkPolicy::Selective | MarkPolicy::ProfileGuided => {
+                if mark == MarkPolicy::ProfileGuided {
+                    // Hot-stalling refs (by the profiling run's per-op
+                    // attribution, rolled up to provenance origins) get
+                    // L0 slots first; cold ops keep the slack order.
+                    candidates.sort_by_key(|&op| {
+                        let origin = self.loop_.op(op).provenance().0 .0;
+                        let heat = self.cost.stall_weight(&self.loop_.name, origin);
+                        (std::cmp::Reverse(heat), self.static_slack[op.index()], op.0)
+                    });
+                } else {
+                    candidates.sort_by_key(|&op| (self.static_slack[op.index()], op.0));
+                }
                 let mut remaining = budget as i64;
                 for op in candidates {
                     let cost = self.entry_cost(op);
@@ -855,17 +873,28 @@ pub(crate) fn preferred_owner(
 }
 
 /// Runs the engine: II search loop over `try_schedule` (§4.3 step 3),
-/// with the paper's distance-blind cluster ordering.
+/// with the paper's distance-blind cluster ordering and static costs.
 pub fn run(loop_: &LoopNest, cfg: &MachineConfig, mode: Mode) -> Result<Schedule, ScheduleError> {
-    run_with(loop_, cfg, mode, AssignmentPolicy::ContentionBlind)
+    run_with(
+        loop_,
+        cfg,
+        mode,
+        AssignmentPolicy::ContentionBlind,
+        &crate::cost::StaticDistance,
+    )
 }
 
-/// [`run`] with an explicit cluster-assignment policy.
+/// [`run`] with an explicit cluster-assignment policy and placement-cost
+/// model (the [`StaticDistance`](crate::cost::StaticDistance) model is
+/// bit-exact with the paper's scheduler; an
+/// [`Observed`](crate::cost::Observed) model closes the profile-guided
+/// loop).
 pub fn run_with(
     loop_: &LoopNest,
     cfg: &MachineConfig,
     mode: Mode,
     assignment: AssignmentPolicy,
+    cost: &dyn PlacementCost,
 ) -> Result<Schedule, ScheduleError> {
     cfg.validate().map_err(ScheduleError::BadConfig)?;
     let ddg = DataDepGraph::build(loop_);
@@ -877,7 +906,9 @@ pub fn run_with(
 
     let mut ii = mii0;
     while ii <= MAX_II {
-        if let Some(mut schedule) = try_schedule(loop_, cfg, &ddg, &sets, mode, assignment, ii) {
+        if let Some(mut schedule) =
+            try_schedule(loop_, cfg, &ddg, &sets, mode, assignment, cost, ii)
+        {
             schedule.mii = mii0;
             // Hitting the MII is the one II a heuristic *can* prove
             // minimal: nothing legal is below it.
@@ -898,6 +929,7 @@ pub fn run_with(
 }
 
 /// One II attempt (the `try_schedule` function of Figure 4).
+#[allow(clippy::too_many_arguments)]
 fn try_schedule(
     loop_: &LoopNest,
     cfg: &MachineConfig,
@@ -905,6 +937,7 @@ fn try_schedule(
     sets: &MemDepSets,
     mode: Mode,
     assignment: AssignmentPolicy,
+    cost: &dyn PlacementCost,
     ii: u32,
 ) -> Option<Schedule> {
     let entries_per_cluster: i64 = match (&mode, cfg.l0) {
@@ -922,6 +955,7 @@ fn try_schedule(
         sets,
         mode,
         assignment,
+        cost,
         ii,
         mrt: ModuloReservationTable::new(cfg, ii),
         placed: vec![None; loop_.ops.len()],

@@ -10,51 +10,26 @@
 //!   local L0 copy (1C sets with L0-latency loads in the same cluster).
 //! * **mapping**: `INTERLEAVED_MAP` when the load's unrolled siblings
 //!   spread over several clusters (the loop was unrolled by N and the
-//!   stride is good); `LINEAR_MAP` otherwise. On a hierarchical
+//!   stride is good); `LINEAR_MAP` otherwise. On a non-flat
 //!   interconnect the assignment is additionally *distance-aware*:
 //!   interleaved fills deal one lane to every sibling cluster, so when
-//!   the siblings span interconnect tiles the cross-tile deals pay root
-//!   hops on every block — the mapping falls back to `LINEAR_MAP` and
-//!   each cluster fills its L0 buffer from its near bank instead.
+//!   the siblings span interconnect tiles (or exceed the mesh's
+//!   diameter-derived hop radius) the cross-network deals pay long
+//!   routes on every block — the mapping falls back to `LINEAR_MAP` and
+//!   each cluster fills its L0 buffer from its near bank instead. The
+//!   near/far question is answered by the [`PlacementCost`] layer, so a
+//!   profile-guided compile additionally demotes groups whose deals
+//!   cross links the profiling run measured as congested.
 //! * **prefetch**: `POSITIVE`/`NEGATIVE` by stride sign for good strides;
 //!   among interleaved siblings only the first in schedule order carries
 //!   the hint (one trigger refetches the whole next block — redundant
 //!   prefetches are avoided).
 
+use crate::cost::PlacementCost;
 use crate::schedule::Schedule;
 use std::collections::{HashMap, HashSet};
 use vliw_ir::{stride, MemDepSets, OpId, StrideClass};
-use vliw_machine::{
-    AccessHint, ClusterId, MachineConfig, MappingHint, MemHints, PrefetchHint, Topology,
-};
-
-/// `true` when dealing interleaved lanes to `clusters` is cheap on the
-/// machine's network: always on flat/crossbar networks (every cluster is
-/// equidistant from every bank), within one tile on the hierarchical
-/// topology, and within a 2-hop mesh neighbourhood (beyond that, every
-/// block fill deals lanes across long XY routes and the per-block link
-/// traffic dwarfs the locality win).
-fn siblings_are_near(cfg: &MachineConfig, clusters: &HashSet<ClusterId>) -> bool {
-    match cfg.interconnect.topology {
-        Topology::Flat | Topology::Crossbar => true,
-        Topology::Hierarchical => {
-            let tiles: HashSet<usize> = clusters
-                .iter()
-                .map(|c| cfg.interconnect.group_of_cluster(c.index()))
-                .collect();
-            tiles.len() <= 1
-        }
-        Topology::Mesh => clusters.iter().all(|a| {
-            clusters.iter().all(|b| {
-                a == b
-                    || cfg
-                        .interconnect
-                        .cluster_hops(a.index(), b.index(), cfg.clusters)
-                        <= 2
-            })
-        }),
-    }
-}
+use vliw_machine::{AccessHint, MachineConfig, MappingHint, MemHints, PrefetchHint};
 
 /// Occupancy of memory slots: `(cluster, slot) -> #mem ops`.
 fn mem_slot_occupancy(schedule: &Schedule) -> HashMap<(usize, i64), usize> {
@@ -73,8 +48,9 @@ fn mem_slot_occupancy(schedule: &Schedule) -> HashMap<(usize, i64), usize> {
     occ
 }
 
-/// Assigns hints to every memory instruction of `schedule` in place.
-pub fn assign_hints(schedule: &mut Schedule, cfg: &MachineConfig) {
+/// Assigns hints to every memory instruction of `schedule` in place,
+/// consulting `cost` for the near/far sibling question.
+pub fn assign_hints(schedule: &mut Schedule, cfg: &MachineConfig, cost: &dyn PlacementCost) {
     let l0_lat = cfg.l0.map(|l| l.latency).unwrap_or(1);
     let occ = mem_slot_occupancy(schedule);
     let ii = schedule.ii() as i64;
@@ -119,7 +95,7 @@ pub fn assign_hints(schedule: &mut Schedule, cfg: &MachineConfig) {
                 .iter()
                 .map(|&m| schedule.placement(m).cluster)
                 .collect();
-            if clusters.len() >= 2 && siblings_are_near(cfg, &clusters) {
+            if clusters.len() >= 2 && cost.siblings_near(cfg, &clusters) {
                 interleaved_groups.insert(*origin);
             }
         }
@@ -240,9 +216,10 @@ pub fn assign_hints(schedule: &mut Schedule, cfg: &MachineConfig) {
 mod tests {
     use super::*;
     use crate::coherence::CoherencePolicy;
+    use crate::cost::StaticDistance;
     use crate::engine::{run, MarkPolicy, Mode};
     use vliw_ir::LoopBuilder;
-    use vliw_machine::MachineConfig;
+    use vliw_machine::{ClusterId, MachineConfig};
 
     fn l0_mode() -> Mode {
         Mode::L0 {
@@ -256,7 +233,7 @@ mod tests {
         let l = LoopBuilder::new("ew").trip_count(64).elementwise(2).build();
         let cfg = MachineConfig::micro2003();
         let mut s = run(&l, &cfg, l0_mode()).unwrap();
-        assign_hints(&mut s, &cfg);
+        assign_hints(&mut s, &cfg, &StaticDistance);
         let load = l.ops.iter().find(|o| o.is_load()).unwrap();
         let h = s.placement(load.id).hints;
         assert!(h.access.uses_l0());
@@ -272,7 +249,7 @@ mod tests {
             .build();
         let cfg = MachineConfig::micro2003();
         let mut s = run(&l, &cfg, l0_mode()).unwrap();
-        assign_hints(&mut s, &cfg);
+        assign_hints(&mut s, &cfg, &StaticDistance);
         let irr_load = l
             .ops
             .iter()
@@ -290,7 +267,7 @@ mod tests {
         let u = vliw_ir::unroll(&l, 4);
         let cfg = MachineConfig::micro2003();
         let mut s = run(&u, &cfg, l0_mode()).unwrap();
-        assign_hints(&mut s, &cfg);
+        assign_hints(&mut s, &cfg, &StaticDistance);
         let loads: Vec<_> = u.ops.iter().filter(|o| o.is_load()).collect();
         assert_eq!(loads.len(), 4);
         let interleaved = loads
@@ -319,7 +296,7 @@ mod tests {
         // Flat network: the unrolled good-stride group interleaves.
         let flat = MachineConfig::micro2003();
         let mut s = run(&u, &flat, l0_mode()).unwrap();
-        assign_hints(&mut s, &flat);
+        assign_hints(&mut s, &flat, &StaticDistance);
         let interleaved = |s: &crate::schedule::Schedule, l: &vliw_ir::LoopNest| {
             l.ops
                 .iter()
@@ -334,7 +311,7 @@ mod tests {
         // linear fills.
         let tiled = flat.with_interconnect(InterconnectConfig::hierarchical(2, 1, 2));
         let mut s = run(&u, &tiled, l0_mode()).unwrap();
-        assign_hints(&mut s, &tiled);
+        assign_hints(&mut s, &tiled, &StaticDistance);
         assert_eq!(interleaved(&s, &u), 0, "cross-tile deals are demoted");
         // the loads still use the L0 buffers, just with linear mapping
         let l0_loads = u
@@ -367,12 +344,13 @@ mod tests {
         // clusters is within 2 hops, so the interleaved deal survives.
         let near = MachineConfig::micro2003().with_interconnect(InterconnectConfig::mesh(1, 4));
         let mut s = run(&u, &near, l0_mode()).unwrap();
-        assign_hints(&mut s, &near);
+        assign_hints(&mut s, &near, &StaticDistance);
         assert_eq!(interleaved(&s, &u), 4, "2x2 mesh stays near");
 
         // Force the 4 siblings far apart: 16 clusters, unroll 4 spreads
         // them along a row/column of the 4x4 grid, but the pairwise check
-        // only demotes when some pair exceeds 2 hops — verified through
+        // only demotes when some pair exceeds the diameter-derived
+        // radius (3 hops on a 4x4 grid) — verified through
         // the predicate directly to keep the test placement-independent.
         let wide = {
             let mut cfg =
@@ -387,14 +365,17 @@ mod tests {
             .map(|&i| ClusterId::new(i))
             .collect();
         assert!(
-            !siblings_are_near(&wide, &corners),
+            !StaticDistance.siblings_near(&wide, &corners),
             "grid corners are 6 hops apart"
         );
         let row: HashSet<ClusterId> = [0usize, 1, 4, 5]
             .iter()
             .map(|&i| ClusterId::new(i))
             .collect();
-        assert!(siblings_are_near(&wide, &row), "a 2x2 quad is near");
+        assert!(
+            StaticDistance.siblings_near(&wide, &row),
+            "a 2x2 quad is near"
+        );
     }
 
     #[test]
@@ -405,7 +386,7 @@ mod tests {
             .build();
         let cfg = MachineConfig::micro2003();
         let mut s = run(&l, &cfg, l0_mode()).unwrap();
-        assign_hints(&mut s, &cfg);
+        assign_hints(&mut s, &cfg, &StaticDistance);
         let store = l.ops.iter().find(|o| o.is_store()).unwrap();
         let any_l0_load = s
             .placements
@@ -427,7 +408,7 @@ mod tests {
         let l = LoopBuilder::new("fir8").trip_count(64).fir(8, 2).build();
         let cfg = MachineConfig::micro2003();
         let mut s = run(&l, &cfg, l0_mode()).unwrap();
-        assign_hints(&mut s, &cfg);
+        assign_hints(&mut s, &cfg, &StaticDistance);
         let ii = s.ii() as i64;
         let occ = mem_slot_occupancy(&s);
         for p in &s.placements {

@@ -16,6 +16,11 @@
 //! * [`coherence`] — the intra-loop coherence solutions NL0 / 1C / PSR
 //!   (§4.1) and the decision logic of step ➍.
 //! * [`hints`] — step 4: access/mapping/prefetch hint assignment.
+//! * [`cost`] — the unified placement-cost layer: [`StaticDistance`]
+//!   (pure hop geometry, the bit-exact default) and [`Observed`] (a
+//!   harvested [`Profile`](vliw_machine::Profile) weighs routes by
+//!   measured link stalls and bank queueing) behind one
+//!   [`PlacementCost`] trait.
 //! * [`backend`] — the pluggable [`SchedulerBackend`] axis: [`SmsBackend`]
 //!   (the paper's heuristic, default) and [`ExactBackend`] (branch-and-
 //!   bound search for provably-minimal IIs, an offline SMT-solver
@@ -49,6 +54,7 @@ pub mod arch;
 pub mod backend;
 pub mod coherence;
 pub mod compile;
+pub mod cost;
 pub mod engine;
 pub mod flush;
 pub mod hints;
@@ -65,6 +71,7 @@ pub use compile::{
     compile_base, compile_for_l0, compile_for_l0_with, compile_interleaved, compile_multivliw,
     CompileRequest, InterleavedHeuristic, L0Options, MarkPolicy, UnrollPolicy,
 };
+pub use cost::{base_loop_name, Observed, PlacementCost, StaticDistance};
 pub use engine::{AssignmentPolicy, ScheduleError};
 pub use flush::{apply_selective_flushing, needs_flush_between};
 pub use schedule::{IiProof, Placement, PrefetchSlot, ReplicaSlot, Schedule};

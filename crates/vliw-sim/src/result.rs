@@ -12,6 +12,20 @@ pub struct OpStall {
     pub op: OpId,
     /// Total pipeline stall cycles this operation caused.
     pub stall_cycles: u64,
+    /// Of [`OpStall::stall_cycles`], the share traceable to network
+    /// contention (bank-port queueing + link saturation). The remainder
+    /// is a pure latency shortfall — the share an L0 slot can fix, which
+    /// is what profile-guided marking weighs
+    /// ([`OpStall::latency_cycles`]).
+    pub network_cycles: u64,
+}
+
+impl OpStall {
+    /// The non-contention share of the stall: the reply was simply
+    /// scheduled too close to its consumer for the latency it hit.
+    pub fn latency_cycles(&self) -> u64 {
+        self.stall_cycles.saturating_sub(self.network_cycles)
+    }
 }
 
 /// The outcome of simulating one loop (or an aggregate of several).
@@ -75,23 +89,28 @@ impl SimResult {
         self.contention_stall_cycles += other.contention_stall_cycles;
         self.link_stall_cycles += other.link_stall_cycles;
         for s in &other.op_stalls {
-            self.add_op_stall(s.op, s.stall_cycles);
+            self.add_op_stall(s.op, s.stall_cycles, s.network_cycles);
         }
         self.mem_stats.merge(&other.mem_stats);
     }
 
-    /// Adds `cycles` of stall attributed to `op`, keeping the list sorted.
-    pub fn add_op_stall(&mut self, op: OpId, cycles: u64) {
+    /// Adds `cycles` of stall attributed to `op` (of which `network`
+    /// cycles are contention), keeping the list sorted.
+    pub fn add_op_stall(&mut self, op: OpId, cycles: u64, network: u64) {
         if cycles == 0 {
             return;
         }
         match self.op_stalls.binary_search_by_key(&op, |s| s.op) {
-            Ok(i) => self.op_stalls[i].stall_cycles += cycles,
+            Ok(i) => {
+                self.op_stalls[i].stall_cycles += cycles;
+                self.op_stalls[i].network_cycles += network;
+            }
             Err(i) => self.op_stalls.insert(
                 i,
                 OpStall {
                     op,
                     stall_cycles: cycles,
+                    network_cycles: network,
                 },
             ),
         }
@@ -171,34 +190,39 @@ mod tests {
     #[test]
     fn op_stall_attribution_merges_by_op() {
         let mut a = SimResult::default();
-        a.add_op_stall(OpId(3), 5);
-        a.add_op_stall(OpId(1), 2);
-        a.add_op_stall(OpId(3), 1);
-        a.add_op_stall(OpId(2), 0); // zero-cycle stalls are not recorded
+        a.add_op_stall(OpId(3), 5, 1);
+        a.add_op_stall(OpId(1), 2, 0);
+        a.add_op_stall(OpId(3), 1, 1);
+        a.add_op_stall(OpId(2), 0, 0); // zero-cycle stalls are not recorded
         assert_eq!(
             a.op_stalls,
             vec![
                 OpStall {
                     op: OpId(1),
-                    stall_cycles: 2
+                    stall_cycles: 2,
+                    network_cycles: 0
                 },
                 OpStall {
                     op: OpId(3),
-                    stall_cycles: 6
+                    stall_cycles: 6,
+                    network_cycles: 2
                 },
             ],
             "sorted by op id"
         );
+        assert_eq!(a.op_stalls[1].latency_cycles(), 4);
 
         let mut b = SimResult::default();
-        b.add_op_stall(OpId(1), 10);
+        b.add_op_stall(OpId(1), 10, 3);
         b.merge(&a);
         assert_eq!(b.op_stalls[0].stall_cycles, 12);
+        assert_eq!(b.op_stalls[0].network_cycles, 3);
         assert_eq!(
             b.top_stall_ops(1),
             vec![OpStall {
                 op: OpId(1),
-                stall_cycles: 12
+                stall_cycles: 12,
+                network_cycles: 3
             }]
         );
     }

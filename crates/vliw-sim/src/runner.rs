@@ -165,13 +165,14 @@ pub fn simulate(
                             if reply.ready_at > deadline {
                                 let stall = reply.ready_at - deadline;
                                 slip += stall;
-                                result.add_op_stall(e.op, stall);
                                 // Attribute the stall to port queueing
                                 // first, then link saturation, so the two
                                 // shares never double-count one cycle.
                                 let port = stall.min(reply.queue_cycles);
+                                let link = (stall - port).min(reply.link_stalls);
+                                result.add_op_stall(e.op, stall, port + link);
                                 result.contention_stall_cycles += port;
-                                result.link_stall_cycles += (stall - port).min(reply.link_stalls);
+                                result.link_stall_cycles += link;
                             }
                         }
                     }
@@ -189,7 +190,11 @@ pub fn simulate(
     }
 
     result.stall_cycles = slip;
-    result.mem_stats = *model.stats();
+    result.mem_stats = model.stats().clone();
+    // Attach the network's per-link / per-bank observation (None on the
+    // flat network) — the counters a profiling run feeds back into
+    // placement.
+    result.mem_stats.net = model.network_load();
     result
 }
 
