@@ -1,0 +1,91 @@
+//! Times the event engine against the retained cycle-stepped reference
+//! on exactly the `sweep_clusters` mesh columns — the cells the
+//! event-core refactor targets. The engines are bit-exact (asserted
+//! here per rep, and property-tested in
+//! `vliw-sim/tests/engine_equivalence.rs`), so wall-clock is the only
+//! thing this measures.
+//!
+//! ```text
+//! cargo run --release -p vliw-bench --example engine_timing
+//! ```
+
+use std::time::Instant;
+use vliw_machine::{InterconnectConfig, L0Capacity, MachineConfig};
+use vliw_sched::{Arch, L0Options};
+use vliw_sim::{simulate_arch, simulate_reference, EngineKind, MemoryModelKind};
+use vliw_workloads::kernels;
+
+/// Reps per (config, kernel) pair; enough to dominate timer noise.
+const REPS: u32 = 20;
+
+/// The mesh+MSHR machine of the cluster sweep at `n` clusters.
+fn mesh_cfg(n: usize, mshr: usize) -> MachineConfig {
+    let mut cfg = MachineConfig::micro2003()
+        .with_l0_entries(L0Capacity::Bounded((32 / n).max(1)))
+        .with_interconnect(
+            InterconnectConfig::mesh((n / 4).max(1), 1)
+                .with_bank_interleave(8 * n)
+                .with_mshr(mshr),
+        );
+    cfg.clusters = n;
+    cfg.l1.block_bytes = 8 * n;
+    cfg.l1.size_bytes = 2 * 1024 * n;
+    cfg
+}
+
+fn main() {
+    let loops = [
+        kernels::adpcm_predictor("pred", 64, 30),
+        kernels::media_stream("stream", 3, 6, 2, 256, 10, false),
+        kernels::row_filter("fir6", 6, 160, 8),
+    ];
+
+    println!(
+        "{:>16} {:>12} {:>12} {:>8}",
+        "column", "stepped us", "event us", "ratio"
+    );
+    let (mut tot_event, mut tot_stepped) = (0u128, 0u128);
+    for &(n, mshr) in &[(16, 0), (16, 4), (32, 0), (32, 4), (64, 0), (64, 4)] {
+        let cfg = mesh_cfg(n, mshr);
+        let schedules: Vec<_> = loops
+            .iter()
+            .map(|l| Arch::L0.compile(l, &cfg, L0Options::default()).unwrap())
+            .collect();
+
+        let (mut event_us, mut stepped_us) = (0u128, 0u128);
+        for s in &schedules {
+            let t0 = Instant::now();
+            let mut event = None;
+            for _ in 0..REPS {
+                event = Some(simulate_arch(s, &cfg, Arch::L0));
+            }
+            event_us += t0.elapsed().as_micros();
+
+            let t0 = Instant::now();
+            let mut stepped = None;
+            for _ in 0..REPS {
+                let mut m = MemoryModelKind::for_arch(Arch::L0)
+                    .build_with_engine(&cfg, EngineKind::Stepped);
+                stepped = Some(simulate_reference(s, &cfg, m.as_mut()));
+            }
+            stepped_us += t0.elapsed().as_micros();
+            assert_eq!(event, stepped, "engines diverged at {n} clusters");
+        }
+        tot_event += event_us;
+        tot_stepped += stepped_us;
+        let label = if mshr > 0 {
+            format!("{n} mesh mshr")
+        } else {
+            format!("{n} mesh")
+        };
+        println!(
+            "{label:>16} {stepped_us:>12} {event_us:>12} {:>7.2}x",
+            stepped_us as f64 / event_us as f64
+        );
+    }
+    println!(
+        "{:>16} {tot_stepped:>12} {tot_event:>12} {:>7.2}x",
+        "total",
+        tot_stepped as f64 / tot_event as f64
+    );
+}

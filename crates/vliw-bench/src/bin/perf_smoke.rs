@@ -1,0 +1,107 @@
+//! Offline wall-clock smoke check for the event-driven simulator core.
+//!
+//! Runs a fixed mini-grid (three kernels × three variants spanning the
+//! flat fast path, a banked hierarchical network and the mesh NoC — the
+//! three arbitration structures the event engine replaced) `--reps`
+//! times and reports the per-rep and median wall-clock, drawn from the
+//! [`GridResult::wall_ms`] / [`Cell::sim_micros`] telemetry the runs
+//! now carry.
+//!
+//! The cycle counts are deterministic, so every rep's grid is
+//! cell-for-cell identical; only the wall-clock telemetry varies. The
+//! `--json <path>` artifact is an ordinary `BENCH_*.json` grid (the
+//! median-wall rep's), so a series of CI artifacts feeds straight into
+//! `bench-diff --trend` like any other sweep — but CI runs this step
+//! *non-gating*: shared runners make wall-clock too noisy to fail a
+//! build on, the artifact trail is the deliverable.
+//!
+//! [`GridResult::wall_ms`]: vliw_bench::experiment::GridResult::wall_ms
+//! [`Cell::sim_micros`]: vliw_bench::experiment::Cell::sim_micros
+
+use vliw_bench::experiment::{write_json, BinArgs, GridResult, SweepGrid, Variant};
+use vliw_bench::Arch;
+use vliw_machine::{InterconnectConfig, L0Capacity, MachineConfig};
+use vliw_workloads::{kernels, BenchmarkSpec};
+
+/// Default repetition count; odd, so the median is a real observation.
+const DEFAULT_REPS: usize = 5;
+
+/// The fixed mini-grid: small enough for seconds-scale CI, wide enough
+/// to touch every occupancy structure the event engine owns.
+fn grid() -> SweepGrid {
+    let spec = BenchmarkSpec::from_kernels(
+        "smoke",
+        vec![
+            kernels::adpcm_predictor("pred", 64, 8),
+            kernels::media_stream("stream", 3, 6, 2, 128, 4, false),
+            kernels::row_filter("fir6", 6, 96, 4),
+        ],
+    );
+    let n = 8;
+    let scaled = |label: &str| {
+        Variant::new(Arch::L0)
+            .clusters(n)
+            .l0(L0Capacity::Bounded(4))
+            .l1_block_bytes(8 * n)
+            .l1_size_bytes(2 * 1024 * n)
+            .labeled(label)
+    };
+    SweepGrid::new("perf_smoke", MachineConfig::micro2003(), vec![spec])
+        .variant(scaled("flat"))
+        .variant(
+            scaled("hier").interconnect(
+                InterconnectConfig::hierarchical(2, 1, 4).with_bank_interleave(8 * n),
+            ),
+        )
+        .variant(
+            scaled("mesh").interconnect(
+                InterconnectConfig::mesh(2, 1)
+                    .with_bank_interleave(8 * n)
+                    .with_mshr(4),
+            ),
+        )
+}
+
+/// One rep: the grid's own wall-clock telemetry, plus the result for
+/// the artifact. Falls back to 0 only if telemetry were ever disabled.
+fn rep() -> (u64, GridResult) {
+    let result = grid().run();
+    (result.wall_ms.unwrap_or(0), result)
+}
+
+fn main() {
+    let args = BinArgs::parse();
+    let reps: usize = args
+        .value_of("--reps")
+        .map(|v| v.parse().expect("--reps takes a positive integer"))
+        .unwrap_or(DEFAULT_REPS)
+        .max(1);
+
+    let mut runs: Vec<(u64, GridResult)> = (0..reps).map(|_| rep()).collect();
+    runs.sort_by_key(|(wall, _)| *wall);
+    let (median_wall, median_run) = &runs[reps / 2];
+    let sim_micros: u64 = median_run
+        .cells
+        .iter()
+        .map(|c| c.sim_micros.unwrap_or(0))
+        .sum();
+
+    println!("perf smoke: {} cells x {reps} reps", median_run.cells.len());
+    println!(
+        "  wall ms per rep (sorted): {:?}",
+        runs.iter().map(|(w, _)| *w).collect::<Vec<_>>()
+    );
+    println!("  median wall: {median_wall} ms  (simulate_arch share: {sim_micros} us)");
+    for cell in &median_run.cells {
+        println!(
+            "  {:>6}: normalized {:>6.3}  sim {:>6} us",
+            cell.variant,
+            cell.normalized,
+            cell.sim_micros.unwrap_or(0)
+        );
+    }
+
+    if let Some(path) = args.json_path() {
+        write_json(&path, median_run);
+    }
+}

@@ -43,7 +43,7 @@ impl ProofCounts {
 /// Cells are the `BENCH_*.json` trajectory format: serializable,
 /// comparable across runs, and sufficient to re-render any of the paper's
 /// figures without re-simulating.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Cell {
     /// Benchmark (row) name.
     pub benchmark: String,
@@ -104,8 +104,74 @@ pub struct Cell {
     /// `invalidate_buffer` executions removed by selective inter-loop
     /// flushing (0 unless the variant enables it).
     pub flushes_removed: u64,
+    /// Wall-clock microseconds the simulator spent producing this cell's
+    /// shipped run — telemetry, not simulated state (`None` in artifacts
+    /// written before the event engine). Machine- and load-dependent, so
+    /// [`Cell`] equality deliberately ignores it.
+    pub sim_micros: Option<u64>,
     /// Merged memory-system counters of the loop portion.
     pub mem: MemStats,
+}
+
+/// Equality over the *simulated* content only: `sim_micros` is measured
+/// wall time, which two runs of the same cell legitimately disagree on,
+/// and the determinism guards (serial vs. parallel grids, repeated runs)
+/// compare cells with `==`. The exhaustive destructuring keeps this list
+/// in sync with the struct by construction.
+impl PartialEq for Cell {
+    fn eq(&self, other: &Self) -> bool {
+        let Cell {
+            benchmark,
+            variant,
+            arch,
+            clusters,
+            l0_entries,
+            total_cycles,
+            compute_cycles,
+            stall_cycles,
+            contention_stall_cycles,
+            link_stall_cycles,
+            baseline_total_cycles,
+            normalized,
+            normalized_compute,
+            normalized_stall,
+            avg_unroll,
+            avg_ii,
+            avg_mii,
+            backend,
+            opts,
+            unroll_policy,
+            assignment,
+            proof,
+            flushes_removed,
+            mem,
+            sim_micros: _,
+        } = other;
+        self.benchmark == *benchmark
+            && self.variant == *variant
+            && self.arch == *arch
+            && self.clusters == *clusters
+            && self.l0_entries == *l0_entries
+            && self.total_cycles == *total_cycles
+            && self.compute_cycles == *compute_cycles
+            && self.stall_cycles == *stall_cycles
+            && self.contention_stall_cycles == *contention_stall_cycles
+            && self.link_stall_cycles == *link_stall_cycles
+            && self.baseline_total_cycles == *baseline_total_cycles
+            && self.normalized == *normalized
+            && self.normalized_compute == *normalized_compute
+            && self.normalized_stall == *normalized_stall
+            && self.avg_unroll == *avg_unroll
+            && self.avg_ii == *avg_ii
+            && self.avg_mii == *avg_mii
+            && self.backend == *backend
+            && self.opts == *opts
+            && self.unroll_policy == *unroll_policy
+            && self.assignment == *assignment
+            && self.proof == *proof
+            && self.flushes_removed == *flushes_removed
+            && self.mem == *mem
+    }
 }
 
 impl Cell {
@@ -186,6 +252,7 @@ mod tests {
                 l0_misses: 1,
                 ..Default::default()
             },
+            sim_micros: Some(1234),
         }
     }
 
@@ -195,6 +262,18 @@ mod tests {
         let json = serde_json::to_string_pretty(&cell).unwrap();
         let back: Cell = serde_json::from_str(&json).unwrap();
         assert_eq!(back, cell);
+        // equality ignores the telemetry field, so pin it separately
+        assert_eq!(back.sim_micros, cell.sim_micros);
+    }
+
+    #[test]
+    fn equality_ignores_wall_clock_telemetry() {
+        let a = sample();
+        let mut b = sample();
+        b.sim_micros = Some(999_999);
+        assert_eq!(a, b, "sim_micros is telemetry, not simulated state");
+        b.total_cycles += 1;
+        assert_ne!(a, b, "simulated state still compares");
     }
 
     #[test]
@@ -213,6 +292,7 @@ mod tests {
             "\"unroll_policy\"",
             "\"assignment\"",
             "\"link_stall_cycles\"",
+            "\"sim_micros\"",
         ] {
             assert!(json.contains(key), "{key} missing from {json}");
         }
@@ -232,6 +312,7 @@ mod tests {
             "proof",
             "assignment",
             "link_stall_cycles",
+            "sim_micros",
         ] {
             let start = json.find(&format!("\"{key}\":")).expect("key present");
             // Values here are scalars, strings or brace-balanced objects:
@@ -262,7 +343,12 @@ mod tests {
         legacy.proof = None;
         legacy.assignment = None;
         legacy.link_stall_cycles = None;
+        legacy.sim_micros = None;
         assert_eq!(back, legacy, "absent keys deserialize as None");
+        assert_eq!(
+            back.sim_micros, None,
+            "pre-event-engine artifacts carry no timing"
+        );
         assert_eq!(legacy.link_stalls(), 0, "pre-mesh artifacts read as 0");
     }
 

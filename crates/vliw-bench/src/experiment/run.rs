@@ -22,7 +22,7 @@ pub enum ExecMode {
 }
 
 /// The executed grid: every cell plus the axes to index them by.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct GridResult {
     /// Grid name (from [`SweepGrid::name`]).
     pub grid: String,
@@ -40,6 +40,34 @@ pub struct GridResult {
     /// one per profile-guided cell (`None` in artifacts written before
     /// profile-guided variants existed).
     pub profiles_computed: Option<usize>,
+    /// Wall-clock milliseconds [`run_grid`] took end to end — telemetry,
+    /// not simulated state (`None` in artifacts written before the event
+    /// engine). Machine- and load-dependent, so [`GridResult`] equality
+    /// deliberately ignores it.
+    pub wall_ms: Option<u64>,
+}
+
+/// Equality over the simulated content only: `wall_ms` (and each cell's
+/// `sim_micros`) is measured wall time, which the serial-vs-parallel and
+/// round-trip guards must not trip over.
+impl PartialEq for GridResult {
+    fn eq(&self, other: &Self) -> bool {
+        let GridResult {
+            grid,
+            benchmarks,
+            variants,
+            cells,
+            baselines_computed,
+            profiles_computed,
+            wall_ms: _,
+        } = other;
+        self.grid == *grid
+            && self.benchmarks == *benchmarks
+            && self.variants == *variants
+            && self.cells == *cells
+            && self.baselines_computed == *baselines_computed
+            && self.profiles_computed == *profiles_computed
+    }
 }
 
 impl GridResult {
@@ -85,6 +113,8 @@ struct SpecRun {
     /// What this run observed — per-loop stall attribution (rolled up to
     /// provenance origins) plus the network's per-link / per-bank load.
     profile: Profile,
+    /// Wall-clock microseconds spent inside the simulator for this run.
+    sim_micros: u64,
 }
 
 /// Compiles and simulates every loop of `spec` — the one place the
@@ -114,9 +144,12 @@ fn run_spec(
         flushes_removed,
         proof: ProofCounts::default(),
         profile: Profile::new(cfg.clusters, cfg.interconnect.topology),
+        sim_micros: 0,
     };
     for schedule in &schedules {
+        let t0 = std::time::Instant::now();
         let r = simulate_arch(schedule, cfg, request.arch);
+        run.sim_micros += t0.elapsed().as_micros() as u64;
         let w = r.total_cycles() as f64;
         run.unroll_weighted += schedule.loop_.unroll_factor as f64 * w;
         run.ii_weighted += f64::from(schedule.ii()) * w;
@@ -252,6 +285,7 @@ fn run_cell(
         assignment: Some(request.assignment),
         proof: Some(run.proof),
         flushes_removed: run.flushes_removed,
+        sim_micros: Some(run.sim_micros),
         mem: run.sim.mem_stats,
     }
 }
@@ -272,6 +306,7 @@ fn exec<T: Send, R: Send>(items: Vec<T>, mode: ExecMode, f: impl Fn(T) -> R + Sy
 /// Panics when a variant configuration is invalid or a loop cannot be
 /// scheduled (both harness bugs, not data-dependent conditions).
 pub fn run_grid(grid: &SweepGrid, mode: ExecMode) -> GridResult {
+    let wall_start = std::time::Instant::now();
     // Baselines depend only on the variant's *baseline* configuration
     // (cluster count etc. — never the L0 capacity), so a multi-column
     // sweep usually collapses to one baseline job per benchmark.
@@ -338,6 +373,7 @@ pub fn run_grid(grid: &SweepGrid, mode: ExecMode) -> GridResult {
         cells,
         baselines_computed,
         profiles_computed: Some(profiles_computed),
+        wall_ms: Some(wall_start.elapsed().as_millis() as u64),
     }
 }
 
@@ -373,7 +409,12 @@ mod tests {
         for cell in &result.cells {
             assert!(cell.total_cycles > 0);
             assert!(cell.normalized > 0.0);
+            assert!(
+                cell.sim_micros.is_some(),
+                "fresh cells carry wall-clock telemetry"
+            );
         }
+        assert!(result.wall_ms.is_some(), "grids carry wall-clock telemetry");
     }
 
     #[test]
@@ -452,6 +493,11 @@ mod tests {
         let json = serde_json::to_string_pretty(&result).unwrap();
         let back: GridResult = serde_json::from_str(&json).unwrap();
         assert_eq!(back, result);
+        // equality ignores the telemetry fields, so pin them separately
+        assert_eq!(back.wall_ms, result.wall_ms);
+        for (b, r) in back.cells.iter().zip(&result.cells) {
+            assert_eq!(b.sim_micros, r.sim_micros);
+        }
     }
 
     #[test]

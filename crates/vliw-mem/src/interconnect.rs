@@ -17,9 +17,14 @@
 //! * [`Interconnect::route_to_cluster`] is the distributed-model variant
 //!   where the caller already knows the target cluster (MultiVLIW snoop
 //!   targets, word-interleaved home modules).
-//! * [`Interconnect::tick`] is called once per drained simulation cycle by
-//!   the runner; it prunes reservations that can no longer influence any
-//!   in-flight request so the queues stay O(active window).
+//!
+//! Occupancy state lives behind [`EngineKind`]: the default event engine
+//! keeps each bank/link/port calendar in a [`SlotWheel`] whose stale
+//! slots retire as the clock passes them (no sweeps, no per-reservation
+//! allocation), while the retained cycle-stepped reference engine keeps
+//! the original `BTreeMap` calendars pruned by [`Interconnect::retire`]
+//! once per drained cycle. The two are timing-identical (DESIGN.md §10;
+//! pinned by the randomized engine-equivalence suite).
 //!
 //! Arbitration is cycle-accurate and deterministic: each bank grants at
 //! most `ports_per_bank` requests per cycle, excess requests slide to the
@@ -36,8 +41,59 @@
 //! short-circuits to zero extra cycles, which keeps the paper's 4-cluster
 //! machine bit-exact with the pre-interconnect simulator.
 
-use std::collections::{BTreeMap, HashMap};
+use crate::wheel::SlotWheel;
+use crate::EngineKind;
+use std::collections::BTreeMap;
 use vliw_machine::{BankLoad, ClusterId, InterconnectConfig, LinkLoad, NetLoad, Topology};
+
+/// One resource's grant calendar (`cycle -> grants issued`), in the
+/// engine-appropriate representation: a compact [`SlotWheel`] for the
+/// event engine, the original `BTreeMap` for the cycle-stepped reference.
+#[derive(Debug, Clone)]
+enum Occupancy {
+    /// Event engine: stale slots retire lazily as the clock passes.
+    Wheel(SlotWheel),
+    /// Reference engine: pruned explicitly by [`Interconnect::retire`].
+    Calendar(BTreeMap<u64, u32>),
+}
+
+impl Occupancy {
+    fn new(engine: EngineKind) -> Self {
+        match engine {
+            EngineKind::Event => Occupancy::Wheel(SlotWheel::new(crate::REPLAY_HORIZON)),
+            EngineKind::Stepped => Occupancy::Calendar(BTreeMap::new()),
+        }
+    }
+
+    /// Grants the first cycle ≥ `from` with fewer than `cap` grants —
+    /// the shared arbitration core of banks, links and node ports.
+    fn reserve(&mut self, from: u64, cap: u32) -> u64 {
+        match self {
+            Occupancy::Wheel(w) => w.reserve(from, cap),
+            Occupancy::Calendar(slots) => {
+                let mut t = from;
+                while slots.get(&t).copied().unwrap_or(0) >= cap {
+                    t += 1;
+                }
+                *slots.entry(t).or_insert(0) += 1;
+                t
+            }
+        }
+    }
+
+    /// Drops reservations before `cutoff` (reference engine only — the
+    /// wheel retires its slots implicitly).
+    fn retire(&mut self, cutoff: u64) {
+        if let Occupancy::Calendar(slots) = self {
+            if slots
+                .first_key_value()
+                .is_some_and(|(&first, _)| first < cutoff)
+            {
+                *slots = slots.split_off(&cutoff);
+            }
+        }
+    }
+}
 
 /// Outcome of routing one request through the network.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -117,41 +173,75 @@ impl Traverse {
 pub struct Interconnect {
     cfg: InterconnectConfig,
     clusters: usize,
-    /// Per-bank `cycle -> grants issued`; a cycle is full once it reaches
-    /// `ports_per_bank`.
-    granted: Vec<BTreeMap<u64, u32>>,
-    /// Per-directed-link `cycle -> flits forwarded` (mesh only); a cycle
-    /// is full once it reaches `link_capacity`.
-    links: HashMap<(usize, usize), BTreeMap<u64, u32>>,
+    engine: EngineKind,
+    /// Per-bank grant calendar; a cycle is full once it reaches
+    /// `ports_per_bank`. Empty on the flat network (nothing is ever
+    /// routed), which keeps the flat fast path allocation-free.
+    granted: Vec<Occupancy>,
+    /// Side length of the flat link index: the mesh grid's full node
+    /// space `rows × cols` (XY routes pass through grid nodes beyond
+    /// `clusters - 1` when the grid is not exactly square). 0 off the
+    /// mesh.
+    link_dim: usize,
+    /// Per-directed-link grant calendar (mesh only), indexed flat as
+    /// `from * link_dim + to`; a cycle is full once it reaches
+    /// `link_capacity`. Calendar state allocates lazily per touched
+    /// link, but the index itself is a plain array lookup — links sit on
+    /// the per-hop fast path, where a hashed map probe measurably
+    /// dominated mesh routing.
+    links: Vec<Option<Occupancy>>,
+    /// Indices into `links` that have been touched, in first-touch
+    /// order — [`Interconnect::retire`] sweeps only these, like the
+    /// lazily-populated map it replaced (the stepped engine retires
+    /// once per drained slot, so sweeping the full `links` vector
+    /// would charge it for every never-used link).
+    touched_links: Vec<u32>,
     /// Per-node port pools for cluster-directed mesh traffic: each mesh
     /// node's co-located structure (a MultiVLIW bank, a word-interleaved
     /// home module) arbitrates its own `ports_per_bank` ports, so
     /// physically distant nodes never alias into one pool. Empty off the
     /// mesh (the other topologies keep their bank/tile pools).
-    cluster_ports: Vec<BTreeMap<u64, u32>>,
+    cluster_ports: Vec<Occupancy>,
     /// Cumulative per-directed-link `(traversals, stall cycles)` — the
-    /// profiling counters behind [`Interconnect::network_load`].
-    link_load: HashMap<(usize, usize), (u64, u64)>,
+    /// profiling counters behind [`Interconnect::network_load`], indexed
+    /// like `links`.
+    link_load: Vec<(u64, u64)>,
     /// Cumulative per-bank `(granted requests, queue cycles)`.
     bank_load: Vec<(u64, u64)>,
 }
 
 impl Interconnect {
-    /// Builds the network for a machine with `clusters` clusters.
+    /// Builds the network for a machine with `clusters` clusters on the
+    /// default (event) engine.
     pub fn new(clusters: usize, cfg: InterconnectConfig) -> Self {
+        Self::with_engine(clusters, cfg, EngineKind::Event)
+    }
+
+    /// Builds the network on an explicit timing engine (the cycle-stepped
+    /// reference engine exists for the equivalence suite).
+    pub fn with_engine(clusters: usize, cfg: InterconnectConfig, engine: EngineKind) -> Self {
         let banks = if cfg.is_flat() { 0 } else { cfg.banks };
         let nodes = if cfg.topology == Topology::Mesh {
             clusters
         } else {
             0
         };
+        let link_dim = if nodes > 0 {
+            let cols = InterconnectConfig::mesh_cols(clusters);
+            cols * clusters.div_ceil(cols)
+        } else {
+            0
+        };
         Interconnect {
             cfg,
             clusters,
-            granted: vec![BTreeMap::new(); banks],
-            links: HashMap::new(),
-            cluster_ports: vec![BTreeMap::new(); nodes],
-            link_load: HashMap::new(),
+            engine,
+            granted: (0..banks).map(|_| Occupancy::new(engine)).collect(),
+            link_dim,
+            links: vec![None; link_dim * link_dim],
+            touched_links: Vec::new(),
+            cluster_ports: (0..nodes).map(|_| Occupancy::new(engine)).collect(),
+            link_load: vec![(0, 0); link_dim * link_dim],
             bank_load: vec![(0, 0); banks],
         }
     }
@@ -162,17 +252,21 @@ impl Interconnect {
     /// `(from, to)` and banks by index, so the snapshot is deterministic;
     /// banks that never granted a request are omitted.
     pub fn network_load(&self) -> NetLoad {
-        let mut links: Vec<LinkLoad> = self
+        // Flat `from * link_dim + to` indexing enumerates in ascending
+        // `(from, to)` order by construction; untouched links are
+        // omitted, matching the lazily-populated map this replaced.
+        let links: Vec<LinkLoad> = self
             .link_load
             .iter()
-            .map(|(&(from, to), &(traversals, stall_cycles))| LinkLoad {
-                from: from as u32,
-                to: to as u32,
+            .enumerate()
+            .filter(|(_, &(traversals, _))| traversals > 0)
+            .map(|(idx, &(traversals, stall_cycles))| LinkLoad {
+                from: (idx / self.link_dim) as u32,
+                to: (idx % self.link_dim) as u32,
                 traversals,
                 stall_cycles,
             })
             .collect();
-        links.sort_by_key(|l| (l.from, l.to));
         let banks = self
             .bank_load
             .iter()
@@ -234,26 +328,11 @@ impl Interconnect {
             return arrival; // flat network: no banks, no ports
         }
         let idx = bank % self.granted.len();
-        let start = Self::grant_in(
-            &mut self.granted[idx],
-            self.cfg.ports_per_bank as u32,
-            arrival,
-        );
+        let start = self.granted[idx].reserve(arrival, self.cfg.ports_per_bank as u32);
         let load = &mut self.bank_load[idx];
         load.0 += 1;
         load.1 += start - arrival;
         start
-    }
-
-    /// The shared port-arbitration core: first cycle ≥ `arrival` with
-    /// fewer than `ports` grants in `slots`.
-    fn grant_in(slots: &mut BTreeMap<u64, u32>, ports: u32, arrival: u64) -> u64 {
-        let mut t = arrival;
-        while slots.get(&t).copied().unwrap_or(0) >= ports {
-            t += 1;
-        }
-        *slots.entry(t).or_insert(0) += 1;
-        t
     }
 
     /// Routes a request from `cluster` to the bank owning `addr`.
@@ -299,11 +378,7 @@ impl Interconnect {
         }
         if self.cfg.topology == Topology::Mesh {
             let n = self.cluster_ports.len().max(1);
-            return Self::grant_in(
-                &mut self.cluster_ports[target % n],
-                self.cfg.ports_per_bank as u32,
-                arrival,
-            );
+            return self.cluster_ports[target % n].reserve(arrival, self.cfg.ports_per_bank as u32);
         }
         let nbanks = self.granted.len().max(1);
         self.grant_port(self.cfg.group_of_cluster(target) % nbanks, arrival)
@@ -363,8 +438,16 @@ impl Interconnect {
     /// use, with the link's flit capacity in place of the port count).
     fn reserve_link(&mut self, link: (usize, usize), t: u64) -> u64 {
         let capacity = self.cfg.link_capacity.max(1) as u32;
-        let grant = Self::grant_in(self.links.entry(link).or_default(), capacity, t);
-        let load = self.link_load.entry(link).or_insert((0, 0));
+        let engine = self.engine;
+        let idx = link.0 * self.link_dim + link.1;
+        let grant = match &mut self.links[idx] {
+            Some(occ) => occ.reserve(t, capacity),
+            slot @ None => {
+                self.touched_links.push(idx as u32);
+                slot.insert(Occupancy::new(engine)).reserve(t, capacity)
+            }
+        };
+        let load = &mut self.link_load[idx];
         load.0 += 1;
         load.1 += grant - t;
         grant
@@ -470,28 +553,29 @@ impl Interconnect {
         route
     }
 
-    /// Advances the network to `cycle`: reservations old enough that no
-    /// later-issued request can land on them are dropped. The simulator
-    /// replays overlapped iterations slightly out of global cycle order,
-    /// so a generous horizon is kept.
-    pub fn tick(&mut self, cycle: u64) {
-        fn prune(slots: &mut BTreeMap<u64, u32>, cutoff: u64) {
-            if slots
-                .first_key_value()
-                .is_some_and(|(&first, _)| first < cutoff)
-            {
-                *slots = slots.split_off(&cutoff);
-            }
-        }
+    /// Retires arbitration state the clock has left behind: reservations
+    /// more than [`REPLAY_HORIZON`](crate::REPLAY_HORIZON) cycles before
+    /// `cycle` can no longer influence any replayed request (the
+    /// simulator replays overlapped iterations slightly out of global
+    /// cycle order, so the horizon is generous) and are dropped.
+    ///
+    /// On the event engine this is a no-op — the wheels retire their
+    /// slots implicitly as reservations pass them — so the housekeeping
+    /// calendar may drive it at any cadence. The cycle-stepped reference
+    /// engine calls it once per drained cycle, which is exactly the
+    /// original `tick` discipline.
+    pub fn retire(&mut self, cycle: u64) {
         let cutoff = cycle.saturating_sub(crate::REPLAY_HORIZON);
         for slots in &mut self.granted {
-            prune(slots, cutoff);
+            slots.retire(cutoff);
         }
-        for slots in self.links.values_mut() {
-            prune(slots, cutoff);
+        for &idx in &self.touched_links {
+            if let Some(slots) = &mut self.links[idx as usize] {
+                slots.retire(cutoff);
+            }
         }
         for slots in &mut self.cluster_ports {
-            prune(slots, cutoff);
+            slots.retire(cutoff);
         }
     }
 }
@@ -607,19 +691,47 @@ mod tests {
     }
 
     #[test]
-    fn tick_prunes_but_preserves_recent_window() {
-        let mut ic = Interconnect::new(4, InterconnectConfig::crossbar(1, 1));
+    fn retire_prunes_but_preserves_recent_window() {
+        let mut ic =
+            Interconnect::with_engine(4, InterconnectConfig::crossbar(1, 1), EngineKind::Stepped);
         ic.route(c(0), 0, 10);
-        ic.tick(10_000);
+        ic.retire(10_000);
         let r = ic.route(c(1), 0, 10);
         assert_eq!(
             r.queue_cycles, 0,
             "pruned slot no longer blocks (request is stale anyway)"
         );
-        // recent reservations survive the tick
+        // recent reservations survive retirement
         ic.route(c(0), 0, 10_000);
-        ic.tick(10_001);
+        ic.retire(10_001);
         assert_eq!(ic.route(c(1), 0, 10_000).queue_cycles, 1);
+    }
+
+    #[test]
+    fn event_and_stepped_engines_grant_identically() {
+        // Same request stream, same timing — regardless of whether the
+        // calendars are wheels or horizon-pruned maps, and regardless of
+        // whether retire() is driven per cycle (the stepped cadence) or
+        // never (the wheels need no sweeps).
+        for cfg in [
+            InterconnectConfig::crossbar(2, 1),
+            InterconnectConfig::hierarchical(4, 1, 4),
+            InterconnectConfig::mesh(4, 1),
+        ] {
+            let mut event = Interconnect::new(16, cfg);
+            let mut stepped = Interconnect::with_engine(16, cfg, EngineKind::Stepped);
+            for i in 0..256u64 {
+                let cl = c((i % 16) as usize);
+                let cycle = i / 2 + (i % 5) * 3;
+                stepped.retire(cycle);
+                let a = event.route(cl, i * 8, cycle);
+                let b = stepped.route(cl, i * 8, cycle);
+                assert_eq!(a, b, "request {i} on {cfg:?}");
+                let ta = event.route_to_cluster(cl, (i as usize * 7) % 16, cycle);
+                let tb = stepped.route_to_cluster(cl, (i as usize * 7) % 16, cycle);
+                assert_eq!(ta, tb, "cluster route {i} on {cfg:?}");
+            }
+        }
     }
 
     #[test]
@@ -764,14 +876,28 @@ mod tests {
     }
 
     #[test]
-    fn mesh_tick_prunes_link_state() {
-        let mut ic = Interconnect::new(16, InterconnectConfig::mesh(4, 4));
+    fn mesh_retire_prunes_link_state() {
+        let mut ic =
+            Interconnect::with_engine(16, InterconnectConfig::mesh(4, 4), EngineKind::Stepped);
         ic.route_to_cluster(c(0), 1, 10);
-        ic.tick(10_000);
+        ic.retire(10_000);
         assert_eq!(
             ic.route_to_cluster(c(0), 1, 10).link_stall_cycles,
             0,
             "stale link reservations are dropped"
+        );
+    }
+
+    #[test]
+    fn event_engine_retires_stale_link_state_without_sweeps() {
+        // The wheel analogue of the pruning test: a reservation far in
+        // the past silently vanishes once the clock laps the ring.
+        let mut ic = Interconnect::new(16, InterconnectConfig::mesh(4, 4));
+        ic.route_to_cluster(c(0), 1, 10);
+        assert_eq!(
+            ic.route_to_cluster(c(0), 1, 1_000_000).link_stall_cycles,
+            0,
+            "ancient reservation no longer occupies the link"
         );
     }
 }

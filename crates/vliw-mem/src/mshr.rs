@@ -98,8 +98,12 @@ impl MshrFile {
     /// Drops registers whose refill completed long enough ago that no
     /// replayed request can still land inside their window (the shared
     /// [`REPLAY_HORIZON`](crate::REPLAY_HORIZON) discipline of
-    /// [`Interconnect::tick`](crate::Interconnect::tick)).
-    pub fn tick(&mut self, cycle: u64) {
+    /// [`Interconnect::retire`](crate::Interconnect::retire)). Pruning
+    /// is timing-invisible — stale windows match no probe and never
+    /// count as busy — so the event runner's housekeeping calendar may
+    /// drive this at any cadence; it exists purely to bound the file's
+    /// memory on long simulations.
+    pub fn retire(&mut self, cycle: u64) {
         let cutoff = cycle.saturating_sub(crate::REPLAY_HORIZON);
         for bank in &mut self.banks {
             bank.retain(|e| e.ready_at >= cutoff);
@@ -165,13 +169,13 @@ mod tests {
     }
 
     #[test]
-    fn tick_prunes_completed_refills() {
+    fn retire_prunes_completed_refills() {
         let mut m = MshrFile::new(1, 8);
         assert!(m.register(0, 0x100, 10, 20));
-        m.tick(10_000);
+        m.retire(10_000);
         assert_eq!(m.lookup(0, 0x100, 15), None);
         assert!(m.register(0, 0x200, 10_000, 10_020));
-        m.tick(10_001);
+        m.retire(10_001);
         assert_eq!(m.lookup(0, 0x200, 10_010), Some(10_020), "live entry kept");
     }
 }

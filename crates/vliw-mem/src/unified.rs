@@ -7,7 +7,8 @@ use crate::l0::{Entry, EntryMapping, L0Buffer, L0LookupResult, PrefetchAction};
 use crate::mshr::MshrFile;
 use crate::request::{MemReply, MemRequest, ReqKind, ServicedBy};
 use crate::stats::MemStats;
-use crate::MemoryModel;
+use crate::wheel::SlotWheel;
+use crate::{EngineKind, MemoryModel};
 use vliw_machine::{AccessHint, ClusterId, MachineConfig, MappingHint, PrefetchHint};
 
 /// Outcome of one trip through the shared unified-L1 path.
@@ -44,17 +45,17 @@ struct L1Stack {
 }
 
 impl L1Stack {
-    fn new(cfg: &MachineConfig) -> Self {
+    fn new(cfg: &MachineConfig, engine: EngineKind) -> Self {
         L1Stack {
             l1: SetAssocCache::new(cfg.l1.size_bytes, cfg.l1.block_bytes, cfg.l1.associativity),
-            ic: Interconnect::new(cfg.clusters, cfg.interconnect),
+            ic: Interconnect::with_engine(cfg.clusters, cfg.interconnect, engine),
             mshr: MshrFile::for_config(&cfg.interconnect),
         }
     }
 
-    fn tick(&mut self, cycle: u64) {
-        self.ic.tick(cycle);
-        self.mshr.tick(cycle);
+    fn retire(&mut self, cycle: u64) {
+        self.ic.retire(cycle);
+        self.mshr.retire(cycle);
     }
 
     /// Routes to the bank owning `addr`, probes the unified L1
@@ -142,34 +143,59 @@ impl L1Stack {
 /// arrive out of global cycle order, and an earlier-cycled request must
 /// not be penalized by a later-cycled one that was merely *processed*
 /// first.
+///
+/// Each bus keeps its reservations on the engine's structure of choice:
+/// an occupancy [`SlotWheel`] on the event engine (stale slots retire as
+/// the clock passes them, no prune sweeps), or the reference `BTreeSet`
+/// with its periodic `split_off` prune on the stepped engine. Both judge
+/// staleness against the same 512-cycle window, so the engines grant the
+/// same start cycle for the same request sequence.
 #[derive(Debug, Clone)]
-struct ClusterBuses {
-    reserved: Vec<std::collections::BTreeSet<u64>>,
+enum BusSlots {
+    Wheel(SlotWheel),
+    Set(std::collections::BTreeSet<u64>),
 }
 
+#[derive(Debug, Clone)]
+struct ClusterBuses {
+    reserved: Vec<BusSlots>,
+}
+
+/// How far behind the newest bus grant a reservation is kept alive —
+/// the prune cutoff the stepped reference has always used.
+const BUS_HORIZON: u64 = 512;
+
 impl ClusterBuses {
-    fn new(n: usize) -> Self {
+    fn new(n: usize, engine: EngineKind) -> Self {
+        let slots = match engine {
+            EngineKind::Event => BusSlots::Wheel(SlotWheel::new(BUS_HORIZON)),
+            EngineKind::Stepped => BusSlots::Set(std::collections::BTreeSet::new()),
+        };
         ClusterBuses {
-            reserved: vec![std::collections::BTreeSet::new(); n],
+            reserved: vec![slots; n],
         }
     }
 
     /// Acquires the bus of `cluster` at the first free cycle ≥ `cycle`;
     /// returns the actual start cycle.
     fn acquire(&mut self, cluster: ClusterId, cycle: u64) -> u64 {
-        let slots = &mut self.reserved[cluster.index()];
-        let mut start = cycle;
-        while slots.contains(&start) {
-            start += 1;
+        match &mut self.reserved[cluster.index()] {
+            BusSlots::Wheel(wheel) => wheel.reserve(cycle, 1),
+            BusSlots::Set(slots) => {
+                let mut start = cycle;
+                while slots.contains(&start) {
+                    start += 1;
+                }
+                slots.insert(start);
+                // prune slots far in the past so the set stays small
+                if slots.len() > 256 {
+                    let horizon = start.saturating_sub(BUS_HORIZON);
+                    let keep = slots.split_off(&horizon);
+                    *slots = keep;
+                }
+                start
+            }
         }
-        slots.insert(start);
-        // prune slots far in the past so the set stays small
-        if slots.len() > 256 {
-            let horizon = start.saturating_sub(512);
-            let keep = slots.split_off(&horizon);
-            *slots = keep;
-        }
-        start
     }
 }
 
@@ -189,12 +215,18 @@ pub struct UnifiedL1 {
 
 impl UnifiedL1 {
     /// Creates the baseline memory system for `cfg` (any L0 configuration
-    /// in `cfg` is ignored).
+    /// in `cfg` is ignored), on the default event engine.
     pub fn new(cfg: &MachineConfig) -> Self {
+        Self::with_engine(cfg, EngineKind::default())
+    }
+
+    /// Creates the baseline memory system on an explicit timing engine
+    /// (the stepped variant exists for the engine-equivalence suite).
+    pub fn with_engine(cfg: &MachineConfig, engine: EngineKind) -> Self {
         UnifiedL1 {
             cfg: cfg.clone(),
-            stack: L1Stack::new(cfg),
-            buses: ClusterBuses::new(cfg.clusters),
+            stack: L1Stack::new(cfg, engine),
+            buses: ClusterBuses::new(cfg.clusters, engine),
             stats: MemStats::for_network(&cfg.interconnect),
         }
     }
@@ -232,8 +264,8 @@ impl MemoryModel for UnifiedL1 {
         .merged(a.merged)
     }
 
-    fn tick(&mut self, cycle: u64) {
-        self.stack.tick(cycle);
+    fn retire(&mut self, cycle: u64) {
+        self.stack.retire(cycle);
     }
 
     fn stats(&self) -> &MemStats {
@@ -267,6 +299,16 @@ impl UnifiedWithL0 {
     ///
     /// Panics if `cfg` has no L0 configuration.
     pub fn new(cfg: &MachineConfig) -> Self {
+        Self::with_engine(cfg, EngineKind::default())
+    }
+
+    /// Creates the L0-buffer memory system on an explicit timing engine
+    /// (the stepped variant exists for the engine-equivalence suite).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` has no L0 configuration.
+    pub fn with_engine(cfg: &MachineConfig, engine: EngineKind) -> Self {
         let l0cfg = cfg.l0.expect("UnifiedWithL0 requires an L0 configuration");
         let sb = cfg.subblock_bytes() as u64;
         let bb = cfg.l1.block_bytes as u64;
@@ -275,8 +317,8 @@ impl UnifiedWithL0 {
             l0: (0..cfg.clusters)
                 .map(|_| L0Buffer::new(l0cfg.entries, sb, bb, cfg.clusters))
                 .collect(),
-            stack: L1Stack::new(cfg),
-            buses: ClusterBuses::new(cfg.clusters),
+            stack: L1Stack::new(cfg, engine),
+            buses: ClusterBuses::new(cfg.clusters, engine),
             stats: MemStats::for_network(&cfg.interconnect),
         }
     }
@@ -560,8 +602,8 @@ impl MemoryModel for UnifiedWithL0 {
         self.stats.buffer_flushes += 1;
     }
 
-    fn tick(&mut self, cycle: u64) {
-        self.stack.tick(cycle);
+    fn retire(&mut self, cycle: u64) {
+        self.stack.retire(cycle);
     }
 
     fn stats(&self) -> &MemStats {

@@ -506,28 +506,32 @@ impl<'a> Attempt<'a> {
             }
         }
 
-        let neighbors = |c: ClusterId| -> usize {
-            let mut count = 0;
-            for e in self.ddg.pred_edges(op) {
-                if let Some(d) = self.placed[e.src.index()] {
-                    if d.cluster == c && !e.kind.is_mem() {
-                        count += 1;
-                    }
+        // Per-cluster placed-neighbor counts in one pass over the edges
+        // (the sort key below reads them per cluster; recounting per key
+        // evaluation made this sort the compile-time hot spot at high
+        // cluster counts).
+        let mut neighbors = vec![0usize; n];
+        for e in self.ddg.pred_edges(op) {
+            if let Some(d) = self.placed[e.src.index()] {
+                if !e.kind.is_mem() {
+                    neighbors[d.cluster.index()] += 1;
                 }
             }
-            for e in self.ddg.succ_edges(op) {
-                if let Some(d) = self.placed[e.dst.index()] {
-                    if d.cluster == c && !e.kind.is_mem() {
-                        count += 1;
-                    }
+        }
+        for e in self.ddg.succ_edges(op) {
+            if let Some(d) = self.placed[e.dst.index()] {
+                if !e.kind.is_mem() {
+                    neighbors[d.cluster.index()] += 1;
                 }
             }
-            count
-        };
+        }
 
         let mut order: Vec<ClusterId> = ClusterId::all(n).collect();
         let is_mem = o.kind.is_mem();
-        order.sort_by_key(|&c| {
+        // Cached: each cluster's key is computed exactly once. The key
+        // ends in `c.index()`, so keys are unique and the (stable) sort
+        // yields the same order as evaluating keys per comparison.
+        order.sort_by_cached_key(|&c| {
             let rec = match self.recommended[op.index()] {
                 Some(r) if r == c => 0,
                 Some(_) => 1,
@@ -563,7 +567,7 @@ impl<'a> Attempt<'a> {
                 l0_avail,
                 owner,
                 dist,
-                usize::MAX - neighbors(c),
+                usize::MAX - neighbors[c.index()],
                 self.mrt.used_in_cluster(c),
                 c.index(),
             )

@@ -42,8 +42,11 @@
 pub mod model;
 pub mod result;
 pub mod runner;
+pub mod timeq;
 
 pub use model::{simulate_arch, MemoryModelKind};
 pub use result::{OpStall, SimResult};
-pub use runner::simulate;
+pub use runner::{simulate, simulate_reference};
+pub use timeq::TimeQueue;
+pub use vliw_mem::EngineKind;
 pub use vliw_sched::Arch;

@@ -1,9 +1,19 @@
-//! The lock-step execution loop.
+//! The execution loop: one core drain loop, two timing engines.
+//!
+//! [`simulate`] runs the event engine — arbitration state lives on
+//! occupancy wheels that retire as the clock passes them, and the only
+//! periodic work is a sparse housekeeping event on a [`TimeQueue`]
+//! calendar. [`simulate_reference`] runs the retained cycle-stepped
+//! reference — `BTreeMap`/`BTreeSet` arbitration state swept by
+//! [`MemoryModel::retire`] once per drained issue slot, the original
+//! tick discipline verbatim. The two are timing-identical (DESIGN.md
+//! §10), which the randomized engine-equivalence suite pins.
 
 use crate::result::SimResult;
+use crate::timeq::TimeQueue;
 use vliw_ir::{AddressStream, OpId};
 use vliw_machine::{ClusterId, MachineConfig};
-use vliw_mem::{MemRequest, MemoryModel, ReqKind};
+use vliw_mem::{EngineKind, MemRequest, MemoryModel, ReqKind, REPLAY_HORIZON};
 use vliw_sched::Schedule;
 
 /// One per-iteration memory event, precomputed from the schedule.
@@ -93,15 +103,20 @@ fn build_events(schedule: &Schedule) -> Vec<Event> {
     events
 }
 
-/// Simulates `schedule` against `model`.
+/// Simulates `schedule` against `model` on the event engine.
 ///
 /// Each iteration's events form a pending-request queue drained one issue
-/// slot at a time: the model's interconnect is ticked once per slot, and
-/// the slot's requests are issued together. On a contended (non-flat)
-/// network the service order within a slot rotates round-robin with the
-/// iteration index, so no cluster is structurally first at every bank
-/// arbitration; on the flat network the order is fixed and the loop is
-/// bit-exact with the original fixed-delay runner.
+/// slot at a time. On a contended (non-flat) network the service order
+/// within a slot rotates round-robin with the iteration index, so no
+/// cluster is structurally first at every bank arbitration; on the flat
+/// network the order is fixed and the loop is bit-exact with the original
+/// fixed-delay runner. Model housekeeping ([`MemoryModel::retire`]) rides
+/// a sparse [`TimeQueue`] calendar — one O(1) peek per slot, a retire
+/// roughly every [`REPLAY_HORIZON`] cycles — instead of a per-slot sweep;
+/// retirement is timing-invisible, so the cadence does not affect results.
+///
+/// The model must be built on [`EngineKind::Event`] (the default of every
+/// model constructor).
 ///
 /// Returns the compute/stall split — with stalls attributed per op and
 /// the interconnect-queueing share split out — and the memory statistics
@@ -110,6 +125,28 @@ pub fn simulate(
     schedule: &Schedule,
     cfg: &MachineConfig,
     model: &mut dyn MemoryModel,
+) -> SimResult {
+    run(schedule, cfg, model, EngineKind::Event)
+}
+
+/// Simulates `schedule` against `model` on the cycle-stepped reference
+/// cadence: [`MemoryModel::retire`] fires once per drained issue slot,
+/// the pre-event-engine tick discipline verbatim. Pair it with a model
+/// built on [`EngineKind::Stepped`]; the engine-equivalence suite holds
+/// this path and [`simulate`] to identical [`SimResult`]s.
+pub fn simulate_reference(
+    schedule: &Schedule,
+    cfg: &MachineConfig,
+    model: &mut dyn MemoryModel,
+) -> SimResult {
+    run(schedule, cfg, model, EngineKind::Stepped)
+}
+
+fn run(
+    schedule: &Schedule,
+    cfg: &MachineConfig,
+    model: &mut dyn MemoryModel,
+    engine: EngineKind,
 ) -> SimResult {
     let events = build_events(schedule);
     let loop_ = &schedule.loop_;
@@ -122,6 +159,13 @@ pub fn simulate(
     let mut result = SimResult::default();
     let mut slip: u64 = 0; // accumulated stall
     let mut clock_base: u64 = 0; // start cycle of the current visit
+
+    // The event engine's housekeeping calendar: a single self-renewing
+    // retire event, so the hot loop pays one peek per slot.
+    let mut housekeeping: TimeQueue<()> = TimeQueue::new();
+    if engine == EngineKind::Event {
+        housekeeping.schedule(REPLAY_HORIZON, ());
+    }
 
     for _visit in 0..loop_.visits {
         for i in 0..trip {
@@ -136,7 +180,16 @@ pub fn simulate(
                     hi += 1;
                 }
                 let slot = &events[lo..hi];
-                model.tick((iter_base as i64 + t) as u64 + slip);
+                let slot_clock = (iter_base as i64 + t) as u64 + slip;
+                match engine {
+                    EngineKind::Event => {
+                        while housekeeping.pop_due(slot_clock).is_some() {
+                            model.retire(slot_clock);
+                            housekeeping.schedule(slot_clock + REPLAY_HORIZON, ());
+                        }
+                    }
+                    EngineKind::Stepped => model.retire(slot_clock),
+                }
                 let rotation = if flat {
                     0
                 } else {
