@@ -15,12 +15,25 @@
 //! *non-gating*: shared runners make wall-clock too noisy to fail a
 //! build on, the artifact trail is the deliverable.
 //!
+//! `--service` switches to the compile-service smoke: the same three
+//! kernels replayed through [`CompileService`] cold (uncached) and warm
+//! (symbolic-keyed cache), `--reps` times, reporting median
+//! compiles/sec for each and the warm/cold ratio. Like the simulator
+//! smoke, it is wall-clock telemetry — CI runs it non-gating.
+//!
 //! [`GridResult::wall_ms`]: vliw_bench::experiment::GridResult::wall_ms
 //! [`Cell::sim_micros`]: vliw_bench::experiment::Cell::sim_micros
 
-use vliw_bench::experiment::{write_json, BinArgs, GridResult, SweepGrid, Variant};
+use serde::Serialize;
+use std::sync::Arc;
+use vliw_bench::experiment::{
+    materialize_mix, write_json, zipf_mix, BinArgs, GridResult, SweepGrid, Variant,
+};
 use vliw_bench::Arch;
+use vliw_ir::LoopNest;
 use vliw_machine::{InterconnectConfig, L0Capacity, MachineConfig};
+use vliw_sched::CompileRequest;
+use vliw_service::{CompileService, KeyMode, ServiceConfig, ServiceReport};
 use vliw_workloads::{kernels, BenchmarkSpec};
 
 /// Default repetition count; odd, so the median is a real observation.
@@ -69,6 +82,70 @@ fn rep() -> (u64, GridResult) {
     (result.wall_ms.unwrap_or(0), result)
 }
 
+/// Requests per service-smoke rep (small: seconds-scale CI).
+const SERVICE_REQUESTS: usize = 256;
+
+/// The `--service` JSON artifact: the median rep's cold and warm
+/// reports plus the ratio the tentpole exists for.
+#[derive(Debug, Serialize)]
+struct ServiceSmoke {
+    reps: u64,
+    requests: u64,
+    cold: ServiceReport,
+    warm: ServiceReport,
+    warm_over_cold: f64,
+}
+
+/// Cold vs. warm compile-service throughput over the smoke kernels.
+fn service_smoke(args: &BinArgs, reps: usize) {
+    let pool: Vec<Arc<LoopNest>> = vec![
+        Arc::new(kernels::adpcm_predictor("pred", 64, 8)),
+        Arc::new(kernels::media_stream("stream", 3, 6, 2, 128, 4, false)),
+        Arc::new(kernels::row_filter("fir6", 6, 96, 4)),
+    ];
+    let machine = Arc::new(MachineConfig::micro2003());
+    let request = Arc::new(CompileRequest::new(Arch::L0));
+    let mix = zipf_mix(pool.len(), SERVICE_REQUESTS, 1.1, 0x5e7_1ce);
+    let pass = |caching: bool| -> ServiceReport {
+        let config = ServiceConfig {
+            caching,
+            ..Default::default()
+        };
+        let stream = materialize_mix(&mix, &pool, &machine, &request, KeyMode::Symbolic);
+        CompileService::new(config).replay(stream)
+    };
+
+    let mut runs: Vec<(ServiceReport, ServiceReport)> =
+        (0..reps).map(|_| (pass(false), pass(true))).collect();
+    runs.sort_by(|a, b| a.1.compiles_per_sec.total_cmp(&b.1.compiles_per_sec));
+    let (cold, warm) = runs.swap_remove(reps / 2);
+    let ratio = warm.compiles_per_sec / cold.compiles_per_sec;
+
+    println!("perf smoke (service): {SERVICE_REQUESTS} requests x {reps} reps");
+    println!(
+        "  cold: {:>8.0} compiles/s   (p99 {} us)",
+        cold.compiles_per_sec, cold.latency_p99_micros
+    );
+    println!(
+        "  warm: {:>8.0} compiles/s   (p99 {} us, hit rate {:.3})",
+        warm.compiles_per_sec, warm.latency_p99_micros, warm.hit_rate
+    );
+    println!("  warm/cold: {ratio:.1}x");
+
+    if let Some(path) = args.json_path() {
+        write_json(
+            &path,
+            &ServiceSmoke {
+                reps: reps as u64,
+                requests: SERVICE_REQUESTS as u64,
+                cold,
+                warm,
+                warm_over_cold: ratio,
+            },
+        );
+    }
+}
+
 fn main() {
     let args = BinArgs::parse();
     let reps: usize = args
@@ -76,6 +153,9 @@ fn main() {
         .map(|v| v.parse().expect("--reps takes a positive integer"))
         .unwrap_or(DEFAULT_REPS)
         .max(1);
+    if args.has_flag("--service") {
+        return service_smoke(&args, reps);
+    }
 
     let mut runs: Vec<(u64, GridResult)> = (0..reps).map(|_| rep()).collect();
     runs.sort_by_key(|(wall, _)| *wall);

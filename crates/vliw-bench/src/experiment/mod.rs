@@ -40,6 +40,7 @@ pub mod diff;
 pub mod grid;
 pub mod render;
 pub mod run;
+pub mod service;
 
 pub use cell::{Cell, ProofCounts};
 pub use cli::{write_json, BinArgs};
@@ -47,3 +48,4 @@ pub use diff::{sparkline, CellDelta, CellTrend, GridDiff, GridTrend};
 pub use grid::{SweepGrid, Variant};
 pub use render::render_matrix;
 pub use run::{harvest_profile, ExecMode, GridResult};
+pub use service::{materialize_mix, zipf_mix, MixDraw, TRIP_MENU};

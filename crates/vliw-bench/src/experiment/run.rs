@@ -4,9 +4,9 @@ use crate::experiment::cell::ProofCounts;
 use crate::experiment::{Cell, SweepGrid, Variant};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use vliw_machine::{MachineConfig, Profile};
 use vliw_sched::{apply_selective_flushing, base_loop_name, Arch, CompileRequest, Schedule};
+use vliw_service::{ArtifactStore, KeyBuilder, StoreStats};
 use vliw_sim::{simulate_arch, SimResult};
 use vliw_workloads::BenchmarkSpec;
 
@@ -45,6 +45,12 @@ pub struct GridResult {
     /// engine). Machine- and load-dependent, so [`GridResult`] equality
     /// deliberately ignores it.
     pub wall_ms: Option<u64>,
+    /// Content-addressed job-memo telemetry: how the planning pass's
+    /// artifact store deduplicated baseline and base-run executions
+    /// across cells (`None` in artifacts written before the store).
+    /// Planning is deterministic, so — unlike `wall_ms` — this *is*
+    /// part of [`GridResult`] equality.
+    pub store: Option<StoreStats>,
 }
 
 /// Equality over the simulated content only: `wall_ms` (and each cell's
@@ -60,6 +66,7 @@ impl PartialEq for GridResult {
             baselines_computed,
             profiles_computed,
             wall_ms: _,
+            store,
         } = other;
         self.grid == *grid
             && self.benchmarks == *benchmarks
@@ -67,6 +74,7 @@ impl PartialEq for GridResult {
             && self.cells == *cells
             && self.baselines_computed == *baselines_computed
             && self.profiles_computed == *profiles_computed
+            && self.store == *store
     }
 }
 
@@ -315,30 +323,57 @@ pub fn run_grid(grid: &SweepGrid, mode: ExecMode) -> GridResult {
     // (benchmark, configuration, request, flush) tuple: a plain column
     // and a PGO column of the same machine genuinely share one
     // simulation, which doubles as the PGO column's profiling pass.
-    let mut job_of_key: HashMap<(usize, MachineConfig), usize> = HashMap::new();
+    //
+    // Both memos are content-addressed [`ArtifactStore`]s over the same
+    // canonical-JSON keys the compile service uses, holding job tickets
+    // (indices into the job vectors) rather than artifacts; unbounded,
+    // since the plan is finite and every entry is needed.
+    let spec_keys: Vec<KeyBuilder> = grid
+        .benchmarks
+        .iter()
+        .map(|spec| KeyBuilder::new().field("benchmark", spec))
+        .collect();
+    let mut baseline_memo: ArtifactStore<usize> = ArtifactStore::new(None);
     let mut baseline_jobs: Vec<(usize, MachineConfig)> = Vec::new();
-    type BaseKey = (usize, MachineConfig, CompileRequest, bool);
-    let mut base_job_of_key: HashMap<BaseKey, usize> = HashMap::new();
-    let mut base_jobs: Vec<BaseKey> = Vec::new();
+    let mut base_memo: ArtifactStore<usize> = ArtifactStore::new(None);
+    let mut base_jobs: Vec<(usize, MachineConfig, CompileRequest, bool)> = Vec::new();
     let mut pgo_jobs: std::collections::HashSet<usize> = std::collections::HashSet::new();
     let mut cell_jobs: Vec<(usize, usize, usize, usize)> = Vec::new();
     for (bi, _) in grid.benchmarks.iter().enumerate() {
         for (vi, variant) in grid.variants.iter().enumerate() {
             let bcfg = variant.config(&grid.base_cfg).without_l0();
-            let job = *job_of_key.entry((bi, bcfg.clone())).or_insert_with(|| {
-                baseline_jobs.push((bi, bcfg));
-                baseline_jobs.len() - 1
-            });
-            let key: BaseKey = (
-                bi,
-                variant.config(&grid.base_cfg),
-                variant.request(),
-                variant.selective_flush,
-            );
-            let base_job = *base_job_of_key.entry(key.clone()).or_insert_with(|| {
-                base_jobs.push(key);
-                base_jobs.len() - 1
-            });
+            let bkey = spec_keys[bi]
+                .clone()
+                .field("machine", &bcfg)
+                .field("kind", "baseline")
+                .finish();
+            let job = match baseline_memo.get(&bkey) {
+                Some(&job) => job,
+                None => {
+                    baseline_jobs.push((bi, bcfg));
+                    let job = baseline_jobs.len() - 1;
+                    baseline_memo.insert(bkey, job, 0);
+                    job
+                }
+            };
+            let cfg = variant.config(&grid.base_cfg);
+            let request = variant.request();
+            let key = spec_keys[bi]
+                .clone()
+                .field("machine", &cfg)
+                .field("request", &request)
+                .field("flush", &variant.selective_flush)
+                .field("kind", "base-run")
+                .finish();
+            let base_job = match base_memo.get(&key) {
+                Some(&job) => job,
+                None => {
+                    base_jobs.push((bi, cfg, request, variant.selective_flush));
+                    let job = base_jobs.len() - 1;
+                    base_memo.insert(key, job, 0);
+                    job
+                }
+            };
             if variant.profile_guided {
                 pgo_jobs.insert(base_job);
             }
@@ -346,6 +381,7 @@ pub fn run_grid(grid: &SweepGrid, mode: ExecMode) -> GridResult {
         }
     }
 
+    let store_stats = baseline_memo.stats().merged(&base_memo.stats());
     let baselines_computed = baseline_jobs.len();
     // The trajectory format reports how many of the memoized base runs
     // served as *profiling* passes (fed a recompile), not the total.
@@ -374,6 +410,7 @@ pub fn run_grid(grid: &SweepGrid, mode: ExecMode) -> GridResult {
         baselines_computed,
         profiles_computed: Some(profiles_computed),
         wall_ms: Some(wall_start.elapsed().as_millis() as u64),
+        store: Some(store_stats),
     }
 }
 
@@ -426,6 +463,14 @@ mod tests {
             result.baselines_computed, 2,
             "one per spec, not one per cell"
         );
+        // The content-addressed memo sees 2×2 lookups per memo (4 cells):
+        // 4 baseline misses-or-hits + 4 base-run lookups, deduplicated to
+        // 2 baseline jobs and 4 base-run jobs (the L0 capacity *is* part
+        // of the base-run key).
+        let stats = result.store.expect("fresh grids carry memo stats");
+        assert_eq!(stats.insertions, 2 + 4, "deduplicated job count");
+        assert_eq!(stats.hits + stats.misses, 8, "one lookup per memo per cell");
+        assert_eq!(stats.hits, 2, "the shared baselines");
 
         // A cluster-count override *does* change the baseline.
         let grid = SweepGrid::new(

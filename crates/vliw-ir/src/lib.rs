@@ -46,6 +46,7 @@ pub mod loop_nest;
 pub mod op;
 pub mod specialize;
 pub mod stride;
+pub mod symbolic;
 pub mod unroll;
 
 pub use addr::AddressStream;
@@ -56,4 +57,5 @@ pub use loop_nest::{ArrayId, ArrayInfo, DepEdge, DepKind, LoopNest};
 pub use op::{MemAccess, Op, OpId, OpKind, StridePattern, VirtReg};
 pub use specialize::specialize;
 pub use stride::StrideClass;
+pub use symbolic::{normalize_trips, TripShape, SYMBOLIC_TRIP_COUNT};
 pub use unroll::unroll;

@@ -1,0 +1,126 @@
+//! Symbolic trip-count normalization.
+//!
+//! *Symbolic loop compilation* (Witterauf et al., PAPERS.md) compiles a
+//! loop once with **symbolic** trip counts and instantiates the result
+//! per request at near-zero cost. The enabling observation for this
+//! code base is that nothing in the loop *body* depends on the trip
+//! count: operations, dependence edges, strides and array footprints
+//! are all per-iteration facts. The trip count only matters to
+//! *decisions layered on top* — the flat-vs-unrolled choice of §4.3
+//! step 1 and the cycles-per-visit cost model — and those are cheap to
+//! replay at instantiation time.
+//!
+//! [`normalize_trips`] splits a [`LoopNest`] into a canonical *template*
+//! (trip count pinned to [`SYMBOLIC_TRIP_COUNT`], visits pinned to 1)
+//! plus the extracted [`TripShape`]. Two loops that differ only in
+//! bounds normalize to the **same** template, so a content-addressed
+//! cache keyed on the template serves both from one artifact.
+//!
+//! The loop *name* is deliberately **not** normalized: profile-guided
+//! placement cost looks observed stall weights up by loop name, so
+//! folding names together would alias distinct profiles.
+
+use crate::loop_nest::LoopNest;
+use serde::{Deserialize, Serialize};
+
+/// Canonical trip count used in normalized templates.
+///
+/// Chosen large (2²⁰) so the template sits on the asymptotic side of
+/// every trip-dependent decision: any unroll factor `n` in practical
+/// range satisfies `trip_count >= n`, so the template never loses an
+/// unroll candidate to the small-trip eligibility check. The actual
+/// decision is replayed with the real [`TripShape`] at instantiation.
+pub const SYMBOLIC_TRIP_COUNT: u64 = 1 << 20;
+
+/// Canonical visit count used in normalized templates.
+pub const SYMBOLIC_VISITS: u64 = 1;
+
+/// The trip-dependent residue of a loop: everything
+/// [`normalize_trips`] strips out of the template, and everything
+/// instantiation needs to put back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TripShape {
+    /// Iterations per visit of the innermost loop.
+    pub trip_count: u64,
+    /// Times the loop is entered over the program run.
+    pub visits: u64,
+}
+
+impl TripShape {
+    /// Extract the shape of a loop without normalizing it.
+    pub fn of(loop_: &LoopNest) -> Self {
+        TripShape {
+            trip_count: loop_.trip_count,
+            visits: loop_.visits,
+        }
+    }
+
+    /// The canonical shape every template carries.
+    pub fn symbolic() -> Self {
+        TripShape {
+            trip_count: SYMBOLIC_TRIP_COUNT,
+            visits: SYMBOLIC_VISITS,
+        }
+    }
+
+    /// Write this shape back onto a loop (the inverse of
+    /// [`normalize_trips`] for the fields it touched).
+    pub fn apply(&self, loop_: &mut LoopNest) {
+        loop_.trip_count = self.trip_count;
+        loop_.visits = self.visits;
+    }
+}
+
+/// Split a loop into a canonical template plus its [`TripShape`].
+///
+/// The returned template is identical to the input except that
+/// `trip_count` and `visits` are pinned to the symbolic canon; body,
+/// edges, arrays, name and unroll factor pass through untouched. Two
+/// calls on loops differing only in bounds return templates that
+/// compare (and serialize) identically.
+pub fn normalize_trips(loop_: &LoopNest) -> (LoopNest, TripShape) {
+    let shape = TripShape::of(loop_);
+    let mut template = loop_.clone();
+    TripShape::symbolic().apply(&mut template);
+    (template, shape)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::LoopBuilder;
+
+    #[test]
+    fn templates_are_trip_invariant() {
+        let a = LoopBuilder::new("k").trip_count(17).elementwise(2).build();
+        let mut b = a.clone();
+        b.trip_count = 4096;
+        b.visits = 9;
+        let (ta, sa) = normalize_trips(&a);
+        let (tb, sb) = normalize_trips(&b);
+        assert_eq!(ta, tb);
+        assert_eq!(sa.trip_count, 17);
+        assert_eq!(sb.trip_count, 4096);
+        assert_eq!(sb.visits, 9);
+    }
+
+    #[test]
+    fn apply_round_trips() {
+        let a = LoopBuilder::new("k").trip_count(33).elementwise(4).build();
+        let (mut t, shape) = normalize_trips(&a);
+        assert_eq!(t.trip_count, SYMBOLIC_TRIP_COUNT);
+        assert_eq!(t.visits, SYMBOLIC_VISITS);
+        shape.apply(&mut t);
+        assert_eq!(t, a);
+    }
+
+    #[test]
+    fn names_are_preserved() {
+        let a = LoopBuilder::new("hot+spec")
+            .trip_count(5)
+            .elementwise(2)
+            .build();
+        let (t, _) = normalize_trips(&a);
+        assert_eq!(t.name, "hot+spec");
+    }
+}

@@ -214,10 +214,108 @@ impl CompileRequest {
 
     /// The placement-cost model this request compiles under: `Observed`
     /// over the attached profile, or the bit-exact `StaticDistance`.
-    fn cost(&self) -> Box<dyn PlacementCost + '_> {
+    pub(crate) fn cost(&self) -> Box<dyn PlacementCost + '_> {
         match &self.profile {
             Some(p) => Box::new(Observed::new(p)),
             None => Box::new(StaticDistance),
+        }
+    }
+
+    /// The machine view this request's schedules are built (and
+    /// validated) against: the full machine for the L0 target,
+    /// [`MachineConfig::without_l0`] for everything else.
+    pub(crate) fn scheduling_cfg(&self, cfg: &MachineConfig) -> MachineConfig {
+        if self.arch.uses_l0() {
+            cfg.clone()
+        } else {
+            cfg.without_l0()
+        }
+    }
+
+    /// Rejects a profile harvested on a different machine shape.
+    ///
+    /// A profile is only meaningful for the machine that produced it:
+    /// node ids in its link loads and bank indices in its port loads
+    /// would silently alias on a different grid.
+    pub(crate) fn check_profile(&self, cfg: &MachineConfig) -> Result<(), ScheduleError> {
+        if let Some(p) = &self.profile {
+            if p.clusters != cfg.clusters || p.topology != cfg.interconnect.topology {
+                return Err(ScheduleError::BadConfig(format!(
+                    "profile was harvested on a {}-cluster {} machine but the target is a                      {}-cluster {} machine",
+                    p.clusters, p.topology, cfg.clusters, cfg.interconnect.topology
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Lowers this request against one loop: specialization plus the
+    /// per-architecture dispatch (machine view, scheduling mode, whether
+    /// the L0 finishing tail runs). Shared by [`CompileRequest::compile`]
+    /// and the symbolic template path, so both resolve a request
+    /// identically.
+    pub(crate) fn lower(
+        &self,
+        loop_: &LoopNest,
+        cfg: &MachineConfig,
+    ) -> Result<Lowered, ScheduleError> {
+        use crate::Arch;
+        match self.arch {
+            Arch::Baseline => {
+                let cfg = cfg.without_l0();
+                let mode = Mode::Base {
+                    load_latency: cfg.l1.latency,
+                };
+                Ok(Lowered {
+                    loop_: specialize(loop_),
+                    cfg,
+                    mode,
+                    l0_tail: false,
+                })
+            }
+            Arch::L0 => {
+                if cfg.l0.is_none() {
+                    return Err(ScheduleError::BadConfig(
+                        "compile_for_l0 needs an L0 configuration".into(),
+                    ));
+                }
+                let lowered = if self.opts.specialize {
+                    specialize(loop_)
+                } else {
+                    loop_.clone()
+                };
+                Ok(Lowered {
+                    loop_: lowered,
+                    cfg: cfg.clone(),
+                    mode: Mode::L0 {
+                        mark: self.opts.mark,
+                        policy: self.opts.policy,
+                    },
+                    l0_tail: true,
+                })
+            }
+            Arch::MultiVliw => Ok(Lowered {
+                loop_: specialize(loop_),
+                cfg: cfg.without_l0(),
+                mode: Mode::Base {
+                    load_latency: vliw_machine::MultiVliwConfig::micro2003().local_latency,
+                },
+                l0_tail: false,
+            }),
+            Arch::Interleaved1 | Arch::Interleaved2 => {
+                let wi = WordInterleavedConfig::micro2003();
+                Ok(Lowered {
+                    loop_: specialize(loop_),
+                    cfg: cfg.without_l0(),
+                    mode: Mode::WordInterleaved {
+                        owner_aware: self.arch == Arch::Interleaved2,
+                        local_latency: wi.local_latency,
+                        remote_latency: wi.remote_latency,
+                        word_bytes: wi.word_bytes as u64,
+                    },
+                    l0_tail: false,
+                })
+            }
         }
     }
 
@@ -235,67 +333,24 @@ impl CompileRequest {
         loop_: &LoopNest,
         cfg: &MachineConfig,
     ) -> Result<Schedule, ScheduleError> {
-        use crate::Arch;
-        // A profile is only meaningful for the machine shape that
-        // produced it: node ids in its link loads and bank indices in
-        // its port loads would silently alias on a different grid.
-        if let Some(p) = &self.profile {
-            if p.clusters != cfg.clusters || p.topology != cfg.interconnect.topology {
-                return Err(ScheduleError::BadConfig(format!(
-                    "profile was harvested on a {}-cluster {} machine but the target is a                      {}-cluster {} machine",
-                    p.clusters, p.topology, cfg.clusters, cfg.interconnect.topology
-                )));
-            }
-        }
+        self.check_profile(cfg)?;
+        let lowered = self.lower(loop_, cfg)?;
         let backend = self.backend.as_backend();
-        let assignment = self.assignment;
         let cost = self.cost();
         let cost = cost.as_ref();
-        match self.arch {
-            Arch::Baseline => compile_base_with(
-                loop_,
-                &cfg.without_l0(),
-                backend,
-                self.unroll,
-                assignment,
-                cost,
-            ),
-            Arch::L0 => compile_l0_with(
-                loop_,
-                cfg,
-                self.opts,
-                backend,
-                self.unroll,
-                assignment,
-                cost,
-            ),
-            Arch::MultiVliw => compile_multivliw_with(
-                loop_,
-                &cfg.without_l0(),
-                backend,
-                self.unroll,
-                assignment,
-                cost,
-            ),
-            Arch::Interleaved1 => compile_interleaved_with(
-                loop_,
-                &cfg.without_l0(),
-                InterleavedHeuristic::One,
-                backend,
-                self.unroll,
-                assignment,
-                cost,
-            ),
-            Arch::Interleaved2 => compile_interleaved_with(
-                loop_,
-                &cfg.without_l0(),
-                InterleavedHeuristic::Two,
-                backend,
-                self.unroll,
-                assignment,
-                cost,
-            ),
+        let mut schedule = schedule_best_unroll(
+            &lowered.loop_,
+            &lowered.cfg,
+            lowered.mode,
+            backend,
+            self.unroll,
+            self.assignment,
+            cost,
+        )?;
+        if lowered.l0_tail {
+            finish_l0(&mut schedule, &lowered.cfg, cost);
         }
+        Ok(schedule)
     }
 
     /// [`CompileRequest::compile`] for loops that are schedulable by
@@ -314,11 +369,42 @@ impl CompileRequest {
     }
 }
 
+/// The arch-resolved front half of one compilation, produced by
+/// [`CompileRequest::lower`]: the specialized loop body, the machine
+/// view the backend schedules against, the scheduling mode, and whether
+/// the L0 finishing tail (steps 4–5) runs after scheduling.
+pub(crate) struct Lowered {
+    /// Loop body after (optional) specialization, before unrolling.
+    pub(crate) loop_: LoopNest,
+    /// Machine view the backend sees (`without_l0` for non-L0 arches).
+    pub(crate) cfg: MachineConfig,
+    /// Scheduling mode handed to the backend.
+    pub(crate) mode: Mode,
+    /// Run [`finish_l0`] on the winning schedule.
+    pub(crate) l0_tail: bool,
+}
+
 /// Statically-estimated compute cost per *original* iteration — the
 /// quantity step 1 minimizes when choosing the unroll factor.
 fn cost_per_iteration(schedule: &Schedule, unroll_factor: u64) -> f64 {
     let orig_iters = (schedule.loop_.trip_count * unroll_factor).max(1);
     schedule.compute_cycles_per_visit() as f64 / orig_iters as f64
+}
+
+/// Step 1's eligibility gate: unrolling is considered at all only under
+/// [`UnrollPolicy::Auto`], on a multi-cluster machine, for loops with at
+/// least N iterations. Shared with symbolic instantiation so both paths
+/// gate on the identical predicate.
+pub(crate) fn unroll_eligible(policy: UnrollPolicy, n: usize, trip_count: u64) -> bool {
+    policy != UnrollPolicy::Never && n > 1 && trip_count >= n as u64
+}
+
+/// Step 1's tie-break between the two candidate schedules: the unrolled
+/// version wins only when *strictly* cheaper per original iteration.
+/// Shared with symbolic instantiation so both paths run the identical
+/// floating-point comparison.
+pub(crate) fn unrolled_wins(flat: &Schedule, unrolled: &Schedule, n: usize) -> bool {
+    cost_per_iteration(unrolled, n as u64) < cost_per_iteration(flat, 1)
 }
 
 /// Step 1 + step 3: schedules `loop_` both unrolled by N and not unrolled
@@ -335,22 +421,24 @@ fn schedule_best_unroll(
 ) -> Result<Schedule, ScheduleError> {
     let flat = backend.schedule(loop_, cfg, mode, assignment, cost)?;
     let n = cfg.clusters;
-    if policy == UnrollPolicy::Never || n <= 1 || loop_.trip_count < n as u64 {
+    if !unroll_eligible(policy, n, loop_.trip_count) {
         return Ok(flat);
     }
     let unrolled_loop = unroll(loop_, n);
     match backend.schedule(&unrolled_loop, cfg, mode, assignment, cost) {
-        Ok(unrolled) => {
-            let cost_flat = cost_per_iteration(&flat, 1);
-            let cost_unrolled = cost_per_iteration(&unrolled, n as u64);
-            if cost_unrolled < cost_flat {
-                Ok(unrolled)
-            } else {
-                Ok(flat)
-            }
-        }
-        Err(_) => Ok(flat),
+        Ok(unrolled) if unrolled_wins(&flat, &unrolled, n) => Ok(unrolled),
+        _ => Ok(flat),
     }
+}
+
+/// Steps 4–5 of §4.3 (L0 target only): hint assignment, explicit
+/// prefetch insertion and the inter-loop flush. Everything here is
+/// trip-count independent, which is what lets the symbolic path run it
+/// once per template instead of once per instantiation.
+pub(crate) fn finish_l0(schedule: &mut Schedule, cfg: &MachineConfig, cost: &dyn PlacementCost) {
+    assign_hints(schedule, cfg, cost);
+    insert_explicit_prefetches(schedule, cfg);
+    schedule.flush_on_exit = true; // inter-loop coherence (§4.1)
 }
 
 /// Compiles for the baseline clustered VLIW with a unified L1 and no L0
@@ -361,36 +449,7 @@ fn schedule_best_unroll(
 /// Returns [`ScheduleError`] when no feasible II exists (pathologically
 /// over-constrained loops) or the machine configuration is invalid.
 pub fn compile_base(loop_: &LoopNest, cfg: &MachineConfig) -> Result<Schedule, ScheduleError> {
-    compile_base_with(
-        loop_,
-        cfg,
-        BackendKind::default().as_backend(),
-        UnrollPolicy::default(),
-        AssignmentPolicy::default(),
-        &StaticDistance,
-    )
-}
-
-fn compile_base_with(
-    loop_: &LoopNest,
-    cfg: &MachineConfig,
-    backend: &dyn SchedulerBackend,
-    unroll: UnrollPolicy,
-    assignment: AssignmentPolicy,
-    cost: &dyn PlacementCost,
-) -> Result<Schedule, ScheduleError> {
-    let lowered = specialize(loop_);
-    schedule_best_unroll(
-        &lowered,
-        cfg,
-        Mode::Base {
-            load_latency: cfg.l1.latency,
-        },
-        backend,
-        unroll,
-        assignment,
-        cost,
-    )
+    CompileRequest::new(crate::Arch::Baseline).compile(loop_, cfg)
 }
 
 /// Compiles for the paper's architecture (unified L1 + flexible L0
@@ -400,7 +459,7 @@ fn compile_base_with(
 ///
 /// See [`compile_base`].
 pub fn compile_for_l0(loop_: &LoopNest, cfg: &MachineConfig) -> Result<Schedule, ScheduleError> {
-    compile_for_l0_with(loop_, cfg, L0Options::default())
+    CompileRequest::new(crate::Arch::L0).compile(loop_, cfg)
 }
 
 /// [`compile_for_l0`] with explicit options (ablations).
@@ -413,47 +472,9 @@ pub fn compile_for_l0_with(
     cfg: &MachineConfig,
     opts: L0Options,
 ) -> Result<Schedule, ScheduleError> {
-    compile_l0_with(
-        loop_,
-        cfg,
-        opts,
-        BackendKind::default().as_backend(),
-        UnrollPolicy::default(),
-        AssignmentPolicy::default(),
-        &StaticDistance,
-    )
-}
-
-#[allow(clippy::too_many_arguments)]
-fn compile_l0_with(
-    loop_: &LoopNest,
-    cfg: &MachineConfig,
-    opts: L0Options,
-    backend: &dyn SchedulerBackend,
-    unroll: UnrollPolicy,
-    assignment: AssignmentPolicy,
-    cost: &dyn PlacementCost,
-) -> Result<Schedule, ScheduleError> {
-    if cfg.l0.is_none() {
-        return Err(ScheduleError::BadConfig(
-            "compile_for_l0 needs an L0 configuration".into(),
-        ));
-    }
-    let lowered = if opts.specialize {
-        specialize(loop_)
-    } else {
-        loop_.clone()
-    };
-    let mode = Mode::L0 {
-        mark: opts.mark,
-        policy: opts.policy,
-    };
-    let mut schedule =
-        schedule_best_unroll(&lowered, cfg, mode, backend, unroll, assignment, cost)?;
-    assign_hints(&mut schedule, cfg, cost);
-    insert_explicit_prefetches(&mut schedule, cfg);
-    schedule.flush_on_exit = true; // inter-loop coherence (§4.1)
-    Ok(schedule)
+    CompileRequest::new(crate::Arch::L0)
+        .opts(opts)
+        .compile(loop_, cfg)
 }
 
 /// Compiles for the MultiVLIW distributed-cache baseline: loads scheduled
@@ -463,37 +484,7 @@ fn compile_l0_with(
 ///
 /// See [`compile_base`].
 pub fn compile_multivliw(loop_: &LoopNest, cfg: &MachineConfig) -> Result<Schedule, ScheduleError> {
-    compile_multivliw_with(
-        loop_,
-        cfg,
-        BackendKind::default().as_backend(),
-        UnrollPolicy::default(),
-        AssignmentPolicy::default(),
-        &StaticDistance,
-    )
-}
-
-fn compile_multivliw_with(
-    loop_: &LoopNest,
-    cfg: &MachineConfig,
-    backend: &dyn SchedulerBackend,
-    unroll: UnrollPolicy,
-    assignment: AssignmentPolicy,
-    cost: &dyn PlacementCost,
-) -> Result<Schedule, ScheduleError> {
-    let lowered = specialize(loop_);
-    let local = vliw_machine::MultiVliwConfig::micro2003().local_latency;
-    schedule_best_unroll(
-        &lowered,
-        cfg,
-        Mode::Base {
-            load_latency: local,
-        },
-        backend,
-        unroll,
-        assignment,
-        cost,
-    )
+    CompileRequest::new(crate::Arch::MultiVliw).compile(loop_, cfg)
 }
 
 /// Compiles for the word-interleaved distributed-cache baseline with the
@@ -507,36 +498,11 @@ pub fn compile_interleaved(
     cfg: &MachineConfig,
     heuristic: InterleavedHeuristic,
 ) -> Result<Schedule, ScheduleError> {
-    compile_interleaved_with(
-        loop_,
-        cfg,
-        heuristic,
-        BackendKind::default().as_backend(),
-        UnrollPolicy::default(),
-        AssignmentPolicy::default(),
-        &StaticDistance,
-    )
-}
-
-#[allow(clippy::too_many_arguments)]
-fn compile_interleaved_with(
-    loop_: &LoopNest,
-    cfg: &MachineConfig,
-    heuristic: InterleavedHeuristic,
-    backend: &dyn SchedulerBackend,
-    unroll: UnrollPolicy,
-    assignment: AssignmentPolicy,
-    cost: &dyn PlacementCost,
-) -> Result<Schedule, ScheduleError> {
-    let lowered = specialize(loop_);
-    let wi = WordInterleavedConfig::micro2003();
-    let mode = Mode::WordInterleaved {
-        owner_aware: heuristic == InterleavedHeuristic::Two,
-        local_latency: wi.local_latency,
-        remote_latency: wi.remote_latency,
-        word_bytes: wi.word_bytes as u64,
+    let arch = match heuristic {
+        InterleavedHeuristic::One => crate::Arch::Interleaved1,
+        InterleavedHeuristic::Two => crate::Arch::Interleaved2,
     };
-    schedule_best_unroll(&lowered, cfg, mode, backend, unroll, assignment, cost)
+    CompileRequest::new(arch).compile(loop_, cfg)
 }
 
 /// Step 5: adds an explicit software prefetch for every L0-latency load

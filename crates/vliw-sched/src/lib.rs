@@ -63,6 +63,7 @@ pub mod mrt;
 pub mod render;
 pub mod schedule;
 pub mod sms;
+pub mod symbolic;
 
 pub use arch::Arch;
 pub use backend::{BackendKind, ExactBackend, SchedulerBackend, SmsBackend};
@@ -75,3 +76,4 @@ pub use cost::{base_loop_name, Observed, PlacementCost, StaticDistance};
 pub use engine::{AssignmentPolicy, ScheduleError};
 pub use flush::{apply_selective_flushing, needs_flush_between};
 pub use schedule::{IiProof, Placement, PrefetchSlot, ReplicaSlot, Schedule};
+pub use symbolic::SymbolicArtifact;

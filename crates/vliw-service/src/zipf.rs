@@ -1,0 +1,91 @@
+//! Deterministic Zipf-skewed sampling for request replay.
+//!
+//! Production compile traffic is heavily skewed: a few hot kernels
+//! dominate while a long tail of one-off shapes trickles in. The
+//! replay harness models that with the classic Zipf distribution —
+//! rank `i` (0-based) is drawn with weight `1 / (i+1)^s` — driven by
+//! the workspace's deterministic xorshift PRNG so a replayed mix is
+//! reproducible bit-for-bit from its seed.
+
+use vliw_testutil::Rng;
+
+/// A precomputed Zipf sampler over ranks `0..n`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// Cumulative weights, normalized to end at 1.0.
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// A sampler over `n` ranks with skew exponent `s` (`s = 0` is
+    /// uniform; `s ≈ 1` is the classic web-traffic skew).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` is zero.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for i in 0..n {
+            total += 1.0 / ((i + 1) as f64).powf(s);
+            cdf.push(total);
+        }
+        for w in &mut cdf {
+            *w /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draws one rank in `0..n`.
+    pub fn sample(&self, rng: &mut Rng) -> usize {
+        // 53 random bits -> uniform f64 in [0, 1).
+        let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.cdf
+            .partition_point(|&c| c <= u)
+            .min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skewed_sampling_favours_low_ranks() {
+        let z = Zipf::new(50, 1.0);
+        let mut rng = Rng::new(7);
+        let mut counts = [0u32; 50];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[0] > 2 * counts[25]);
+        // Every rank remains reachable in a tail this long.
+        assert!(counts.iter().filter(|&&c| c > 0).count() >= 40);
+    }
+
+    #[test]
+    fn zero_exponent_is_roughly_uniform() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = Rng::new(3);
+        let mut counts = vec![0u32; 10];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((3500..6500).contains(&c), "uniform draw out of band: {c}");
+        }
+    }
+
+    #[test]
+    fn replay_is_deterministic_per_seed() {
+        let z = Zipf::new(20, 0.9);
+        let draw = |seed| {
+            let mut rng = Rng::new(seed);
+            (0..100).map(|_| z.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(42), draw(42));
+        assert_ne!(draw(42), draw(43));
+    }
+}

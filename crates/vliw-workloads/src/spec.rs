@@ -5,7 +5,7 @@ use vliw_ir::{stride, LoopNest, StrideClass};
 
 /// One synthetic benchmark: a mix of inner loops plus a scalar (non-loop)
 /// fraction.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BenchmarkSpec {
     /// Benchmark name (matches Table 1 for the Mediabench suite; synthetic
     /// single-kernel specs built by the experiment engine use the kernel's

@@ -16,6 +16,8 @@
 //!   scheduler, and the paper's L0-aware scheduling algorithm.
 //! * [`sim`] — the lock-step cycle simulator.
 //! * [`workloads`] — the synthetic Mediabench-like benchmark suite.
+//! * [`service`] — compile-as-a-service: the sharded worker pool over a
+//!   content-addressed artifact cache with symbolic trip-count keys.
 //!
 //! # Quickstart
 //!
@@ -41,6 +43,7 @@ pub use vliw_ir as ir;
 pub use vliw_machine as machine;
 pub use vliw_mem as mem;
 pub use vliw_sched as sched;
+pub use vliw_service as service;
 pub use vliw_sim as sim;
 pub use vliw_workloads as workloads;
 
