@@ -1,7 +1,9 @@
 //! Declarative sweep definitions: what to run, not how to run it.
 
 use vliw_machine::{InterconnectConfig, L0Capacity, MachineConfig};
-use vliw_sched::{Arch, AssignmentPolicy, BackendKind, CompileRequest, L0Options, UnrollPolicy};
+use vliw_sched::{
+    Arch, AssignmentPolicy, BackendKind, CompileRequest, L0Options, UnrollPolicy, VerifyLevel,
+};
 use vliw_workloads::BenchmarkSpec;
 
 /// One experiment variant — a column of a figure or table.
@@ -58,6 +60,11 @@ pub struct Variant {
     /// hot-first L0 marking — and report the second pass. The profiling
     /// pass is memoized per `(benchmark, configuration, blind request)`.
     pub profile_guided: bool,
+    /// Verification level threaded into every compile this variant
+    /// issues (`None` keeps the request's default, `Debug`). Grids run
+    /// by CI set `Full` so every schedule is re-checked from first
+    /// principles by the pass pipeline's `verify` stage.
+    pub verify: Option<VerifyLevel>,
     /// `true` while the label tracks the latest knob automatically.
     auto_label: bool,
 }
@@ -80,6 +87,7 @@ impl Variant {
             unroll: UnrollPolicy::default(),
             selective_flush: false,
             profile_guided: false,
+            verify: None,
             auto_label: true,
         }
     }
@@ -166,11 +174,21 @@ impl Variant {
     /// The fully-resolved compile request this variant schedules with —
     /// recorded verbatim in every [`Cell`](crate::experiment::Cell).
     pub fn request(&self) -> CompileRequest {
-        CompileRequest::new(self.arch)
+        let req = CompileRequest::new(self.arch)
             .backend(self.backend)
             .opts(self.opts)
             .unroll(self.unroll)
-            .assignment(self.assignment)
+            .assignment(self.assignment);
+        match self.verify {
+            Some(level) => req.verify(level),
+            None => req,
+        }
+    }
+
+    /// Sets the verification level for every compile this variant issues.
+    pub fn verify(mut self, level: VerifyLevel) -> Self {
+        self.verify = Some(level);
+        self
     }
 
     /// Enables selective inter-loop flushing.
@@ -288,6 +306,22 @@ mod tests {
                 .label,
             "all-candidates",
             "explicit labels win over knob labels"
+        );
+    }
+
+    #[test]
+    fn variant_verify_level_reaches_the_request() {
+        let v = Variant::new(Arch::L0);
+        assert_eq!(
+            v.request().verify_level(),
+            VerifyLevel::Debug,
+            "unset keeps the request default"
+        );
+        let full = v.verify(VerifyLevel::Full);
+        assert_eq!(full.request().verify_level(), VerifyLevel::Full);
+        assert_eq!(
+            full.label, "L0 buffers",
+            "verification is not a column axis"
         );
     }
 

@@ -5,7 +5,10 @@ use crate::experiment::{Cell, SweepGrid, Variant};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use vliw_machine::{MachineConfig, Profile};
-use vliw_sched::{apply_selective_flushing, base_loop_name, Arch, CompileRequest, Schedule};
+use vliw_sched::{
+    apply_selective_flushing, base_loop_name, merge_pass_stats, Arch, CompileRequest, PassStat,
+    Schedule,
+};
 use vliw_service::{ArtifactStore, KeyBuilder, StoreStats};
 use vliw_sim::{simulate_arch, SimResult};
 use vliw_workloads::BenchmarkSpec;
@@ -51,6 +54,12 @@ pub struct GridResult {
     /// Planning is deterministic, so — unlike `wall_ms` — this *is*
     /// part of [`GridResult`] equality.
     pub store: Option<StoreStats>,
+    /// Per-pass compile timing, merged by pass name across every
+    /// compilation the grid ran (baselines, base runs and profile-guided
+    /// recompiles). Wall-clock telemetry like `wall_ms` — the `micros`
+    /// vary run to run, so equality ignores it (`None` in artifacts
+    /// written before the pass pipeline).
+    pub pass_stats: Option<Vec<PassStat>>,
 }
 
 /// Equality over the simulated content only: `wall_ms` (and each cell's
@@ -67,6 +76,7 @@ impl PartialEq for GridResult {
             profiles_computed,
             wall_ms: _,
             store,
+            pass_stats: _,
         } = other;
         self.grid == *grid
             && self.benchmarks == *benchmarks
@@ -123,6 +133,8 @@ struct SpecRun {
     profile: Profile,
     /// Wall-clock microseconds spent inside the simulator for this run.
     sim_micros: u64,
+    /// Per-pass compile timing, merged by name across this run's loops.
+    pass_stats: Vec<PassStat>,
 }
 
 /// Compiles and simulates every loop of `spec` — the one place the
@@ -133,10 +145,19 @@ fn run_spec(
     request: &CompileRequest,
     selective_flush: bool,
 ) -> SpecRun {
+    let mut pass_stats: Vec<PassStat> = Vec::new();
     let mut schedules: Vec<Schedule> = spec
         .loops
         .iter()
-        .map(|l| request.compile_or_panic(l, cfg))
+        .map(|l| {
+            // Same panic contract as `compile_or_panic`, but keeps the
+            // pipeline's per-pass timing.
+            let (s, stats) = request
+                .compile_with_stats(l, cfg)
+                .unwrap_or_else(|e| panic!("{} ('{}'): {e}", request.arch.label(), l.name));
+            merge_pass_stats(&mut pass_stats, &stats);
+            s
+        })
         .collect();
     let flushes_removed = if selective_flush {
         apply_selective_flushing(&mut schedules) as u64
@@ -153,6 +174,7 @@ fn run_spec(
         proof: ProofCounts::default(),
         profile: Profile::new(cfg.clusters, cfg.interconnect.topology),
         sim_micros: 0,
+        pass_stats,
     };
     for schedule in &schedules {
         let t0 = std::time::Instant::now();
@@ -220,6 +242,8 @@ struct Baseline {
     loops_total: u64,
     /// Loop + scalar cycles (the normalization denominator).
     total: u64,
+    /// Per-pass compile timing of the baseline compilation.
+    pass_stats: Vec<PassStat>,
 }
 
 fn compute_baseline(spec: &BenchmarkSpec, cfg: &MachineConfig) -> Baseline {
@@ -228,16 +252,20 @@ fn compute_baseline(spec: &BenchmarkSpec, cfg: &MachineConfig) -> Baseline {
     Baseline {
         loops_total,
         total: loops_total + spec.scalar_cycles_for(loops_total),
+        pass_stats: run.pass_stats,
     }
 }
 
+/// Returns the cell plus the pass timing of any compilation this cell
+/// ran *itself* (the profile-guided recompile); the shared baseline and
+/// base-run timings are accounted once by [`run_grid`], not per cell.
 fn run_cell(
     grid: &SweepGrid,
     bench: usize,
     variant: &Variant,
     baseline: &Baseline,
     base: &SpecRun,
-) -> Cell {
+) -> (Cell, Vec<PassStat>) {
     let spec = &grid.benchmarks[bench];
     let cfg = variant.config(&grid.base_cfg);
     // A profile-guided cell recompiles the variant's declared
@@ -249,23 +277,25 @@ fn run_cell(
     // cold-model compile is never replaced by a worse profile-guided
     // one.
     let request = variant.request();
-    let (run, request) = if variant.profile_guided {
+    let (run, request, own_stats) = if variant.profile_guided {
         let pgo = request.clone().profile_guided(base.profile.clone());
-        let run2 = run_spec(spec, &cfg, &pgo, variant.selective_flush);
+        let mut run2 = run_spec(spec, &cfg, &pgo, variant.selective_flush);
+        // The recompile's cost is real whichever binary ships.
+        let own_stats = std::mem::take(&mut run2.pass_stats);
         if run2.sim.total_cycles() <= base.sim.total_cycles() {
-            (run2, pgo)
+            (run2, pgo, own_stats)
         } else {
-            (base.clone(), request)
+            (base.clone(), request, own_stats)
         }
     } else {
-        (base.clone(), request)
+        (base.clone(), request, Vec::new())
     };
     let scalar = spec.scalar_cycles_for(baseline.loops_total);
     let total = run.sim.total_cycles() + scalar;
     let compute = run.sim.compute_cycles + scalar;
     let denom = baseline.total.max(1) as f64;
     let weight = run.weight.max(1.0);
-    Cell {
+    let cell = Cell {
         benchmark: spec.name.clone(),
         variant: variant.label.clone(),
         arch: variant.arch,
@@ -295,7 +325,8 @@ fn run_cell(
         flushes_removed: run.flushes_removed,
         sim_micros: Some(run.sim_micros),
         mem: run.sim.mem_stats,
-    }
+    };
+    (cell, own_stats)
 }
 
 /// Runs every item through `f`, serially or on the rayon pool.
@@ -392,15 +423,32 @@ pub fn run_grid(grid: &SweepGrid, mode: ExecMode) -> GridResult {
     let base_runs: Vec<SpecRun> = exec(base_jobs, mode, |(bi, cfg, request, flush)| {
         run_spec(&grid.benchmarks[bi], &cfg, &request, flush)
     });
-    let cells: Vec<Cell> = exec(cell_jobs, mode, |(bi, vi, job, base_job)| {
-        run_cell(
-            grid,
-            bi,
-            &grid.variants[vi],
-            &baselines[job],
-            &base_runs[base_job],
-        )
-    });
+    let (cells, cell_stats): (Vec<Cell>, Vec<Vec<PassStat>>) =
+        exec(cell_jobs, mode, |(bi, vi, job, base_job)| {
+            run_cell(
+                grid,
+                bi,
+                &grid.variants[vi],
+                &baselines[job],
+                &base_runs[base_job],
+            )
+        })
+        .into_iter()
+        .unzip();
+
+    // One merged ledger for the whole grid, in job order — deterministic
+    // in calls (the micros are wall time) regardless of ExecMode,
+    // because exec returns results in input order.
+    let mut pass_stats: Vec<PassStat> = Vec::new();
+    for b in &baselines {
+        merge_pass_stats(&mut pass_stats, &b.pass_stats);
+    }
+    for r in &base_runs {
+        merge_pass_stats(&mut pass_stats, &r.pass_stats);
+    }
+    for s in &cell_stats {
+        merge_pass_stats(&mut pass_stats, s);
+    }
 
     GridResult {
         grid: grid.name.clone(),
@@ -411,6 +459,7 @@ pub fn run_grid(grid: &SweepGrid, mode: ExecMode) -> GridResult {
         profiles_computed: Some(profiles_computed),
         wall_ms: Some(wall_start.elapsed().as_millis() as u64),
         store: Some(store_stats),
+        pass_stats: Some(pass_stats),
     }
 }
 
@@ -483,6 +532,44 @@ mod tests {
         .variant(Variant::new(Arch::L0).clusters(2))
         .variant(Variant::new(Arch::L0).clusters(4));
         assert_eq!(grid.run().baselines_computed, 2, "one per cluster count");
+    }
+
+    #[test]
+    fn grids_carry_merged_pass_timing() {
+        let result = small_grid().run();
+        let stats = result
+            .pass_stats
+            .as_ref()
+            .expect("fresh grids carry pass timing");
+        let names: Vec<&str> = stats.iter().map(|s| s.name.as_str()).collect();
+        for expected in [
+            "check-profile",
+            "lower",
+            "schedule-flat",
+            "select-unroll",
+            "verify",
+        ] {
+            assert!(names.contains(&expected), "missing {expected} in {names:?}");
+        }
+        // Every distinct compilation passes through `lower` once per
+        // loop: 2 memoized baselines + 4 base runs, one loop each.
+        let lower = stats.iter().find(|s| s.name == "lower").unwrap();
+        assert_eq!(lower.calls, 6, "one lower per memoized compilation");
+    }
+
+    #[test]
+    fn full_verification_leaves_results_bit_identical() {
+        use vliw_sched::VerifyLevel;
+        let plain = small_grid().run();
+        let mut checked = small_grid();
+        checked.variants = checked
+            .variants
+            .into_iter()
+            .map(|v| v.verify(VerifyLevel::Full))
+            .collect();
+        // Verification only *checks* — re-deriving every schedule's
+        // legality from first principles must not perturb a single cell.
+        assert_eq!(checked.run(), plain);
     }
 
     #[test]

@@ -100,7 +100,14 @@ impl SchedulerBackend for SmsBackend {
         assignment: AssignmentPolicy,
         cost: &dyn PlacementCost,
     ) -> Result<Schedule, ScheduleError> {
-        engine::run_with(loop_, cfg, mode, assignment, cost)
+        let schedule = engine::run_with(loop_, cfg, mode, assignment, cost)?;
+        debug_assert_eq!(
+            schedule.validate(cfg),
+            Ok(()),
+            "sms backend emitted an illegal schedule for '{}'",
+            schedule.loop_.name
+        );
+        Ok(schedule)
     }
 }
 
@@ -212,6 +219,12 @@ impl SchedulerBackend for ExactBackend {
                     } else {
                         IiProof::Truncated
                     };
+                    debug_assert_eq!(
+                        schedule.validate(cfg),
+                        Ok(()),
+                        "exact backend emitted an illegal schedule for '{}'",
+                        schedule.loop_.name
+                    );
                     return Ok(schedule);
                 }
                 Outcome::Infeasible => {}

@@ -18,15 +18,16 @@
 //! specialization, unrolling). The free `compile_*` functions and
 //! [`Arch::compile`](crate::Arch::compile) are thin wrappers over it.
 
-use crate::backend::{BackendKind, SchedulerBackend};
+use crate::backend::BackendKind;
 use crate::coherence::CoherencePolicy;
 use crate::cost::{Observed, PlacementCost, StaticDistance};
 use crate::engine::{AssignmentPolicy, Mode, ScheduleError};
 use crate::hints::assign_hints;
 use crate::mrt::ModuloReservationTable;
+use crate::passes::{direct_pipeline, PassCtx, PassManager, PassStat, VerifyLevel};
 use crate::schedule::{PrefetchSlot, Schedule};
 use serde::{Deserialize, Serialize};
-use vliw_ir::{specialize, stride, unroll, LoopNest, StrideClass};
+use vliw_ir::{specialize, stride, LoopNest, StrideClass};
 use vliw_machine::{FuKind, MachineConfig, Profile, WordInterleavedConfig};
 
 pub use crate::engine::MarkPolicy;
@@ -117,6 +118,10 @@ pub struct CompileRequest {
     /// pre-profile artifact deserializes to) keeps compilation bit-exact
     /// with the static pipeline.
     pub profile: Option<Profile>,
+    /// Static verification level the pass pipeline runs under. `None`
+    /// (the default, and the value every pre-verify artifact
+    /// deserializes to) means [`VerifyLevel::Debug`].
+    pub verify: Option<VerifyLevel>,
 }
 
 impl CompileRequest {
@@ -131,6 +136,7 @@ impl CompileRequest {
             unroll: UnrollPolicy::default(),
             assignment: AssignmentPolicy::default(),
             profile: None,
+            verify: None,
         }
     }
 
@@ -198,6 +204,19 @@ impl CompileRequest {
     pub fn profile(mut self, profile: Option<Profile>) -> Self {
         self.profile = profile;
         self
+    }
+
+    /// Sets the static verification level the pass pipeline runs under.
+    #[must_use]
+    pub fn verify(mut self, level: VerifyLevel) -> Self {
+        self.verify = Some(level);
+        self
+    }
+
+    /// The effective verification level: [`VerifyLevel::Debug`] unless
+    /// the request set one explicitly.
+    pub fn verify_level(&self) -> VerifyLevel {
+        self.verify.unwrap_or_default()
     }
 
     /// The full profile-guided recompilation setup in one call: attach
@@ -319,7 +338,8 @@ impl CompileRequest {
         }
     }
 
-    /// Compiles one loop — the single arch×backend→driver dispatch point.
+    /// Compiles one loop — the single arch×backend→driver dispatch point,
+    /// running the [`direct_pipeline`] under a [`PassManager`].
     ///
     /// Architectures without L0 buffers are compiled against
     /// `cfg.without_l0()`, so callers always pass the full machine
@@ -327,30 +347,32 @@ impl CompileRequest {
     ///
     /// # Errors
     ///
-    /// Returns the backend's error when the loop cannot be scheduled.
+    /// Returns the backend's error when the loop cannot be scheduled,
+    /// wrapped as [`ScheduleError::InPass`] naming the failing stage.
     pub fn compile(
         &self,
         loop_: &LoopNest,
         cfg: &MachineConfig,
     ) -> Result<Schedule, ScheduleError> {
-        self.check_profile(cfg)?;
-        let lowered = self.lower(loop_, cfg)?;
-        let backend = self.backend.as_backend();
-        let cost = self.cost();
-        let cost = cost.as_ref();
-        let mut schedule = schedule_best_unroll(
-            &lowered.loop_,
-            &lowered.cfg,
-            lowered.mode,
-            backend,
-            self.unroll,
-            self.assignment,
-            cost,
-        )?;
-        if lowered.l0_tail {
-            finish_l0(&mut schedule, &lowered.cfg, cost);
-        }
-        Ok(schedule)
+        self.compile_with_stats(loop_, cfg).map(|(s, _)| s)
+    }
+
+    /// [`CompileRequest::compile`], also returning the per-pass
+    /// wall-clock stats the [`PassManager`] collected.
+    ///
+    /// # Errors
+    ///
+    /// See [`CompileRequest::compile`].
+    pub fn compile_with_stats(
+        &self,
+        loop_: &LoopNest,
+        cfg: &MachineConfig,
+    ) -> Result<(Schedule, Vec<PassStat>), ScheduleError> {
+        let mut manager = PassManager::new(self.verify_level());
+        let mut ctx = PassCtx::new(self, cfg, loop_);
+        manager.run_pipeline(&direct_pipeline(self.verify_level()), &mut ctx)?;
+        let schedule = ctx.winner.take().expect("select-unroll leaves a winner");
+        Ok((schedule, manager.into_stats()))
     }
 
     /// [`CompileRequest::compile`] for loops that are schedulable by
@@ -405,30 +427,6 @@ pub(crate) fn unroll_eligible(policy: UnrollPolicy, n: usize, trip_count: u64) -
 /// floating-point comparison.
 pub(crate) fn unrolled_wins(flat: &Schedule, unrolled: &Schedule, n: usize) -> bool {
     cost_per_iteration(unrolled, n as u64) < cost_per_iteration(flat, 1)
-}
-
-/// Step 1 + step 3: schedules `loop_` both unrolled by N and not unrolled
-/// through `backend`, returns the cheaper schedule (compute-time estimate,
-/// ties prefer the unrolled version only when it is strictly cheaper).
-fn schedule_best_unroll(
-    loop_: &LoopNest,
-    cfg: &MachineConfig,
-    mode: Mode,
-    backend: &dyn SchedulerBackend,
-    policy: UnrollPolicy,
-    assignment: AssignmentPolicy,
-    cost: &dyn PlacementCost,
-) -> Result<Schedule, ScheduleError> {
-    let flat = backend.schedule(loop_, cfg, mode, assignment, cost)?;
-    let n = cfg.clusters;
-    if !unroll_eligible(policy, n, loop_.trip_count) {
-        return Ok(flat);
-    }
-    let unrolled_loop = unroll(loop_, n);
-    match backend.schedule(&unrolled_loop, cfg, mode, assignment, cost) {
-        Ok(unrolled) if unrolled_wins(&flat, &unrolled, n) => Ok(unrolled),
-        _ => Ok(flat),
-    }
 }
 
 /// Steps 4–5 of §4.3 (L0 target only): hint assignment, explicit
@@ -729,9 +727,8 @@ mod tests {
     #[test]
     fn compile_for_l0_requires_l0_config() {
         let l = LoopBuilder::new("ew").trip_count(64).elementwise(2).build();
-        assert!(matches!(
-            compile_for_l0(&l, &cfg().without_l0()),
-            Err(ScheduleError::BadConfig(_))
-        ));
+        let err = compile_for_l0(&l, &cfg().without_l0()).unwrap_err();
+        assert!(matches!(err.root(), ScheduleError::BadConfig(_)));
+        assert_eq!(err.pass_name(), Some("lower"), "failure names its pass");
     }
 }

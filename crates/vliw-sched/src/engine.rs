@@ -42,6 +42,15 @@ pub enum ScheduleError {
     },
     /// The machine configuration is invalid for this scheduler.
     BadConfig(String),
+    /// A failure attributed to a named pipeline pass (attached by the
+    /// [`PassManager`](crate::passes::PassManager) so shard-side failures
+    /// stay attributable through the compile service).
+    InPass {
+        /// Name of the pass that failed.
+        pass: String,
+        /// The underlying failure.
+        error: Box<ScheduleError>,
+    },
 }
 
 impl ScheduleError {
@@ -50,10 +59,41 @@ impl ScheduleError {
     /// themselves).
     #[must_use]
     pub fn with_backend(mut self, label: &str) -> Self {
-        if let ScheduleError::NoFeasibleIi { backend, .. } = &mut self {
-            *backend = label.to_string();
+        match &mut self {
+            ScheduleError::NoFeasibleIi { backend, .. } => *backend = label.to_string(),
+            ScheduleError::InPass { error, .. } => **error = error.clone().with_backend(label),
+            ScheduleError::BadConfig(_) => {}
         }
         self
+    }
+
+    /// Wraps the error with the name of the failing pass. Already-wrapped
+    /// errors keep their original (innermost) pass attribution.
+    #[must_use]
+    pub fn in_pass(self, pass: &str) -> Self {
+        match self {
+            e @ ScheduleError::InPass { .. } => e,
+            e => ScheduleError::InPass {
+                pass: pass.to_string(),
+                error: Box::new(e),
+            },
+        }
+    }
+
+    /// The failing pass, when this error carries pass attribution.
+    pub fn pass_name(&self) -> Option<&str> {
+        match self {
+            ScheduleError::InPass { pass, .. } => Some(pass),
+            _ => None,
+        }
+    }
+
+    /// The underlying error with any pass attribution stripped.
+    pub fn root(&self) -> &ScheduleError {
+        match self {
+            ScheduleError::InPass { error, .. } => error.root(),
+            e => e,
+        }
     }
 }
 
@@ -72,6 +112,7 @@ impl std::fmt::Display for ScheduleError {
                 )
             }
             ScheduleError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
+            ScheduleError::InPass { pass, error } => write!(f, "in pass '{pass}': {error}"),
         }
     }
 }
@@ -832,7 +873,7 @@ pub(crate) fn optimistic_latency(
 /// does *not* account for it, which is exactly the jpegdec 4-entry
 /// anomaly we preserve); "other" strides touch a new subblock every
 /// iteration and keep `lookahead` explicit prefetches in flight.
-pub(crate) fn entry_cost(loop_: &LoopNest, cfg: &MachineConfig, ii: u32, op: OpId) -> i64 {
+pub fn entry_cost(loop_: &LoopNest, cfg: &MachineConfig, ii: u32, op: OpId) -> i64 {
     let Some(acc) = loop_.op(op).kind.mem_access() else {
         return 1;
     };

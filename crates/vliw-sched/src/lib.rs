@@ -28,6 +28,10 @@
 //! * [`compile`] — the end-to-end drivers behind the [`CompileRequest`]
 //!   builder: [`compile_base`], [`compile_for_l0`], [`compile_multivliw`],
 //!   [`compile_interleaved`], and the unroll-factor selection of step 1.
+//! * [`passes`] — the explicit pass pipeline the drivers run on: a
+//!   [`Pass`] trait, a [`PassManager`] with per-pass timing and failure
+//!   attribution, and the [`VerifyLevel`] knob gating the static
+//!   legality re-check.
 //!
 //! # Example
 //!
@@ -60,6 +64,7 @@ pub mod flush;
 pub mod hints;
 pub mod mii;
 pub mod mrt;
+pub mod passes;
 pub mod render;
 pub mod schedule;
 pub mod sms;
@@ -75,5 +80,6 @@ pub use compile::{
 pub use cost::{base_loop_name, Observed, PlacementCost, StaticDistance};
 pub use engine::{AssignmentPolicy, ScheduleError};
 pub use flush::{apply_selective_flushing, needs_flush_between};
+pub use passes::{merge_pass_stats, Pass, PassCtx, PassManager, PassStat, VerifyLevel};
 pub use schedule::{IiProof, Placement, PrefetchSlot, ReplicaSlot, Schedule};
 pub use symbolic::SymbolicArtifact;

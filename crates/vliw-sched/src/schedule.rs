@@ -175,23 +175,44 @@ impl Schedule {
             .count()
     }
 
-    /// Validates internal consistency (used by tests and debug builds):
-    /// every op placed exactly once, FU kinds respected per slot, bus
-    /// capacity respected, dependence edges satisfied.
+    /// Validates schedule legality — the single entry point both
+    /// backends debug-assert on every emitted schedule and the `verify`
+    /// pass hard-checks under
+    /// [`VerifyLevel::Full`](crate::passes::VerifyLevel::Full):
+    ///
+    /// * `placement-count` / `unknown-op` — every op placed exactly once;
+    /// * `fu-capacity` — per-(slot, cluster, kind) FU occupancy (with
+    ///   prefetches and PSR replicas on the memory units) vs the MRT caps;
+    /// * `bus-capacity` — inter-cluster copies per slot vs the bus count;
+    /// * `copy-route` — every copy names a known producer and a real,
+    ///   *different* cluster;
+    /// * `dep-issue-cycle` — every dependence edge's issue-cycle
+    ///   inequality under the II, routed through its copy for
+    ///   cross-cluster register edges;
+    /// * `ii-vs-mii` — the achieved II never beats the recorded floor.
     ///
     /// # Errors
     ///
-    /// Returns a description of the first violated invariant.
+    /// Returns the first violated invariant, tagged with its name and
+    /// naming the loop and offending op.
     pub fn validate(&self, cfg: &vliw_machine::MachineConfig) -> Result<(), String> {
         use std::collections::HashMap;
+        let name = &self.loop_.name;
         if self.placements.len() != self.loop_.ops.len() {
-            return Err("placement count != op count".into());
+            return Err(format!(
+                "placement-count: loop '{name}': {} placements for {} ops",
+                self.placements.len(),
+                self.loop_.ops.len()
+            ));
         }
         // FU capacity per slot.
         let mut fu_use: HashMap<(usize, usize, u8), usize> = HashMap::new();
         for p in &self.placements {
             if p.op.index() >= self.loop_.ops.len() {
-                return Err(format!("placement for unknown op {}", p.op));
+                return Err(format!(
+                    "unknown-op: loop '{name}': placement for op {}",
+                    p.op
+                ));
             }
             let op = self.loop_.op(p.op);
             if let Some(kind) = op.kind.fu_kind() {
@@ -212,15 +233,19 @@ impl Schedule {
             let slot = r.t.rem_euclid(self.ii as i64) as usize;
             *fu_use.entry((slot, r.cluster.index(), 1)).or_insert(0) += 1;
         }
-        for ((slot, cluster, kind), used) in &fu_use {
+        // Sorted so the *same* violation surfaces first on every run —
+        // these strings reach serialized service telemetry.
+        let mut sorted_fu: Vec<_> = fu_use.into_iter().collect();
+        sorted_fu.sort_unstable();
+        for ((slot, cluster, kind), used) in sorted_fu {
             let cap = match kind {
                 0 => cfg.fus.int,
                 1 => cfg.fus.mem,
                 _ => cfg.fus.fp,
             };
-            if *used > cap {
+            if used > cap {
                 return Err(format!(
-                    "slot {slot} cluster {cluster} FU kind {kind}: {used} > {cap}"
+                    "fu-capacity: loop '{name}': slot {slot} cluster {cluster} FU kind {kind}: {used} > {cap}"
                 ));
             }
         }
@@ -230,10 +255,112 @@ impl Schedule {
             let slot = c.t.rem_euclid(self.ii as i64) as usize;
             *bus_use.entry(slot).or_insert(0) += 1;
         }
-        for (slot, used) in &bus_use {
-            if *used > cfg.buses.count {
-                return Err(format!("bus slot {slot}: {used} > {}", cfg.buses.count));
+        let mut sorted_bus: Vec<_> = bus_use.into_iter().collect();
+        sorted_bus.sort_unstable();
+        for (slot, used) in sorted_bus {
+            if used > cfg.buses.count {
+                return Err(format!(
+                    "bus-capacity: loop '{name}': bus slot {slot}: {used} > {}",
+                    cfg.buses.count
+                ));
             }
+        }
+        // Copy routing: a known producer, a real cluster, and never the
+        // producer's own (a same-cluster copy would burn a bus slot for
+        // a value already local).
+        for c in &self.copies {
+            if c.from_op.index() >= self.loop_.ops.len() {
+                return Err(format!(
+                    "copy-route: loop '{name}': copy from unknown op {}",
+                    c.from_op
+                ));
+            }
+            if c.to_cluster.index() >= cfg.clusters {
+                return Err(format!(
+                    "copy-route: loop '{name}' op {}: copy targets nonexistent cluster {}",
+                    c.from_op,
+                    c.to_cluster.index()
+                ));
+            }
+            if self.placements[c.from_op.index()].cluster == c.to_cluster {
+                return Err(format!(
+                    "copy-route: loop '{name}' op {}: copy targets the producer's own cluster {}",
+                    c.from_op,
+                    c.to_cluster.index()
+                ));
+            }
+        }
+        // Dependence issue-cycle inequalities under the II. Mirrors the
+        // engine's placement window: memory edges carry one ordering
+        // cycle; register/reduction edges the producer's assumed
+        // latency; cross-cluster register edges route through a copy
+        // (producer-ready before the copy, copy arrived before the use).
+        let ii = self.ii as i64;
+        let bus_lat = cfg.buses.latency as i64;
+        for e in &self.loop_.edges {
+            if e.src == e.dst {
+                continue; // self recurrence: holds whenever lat <= ii*dist
+            }
+            let src = self.placement(e.src);
+            let dst = self.placement(e.dst);
+            let use_t = dst.t + ii * e.distance as i64;
+            if e.kind.is_mem() || src.cluster == dst.cluster {
+                let elat = if e.kind.is_mem() {
+                    1
+                } else {
+                    src.assumed_latency as i64
+                };
+                if use_t < src.t + elat {
+                    return Err(format!(
+                        "dep-issue-cycle: loop '{name}' op {} -> op {}: consumer reads at \
+                         {use_t} (t {} + II*{}) before the producer's result at {}",
+                        e.src,
+                        e.dst,
+                        dst.t,
+                        e.distance,
+                        src.t + elat
+                    ));
+                }
+            } else {
+                let Some(copy) = self
+                    .copies
+                    .iter()
+                    .find(|c| c.from_op == e.src && c.to_cluster == dst.cluster)
+                else {
+                    return Err(format!(
+                        "copy-route: loop '{name}' op {} -> op {}: cross-cluster register \
+                         edge has no copy into cluster {}",
+                        e.src,
+                        e.dst,
+                        dst.cluster.index()
+                    ));
+                };
+                if copy.t < src.t + src.assumed_latency as i64 {
+                    return Err(format!(
+                        "dep-issue-cycle: loop '{name}' op {}: copy issues at {} before \
+                         the producer's result at {}",
+                        e.src,
+                        copy.t,
+                        src.t + src.assumed_latency as i64
+                    ));
+                }
+                if use_t < copy.t + bus_lat {
+                    return Err(format!(
+                        "dep-issue-cycle: loop '{name}' op {} -> op {}: consumer reads at \
+                         {use_t} before the copy arrives at {}",
+                        e.src,
+                        e.dst,
+                        copy.t + bus_lat
+                    ));
+                }
+            }
+        }
+        // The achieved II can never beat the recorded floor.
+        if self.ii < self.mii {
+            return Err(format!(
+                "ii-vs-mii: loop '{name}': II {} below MII {}",
+                self.ii, self.mii
+            ));
         }
         Ok(())
     }

@@ -27,11 +27,12 @@
 //! `service_symbolic` integration suite pins that equality across every
 //! suite loop × architecture.
 
-use crate::compile::{finish_l0, unroll_eligible, unrolled_wins, CompileRequest};
+use crate::compile::{unroll_eligible, unrolled_wins, CompileRequest};
 use crate::engine::ScheduleError;
+use crate::passes::{symbolic_pipeline, PassCtx, PassManager, PassStat};
 use crate::schedule::Schedule;
 use serde::{Deserialize, Serialize};
-use vliw_ir::{normalize_trips, unroll, LoopNest, TripShape};
+use vliw_ir::{LoopNest, TripShape};
 use vliw_machine::MachineConfig;
 
 /// A compiled template: everything about a (loop body, machine,
@@ -72,44 +73,32 @@ impl CompileRequest {
         loop_: &LoopNest,
         cfg: &MachineConfig,
     ) -> Result<SymbolicArtifact, ScheduleError> {
-        self.check_profile(cfg)?;
-        let (template, _) = normalize_trips(loop_);
-        let lowered = self.lower(&template, cfg)?;
-        let backend = self.backend.as_backend();
-        let cost = self.cost();
-        let cost = cost.as_ref();
-        let mut flat = backend.schedule(
-            &lowered.loop_,
-            &lowered.cfg,
-            lowered.mode,
-            self.assignment,
-            cost,
-        )?;
-        let n = lowered.cfg.clusters;
-        // The canonical trip count (2^20) exceeds any practical cluster
-        // count, so template eligibility collapses to the policy and
-        // cluster-count terms; the real trip count re-gates the
-        // decision at instantiation.
-        let mut unrolled = if unroll_eligible(self.unroll, n, lowered.loop_.trip_count) {
-            backend
-                .schedule(
-                    &unroll(&lowered.loop_, n),
-                    &lowered.cfg,
-                    lowered.mode,
-                    self.assignment,
-                    cost,
-                )
-                .ok()
-        } else {
-            None
-        };
-        if lowered.l0_tail {
-            finish_l0(&mut flat, &lowered.cfg, cost);
-            if let Some(u) = unrolled.as_mut() {
-                finish_l0(u, &lowered.cfg, cost);
-            }
-        }
-        Ok(SymbolicArtifact { flat, unrolled })
+        self.compile_symbolic_with_stats(loop_, cfg).map(|(a, _)| a)
+    }
+
+    /// [`CompileRequest::compile_symbolic`], also returning the per-pass
+    /// wall-clock stats the [`PassManager`] collected.
+    ///
+    /// The template pipeline has no `select-unroll` pass — the canonical
+    /// trip count (2^20) exceeds any practical cluster count, so
+    /// template eligibility collapses to the policy and cluster-count
+    /// terms, and the real trip count re-gates the flat-vs-unrolled
+    /// decision at instantiation.
+    ///
+    /// # Errors
+    ///
+    /// See [`CompileRequest::compile_symbolic`].
+    pub fn compile_symbolic_with_stats(
+        &self,
+        loop_: &LoopNest,
+        cfg: &MachineConfig,
+    ) -> Result<(SymbolicArtifact, Vec<PassStat>), ScheduleError> {
+        let mut manager = PassManager::new(self.verify_level());
+        let mut ctx = PassCtx::new(self, cfg, loop_);
+        manager.run_pipeline(&symbolic_pipeline(self.verify_level()), &mut ctx)?;
+        let flat = ctx.flat.take().expect("schedule-flat leaves a schedule");
+        let unrolled = ctx.unrolled.take();
+        Ok((SymbolicArtifact { flat, unrolled }, manager.into_stats()))
     }
 
     /// Instantiates a cached template for a concrete [`TripShape`]:

@@ -57,6 +57,8 @@ pub mod store;
 pub mod zipf;
 
 pub use key::{compile_key, ArtifactKey, KeyBuilder, KeyMode};
-pub use service::{CompileService, QueueStats, ServiceConfig, ServiceReport, ServiceRequest};
+pub use service::{
+    CompileService, FailureRecord, QueueStats, ServiceConfig, ServiceReport, ServiceRequest,
+};
 pub use store::{ArtifactStore, StoreStats};
 pub use zipf::Zipf;

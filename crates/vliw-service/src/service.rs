@@ -135,6 +135,21 @@ impl QueueStats {
     }
 }
 
+/// One failed compile, fully attributable: which artifact, which
+/// compiler pass rejected it, and the error text. Without this a
+/// shard-side failure was a bare `errors += 1` — invisible in
+/// telemetry once the shard thread exited.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FailureRecord {
+    /// Content address of the request that failed.
+    pub key: ArtifactKey,
+    /// Name of the pipeline pass that rejected it, when the error
+    /// carries one (see `ScheduleError::pass_name`).
+    pub pass: Option<String>,
+    /// The scheduler's error, rendered.
+    pub error: String,
+}
+
 /// What a replay reports: throughput, cache behaviour, queue health
 /// and latency percentiles.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -166,6 +181,11 @@ pub struct ServiceReport {
     /// Commutative checksum over served schedules (when enabled) —
     /// equal across passes iff every pass served identical artifacts.
     pub checksum: Option<u64>,
+    /// Every failed compile, attributed to its artifact key and failing
+    /// pass, in deterministic (key, error) order. `Option` so reports
+    /// serialized before this field existed still deserialize
+    /// (`None`); freshly-built reports always carry `Some`.
+    pub failures: Option<Vec<FailureRecord>>,
 }
 
 /// What a shard caches: the direct schedule under exact keys, the
@@ -254,6 +274,7 @@ struct ShardOutcome {
     latencies: Vec<u64>,
     served: u64,
     errors: u64,
+    failures: Vec<FailureRecord>,
     checksum: u64,
 }
 
@@ -308,6 +329,7 @@ fn run_shard(queue: &BoundedQueue<Job>, config: &ServiceConfig) -> ShardOutcome 
         latencies: Vec::new(),
         served: 0,
         errors: 0,
+        failures: Vec::new(),
         checksum: 0,
     };
     while let Some(job) = queue.pop() {
@@ -318,7 +340,14 @@ fn run_shard(queue: &BoundedQueue<Job>, config: &ServiceConfig) -> ShardOutcome 
                     outcome.checksum = outcome.checksum.wrapping_add(schedule_digest(&s));
                 }
             }
-            Err(_) => outcome.errors += 1,
+            Err(e) => {
+                outcome.errors += 1;
+                outcome.failures.push(FailureRecord {
+                    key: job.req.key,
+                    pass: e.pass_name().map(str::to_string),
+                    error: e.to_string(),
+                });
+            }
         }
         outcome
             .latencies
@@ -383,6 +412,7 @@ impl CompileService {
         let mut latencies = Vec::new();
         let mut served = 0;
         let mut errors = 0;
+        let mut failures = Vec::new();
         let mut checksum = 0u64;
         for slot in &outcomes {
             let outcome = slot
@@ -394,8 +424,11 @@ impl CompileService {
             latencies.extend(outcome.latencies);
             served += outcome.served;
             errors += outcome.errors;
+            failures.extend(outcome.failures);
             checksum = checksum.wrapping_add(outcome.checksum);
         }
+        // Shard completion order is scheduling noise; key order is not.
+        failures.sort_by(|a, b| (a.key, &a.error).cmp(&(b.key, &b.error)));
         latencies.sort_unstable();
         let percentile = |p: u64| -> u64 {
             if latencies.is_empty() {
@@ -426,6 +459,7 @@ impl CompileService {
             latency_p50_micros: percentile(50),
             latency_p99_micros: percentile(99),
             checksum: config.checksum.then_some(checksum),
+            failures: Some(failures),
         }
     }
 }
@@ -555,5 +589,43 @@ mod tests {
             report.store.misses, 12,
             "2-entry LRU cannot hold 6 artifacts"
         );
+    }
+
+    #[test]
+    fn failures_are_attributed_to_key_and_pass() {
+        // An L0 request against a machine without L0 buffers fails in
+        // the `lower` pass; the report must say so, per artifact key.
+        let machine = Arc::new(MachineConfig::micro2003().without_l0());
+        let request = Arc::new(CompileRequest::new(Arch::L0));
+        let l = LoopBuilder::new("ew").trip_count(64).elementwise(2).build();
+        let reqs: Vec<ServiceRequest> = (0..3)
+            .map(|_| {
+                ServiceRequest::new(
+                    Arc::new(l.clone()),
+                    Arc::clone(&machine),
+                    Arc::clone(&request),
+                    KeyMode::Exact,
+                )
+            })
+            .collect();
+        let expected_key = reqs[0].key;
+        let report = CompileService::new(config(KeyMode::Exact, false)).replay(reqs);
+        assert_eq!(report.served, 0);
+        assert_eq!(report.errors, 3);
+        let failures = report.failures.expect("fresh reports carry failures");
+        assert_eq!(failures.len(), 3);
+        for f in &failures {
+            assert_eq!(f.key, expected_key);
+            assert_eq!(f.pass.as_deref(), Some("lower"), "failing pass is named");
+            assert!(f.error.contains("L0 configuration"), "{}", f.error);
+        }
+    }
+
+    #[test]
+    fn successful_replays_report_empty_failures() {
+        let report = CompileService::new(config(KeyMode::Symbolic, true))
+            .replay(requests(&[16, 64], KeyMode::Symbolic));
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.failures, Some(Vec::new()));
     }
 }

@@ -1,0 +1,244 @@
+//! Determinism: sorted-iteration wrappers and a mechanical source lint.
+//!
+//! `HashMap`/`HashSet` iteration order is randomized per process, so
+//! any serialized artifact (cache keys, benchmark cells, profiles,
+//! store statistics) whose construction *iterates* a hash container
+//! inherits that nondeterminism — byte-identical reruns stop being
+//! byte-identical, and content-addressed caching silently splits.
+//!
+//! Two defenses, both exported here:
+//!
+//! * [`sorted_pairs`] / [`sorted_items`] — the wrappers serialization
+//!   code should iterate through. They sort by key, so the output order
+//!   is a function of the data alone.
+//! * [`lint_source`] — a mechanical lint for CI: given a source file
+//!   that constructs serialized output, it records every binding or
+//!   field declared as a hash container and flags lines that iterate
+//!   one directly. A line is exempt when it routes through a sorting
+//!   call or carries a `det-ok` marker comment (for iterations whose
+//!   order provably cannot escape, e.g. value-only mutation).
+//!
+//! The lint is intentionally token-level, not a parser: it runs on a
+//! handful of files (the serialization surfaces listed by the `verify`
+//! binary), where a rare false positive is cheap to annotate and a
+//! false negative is the expensive case.
+
+use crate::Violation;
+use std::collections::{HashMap, HashSet};
+
+/// The workspace's serialization surfaces: files that construct
+/// serialized output (cache keys, benchmark cells, profiles, store and
+/// service statistics, schedules and their diagnostics). The `verify`
+/// binary and the determinism integration suite lint exactly this list;
+/// a new serialization surface belongs here the day it is added.
+pub const SERIALIZATION_SURFACES: &[&str] = &[
+    "crates/vliw-service/src/key.rs",
+    "crates/vliw-service/src/store.rs",
+    "crates/vliw-service/src/service.rs",
+    "crates/vliw-machine/src/profile.rs",
+    "crates/vliw-sim/src/result.rs",
+    "crates/vliw-sched/src/schedule.rs",
+    "crates/vliw-bench/src/experiment/cell.rs",
+    "crates/vliw-bench/src/experiment/run.rs",
+];
+
+/// Key-sorted snapshot of a map — the deterministic way to iterate a
+/// `HashMap` when building serialized output.
+pub fn sorted_pairs<K: Ord, V>(map: &HashMap<K, V>) -> Vec<(&K, &V)> {
+    let mut v: Vec<_> = map.iter().collect();
+    v.sort_by(|a, b| a.0.cmp(b.0));
+    v
+}
+
+/// Sorted snapshot of a set — the deterministic way to iterate a
+/// `HashSet` when building serialized output.
+pub fn sorted_items<T: Ord>(set: &HashSet<T>) -> Vec<&T> {
+    let mut v: Vec<_> = set.iter().collect();
+    v.sort();
+    v
+}
+
+/// `true` when `hay[at..]` starts with `needle` as a whole identifier
+/// (the preceding char, if any, is not part of an identifier).
+fn ident_at(hay: &str, at: usize, needle: &str) -> bool {
+    if !hay[at..].starts_with(needle) {
+        return false;
+    }
+    match hay[..at].chars().next_back() {
+        Some(c) => !(c.is_alphanumeric() || c == '_'),
+        None => true,
+    }
+}
+
+/// All positions where `needle` occurs as a whole identifier prefix.
+fn ident_positions(hay: &str, needle: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(rel) = hay[from..].find(needle) {
+        let at = from + rel;
+        if ident_at(hay, at, needle) {
+            out.push(at);
+        }
+        from = at + needle.len();
+    }
+    out
+}
+
+/// Extracts the identifier a `let` binding or field declaration gives a
+/// hash container on this line, if any.
+fn hash_binding(line: &str) -> Option<String> {
+    if !line.contains("HashMap") && !line.contains("HashSet") {
+        return None;
+    }
+    let trimmed = line.trim_start();
+    // `let [mut] name: HashMap<...>` / `let [mut] name = HashMap::new()`
+    let after_let = trimmed
+        .strip_prefix("let ")
+        .map(|r| r.strip_prefix("mut ").unwrap_or(r));
+    let candidate = match after_let {
+        Some(rest) => rest,
+        None => {
+            // field / parameter declaration: `[pub] name: HashMap<...>`
+            let rest = trimmed.strip_prefix("pub ").unwrap_or(trimmed);
+            let (head, tail) = rest.split_once(':')?;
+            let tail = tail.trim_start();
+            if !(tail.starts_with("HashMap") || tail.starts_with("HashSet")) {
+                return None;
+            }
+            return ident_of(head.trim());
+        }
+    };
+    let name = ident_of(candidate)?;
+    // Only count it when the hash type annotates/initializes *this*
+    // binding, not some later expression on the line.
+    let rest = &candidate[name.len()..];
+    let rest = rest.trim_start();
+    let bound = rest
+        .strip_prefix(':')
+        .or_else(|| rest.strip_prefix('='))
+        .map(str::trim_start)?;
+    (bound.starts_with("HashMap") || bound.starts_with("HashSet")).then(|| name.to_string())
+}
+
+/// Leading identifier of `s`, if it starts with one.
+fn ident_of(s: &str) -> Option<String> {
+    let end = s
+        .char_indices()
+        .find(|(_, c)| !(c.is_alphanumeric() || *c == '_'))
+        .map(|(i, _)| i)
+        .unwrap_or(s.len());
+    (end > 0).then(|| s[..end].to_string())
+}
+
+/// Lints `source` (labelled `label` in diagnostics) for nondeterministic
+/// hash-container iteration. Tag: `det-iteration`.
+#[must_use]
+pub fn lint_source(label: &str, source: &str) -> Vec<Violation> {
+    let bindings: HashSet<String> = source.lines().filter_map(hash_binding).collect();
+    if bindings.is_empty() {
+        return Vec::new();
+    }
+    const ITERATORS: [&str; 5] = [".iter()", ".keys()", ".values()", ".into_iter()", ".drain("];
+    let mut out = Vec::new();
+    for (lineno, line) in source.lines().enumerate() {
+        // Exempt: an explicit marker, the sorting wrappers, or any
+        // binding/call spelled "sorted" (the blessed local pattern for
+        // crates that cannot depend on the wrappers).
+        if line.contains("det-ok") || line.contains("sorted") {
+            continue;
+        }
+        let flagged = bindings.iter().any(|name| {
+            // `name.iter()` and friends…
+            let method_hit = ident_positions(line, name).iter().any(|&at| {
+                let after = &line[at + name.len()..];
+                ITERATORS.iter().any(|m| after.starts_with(m))
+            });
+            // …or a `for … in [&[mut]] name` loop header.
+            let for_hit = line.contains("for ")
+                && [
+                    format!("in &{name}"),
+                    format!("in &mut {name}"),
+                    format!("in {name}"),
+                ]
+                .iter()
+                .any(|pat| {
+                    line.find(pat.as_str()).is_some_and(|at| {
+                        let end = at + pat.len();
+                        ident_at(line, end - name.len(), name)
+                            && line[end..]
+                                .chars()
+                                .next()
+                                .is_none_or(|c| !(c.is_alphanumeric() || c == '_'))
+                    })
+                });
+            method_hit || for_hit
+        });
+        if flagged {
+            out.push(Violation::new(
+                "det-iteration",
+                label,
+                format!(
+                    "line {}: unordered hash-container iteration feeding serialized output: `{}`",
+                    lineno + 1,
+                    line.trim()
+                ),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrappers_sort_by_key() {
+        let mut m = HashMap::new();
+        m.insert(3, "c");
+        m.insert(1, "a");
+        m.insert(2, "b");
+        let keys: Vec<i32> = sorted_pairs(&m).into_iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![1, 2, 3]);
+        let mut s = HashSet::new();
+        s.extend([9, 4, 7]);
+        assert_eq!(sorted_items(&s), vec![&4, &7, &9]);
+    }
+
+    #[test]
+    fn direct_iteration_is_flagged() {
+        let src = "let mut occ: HashMap<u32, u32> = HashMap::new();\nfor (k, v) in &occ {\n";
+        let vs = lint_source("f.rs", src);
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert_eq!(vs[0].invariant, "det-iteration");
+        assert!(vs[0].detail.contains("line 2"));
+    }
+
+    #[test]
+    fn method_iteration_is_flagged() {
+        let src = "let seen = HashSet::new();\nlet v: Vec<_> = seen.iter().collect();\n";
+        assert_eq!(lint_source("f.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn sorted_wrapper_and_marker_are_exempt() {
+        let src = "let m: HashMap<u32, u32> = HashMap::new();\n\
+                   for (k, v) in sorted_pairs(&m) {\n\
+                   for (k, v) in &m { // det-ok: value-only mutation\n";
+        assert_eq!(lint_source("f.rs", src), Vec::new());
+    }
+
+    #[test]
+    fn similarly_named_vectors_are_not_flagged() {
+        let src = "let occ: HashMap<u32, u32> = HashMap::new();\n\
+                   let occupancy = vec![1];\n\
+                   for x in occupancy.iter() {\n";
+        assert_eq!(lint_source("f.rs", src), Vec::new());
+    }
+
+    #[test]
+    fn field_declarations_count_as_bindings() {
+        let src = "pub cells: HashMap<String, u64>,\nfor k in cells.keys() {\n";
+        assert_eq!(lint_source("f.rs", src).len(), 1);
+    }
+}

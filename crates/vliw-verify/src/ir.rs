@@ -1,0 +1,182 @@
+//! IR well-formedness: dependence-edge sanity, intra-iteration
+//! acyclicity, and trip-normalization idempotence.
+
+use crate::Violation;
+use vliw_ir::{normalize_trips, LoopNest};
+
+/// Checks the structural well-formedness of one loop's dependence graph.
+///
+/// Invariants (tags):
+///
+/// * `dep-endpoints` — every edge's endpoints index an existing op.
+/// * `dep-distance` — a self edge (`src == dst`) must be loop-carried
+///   (`distance >= 1`); a distance-0 self edge is an unsatisfiable
+///   combinational cycle.
+/// * `ddg-acyclic` — the distance-0 (intra-iteration) dependence
+///   subgraph is acyclic. Loop-carried edges close recurrences by
+///   design and are exempt.
+#[must_use]
+pub fn check_loop(loop_: &LoopNest) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let n = loop_.ops.len();
+
+    for e in &loop_.edges {
+        if e.src.index() >= n || e.dst.index() >= n {
+            out.push(Violation::new(
+                "dep-endpoints",
+                &loop_.name,
+                format!(
+                    "edge {} -> {} (distance {}) references an op outside the {}-op body",
+                    e.src, e.dst, e.distance, n
+                ),
+            ));
+            continue;
+        }
+        if e.src == e.dst && e.distance == 0 {
+            out.push(Violation::for_op(
+                "dep-distance",
+                &loop_.name,
+                e.src,
+                "self edge with distance 0 (an intra-iteration dependence on itself)".into(),
+            ));
+        }
+    }
+
+    // Kahn's algorithm over the distance-0 subgraph (valid endpoints,
+    // self edges excluded — they are flagged above).
+    let mut indegree = vec![0usize; n];
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for e in &loop_.edges {
+        if e.distance == 0 && e.src != e.dst && e.src.index() < n && e.dst.index() < n {
+            indegree[e.dst.index()] += 1;
+            succs[e.src.index()].push(e.dst.index());
+        }
+    }
+    let mut queue: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+    let mut visited = 0usize;
+    while let Some(i) = queue.pop() {
+        visited += 1;
+        for &s in &succs[i] {
+            indegree[s] -= 1;
+            if indegree[s] == 0 {
+                queue.push(s);
+            }
+        }
+    }
+    if visited < n {
+        let stuck: Vec<String> = (0..n)
+            .filter(|&i| indegree[i] > 0)
+            .map(|i| format!("n{i}"))
+            .collect();
+        out.push(Violation::new(
+            "ddg-acyclic",
+            &loop_.name,
+            format!(
+                "distance-0 dependence subgraph has a cycle through {{{}}}",
+                stuck.join(", ")
+            ),
+        ));
+    }
+
+    out
+}
+
+/// Checks that symbolic trip normalization is idempotent: normalizing an
+/// already-normalized template must be the identity (tag
+/// `trip-normalize-idempotent`). The compile service caches artifacts
+/// keyed by the normalized template, so a drifting normal form would
+/// silently split the cache.
+#[must_use]
+pub fn check_normalization(loop_: &LoopNest) -> Vec<Violation> {
+    let (t1, _) = normalize_trips(loop_);
+    let (t2, _) = normalize_trips(&t1);
+    let j1 = serde_json::to_string(&t1).expect("loop serializes");
+    let j2 = serde_json::to_string(&t2).expect("loop serializes");
+    if j1 == j2 {
+        Vec::new()
+    } else {
+        vec![Violation::new(
+            "trip-normalize-idempotent",
+            &loop_.name,
+            format!(
+                "normalize(normalize(l)) != normalize(l): trip {}→{}, visits {}→{}",
+                t1.trip_count, t2.trip_count, t1.visits, t2.visits
+            ),
+        )]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw_ir::{DepEdge, DepKind, LoopBuilder, OpId};
+
+    fn well_formed() -> LoopNest {
+        LoopBuilder::new("ew").trip_count(64).elementwise(2).build()
+    }
+
+    #[test]
+    fn well_formed_loop_is_clean() {
+        let l = well_formed();
+        assert_eq!(check_loop(&l), Vec::new());
+        assert_eq!(check_normalization(&l), Vec::new());
+    }
+
+    #[test]
+    fn out_of_range_endpoint_is_flagged() {
+        let mut l = well_formed();
+        let bogus = OpId(l.ops.len() as u32 + 7);
+        l.edges.push(DepEdge {
+            src: OpId(0),
+            dst: bogus,
+            kind: DepKind::Reg,
+            distance: 0,
+        });
+        let vs = check_loop(&l);
+        assert!(vs.iter().any(|v| v.invariant == "dep-endpoints"), "{vs:?}");
+    }
+
+    #[test]
+    fn distance_zero_self_edge_is_flagged() {
+        let mut l = well_formed();
+        l.edges.push(DepEdge {
+            src: OpId(1),
+            dst: OpId(1),
+            kind: DepKind::Reg,
+            distance: 0,
+        });
+        let vs = check_loop(&l);
+        assert!(vs
+            .iter()
+            .any(|v| v.invariant == "dep-distance" && v.op == Some(OpId(1))));
+    }
+
+    #[test]
+    fn distance_zero_cycle_is_flagged() {
+        let mut l = well_formed();
+        // A 2-cycle entirely within one iteration: unschedulable.
+        l.edges.push(DepEdge {
+            src: OpId(0),
+            dst: OpId(1),
+            kind: DepKind::Reg,
+            distance: 0,
+        });
+        l.edges.push(DepEdge {
+            src: OpId(1),
+            dst: OpId(0),
+            kind: DepKind::Reg,
+            distance: 0,
+        });
+        let vs = check_loop(&l);
+        assert!(vs.iter().any(|v| v.invariant == "ddg-acyclic"), "{vs:?}");
+    }
+
+    #[test]
+    fn loop_carried_recurrence_is_not_a_cycle() {
+        let l = LoopBuilder::new("red").trip_count(64).reduction(2).build();
+        assert!(
+            !check_loop(&l).iter().any(|v| v.invariant == "ddg-acyclic"),
+            "loop-carried recurrences are legal"
+        );
+    }
+}

@@ -1,0 +1,131 @@
+//! Static verification passes over the compiler's artifacts.
+//!
+//! The scheduler ([`vliw_sched`]) *constructs* schedules; this crate
+//! *re-derives* their legality from first principles, without trusting
+//! any intermediate state the construction kept. Every check returns a
+//! list of [`Violation`]s naming the broken invariant, the loop and
+//! (when one is attributable) the operation, so a failure in CI or in
+//! the compile service is immediately actionable.
+//!
+//! Four layers, one module each:
+//!
+//! * [`ir`] — IR well-formedness: dependence-edge sanity, acyclicity of
+//!   the intra-iteration (distance-0) dependence subgraph, and
+//!   idempotence of symbolic trip normalization.
+//! * [`sched`] — full schedule legality: the core structural checks
+//!   delegate to [`Schedule::validate`] (the single legality entry
+//!   point), and this layer adds the L0-specific invariants the
+//!   machine-level validator cannot know about — entry-budget
+//!   accounting, hint legality per architecture, coherence-replica and
+//!   prefetch routing rules.
+//! * [`sim`] — accounting invariants on [`SimResult`]: stall-category
+//!   disjointness and exactness of the per-op stall attribution.
+//! * [`det`] — determinism: sorted-iteration wrappers for building
+//!   serialized output from hash containers, plus a mechanical source
+//!   lint that flags unordered hash-container iteration in files that
+//!   construct serialized artifacts.
+//!
+//! All checks are read-only and allocation-light; `VerifyLevel::Full`
+//! (see [`vliw_sched::VerifyLevel`]) runs the [`sched`] layer on every
+//! compile, and the `verify` binary in `vliw-bench` sweeps all layers
+//! over the whole benchmark suite.
+//!
+//! [`Schedule::validate`]: vliw_sched::Schedule::validate
+//! [`SimResult`]: vliw_sim::SimResult
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::Serialize;
+use std::fmt;
+use vliw_ir::OpId;
+
+pub mod det;
+pub mod ir;
+pub mod sched;
+pub mod sim;
+
+pub use det::{lint_source, sorted_items, sorted_pairs, SERIALIZATION_SURFACES};
+pub use ir::{check_loop, check_normalization};
+pub use sched::check_schedule;
+pub use sim::check_sim;
+
+/// One broken invariant, attributed to a loop and (when possible) an op.
+/// Serializes (for the `verify` binary's JSON report) but does not
+/// round-trip — the invariant tag is a `&'static str` by design.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Violation {
+    /// Stable kebab-case tag of the invariant (e.g. `dep-issue-cycle`,
+    /// `l0-budget`, `op-stall-sum`). Tags are part of the crate's API:
+    /// the negative-test suite and CI triage key on them.
+    pub invariant: &'static str,
+    /// The loop (or, for [`det`] lints, the file) the violation is in.
+    pub loop_name: String,
+    /// The operation at fault, when one is attributable.
+    pub op: Option<OpId>,
+    /// Human-readable specifics: the numbers that disagree.
+    pub detail: String,
+}
+
+impl Violation {
+    /// Creates a loop-level violation.
+    pub fn new(invariant: &'static str, loop_name: impl Into<String>, detail: String) -> Self {
+        Violation {
+            invariant,
+            loop_name: loop_name.into(),
+            op: None,
+            detail,
+        }
+    }
+
+    /// Creates an op-attributed violation.
+    pub fn for_op(
+        invariant: &'static str,
+        loop_name: impl Into<String>,
+        op: OpId,
+        detail: String,
+    ) -> Self {
+        Violation {
+            invariant,
+            loop_name: loop_name.into(),
+            op: Some(op),
+            detail,
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.op {
+            Some(op) => write!(
+                f,
+                "{}: loop '{}' op {}: {}",
+                self.invariant, self.loop_name, op, self.detail
+            ),
+            None => write!(
+                f,
+                "{}: loop '{}': {}",
+                self.invariant, self.loop_name, self.detail
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_invariant_loop_and_op() {
+        let v = Violation::for_op(
+            "dep-issue-cycle",
+            "fir",
+            OpId(3),
+            "use at 2 before def at 5".into(),
+        );
+        let s = v.to_string();
+        assert!(s.contains("dep-issue-cycle"));
+        assert!(s.contains("'fir'"));
+        assert!(s.contains("n3"));
+    }
+}

@@ -1,0 +1,140 @@
+//! Accounting invariants on simulation results.
+//!
+//! The simulator's event loop attributes every stall cycle it adds to
+//! `stall_cycles` to exactly one op (and splits the network share into
+//! port contention + link stalls), so the roll-ups below are *exact*
+//! identities, not tolerances. A drift means double counting or a lost
+//! attribution — both have produced silently-wrong figures in other
+//! reproductions, hence the static check.
+
+use crate::Violation;
+use vliw_sim::SimResult;
+
+/// Checks the stall-accounting identities of one loop's [`SimResult`].
+///
+/// Invariants (tags):
+///
+/// * `stall-disjoint` — port contention + link stalls never exceed the
+///   total stall cycles (the two network categories are disjoint slices
+///   of the total).
+/// * `op-stall-sum` — per-op stall attributions sum *exactly* to
+///   `stall_cycles`.
+/// * `op-network-sum` — per-op network attributions sum exactly to
+///   contention + link stalls.
+/// * `op-stall-entries` — the attribution list is strictly sorted by
+///   op, has no zero entries, and no entry's network share exceeds its
+///   stall share.
+#[must_use]
+pub fn check_sim(loop_name: &str, sim: &SimResult) -> Vec<Violation> {
+    let mut out = Vec::new();
+
+    let network = sim.contention_stall_cycles + sim.link_stall_cycles;
+    if network > sim.stall_cycles {
+        out.push(Violation::new(
+            "stall-disjoint",
+            loop_name,
+            format!(
+                "contention {} + link {} exceeds total stalls {}",
+                sim.contention_stall_cycles, sim.link_stall_cycles, sim.stall_cycles
+            ),
+        ));
+    }
+
+    let op_stall: u64 = sim.op_stalls.iter().map(|s| s.stall_cycles).sum();
+    if op_stall != sim.stall_cycles {
+        out.push(Violation::new(
+            "op-stall-sum",
+            loop_name,
+            format!(
+                "per-op stalls sum to {op_stall}, total is {}",
+                sim.stall_cycles
+            ),
+        ));
+    }
+
+    let op_network: u64 = sim.op_stalls.iter().map(|s| s.network_cycles).sum();
+    if op_network != network {
+        out.push(Violation::new(
+            "op-network-sum",
+            loop_name,
+            format!("per-op network stalls sum to {op_network}, categories sum to {network}"),
+        ));
+    }
+
+    for (i, s) in sim.op_stalls.iter().enumerate() {
+        if s.stall_cycles == 0 {
+            out.push(Violation::for_op(
+                "op-stall-entries",
+                loop_name,
+                s.op,
+                "zero-stall entry in the attribution list".into(),
+            ));
+        }
+        if s.network_cycles > s.stall_cycles {
+            out.push(Violation::for_op(
+                "op-stall-entries",
+                loop_name,
+                s.op,
+                format!(
+                    "network share {} exceeds stall share {}",
+                    s.network_cycles, s.stall_cycles
+                ),
+            ));
+        }
+        if i > 0 && sim.op_stalls[i - 1].op >= s.op {
+            out.push(Violation::for_op(
+                "op-stall-entries",
+                loop_name,
+                s.op,
+                format!(
+                    "list not strictly sorted: {} precedes {}",
+                    sim.op_stalls[i - 1].op,
+                    s.op
+                ),
+            ));
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_attribution_is_clean() {
+        let mut sim = SimResult {
+            compute_cycles: 100,
+            stall_cycles: 9,
+            contention_stall_cycles: 2,
+            link_stall_cycles: 1,
+            ..Default::default()
+        };
+        sim.add_op_stall(vliw_ir::OpId(2), 5, 3);
+        sim.add_op_stall(vliw_ir::OpId(7), 4, 0);
+        assert_eq!(check_sim("l", &sim), Vec::new());
+    }
+
+    #[test]
+    fn lost_attribution_is_flagged() {
+        let mut sim = SimResult::default();
+        sim.add_op_stall(vliw_ir::OpId(2), 5, 0);
+        sim.stall_cycles = 9; // 4 cycles unattributed
+        let vs = check_sim("l", &sim);
+        assert!(vs.iter().any(|v| v.invariant == "op-stall-sum"), "{vs:?}");
+    }
+
+    #[test]
+    fn overlapping_categories_are_flagged() {
+        let sim = SimResult {
+            stall_cycles: 3,
+            contention_stall_cycles: 2,
+            link_stall_cycles: 2,
+            ..Default::default()
+        };
+        let vs = check_sim("l", &sim);
+        assert!(vs.iter().any(|v| v.invariant == "stall-disjoint"));
+        assert!(vs.iter().any(|v| v.invariant == "op-network-sum"));
+    }
+}

@@ -1,0 +1,31 @@
+//! Runs the determinism lint over the workspace's real serialization
+//! surfaces. A failure here means serialized output (keys, cells,
+//! profiles, store stats, schedule diagnostics) is being built by
+//! iterating a hash container in nondeterministic order.
+
+use std::path::PathBuf;
+use vliw_verify::{lint_source, SERIALIZATION_SURFACES};
+
+#[test]
+fn serialization_surfaces_iterate_deterministically() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves");
+    let mut failures = Vec::new();
+    for rel in SERIALIZATION_SURFACES {
+        let path = root.join(rel);
+        let source = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("surface {rel} unreadable: {e}"));
+        failures.extend(lint_source(rel, &source));
+    }
+    assert!(
+        failures.is_empty(),
+        "nondeterministic iteration on serialization surfaces:\n{}",
+        failures
+            .iter()
+            .map(|v| format!("  {v}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
