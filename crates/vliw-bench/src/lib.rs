@@ -22,11 +22,13 @@
 //! | `sweep_clusters` | scaling study: N = 2…64 clusters, flat vs. contended interconnect |
 //! | `sweep_backends` | scheduler backends: SMS vs. exact branch-and-bound, II gap + proofs |
 //! | `bench-diff` | compares two `BENCH_*.json` runs (CI regression gate) |
+//! | `fuzz` | fixed-seed scenario fuzz corpus: traffic patterns + random loops under the property gates (CI gate) |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiment;
+pub mod fuzz;
 
 use vliw_machine::MachineConfig;
 use vliw_sched::L0Options;

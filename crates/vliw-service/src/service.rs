@@ -430,13 +430,6 @@ impl CompileService {
         // Shard completion order is scheduling noise; key order is not.
         failures.sort_by(|a, b| (a.key, &a.error).cmp(&(b.key, &b.error)));
         latencies.sort_unstable();
-        let percentile = |p: u64| -> u64 {
-            if latencies.is_empty() {
-                0
-            } else {
-                latencies[((latencies.len() - 1) as u64 * p / 100) as usize]
-            }
-        };
 
         ServiceReport {
             mode: if !config.caching {
@@ -456,12 +449,25 @@ impl CompileService {
             store,
             hit_rate: store.hit_rate(),
             queue: queue_stats,
-            latency_p50_micros: percentile(50),
-            latency_p99_micros: percentile(99),
+            latency_p50_micros: percentile(&latencies, 50),
+            latency_p99_micros: percentile(&latencies, 99),
             checksum: config.checksum.then_some(checksum),
             failures: Some(failures),
         }
     }
+}
+
+/// Ceiling nearest-rank percentile over an ascending-sorted sample:
+/// the smallest value with at least `p`% of the sample at or below it
+/// (0-based index `⌈len·p/100⌉ − 1`). The floor form
+/// `(len−1)·p/100` underreports the tail on small samples — p99 of
+/// 10 observations must be the maximum, not the 9th value.
+fn percentile(sorted: &[u64], p: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (sorted.len() as u64 * p).div_ceil(100).max(1);
+    sorted[(rank - 1) as usize]
 }
 
 #[cfg(test)]
@@ -505,6 +511,30 @@ mod tests {
             checksum: true,
             ..Default::default()
         }
+    }
+
+    #[test]
+    fn percentile_is_ceiling_nearest_rank() {
+        // Hand-computed: 10 samples 10..=100. p99 must be the maximum —
+        // the floor form `(len-1)*p/100` lands on index 8 (value 90).
+        let ten: Vec<u64> = (1..=10).map(|i| i * 10).collect();
+        assert_eq!(percentile(&ten, 50), 50);
+        assert_eq!(percentile(&ten, 90), 90);
+        assert_eq!(percentile(&ten, 99), 100, "p99 of 10 samples is the max");
+        assert_eq!(percentile(&ten, 100), 100);
+
+        // Odd-length median and tail behaviour around rank boundaries.
+        let five = [1u64, 2, 3, 4, 5];
+        assert_eq!(percentile(&five, 50), 3);
+        assert_eq!(percentile(&five, 20), 1, "p20 of 5 is exactly rank 1");
+        assert_eq!(percentile(&five, 21), 2, "just past a boundary rounds up");
+        assert_eq!(percentile(&five, 99), 5);
+
+        // Degenerate samples.
+        assert_eq!(percentile(&[7], 50), 7);
+        assert_eq!(percentile(&[7], 99), 7);
+        assert_eq!(percentile(&[], 99), 0);
+        assert_eq!(percentile(&five, 0), 1, "p0 clamps to the minimum");
     }
 
     #[test]

@@ -75,6 +75,39 @@ fn event_and_stepped_engines_are_bit_exact() {
 }
 
 #[test]
+fn traffic_presets_split_no_engines() {
+    // The loop-driven cases above exercise the access sequences real
+    // schedules produce; the traffic presets exercise the adversarial
+    // ones they don't — hot-bank pileups, bursty arrival fronts,
+    // pointer chases — directly against every memory model, below the
+    // compiler. Same gate: the two engines must produce identical
+    // request/reply traces and final statistics.
+    use vliw_workloads::traffic::{presets, run_traffic};
+    for spec in presets() {
+        let spec = spec.with_reqs(96);
+        cases(6, |case, rng| {
+            let cfg = vliw_workloads::fuzz::random_machine(rng);
+            for kind in [
+                MemoryModelKind::Unified,
+                MemoryModelKind::UnifiedL0,
+                MemoryModelKind::MultiVliw,
+                MemoryModelKind::WordInterleaved,
+            ] {
+                let mut event = kind.build_with_engine(&cfg, EngineKind::Event);
+                let mut stepped = kind.build_with_engine(&cfg, EngineKind::Stepped);
+                assert_eq!(
+                    run_traffic(&spec, &cfg, event.as_mut()),
+                    run_traffic(&spec, &cfg, stepped.as_mut()),
+                    "case {case}: engines diverged on '{}' / {kind:?} ({:?})",
+                    spec.name,
+                    cfg.interconnect.topology
+                );
+            }
+        });
+    }
+}
+
+#[test]
 fn stepped_models_on_the_event_runner_also_agree() {
     // The engines differ in two orthogonal places — the model's
     // arbitration structures and the runner's retire cadence. The cross

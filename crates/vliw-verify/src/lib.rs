@@ -7,7 +7,7 @@
 //! (when one is attributable) the operation, so a failure in CI or in
 //! the compile service is immediately actionable.
 //!
-//! Four layers, one module each:
+//! Five layers, one module each:
 //!
 //! * [`ir`] — IR well-formedness: dependence-edge sanity, acyclicity of
 //!   the intra-iteration (distance-0) dependence subgraph, and
@@ -20,6 +20,9 @@
 //!   prefetch routing rules.
 //! * [`sim`] — accounting invariants on [`SimResult`]: stall-category
 //!   disjointness and exactness of the per-op stall attribution.
+//! * [`traffic`] — reply-level invariants on raw synthetic-traffic
+//!   replays (causality, attribution bounds, counter agreement), the
+//!   gate under the fuzz corpus's pattern scenarios.
 //! * [`det`] — determinism: sorted-iteration wrappers for building
 //!   serialized output from hash containers, plus a mechanical source
 //!   lint that flags unordered hash-container iteration in files that
@@ -44,11 +47,13 @@ pub mod det;
 pub mod ir;
 pub mod sched;
 pub mod sim;
+pub mod traffic;
 
 pub use det::{lint_source, sorted_items, sorted_pairs, SERIALIZATION_SURFACES};
 pub use ir::{check_loop, check_normalization};
 pub use sched::check_schedule;
 pub use sim::check_sim;
+pub use traffic::check_traffic;
 
 /// One broken invariant, attributed to a loop and (when possible) an op.
 /// Serializes (for the `verify` binary's JSON report) but does not

@@ -1,0 +1,196 @@
+//! Property gates over synthetic traffic replays.
+//!
+//! The simulator layer ([`crate::sim`]) checks stall accounting on
+//! *scheduled* runs; this layer checks the raw request/reply traces the
+//! traffic generator produces below the compiler, where no schedule
+//! exists to anchor per-op sums. The invariants are the reply-level
+//! halves of the same identities: causality, attribution bounds, and
+//! agreement between the reply trace and the model's own counters.
+
+use crate::Violation;
+use vliw_machine::{MachineConfig, Topology};
+use vliw_mem::ReqKind;
+use vliw_workloads::traffic::TrafficRun;
+
+/// Checks one pattern replay against `cfg`'s machine.
+///
+/// Invariants (tags):
+///
+/// * `traffic-reply-count` — one reply per request.
+/// * `traffic-time-travel` — no reply is ready before its request
+///   issued.
+/// * `traffic-attr-exceeds` — a reply's port-queue + link-stall
+///   attribution never exceeds its total wait.
+/// * `traffic-access-count` — the model counted exactly the loads and
+///   stores the stream issued.
+/// * `traffic-queue-overcount` / `traffic-link-overcount` — summed
+///   reply attributions never exceed the model's own counters (the
+///   model may additionally count internal traffic such as prefetch
+///   refills and snoop routes, so ≤, not =).
+/// * `traffic-flat-contention` — the flat network is contention-free:
+///   no routed requests, no queueing, no link stalls.
+/// * `traffic-mesh-only-links` — link stalls exist only on the mesh.
+#[must_use]
+pub fn check_traffic(name: &str, cfg: &MachineConfig, run: &TrafficRun) -> Vec<Violation> {
+    let mut out = Vec::new();
+
+    if run.requests.len() != run.replies.len() {
+        out.push(Violation::new(
+            "traffic-reply-count",
+            name,
+            format!(
+                "{} requests but {} replies",
+                run.requests.len(),
+                run.replies.len()
+            ),
+        ));
+        return out;
+    }
+
+    let mut queue = 0u64;
+    let mut link = 0u64;
+    for (i, (req, rep)) in run.requests.iter().zip(&run.replies).enumerate() {
+        if rep.ready_at < req.cycle {
+            out.push(Violation::new(
+                "traffic-time-travel",
+                name,
+                format!(
+                    "request {i} issued at {} but ready at {}",
+                    req.cycle, rep.ready_at
+                ),
+            ));
+            continue;
+        }
+        let wait = rep.ready_at - req.cycle;
+        if rep.queue_cycles + rep.link_stalls > wait {
+            out.push(Violation::new(
+                "traffic-attr-exceeds",
+                name,
+                format!(
+                    "request {i}: queue {} + link {} exceeds wait {wait}",
+                    rep.queue_cycles, rep.link_stalls
+                ),
+            ));
+        }
+        queue += rep.queue_cycles;
+        link += rep.link_stalls;
+    }
+
+    let issued = run
+        .requests
+        .iter()
+        .filter(|r| matches!(r.kind, ReqKind::Load | ReqKind::Store))
+        .count() as u64;
+    if run.stats.accesses != issued {
+        out.push(Violation::new(
+            "traffic-access-count",
+            name,
+            format!(
+                "stream issued {issued} loads+stores, model counted {}",
+                run.stats.accesses
+            ),
+        ));
+    }
+
+    if queue > run.stats.ic_queue_cycles {
+        out.push(Violation::new(
+            "traffic-queue-overcount",
+            name,
+            format!(
+                "replies attribute {queue} queue cycles, model recorded {}",
+                run.stats.ic_queue_cycles
+            ),
+        ));
+    }
+    if link > run.stats.link_stalls() {
+        out.push(Violation::new(
+            "traffic-link-overcount",
+            name,
+            format!(
+                "replies attribute {link} link stalls, model recorded {}",
+                run.stats.link_stalls()
+            ),
+        ));
+    }
+
+    if cfg.interconnect.is_flat() && (run.stats.ic_requests != 0 || queue != 0 || link != 0) {
+        out.push(Violation::new(
+            "traffic-flat-contention",
+            name,
+            format!(
+                "flat network routed {} requests with {queue} queue / {link} link cycles",
+                run.stats.ic_requests
+            ),
+        ));
+    }
+    if cfg.interconnect.topology != Topology::Mesh && link != 0 {
+        out.push(Violation::new(
+            "traffic-mesh-only-links",
+            name,
+            format!(
+                "{link} link stalls on a {} topology",
+                cfg.interconnect.topology
+            ),
+        ));
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw_machine::{ClusterId, MemHints};
+    use vliw_mem::{MemReply, MemRequest, MemStats, ServicedBy};
+
+    fn tiny_run() -> TrafficRun {
+        let req = MemRequest::load(ClusterId::new(0), 0, 4, MemHints::no_access(), 10);
+        let rep = MemReply::new(16, ServicedBy::L1);
+        TrafficRun {
+            requests: vec![req],
+            replies: vec![rep],
+            stats: MemStats {
+                accesses: 1,
+                ..Default::default()
+            },
+            net: None,
+        }
+    }
+
+    #[test]
+    fn clean_run_passes() {
+        let cfg = MachineConfig::micro2003();
+        assert_eq!(check_traffic("t", &cfg, &tiny_run()), Vec::new());
+    }
+
+    #[test]
+    fn time_travel_is_flagged() {
+        let cfg = MachineConfig::micro2003();
+        let mut run = tiny_run();
+        run.replies[0].ready_at = 5; // before issue at 10
+        let vs = check_traffic("t", &cfg, &run);
+        assert!(vs.iter().any(|v| v.invariant == "traffic-time-travel"));
+    }
+
+    #[test]
+    fn overattribution_is_flagged() {
+        let cfg = MachineConfig::micro2003();
+        let mut run = tiny_run();
+        run.replies[0].queue_cycles = 100; // wait is only 6
+        run.stats.ic_queue_cycles = 100;
+        run.stats.ic_requests = 1;
+        let vs = check_traffic("t", &cfg, &run);
+        assert!(vs.iter().any(|v| v.invariant == "traffic-attr-exceeds"));
+        // ... and a flat machine additionally flags any contention at all.
+        assert!(vs.iter().any(|v| v.invariant == "traffic-flat-contention"));
+    }
+
+    #[test]
+    fn lost_access_count_is_flagged() {
+        let cfg = MachineConfig::micro2003();
+        let mut run = tiny_run();
+        run.stats.accesses = 7;
+        let vs = check_traffic("t", &cfg, &run);
+        assert!(vs.iter().any(|v| v.invariant == "traffic-access-count"));
+    }
+}

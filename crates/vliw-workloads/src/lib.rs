@@ -17,6 +17,12 @@
 //! * a non-loop scalar fraction (~20 % of execution) identical across
 //!   architectures.
 //!
+//! Beyond the suite, the crate carries the adversarial side of the
+//! workspace: [`traffic`] generates declarative synthetic request
+//! streams that drive the memory models directly, and [`fuzz`]
+//! generates seeded random loop nests and machines for the real
+//! compile→simulate path.
+//!
 //! # Example
 //!
 //! ```
@@ -31,9 +37,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fuzz;
 pub mod kernels;
 pub mod spec;
 pub mod suite;
+pub mod traffic;
 
 pub use spec::{BenchmarkSpec, Table1Stats};
 pub use suite::mediabench_suite;
+pub use traffic::{run_traffic, PatternKind, PatternSpec, TrafficRun, TrafficSummary};
