@@ -9,14 +9,23 @@
 //! `syn`/`quote` — those are unavailable offline). Supported shapes are
 //! exactly what this workspace uses: non-generic structs (named, tuple,
 //! unit) and non-generic enums with unit, tuple and struct variants.
-//! serde field/container attributes are not supported and are ignored.
+//! Of serde's field/container attributes exactly one is honored —
+//! `#[serde(default)]` on a named field, which deserializes a missing
+//! field to `Default::default()` — all others are ignored.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One named field: its identifier plus whether `#[serde(default)]`
+/// marks it optional on deserialization.
+struct Field {
+    name: String,
+    default: bool,
+}
 
 enum Fields {
     Unit,
     Tuple(usize),
-    Named(Vec<String>),
+    Named(Vec<Field>),
 }
 
 enum Data {
@@ -100,14 +109,47 @@ fn strip_attrs_and_vis(tokens: &[TokenTree]) -> &[TokenTree] {
     }
 }
 
-fn parse_named_fields(body: TokenStream) -> Vec<String> {
+/// `true` when the chunk's leading attributes include `#[serde(default)]`
+/// (possibly alongside other serde arguments, which are ignored).
+fn has_serde_default(tokens: &[TokenTree]) -> bool {
+    let mut i = 0;
+    while let (Some(TokenTree::Punct(p)), Some(attr)) = (tokens.get(i), tokens.get(i + 1)) {
+        if p.as_char() != '#' {
+            break;
+        }
+        if let TokenTree::Group(g) = attr {
+            let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+            let is_serde =
+                matches!(toks.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde");
+            if is_serde {
+                if let Some(TokenTree::Group(args)) = toks.get(1) {
+                    let has_default = args
+                        .stream()
+                        .into_iter()
+                        .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "default"));
+                    if has_default {
+                        return true;
+                    }
+                }
+            }
+        }
+        i += 2;
+    }
+    false
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
     split_top_level(body.into_iter().collect())
         .into_iter()
         .filter(|chunk| !chunk.is_empty())
         .map(|chunk| {
+            let default = has_serde_default(&chunk);
             let chunk = strip_attrs_and_vis(&chunk);
             match chunk.first() {
-                Some(TokenTree::Ident(id)) => id.to_string(),
+                Some(TokenTree::Ident(id)) => Field {
+                    name: id.to_string(),
+                    default,
+                },
                 other => panic!("serde stub derive: expected field name, got {other:?}"),
             }
         })
@@ -235,11 +277,14 @@ fn gen_serialize_fields(owner: &str, fields: &Fields) -> String {
                 .collect();
             format!("serde::Content::Seq(vec![{}])", items.join(", "))
         }
-        Fields::Named(names) => {
-            let items: Vec<String> = names
+        Fields::Named(fields) => {
+            let items: Vec<String> = fields
                 .iter()
                 .map(|f| {
-                    format!("(String::from(\"{f}\"), serde::Serialize::to_content(&self.{f}))")
+                    format!(
+                        "(String::from(\"{f}\"), serde::Serialize::to_content(&self.{f}))",
+                        f = f.name
+                    )
                 })
                 .collect();
             let _ = owner;
@@ -275,18 +320,21 @@ fn derive_serialize_impl(input: &Input) -> String {
                             binds = binds.join(", ")
                         )
                     }
-                    Fields::Named(names) => {
-                        let items: Vec<String> = names
+                    Fields::Named(fields) => {
+                        let items: Vec<String> = fields
                             .iter()
                             .map(|f| {
                                 format!(
-                                    "(String::from(\"{f}\"), serde::Serialize::to_content({f}))"
+                                    "(String::from(\"{f}\"), serde::Serialize::to_content({f}))",
+                                    f = f.name
                                 )
                             })
                             .collect();
+                        let binds: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
                         format!(
                             "{name}::{v} {{ {binds} }} => serde::Content::Map(vec![(String::from(\"{v}\"), serde::Content::Map(vec![{items}]))]),",
-                            binds = names.join(", "),
+                            binds = binds.join(", "),
                             items = items.join(", ")
                         )
                     }
@@ -303,17 +351,32 @@ fn derive_serialize_impl(input: &Input) -> String {
     )
 }
 
-fn gen_deserialize_named(owner: &str, path: &str, names: &[String], src: &str) -> String {
-    let fields: Vec<String> = names
+fn gen_deserialize_named(owner: &str, path: &str, fields: &[Field], src: &str) -> String {
+    let inits: Vec<String> = fields
         .iter()
         .map(|f| {
-            format!(
-                "{f}: serde::Deserialize::from_content(serde::field({src}, \"{f}\"))\
-                 .map_err(|e| e.context(\"{owner}.{f}\"))?"
-            )
+            if f.default {
+                // `#[serde(default)]`: a field absent from the map (the
+                // stub's `field` returns Null for those) falls back to
+                // `Default::default()` instead of erroring.
+                format!(
+                    "{f}: match serde::field({src}, \"{f}\") {{\n\
+                         serde::Content::Null => Default::default(),\n\
+                         v => serde::Deserialize::from_content(v)\
+                              .map_err(|e| e.context(\"{owner}.{f}\"))?,\n\
+                     }}",
+                    f = f.name
+                )
+            } else {
+                format!(
+                    "{f}: serde::Deserialize::from_content(serde::field({src}, \"{f}\"))\
+                     .map_err(|e| e.context(\"{owner}.{f}\"))?",
+                    f = f.name
+                )
+            }
         })
         .collect();
-    format!("{path} {{ {} }}", fields.join(", "))
+    format!("{path} {{ {} }}", inits.join(", "))
 }
 
 fn derive_deserialize_impl(input: &Input) -> String {
@@ -368,11 +431,11 @@ fn derive_deserialize_impl(input: &Input) -> String {
                             items = items.join(", ")
                         ))
                     }
-                    Fields::Named(names) => {
+                    Fields::Named(fields) => {
                         let ctor = gen_deserialize_named(
                             name,
                             &format!("{name}::{v}"),
-                            names,
+                            fields,
                             "vm",
                         );
                         Some(format!(
@@ -422,7 +485,7 @@ fn derive_deserialize_impl(input: &Input) -> String {
 }
 
 /// Derives the stub `serde::Serialize` for a non-generic struct or enum.
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let parsed = parse_input(input);
     derive_serialize_impl(&parsed)
@@ -431,7 +494,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 }
 
 /// Derives the stub `serde::Deserialize` for a non-generic struct or enum.
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let parsed = parse_input(input);
     derive_deserialize_impl(&parsed)

@@ -11,9 +11,16 @@
 //! cell-for-cell identical; only the wall-clock telemetry varies. The
 //! `--json <path>` artifact is an ordinary `BENCH_*.json` grid (the
 //! median-wall rep's), so a series of CI artifacts feeds straight into
-//! `bench-diff --trend` like any other sweep — but CI runs this step
-//! *non-gating*: shared runners make wall-clock too noisy to fail a
-//! build on, the artifact trail is the deliverable.
+//! `bench-diff --trend` like any other sweep. Wall-clock itself stays
+//! *non-gating*: shared runners make it too noisy to fail a build on,
+//! the artifact trail is the deliverable.
+//!
+//! `--require-ffwd` adds the one check that *is* gating: the steady-
+//! state fast-forward must have batched at least one iteration somewhere
+//! on the mini-grid (the cells carry `ffwd_replayed`/`ffwd_batched`
+//! telemetry). The stream kernels are engineered to settle, so a zero
+//! here means the detector is dead — every equality suite would still
+//! pass while the sweeps silently lose their speedup.
 //!
 //! `--service` switches to the compile-service smoke: the same three
 //! kernels replayed through [`CompileService`] cold (uncached) and warm
@@ -183,5 +190,22 @@ fn main() {
 
     if let Some(path) = args.json_path() {
         write_json(&path, median_run);
+    }
+
+    if args.has_flag("--require-ffwd") {
+        let (replayed, batched) = median_run.cells.iter().fold((0u64, 0u64), |(r, b), c| {
+            (
+                r + c.ffwd_replayed.unwrap_or(0),
+                b + c.ffwd_batched.unwrap_or(0),
+            )
+        });
+        println!("  ffwd: {replayed} iterations replayed, {batched} batched");
+        if batched == 0 {
+            eprintln!(
+                "perf smoke: --require-ffwd but the fast-forward never fired \
+                 on the mini-grid ({replayed} iterations all replayed)"
+            );
+            std::process::exit(1);
+        }
     }
 }

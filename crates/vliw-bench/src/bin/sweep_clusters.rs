@@ -2,7 +2,9 @@
 //! techniques and mechanisms can be extended to an architecture with any
 //! number of clusters", and its 4-cluster machine assumes a flat,
 //! contention-free path to the unified L1. This bin stresses both claims
-//! at once by sweeping N = 2…64 clusters along five variant axes:
+//! at once by sweeping N = 2…64 clusters (2…128 on the mesh axes, which
+//! the steady-state fast-forward makes affordable) along five variant
+//! axes:
 //!
 //! * **flat** — the paper's idealized network extrapolated as-is (the
 //!   generality sweep the seed shipped, extended past 8 clusters);
@@ -36,6 +38,13 @@ use vliw_workloads::{kernels, BenchmarkSpec};
 
 /// The cluster counts of the scaling curve.
 const CLUSTER_COUNTS: [usize; 6] = [2, 4, 8, 16, 32, 64];
+
+/// The mesh axes extend one octave further: the steady-state
+/// fast-forward batches the post-warm-up visits in closed form, which is
+/// what makes a 128-cluster NoC grid affordable inside the CI sweep
+/// budget (the flat/hier axes stop at 64 — their scaling story is
+/// complete well before that, see the module doc).
+const MESH_CLUSTER_COUNTS: [usize; 7] = [2, 4, 8, 16, 32, 64, 128];
 
 /// Total L0 entry budget split across clusters (the paper's 4 × 8).
 const L0_ENTRY_BUDGET: usize = 32;
@@ -91,21 +100,26 @@ fn mesh_mshr_aware(n: usize) -> Variant {
 
 fn main() {
     let args = BinArgs::parse();
+    // High-trip columns: visit counts are set so the periodic steady
+    // state dominates the trip budget — the regime the fast-forward
+    // collapses from O(visits × trip) replay to O(warm-up + period)
+    // (DESIGN.md §14). The warm-up share (cold L1, transient queueing)
+    // is a one-time cost no batching can remove.
     let spec = BenchmarkSpec::from_kernels(
         "kernels",
         vec![
             kernels::adpcm_predictor("pred", 64, 30),
-            kernels::media_stream("stream", 3, 6, 2, 256, 10, false),
-            kernels::row_filter("fir6", 6, 160, 8),
+            kernels::media_stream("stream", 3, 6, 2, 256, 120, false),
+            kernels::row_filter("fir6", 6, 160, 120),
         ],
     );
 
     let grid = SweepGrid::new("sweep_clusters", MachineConfig::micro2003(), vec![spec])
         .with_variants(CLUSTER_COUNTS.iter().map(|&n| scaled(n)))
         .with_variants(CLUSTER_COUNTS.iter().map(|&n| contended(n)))
-        .with_variants(CLUSTER_COUNTS.iter().map(|&n| mesh(n)))
-        .with_variants(CLUSTER_COUNTS.iter().map(|&n| mesh_mshr(n)))
-        .with_variants(CLUSTER_COUNTS.iter().map(|&n| mesh_mshr_aware(n)));
+        .with_variants(MESH_CLUSTER_COUNTS.iter().map(|&n| mesh(n)))
+        .with_variants(MESH_CLUSTER_COUNTS.iter().map(|&n| mesh_mshr(n)))
+        .with_variants(MESH_CLUSTER_COUNTS.iter().map(|&n| mesh_mshr_aware(n)));
     let result = grid.run();
 
     println!("Cluster-count scaling (per-cluster L0 = 32-entry budget / N, subblock = 8B):");

@@ -109,15 +109,29 @@ pub struct Cell {
     /// written before the event engine). Machine- and load-dependent, so
     /// [`Cell`] equality deliberately ignores it.
     pub sim_micros: Option<u64>,
+    /// Loop iterations the shipped run replayed cycle-by-cycle before
+    /// (or instead of) fast-forwarding — telemetry about *how* the
+    /// simulator produced the cell, not simulated state, so equality
+    /// ignores it like `sim_micros` (`None` in artifacts written before
+    /// steady-state fast-forward existed).
+    pub ffwd_replayed: Option<u64>,
+    /// Loop iterations the shipped run batched in closed form after
+    /// periodic-steady-state detection (0 when fast-forward never
+    /// fired; `None` in pre-fast-forward artifacts). Same telemetry
+    /// status as [`Cell::ffwd_replayed`].
+    pub ffwd_batched: Option<u64>,
     /// Merged memory-system counters of the loop portion.
     pub mem: MemStats,
 }
 
 /// Equality over the *simulated* content only: `sim_micros` is measured
 /// wall time, which two runs of the same cell legitimately disagree on,
-/// and the determinism guards (serial vs. parallel grids, repeated runs)
-/// compare cells with `==`. The exhaustive destructuring keeps this list
-/// in sync with the struct by construction.
+/// and the `ffwd_*` counters describe the runner's replay/batch split —
+/// how the answer was produced, which tuning the detection window may
+/// legitimately change without changing the answer. The determinism
+/// guards (serial vs. parallel grids, repeated runs) compare cells with
+/// `==`. The exhaustive destructuring keeps this list in sync with the
+/// struct by construction.
 impl PartialEq for Cell {
     fn eq(&self, other: &Self) -> bool {
         let Cell {
@@ -146,6 +160,8 @@ impl PartialEq for Cell {
             flushes_removed,
             mem,
             sim_micros: _,
+            ffwd_replayed: _,
+            ffwd_batched: _,
         } = other;
         self.benchmark == *benchmark
             && self.variant == *variant
@@ -253,6 +269,8 @@ mod tests {
                 ..Default::default()
             },
             sim_micros: Some(1234),
+            ffwd_replayed: Some(20),
+            ffwd_batched: Some(100),
         }
     }
 
@@ -272,6 +290,9 @@ mod tests {
         let mut b = sample();
         b.sim_micros = Some(999_999);
         assert_eq!(a, b, "sim_micros is telemetry, not simulated state");
+        b.ffwd_batched = Some(0);
+        b.ffwd_replayed = None;
+        assert_eq!(a, b, "ffwd split is telemetry, not simulated state");
         b.total_cycles += 1;
         assert_ne!(a, b, "simulated state still compares");
     }
@@ -293,6 +314,8 @@ mod tests {
             "\"assignment\"",
             "\"link_stall_cycles\"",
             "\"sim_micros\"",
+            "\"ffwd_replayed\"",
+            "\"ffwd_batched\"",
         ] {
             assert!(json.contains(key), "{key} missing from {json}");
         }
@@ -313,6 +336,8 @@ mod tests {
             "assignment",
             "link_stall_cycles",
             "sim_micros",
+            "ffwd_replayed",
+            "ffwd_batched",
         ] {
             let start = json.find(&format!("\"{key}\":")).expect("key present");
             // Values here are scalars, strings or brace-balanced objects:
@@ -344,6 +369,8 @@ mod tests {
         legacy.assignment = None;
         legacy.link_stall_cycles = None;
         legacy.sim_micros = None;
+        legacy.ffwd_replayed = None;
+        legacy.ffwd_batched = None;
         assert_eq!(back, legacy, "absent keys deserialize as None");
         assert_eq!(
             back.sim_micros, None,

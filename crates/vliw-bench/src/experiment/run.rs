@@ -324,6 +324,8 @@ fn run_cell(
         proof: Some(run.proof),
         flushes_removed: run.flushes_removed,
         sim_micros: Some(run.sim_micros),
+        ffwd_replayed: Some(run.sim.ffwd.iters_replayed),
+        ffwd_batched: Some(run.sim.ffwd.iters_batched),
         mem: run.sim.mem_stats,
     };
     (cell, own_stats)

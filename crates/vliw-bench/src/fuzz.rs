@@ -4,7 +4,8 @@
 //!
 //! Two scenario families, both fully deterministic:
 //!
-//! * **Traffic** — every [`PatternSpec`] preset × every corpus topology
+//! * **Traffic** — every [`PatternSpec`](vliw_workloads::traffic::PatternSpec)
+//!   preset × every corpus topology
 //!   × every memory model, replayed on both timing engines.
 //!   Gates: event-vs-stepped trace equality and
 //!   [`check_traffic`]'s reply-level invariants.
@@ -223,7 +224,7 @@ pub fn run_corpus(config: &FuzzConfig) -> FuzzReport {
                 if event != stepped {
                     engine_mismatches.push(format!("{label}: timing engines diverged"));
                 }
-                violations.extend(check_traffic(&label, cfg, &event));
+                violations.extend(check_traffic(&label, cfg, Some(spec.kind), &event));
                 traffic.push(event.summary(spec.name, topo, model_label(kind)));
             }
         }

@@ -79,6 +79,37 @@ impl AddressStream {
     pub fn elem_bytes(&self) -> u64 {
         self.elem
     }
+
+    /// The stream's exact period in iterations: the smallest `p > 0` with
+    /// `address(i + p) == address(i)` for every `i`.
+    ///
+    /// Affine streams wrap modulo the array size, so
+    /// `p = size / gcd(|stride|, size)` (a zero stride repeats every
+    /// iteration). Irregular streams hash the iteration number and never
+    /// repeat — `None`, which disables any periodicity-based reasoning
+    /// (e.g. the simulator's iteration-level fast-forward).
+    pub fn period(&self) -> Option<u64> {
+        match self.pattern {
+            StridePattern::Affine { stride_bytes } => {
+                let stride = stride_bytes.unsigned_abs();
+                if stride == 0 {
+                    return Some(1);
+                }
+                Some(self.size / gcd(stride, self.size))
+            }
+            StridePattern::Irregular { .. } => None,
+        }
+    }
+}
+
+/// Greatest common divisor (Euclid); `gcd(a, 0) == a`.
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    a
 }
 
 #[cfg(test)]
@@ -145,6 +176,31 @@ mod tests {
         let s2 = AddressStream::new(&l, ld2);
         let same = (0..64).filter(|&i| s1.address(i) == s2.address(i)).count();
         assert!(same < 8, "streams should differ (got {same}/64 equal)");
+    }
+
+    #[test]
+    fn period_is_exact_for_affine_and_absent_for_irregular() {
+        let l = LoopBuilder::new("ew").trip_count(8).elementwise(4).build();
+        let ld = l.ops.iter().find(|o| o.is_load()).unwrap().id;
+        let s = AddressStream::new(&l, ld);
+        let p = s.period().expect("affine streams are periodic");
+        // smallest: address repeats at p and at no smaller shift for i=0
+        for i in 0..(2 * p) {
+            assert_eq!(s.address(i + p), s.address(i));
+        }
+        assert!((1..p).all(|q| s.address(q) != s.address(0)));
+
+        let l = LoopBuilder::new("irr")
+            .trip_count(64)
+            .irregular(4, 4096)
+            .build();
+        let ld = l
+            .ops
+            .iter()
+            .find(|o| o.is_load() && !o.kind.mem_access().unwrap().stride.is_strided())
+            .unwrap()
+            .id;
+        assert_eq!(AddressStream::new(&l, ld).period(), None);
     }
 
     #[test]

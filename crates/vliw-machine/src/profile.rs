@@ -80,6 +80,86 @@ impl NetLoad {
             .map(|i| &self.banks[i])
     }
 
+    /// The per-link/per-bank growth between an `earlier` snapshot of the
+    /// same run and this one. Counters are monotonic, so entries only
+    /// ever grow or appear; an entry absent from `earlier` contributes
+    /// its full value. Entries whose counters did not move are omitted,
+    /// matching the "only non-zero loads" convention of the snapshots
+    /// themselves.
+    pub fn delta_since(&self, earlier: &NetLoad) -> NetLoad {
+        let mut out = NetLoad::default();
+        for l in &self.links {
+            let (t0, s0) = earlier
+                .link(l.from, l.to)
+                .map_or((0, 0), |e| (e.traversals, e.stall_cycles));
+            if l.traversals != t0 || l.stall_cycles != s0 {
+                out.links.push(LinkLoad {
+                    from: l.from,
+                    to: l.to,
+                    traversals: l.traversals - t0,
+                    stall_cycles: l.stall_cycles - s0,
+                });
+            }
+        }
+        for b in &self.banks {
+            let (r0, q0) = earlier
+                .bank(b.bank)
+                .map_or((0, 0), |e| (e.requests, e.queue_cycles));
+            if b.requests != r0 || b.queue_cycles != q0 {
+                out.banks.push(BankLoad {
+                    bank: b.bank,
+                    requests: b.requests - r0,
+                    queue_cycles: b.queue_cycles - q0,
+                });
+            }
+        }
+        out
+    }
+
+    /// Accumulates `k` copies of another observation in one pass — the
+    /// closed-form counterpart of calling [`NetLoad::merge`] `k` times.
+    pub fn merge_scaled(&mut self, other: &NetLoad, k: u64) {
+        if k == 0 {
+            return;
+        }
+        for l in &other.links {
+            match self
+                .links
+                .binary_search_by_key(&(l.from, l.to), |x| (x.from, x.to))
+            {
+                Ok(i) => {
+                    self.links[i].traversals += k * l.traversals;
+                    self.links[i].stall_cycles += k * l.stall_cycles;
+                }
+                Err(i) => self.links.insert(
+                    i,
+                    LinkLoad {
+                        from: l.from,
+                        to: l.to,
+                        traversals: k * l.traversals,
+                        stall_cycles: k * l.stall_cycles,
+                    },
+                ),
+            }
+        }
+        for b in &other.banks {
+            match self.banks.binary_search_by_key(&b.bank, |x| x.bank) {
+                Ok(i) => {
+                    self.banks[i].requests += k * b.requests;
+                    self.banks[i].queue_cycles += k * b.queue_cycles;
+                }
+                Err(i) => self.banks.insert(
+                    i,
+                    BankLoad {
+                        bank: b.bank,
+                        requests: k * b.requests,
+                        queue_cycles: k * b.queue_cycles,
+                    },
+                ),
+            }
+        }
+    }
+
     /// Accumulates another observation (summing counters per link/bank).
     pub fn merge(&mut self, other: &NetLoad) {
         for l in &other.links {
@@ -302,6 +382,50 @@ mod tests {
             .links
             .windows(2)
             .all(|w| (w[0].from, w[0].to) < (w[1].from, w[1].to)));
+    }
+
+    #[test]
+    fn delta_and_scaled_merge_are_closed_form_merge() {
+        // later = earlier + d  =>  earlier + k*d == earlier merged with d, k times
+        let earlier = NetLoad {
+            links: vec![LinkLoad {
+                from: 0,
+                to: 1,
+                traversals: 10,
+                stall_cycles: 2,
+            }],
+            banks: vec![BankLoad {
+                bank: 0,
+                requests: 5,
+                queue_cycles: 1,
+            }],
+        };
+        let mut later = earlier.clone();
+        later.merge(&NetLoad {
+            links: vec![LinkLoad {
+                from: 1,
+                to: 2,
+                traversals: 4,
+                stall_cycles: 1,
+            }],
+            banks: vec![BankLoad {
+                bank: 0,
+                requests: 2,
+                queue_cycles: 0,
+            }],
+        });
+        let d = later.delta_since(&earlier);
+        assert_eq!(d.link(1, 2).unwrap().traversals, 4);
+        assert_eq!(d.bank(0).unwrap().requests, 2);
+        assert!(d.link(0, 1).is_none(), "unmoved entries are omitted");
+
+        let mut scaled = later.clone();
+        scaled.merge_scaled(&d, 3);
+        let mut repeated = later.clone();
+        for _ in 0..3 {
+            repeated.merge(&d);
+        }
+        assert_eq!(scaled, repeated);
     }
 
     #[test]

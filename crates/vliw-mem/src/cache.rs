@@ -155,6 +155,40 @@ impl<S: Copy> SetAssocCache<S> {
         Some(self.sets[set].swap_remove(pos).state)
     }
 
+    /// Folds the cache's resident state into `h` at boundary `base`.
+    ///
+    /// Lines are streamed in per-set vector order: eviction picks the
+    /// first minimum-`last_use` line and `invalidate` uses
+    /// `swap_remove`, so the order is part of the observable LRU state.
+    /// `last_use` enters as its set-local replacement rank
+    /// ([`lru_rank_by`](crate::digest::lru_rank_by)) — only the order is
+    /// observable, and warm lines that are never touched again would
+    /// otherwise slide at every boundary. The monotonic `tick` is
+    /// excluded — it is bumped on lookups but never consulted by any
+    /// replacement decision.
+    pub(crate) fn digest_into(&self, h: &mut crate::digest::Fnv, base: u64)
+    where
+        S: crate::digest::DigestState,
+    {
+        for set in &self.sets {
+            h.write_u64(set.len() as u64);
+            for (i, line) in set.iter().enumerate() {
+                h.write_u64(line.tag);
+                h.write_u64(crate::digest::lru_rank_by(set, i, base, |l| l.last_use));
+                h.write_u64(line.state.digest_bits());
+            }
+        }
+    }
+
+    /// Shifts every line's `last_use` forward by `delta` cycles.
+    pub(crate) fn advance(&mut self, delta: u64) {
+        for set in &mut self.sets {
+            for line in set {
+                line.last_use += delta;
+            }
+        }
+    }
+
     /// Number of resident lines.
     pub fn len(&self) -> usize {
         self.sets.iter().map(Vec::len).sum()

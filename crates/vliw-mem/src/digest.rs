@@ -1,0 +1,123 @@
+//! FNV-1a plumbing for the fast-forward state digests (DESIGN.md §14).
+//!
+//! Every model's [`MemoryModel::state_digest`](crate::MemoryModel::state_digest)
+//! folds its arbitration and buffer state through one of these streams,
+//! with clock-bearing fields expressed relative to the caller's
+//! `base_cycle` so that two machine states that differ only by a rigid
+//! time translation hash identically. The constants match the service
+//! layer's content-address keys (`vliw-service`), the workspace's one
+//! hashing idiom.
+
+/// An incremental 64-bit FNV-1a stream.
+#[derive(Debug, Clone)]
+pub(crate) struct Fnv(u64);
+
+impl Fnv {
+    const BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x1_0000_01b3;
+
+    /// A fresh stream at the FNV offset basis.
+    pub(crate) fn new() -> Self {
+        Fnv(Self::BASIS)
+    }
+
+    /// Folds one `u64` into the stream, byte-wise little-endian.
+    pub(crate) fn write_u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// The digest so far.
+    pub(crate) fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// One-shot digest of a `(tag, values...)` tuple — used for the
+/// order-independent folds (wheel slots sit at arbitrary ring indices,
+/// so their digests are XOR-combined rather than streamed in ring
+/// order).
+pub(crate) fn fnv_tuple(parts: &[u64]) -> u64 {
+    let mut h = Fnv::new();
+    for &p in parts {
+        h.write_u64(p);
+    }
+    h.finish()
+}
+
+/// Digest encoding of one LRU timestamp at fast-forward boundary `base`:
+/// entry `i`'s rank in the container's `(last_use, index)` order, with
+/// bit 0 flagging `last_use == base`.
+///
+/// At a boundary every recorded `last_use` is ≤ `base` and every future
+/// touch stamps a cycle ≥ `base`, so the absolute values are
+/// unobservable: victim/MRU selection only ever *compares* timestamps —
+/// against each other (ties broken by vector index, exactly the
+/// `(last_use, index)` order this rank encodes) or against a future
+/// stamp, where the one distinguishable case is `last_use == base`
+/// meeting a touch at exactly `base` (the flag). Digesting raw offsets
+/// instead would keep long-idle entries' offsets sliding at every
+/// boundary and block recurrence for any workload with warm, untouched
+/// residents.
+pub(crate) fn lru_rank_by<T>(items: &[T], i: usize, base: u64, lu: impl Fn(&T) -> u64) -> u64 {
+    let me = (lu(&items[i]), i);
+    let rank = items
+        .iter()
+        .enumerate()
+        .filter(|&(j, e)| (lu(e), j) < me)
+        .count() as u64;
+    (rank << 1) | (lu(&items[i]) == base) as u64
+}
+
+/// Digest encoding of a future-event timestamp at boundary `base`: the
+/// offset while the event is still ahead of every future probe, a
+/// constant 0 once it is dead (`ready_at <= base` — such a timestamp
+/// only ever meets `max(cycle)` / `min(new)` comparisons against cycles
+/// ≥ `base`, whose outcome no longer depends on its value).
+pub(crate) fn live_ready(ready_at: u64, base: u64) -> u64 {
+    ready_at.saturating_sub(base)
+}
+
+/// Cache-line payload states that know how to contribute to a digest.
+/// Implemented for `()` (the plain unified/interleaved tags) and the
+/// MultiVLIW MSI state.
+pub(crate) trait DigestState {
+    /// A stable encoding of the state, distinct per variant.
+    fn digest_bits(&self) -> u64;
+}
+
+impl DigestState for () {
+    fn digest_bits(&self) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_matches_known_fnv_shape() {
+        // Deterministic, order-sensitive, and distinct from the basis.
+        let mut a = Fnv::new();
+        a.write_u64(1);
+        a.write_u64(2);
+        let mut b = Fnv::new();
+        b.write_u64(2);
+        b.write_u64(1);
+        assert_ne!(a.finish(), b.finish(), "order matters in the stream");
+        assert_ne!(a.finish(), Fnv::new().finish());
+        let mut c = Fnv::new();
+        c.write_u64(1);
+        c.write_u64(2);
+        assert_eq!(a.finish(), c.finish(), "deterministic");
+    }
+
+    #[test]
+    fn tuple_digest_is_order_sensitive_inside_the_tuple() {
+        assert_ne!(fnv_tuple(&[3, 4]), fnv_tuple(&[4, 3]));
+        assert_eq!(fnv_tuple(&[3, 4]), fnv_tuple(&[3, 4]));
+    }
+}

@@ -93,6 +93,30 @@ impl Occupancy {
             }
         }
     }
+
+    /// Folds the calendar into `h`, cycles relative to `base`.
+    fn digest_into(&self, h: &mut crate::digest::Fnv, base: u64) {
+        match self {
+            Occupancy::Wheel(w) => w.digest_into(h, base),
+            Occupancy::Calendar(slots) => {
+                h.write_u64(slots.len() as u64);
+                for (&t, &c) in slots {
+                    h.write_u64(t.wrapping_sub(base));
+                    h.write_u64(c as u64);
+                }
+            }
+        }
+    }
+
+    /// Shifts every reservation forward by `delta` cycles.
+    fn advance(&mut self, delta: u64) {
+        match self {
+            Occupancy::Wheel(w) => w.advance(delta),
+            Occupancy::Calendar(slots) => {
+                *slots = slots.iter().map(|(&t, &c)| (t + delta, c)).collect();
+            }
+        }
+    }
 }
 
 /// Outcome of routing one request through the network.
@@ -576,6 +600,43 @@ impl Interconnect {
         }
         for slots in &mut self.cluster_ports {
             slots.retire(cutoff);
+        }
+    }
+
+    /// Folds the network's arbitration state into `h`, cycles relative
+    /// to `base` (DESIGN.md §14). The cumulative `link_load`/`bank_load`
+    /// profiling counters are deliberately excluded: they are monotonic
+    /// observables, never consulted by arbitration, and the fast-forward
+    /// runner batches them by delta instead. A lazily-allocated link
+    /// calendar digests differently from a never-touched one even when
+    /// both are empty — that can only delay detection (allocation state
+    /// stabilizes after warm-up), never corrupt it.
+    pub(crate) fn digest_into(&self, h: &mut crate::digest::Fnv, base: u64) {
+        for slots in &self.granted {
+            slots.digest_into(h, base);
+        }
+        for (idx, link) in self.links.iter().enumerate() {
+            if let Some(slots) = link {
+                h.write_u64(idx as u64);
+                slots.digest_into(h, base);
+            }
+        }
+        for slots in &self.cluster_ports {
+            slots.digest_into(h, base);
+        }
+    }
+
+    /// Shifts every bank, link and node-port reservation forward by
+    /// `delta` cycles — the network's share of a fast-forward batch.
+    pub(crate) fn advance(&mut self, delta: u64) {
+        for slots in &mut self.granted {
+            slots.advance(delta);
+        }
+        for link in self.links.iter_mut().flatten() {
+            link.advance(delta);
+        }
+        for slots in &mut self.cluster_ports {
+            slots.advance(delta);
         }
     }
 }

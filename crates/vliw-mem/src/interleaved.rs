@@ -95,6 +95,32 @@ impl AttractionBuffer {
     fn len(&self) -> usize {
         self.entries.len()
     }
+
+    /// Folds the buffer's entries into `h` at boundary `base`. Entries
+    /// stream in vector order: eviction picks the first
+    /// minimum-`last_use` entry and uses `swap_remove`, so the order is
+    /// part of the observable LRU state. `last_use` enters as its
+    /// replacement rank and `ready_at` as its live offset
+    /// ([`lru_rank_by`](crate::digest::lru_rank_by) /
+    /// [`live_ready`](crate::digest::live_ready)).
+    fn digest_into(&self, h: &mut crate::digest::Fnv, base: u64) {
+        h.write_u64(self.entries.len() as u64);
+        for (i, e) in self.entries.iter().enumerate() {
+            h.write_u64(e.word_addr);
+            h.write_u64(crate::digest::lru_rank_by(&self.entries, i, base, |x| {
+                x.last_use
+            }));
+            h.write_u64(crate::digest::live_ready(e.ready_at, base));
+        }
+    }
+
+    /// Shifts every entry's timestamps forward by `delta` cycles.
+    fn advance(&mut self, delta: u64) {
+        for e in &mut self.entries {
+            e.last_use += delta;
+            e.ready_at += delta;
+        }
+    }
 }
 
 /// The word-interleaved distributed L1 with attraction buffers.
@@ -387,6 +413,34 @@ impl MemoryModel for WordInterleavedMem {
 
     fn network_load(&self) -> Option<vliw_machine::NetLoad> {
         (!self.ic.is_flat()).then(|| self.ic.network_load())
+    }
+
+    fn supports_fast_forward(&self) -> bool {
+        true
+    }
+
+    fn state_digest(&self, base_cycle: u64) -> u64 {
+        let mut h = crate::digest::Fnv::new();
+        for bank in &self.banks {
+            bank.digest_into(&mut h, base_cycle);
+        }
+        for ab in &self.attraction {
+            ab.digest_into(&mut h, base_cycle);
+        }
+        self.ic.digest_into(&mut h, base_cycle);
+        self.mshr.digest_into(&mut h, base_cycle);
+        h.finish()
+    }
+
+    fn advance_clock(&mut self, delta: u64) {
+        for bank in &mut self.banks {
+            bank.advance(delta);
+        }
+        for ab in &mut self.attraction {
+            ab.advance(delta);
+        }
+        self.ic.advance(delta);
+        self.mshr.advance(delta);
     }
 }
 

@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+mod digest;
 pub mod interconnect;
 pub mod interleaved;
 pub mod l0;
@@ -128,4 +129,38 @@ pub trait MemoryModel {
     fn network_load(&self) -> Option<vliw_machine::NetLoad> {
         None
     }
+
+    /// `true` when the model implements [`state_digest`] and
+    /// [`advance_clock`] faithfully, opting in to the runner's
+    /// steady-state fast-forward. The default is `false` so a model that
+    /// keeps the defaulted digest (a constant) can never be mistaken for
+    /// one that is periodic — a constant digest *always* recurs.
+    ///
+    /// [`state_digest`]: MemoryModel::state_digest
+    /// [`advance_clock`]: MemoryModel::advance_clock
+    fn supports_fast_forward(&self) -> bool {
+        false
+    }
+
+    /// A translation-invariant digest of every piece of state that can
+    /// influence the timing of a *future* request: buffer/cache contents
+    /// (addresses absolute, LRU timestamps relative to `base_cycle`),
+    /// interconnect occupancies and MSHR flight windows expressed
+    /// relative to `base_cycle`. Two instants with equal digests (for
+    /// their respective bases) behave identically for identical
+    /// subsequent request streams shifted by the base difference.
+    ///
+    /// Monotonic observables that arbitration never consults (statistics
+    /// counters, link/bank load profiles) are excluded — the runner
+    /// batches those separately in closed form.
+    fn state_digest(&self, _base_cycle: u64) -> u64 {
+        0
+    }
+
+    /// Shifts every clock-bearing piece of model state forward by
+    /// `delta` cycles, realizing the translation that
+    /// [`state_digest`](MemoryModel::state_digest) promises is invisible:
+    /// after `advance_clock(d)`, requests at `cycle + d` behave exactly
+    /// as requests at `cycle` would have before.
+    fn advance_clock(&mut self, _delta: u64) {}
 }

@@ -95,6 +95,48 @@ impl MshrFile {
         true
     }
 
+    /// Folds the file's *live* flight windows into `h`, timestamps
+    /// relative to `base`.
+    ///
+    /// `base` is a promise that every future probe (`lookup` cycle,
+    /// `register` issue) happens at or after it, so an entry with
+    /// `ready_at <= base` is timing-dead: it matches no future lookup
+    /// window and never counts as busy against a future issue. An
+    /// `issued_at` in the past is clamped to `base` — the effective
+    /// future window is `[max(issued_at, base), ready_at)` either way.
+    /// Blocks are unique per bank (`register` retains-then-pushes), so
+    /// vector order decides nothing; live entries fold XOR-wise with a
+    /// count anchor, keeping the digest independent of how dead entries
+    /// interleave.
+    pub(crate) fn digest_into(&self, h: &mut crate::digest::Fnv, base: u64) {
+        for bank in &self.banks {
+            let mut fold = 0u64;
+            let mut live = 0u64;
+            for e in bank {
+                if e.ready_at > base {
+                    fold ^= crate::digest::fnv_tuple(&[
+                        e.block,
+                        e.issued_at.saturating_sub(base),
+                        e.ready_at - base,
+                    ]);
+                    live += 1;
+                }
+            }
+            h.write_u64(live);
+            h.write_u64(fold);
+        }
+    }
+
+    /// Shifts every flight window forward by `delta` cycles.
+    pub(crate) fn advance(&mut self, delta: u64) {
+        for bank in &mut self.banks {
+            for e in bank {
+                e.issued_at += delta;
+                e.ready_at += delta;
+            }
+        }
+    }
+
     /// Drops registers whose refill completed long enough ago that no
     /// replayed request can still land inside their window (the shared
     /// [`REPLAY_HORIZON`](crate::REPLAY_HORIZON) discipline of

@@ -24,6 +24,15 @@ enum Msi {
     Shared,
 }
 
+impl crate::digest::DigestState for Msi {
+    fn digest_bits(&self) -> u64 {
+        match self {
+            Msi::Modified => 1,
+            Msi::Shared => 2,
+        }
+    }
+}
+
 /// The MultiVLIW distributed, snoop-coherent L1.
 #[derive(Debug)]
 pub struct MultiVliwMem {
@@ -302,6 +311,28 @@ impl MemoryModel for MultiVliwMem {
 
     fn network_load(&self) -> Option<vliw_machine::NetLoad> {
         (!self.ic.is_flat()).then(|| self.ic.network_load())
+    }
+
+    fn supports_fast_forward(&self) -> bool {
+        true
+    }
+
+    fn state_digest(&self, base_cycle: u64) -> u64 {
+        let mut h = crate::digest::Fnv::new();
+        for bank in &self.banks {
+            bank.digest_into(&mut h, base_cycle);
+        }
+        self.ic.digest_into(&mut h, base_cycle);
+        self.mshr.digest_into(&mut h, base_cycle);
+        h.finish()
+    }
+
+    fn advance_clock(&mut self, delta: u64) {
+        for bank in &mut self.banks {
+            bank.advance(delta);
+        }
+        self.ic.advance(delta);
+        self.mshr.advance(delta);
     }
 }
 

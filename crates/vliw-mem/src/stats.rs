@@ -138,6 +138,84 @@ impl MemStats {
         }
     }
 
+    /// The growth of every counter since `earlier` — the per-period
+    /// delta the runner's steady-state fast-forward multiplies out.
+    /// `earlier` must be a previous snapshot of the same accumulating
+    /// block (every counter monotonic, so plain subtraction is exact).
+    /// Option counters keep `self`'s materialization: a counter that is
+    /// `Some` now but was `None` earlier contributes its full value.
+    pub fn delta_since(&self, earlier: &MemStats) -> MemStats {
+        MemStats {
+            accesses: self.accesses - earlier.accesses,
+            l0_hits: self.l0_hits - earlier.l0_hits,
+            l0_misses: self.l0_misses - earlier.l0_misses,
+            l1_hits: self.l1_hits - earlier.l1_hits,
+            l1_misses: self.l1_misses - earlier.l1_misses,
+            linear_subblocks: self.linear_subblocks - earlier.linear_subblocks,
+            interleaved_subblocks: self.interleaved_subblocks - earlier.interleaved_subblocks,
+            hint_prefetches: self.hint_prefetches - earlier.hint_prefetches,
+            explicit_prefetches: self.explicit_prefetches - earlier.explicit_prefetches,
+            local_accesses: self.local_accesses - earlier.local_accesses,
+            remote_accesses: self.remote_accesses - earlier.remote_accesses,
+            c2c_transfers: self.c2c_transfers - earlier.c2c_transfers,
+            invalidations: self.invalidations - earlier.invalidations,
+            buffer_flushes: self.buffer_flushes - earlier.buffer_flushes,
+            ic_requests: self.ic_requests - earlier.ic_requests,
+            ic_queue_cycles: self.ic_queue_cycles - earlier.ic_queue_cycles,
+            ic_hop_cycles: self.ic_hop_cycles - earlier.ic_hop_cycles,
+            ic_link_stall_cycles: self
+                .ic_link_stall_cycles
+                .map(|v| v - earlier.ic_link_stall_cycles.unwrap_or(0)),
+            mshr_merges: self
+                .mshr_merges
+                .map(|v| v - earlier.mshr_merges.unwrap_or(0)),
+            net: self.net.as_ref().map(|n| {
+                n.delta_since(
+                    earlier
+                        .net
+                        .as_ref()
+                        .unwrap_or(&vliw_machine::NetLoad::default()),
+                )
+            }),
+        }
+    }
+
+    /// Merges `k` copies of `other` into this block in closed form —
+    /// exactly `k` repeated [`merge`](MemStats::merge) calls.
+    pub fn merge_scaled(&mut self, other: &MemStats, k: u64) {
+        if k == 0 {
+            return;
+        }
+        self.accesses += other.accesses * k;
+        self.l0_hits += other.l0_hits * k;
+        self.l0_misses += other.l0_misses * k;
+        self.l1_hits += other.l1_hits * k;
+        self.l1_misses += other.l1_misses * k;
+        self.linear_subblocks += other.linear_subblocks * k;
+        self.interleaved_subblocks += other.interleaved_subblocks * k;
+        self.hint_prefetches += other.hint_prefetches * k;
+        self.explicit_prefetches += other.explicit_prefetches * k;
+        self.local_accesses += other.local_accesses * k;
+        self.remote_accesses += other.remote_accesses * k;
+        self.c2c_transfers += other.c2c_transfers * k;
+        self.invalidations += other.invalidations * k;
+        self.buffer_flushes += other.buffer_flushes * k;
+        self.ic_requests += other.ic_requests * k;
+        self.ic_queue_cycles += other.ic_queue_cycles * k;
+        self.ic_hop_cycles += other.ic_hop_cycles * k;
+        if let Some(v) = other.ic_link_stall_cycles {
+            *self.ic_link_stall_cycles.get_or_insert(0) += v * k;
+        }
+        if let Some(v) = other.mshr_merges {
+            *self.mshr_merges.get_or_insert(0) += v * k;
+        }
+        if let Some(n) = &other.net {
+            self.net
+                .get_or_insert_with(vliw_machine::NetLoad::default)
+                .merge_scaled(n, k);
+        }
+    }
+
     /// Link-stall cycles with the pre-mesh `None` read as 0.
     pub fn link_stalls(&self) -> u64 {
         self.ic_link_stall_cycles.unwrap_or(0)
@@ -234,5 +312,42 @@ mod tests {
         assert_eq!(a.accesses, 12);
         assert_eq!(a.l0_hits, 3);
         assert_eq!(a.invalidations, 3);
+    }
+
+    #[test]
+    fn delta_and_scaled_merge_are_closed_form_merge() {
+        let earlier = MemStats {
+            accesses: 10,
+            l1_hits: 6,
+            mshr_merges: Some(1),
+            ..Default::default()
+        };
+        let mut now = earlier.clone();
+        let step = MemStats {
+            accesses: 4,
+            l1_hits: 3,
+            ic_queue_cycles: 7,
+            mshr_merges: Some(2),
+            ..Default::default()
+        };
+        now.merge(&step);
+        let delta = now.delta_since(&earlier);
+        assert_eq!(delta, step);
+
+        // k scaled merges == k repeated merges, Option materialization
+        // included
+        let mut scaled = now.clone();
+        scaled.merge_scaled(&delta, 5);
+        let mut repeated = now.clone();
+        for _ in 0..5 {
+            repeated.merge(&delta);
+        }
+        assert_eq!(scaled, repeated);
+
+        // a counter materialized after the snapshot contributes fully
+        let was_none = MemStats::default();
+        let mut next = MemStats::default();
+        next.record_mshr_merge();
+        assert_eq!(next.delta_since(&was_none).mshr_merges, Some(1));
     }
 }

@@ -132,6 +132,21 @@ impl L1Stack {
             merged: false,
         }
     }
+
+    /// Folds the stack's timing-relevant state (L1 tags, interconnect
+    /// occupancies, MSHR flight windows) into `h` relative to `base`.
+    fn digest_into(&self, h: &mut crate::digest::Fnv, base: u64) {
+        self.l1.digest_into(h, base);
+        self.ic.digest_into(h, base);
+        self.mshr.digest_into(h, base);
+    }
+
+    /// Shifts every clock-bearing timestamp forward by `delta` cycles.
+    fn advance(&mut self, delta: u64) {
+        self.l1.advance(delta);
+        self.ic.advance(delta);
+        self.mshr.advance(delta);
+    }
 }
 
 /// Per-cluster bus to the unified L1: one request slot per cycle; a busy
@@ -154,6 +169,36 @@ impl L1Stack {
 enum BusSlots {
     Wheel(SlotWheel),
     Set(std::collections::BTreeSet<u64>),
+}
+
+impl BusSlots {
+    /// Folds the reservations into `h` relative to `base`.
+    ///
+    /// The wheel digests only live slots; the set digests everything it
+    /// still holds — stale reservations are consulted by `acquire`'s
+    /// `contains` scan until the periodic prune drops them, so they are
+    /// genuinely part of the stepped engine's observable state.
+    fn digest_into(&self, h: &mut crate::digest::Fnv, base: u64) {
+        match self {
+            BusSlots::Wheel(wheel) => wheel.digest_into(h, base),
+            BusSlots::Set(slots) => {
+                h.write_u64(slots.len() as u64);
+                for &t in slots {
+                    h.write_u64(t.wrapping_sub(base));
+                }
+            }
+        }
+    }
+
+    /// Shifts every reservation forward by `delta` cycles.
+    fn advance(&mut self, delta: u64) {
+        match self {
+            BusSlots::Wheel(wheel) => wheel.advance(delta),
+            BusSlots::Set(slots) => {
+                *slots = slots.iter().map(|&t| t + delta).collect();
+            }
+        }
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -195,6 +240,20 @@ impl ClusterBuses {
                 }
                 start
             }
+        }
+    }
+
+    /// Folds every cluster's bus reservations into `h` relative to `base`.
+    fn digest_into(&self, h: &mut crate::digest::Fnv, base: u64) {
+        for bus in &self.reserved {
+            bus.digest_into(h, base);
+        }
+    }
+
+    /// Shifts every bus reservation forward by `delta` cycles.
+    fn advance(&mut self, delta: u64) {
+        for bus in &mut self.reserved {
+            bus.advance(delta);
         }
     }
 }
@@ -274,6 +333,22 @@ impl MemoryModel for UnifiedL1 {
 
     fn network_load(&self) -> Option<vliw_machine::NetLoad> {
         (!self.stack.ic.is_flat()).then(|| self.stack.ic.network_load())
+    }
+
+    fn supports_fast_forward(&self) -> bool {
+        true
+    }
+
+    fn state_digest(&self, base_cycle: u64) -> u64 {
+        let mut h = crate::digest::Fnv::new();
+        self.buses.digest_into(&mut h, base_cycle);
+        self.stack.digest_into(&mut h, base_cycle);
+        h.finish()
+    }
+
+    fn advance_clock(&mut self, delta: u64) {
+        self.buses.advance(delta);
+        self.stack.advance(delta);
     }
 }
 
@@ -612,6 +687,28 @@ impl MemoryModel for UnifiedWithL0 {
 
     fn network_load(&self) -> Option<vliw_machine::NetLoad> {
         (!self.stack.ic.is_flat()).then(|| self.stack.ic.network_load())
+    }
+
+    fn supports_fast_forward(&self) -> bool {
+        true
+    }
+
+    fn state_digest(&self, base_cycle: u64) -> u64 {
+        let mut h = crate::digest::Fnv::new();
+        for buffer in &self.l0 {
+            buffer.digest_into(&mut h, base_cycle);
+        }
+        self.buses.digest_into(&mut h, base_cycle);
+        self.stack.digest_into(&mut h, base_cycle);
+        h.finish()
+    }
+
+    fn advance_clock(&mut self, delta: u64) {
+        for buffer in &mut self.l0 {
+            buffer.advance(delta);
+        }
+        self.buses.advance(delta);
+        self.stack.advance(delta);
     }
 }
 

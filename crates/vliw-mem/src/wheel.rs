@@ -25,21 +25,37 @@
 
 /// Occupancy counts over a sliding window of cycles, O(1) amortized
 /// reserve-next-free-slot, no explicit retirement.
+///
+/// All bookkeeping below is kept in *wheel-local* time — global cycles
+/// minus `SlotWheel::offset` — so that a fast-forward clock advance
+/// (`SlotWheel::advance`) is a single addition to the offset instead
+/// of a re-seating sweep over the ring. The public API speaks global
+/// cycles and translates at the boundary.
 #[derive(Debug, Clone)]
 pub struct SlotWheel {
-    /// The cycle each slot currently represents (meaningful only where
-    /// `counts` is nonzero).
+    /// The local cycle each slot currently represents (meaningful only
+    /// where `counts` is nonzero).
     cycles: Vec<u64>,
     /// Grants issued at the slot's cycle.
     counts: Vec<u32>,
     mask: u64,
-    /// Highest search-start cycle ever passed to
+    /// Highest local search-start cycle ever passed to
     /// [`SlotWheel::reserve`] — the clock edge reservations are judged
     /// stale against.
     frontier: u64,
     /// How far behind `frontier` a reservation must stay observable (the
     /// out-of-order replay window).
     horizon: u64,
+    /// Highest local cycle any grant was ever seated at — caps the live
+    /// window `[base, max_granted]` that [`SlotWheel::digest_into`]
+    /// scans, so digesting an idle or lightly-loaded wheel never walks
+    /// the ring.
+    max_granted: u64,
+    /// Global time of local cycle 0: the sum of every fast-forward
+    /// [`SlotWheel::advance`] so far. Probes below the offset cannot
+    /// occur (the fast-forward base promise is that every future probe
+    /// is at or after the batch boundary) and read as empty.
+    offset: u64,
 }
 
 impl SlotWheel {
@@ -53,6 +69,8 @@ impl SlotWheel {
             mask: len as u64 - 1,
             frontier: 0,
             horizon,
+            max_granted: 0,
+            offset: 0,
         }
     }
 
@@ -82,6 +100,10 @@ impl SlotWheel {
     /// Grants issued at exactly `cycle` (0 when the slot was never
     /// reserved or has already retired).
     pub fn occupancy(&self, cycle: u64) -> u32 {
+        if cycle < self.offset {
+            return 0;
+        }
+        let cycle = cycle - self.offset;
         let idx = (cycle & self.mask) as usize;
         if self.counts[idx] > 0 && self.cycles[idx] == cycle {
             self.counts[idx]
@@ -96,6 +118,12 @@ impl SlotWheel {
     /// and allocation-free outside (rare) growth.
     pub fn reserve(&mut self, from: u64, cap: u32) -> u64 {
         debug_assert!(cap > 0, "a zero-capacity resource can never grant");
+        debug_assert!(
+            from >= self.offset,
+            "probe at {from} predates the fast-forward epoch {}",
+            self.offset
+        );
+        let from = from.saturating_sub(self.offset);
         self.frontier = self.frontier.max(from);
         let mut t = from;
         loop {
@@ -117,10 +145,78 @@ impl SlotWheel {
             if self.counts[idx] < cap {
                 self.counts[idx] += 1;
                 self.cycles[idx] = t;
-                return t;
+                self.max_granted = self.max_granted.max(t);
+                return t + self.offset;
             }
             t += 1;
         }
+    }
+
+    /// Folds the wheel's *live* occupancy into `h`, with every cycle
+    /// expressed relative to `base` so that two wheels differing only by
+    /// a rigid time shift digest identically.
+    ///
+    /// `base` is a promise by the caller that every future probe starts
+    /// at or after it, so liveness here is `held >= base` — tighter than
+    /// the frontier/horizon reclaim rule. A reservation behind `base`
+    /// can never collide with a probed cycle again: `reserve` either
+    /// retires it in place or widens the ring around it, and both are
+    /// timing-invisible. Digesting such slots would only delay periodic-
+    /// state detection by a whole replay window.
+    ///
+    /// The frontier is excluded for the same reason: `occupancy` never
+    /// reads it, and in `reserve` it only arbitrates grow-vs-retire for
+    /// a stale seat — two paths with identical grant outcomes. Folding
+    /// it in would keep an *idle* wheel (frozen frontier, advancing
+    /// `base`) digesting differently at every boundary.
+    ///
+    /// Live slots sit at arbitrary ring indices (the ring is indexed by
+    /// the cycle's low bits, which `base` shifts), so per-slot digests
+    /// are XOR-combined rather than streamed in ring order; the live
+    /// count anchors the fold.
+    ///
+    /// Every live slot's cycle lies in `[base, max_granted]`, so when
+    /// that window is narrower than the ring the scan probes those
+    /// cycles directly instead of walking every slot — in steady state
+    /// the window is the in-flight depth, not the replay horizon, which
+    /// keeps per-boundary digests cheap enough for iteration-level
+    /// fast-forward detection. Both paths visit exactly the same live
+    /// set, so they fold to the same digest.
+    pub(crate) fn digest_into(&self, h: &mut crate::digest::Fnv, base: u64) {
+        let base = base.saturating_sub(self.offset);
+        let mut fold = 0u64;
+        let mut live = 0u64;
+        let mut visit = |c: u32, held: u64| {
+            if c > 0 && held >= base {
+                fold ^= crate::digest::fnv_tuple(&[held - base, c as u64]);
+                live += 1;
+            }
+        };
+        if self.max_granted >= base && self.max_granted - base < self.counts.len() as u64 {
+            for t in base..=self.max_granted {
+                let idx = (t & self.mask) as usize;
+                if self.cycles[idx] == t {
+                    visit(self.counts[idx], t);
+                }
+            }
+        } else if self.max_granted >= base {
+            for (&c, &held) in self.counts.iter().zip(&self.cycles) {
+                visit(c, held);
+            }
+        }
+        h.write_u64(live);
+        h.write_u64(fold);
+    }
+
+    /// Shifts every reservation and the frontier forward by `delta`
+    /// cycles — the clock-advance half of a fast-forward batch. Because
+    /// the ring is kept in wheel-local time, the shift is one addition
+    /// to the global-to-local offset: no slot moves, no allocation, and
+    /// the cost is independent of the ring size (it used to be a full
+    /// re-seating sweep, which dominated batch cost on wide machines
+    /// with many wheels).
+    pub(crate) fn advance(&mut self, delta: u64) {
+        self.offset += delta;
     }
 
     /// Doubles the ring, re-seating every live slot (live slots have
@@ -236,6 +332,48 @@ mod tests {
         let f = w.frontier;
         assert_eq!(w.reserve(f, 1), f);
         assert!(!w.is_empty());
+    }
+
+    #[test]
+    fn digest_is_translation_invariant_and_advance_realizes_the_shift() {
+        let digest = |w: &SlotWheel, base: u64| {
+            let mut h = crate::digest::Fnv::new();
+            w.digest_into(&mut h, base);
+            h.finish()
+        };
+        // Same reservation pattern at two different epochs…
+        let mut a = SlotWheel::new(64);
+        a.reserve(100, 2);
+        a.reserve(100, 2);
+        a.reserve(103, 2);
+        let mut b = SlotWheel::new(64);
+        b.reserve(1100, 2);
+        b.reserve(1100, 2);
+        b.reserve(1103, 2);
+        // …digest identically relative to their own bases, and advancing
+        // the earlier one by the gap makes it behave like the later one.
+        assert_eq!(digest(&a, 100), digest(&b, 1100));
+        assert_ne!(digest(&a, 100), digest(&b, 100));
+        a.advance(1000);
+        assert_eq!(digest(&a, 1100), digest(&b, 1100));
+        assert_eq!(a.reserve(1103, 2), b.reserve(1103, 2));
+        assert_eq!(a.reserve(1100, 2), b.reserve(1100, 2));
+    }
+
+    #[test]
+    fn advance_handles_non_ring_multiples() {
+        // A delta that is not a multiple of the ring size forces the
+        // re-seating path; occupancy must move with the cycles.
+        let mut w = SlotWheel::new(64);
+        let len = w.len() as u64;
+        w.reserve(10, 4);
+        w.reserve(10, 4);
+        w.reserve(11, 4);
+        let delta = len * 3 + 7;
+        w.advance(delta);
+        assert_eq!(w.occupancy(10 + delta), 2);
+        assert_eq!(w.occupancy(11 + delta), 1);
+        assert_eq!(w.occupancy(10), 0);
     }
 
     #[test]

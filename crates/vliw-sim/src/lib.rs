@@ -45,8 +45,8 @@ pub mod runner;
 pub mod timeq;
 
 pub use model::{simulate_arch, MemoryModelKind};
-pub use result::{OpStall, SimResult};
-pub use runner::{simulate, simulate_reference};
+pub use result::{FfwdStats, OpStall, SimResult};
+pub use runner::{simulate, simulate_reference, simulate_with};
 pub use timeq::TimeQueue;
 pub use vliw_mem::EngineKind;
 pub use vliw_sched::Arch;

@@ -28,8 +28,26 @@ impl OpStall {
     }
 }
 
+/// Steady-state fast-forward telemetry: how much of the run was replayed
+/// request-by-request vs accounted in closed form.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FfwdStats {
+    /// Dynamic loop iterations actually replayed.
+    pub iters_replayed: u64,
+    /// Dynamic loop iterations batched by the periodic-state
+    /// fast-forward (never replayed; their cycles and counters were
+    /// multiplied in).
+    pub iters_batched: u64,
+}
+
 /// The outcome of simulating one loop (or an aggregate of several).
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+///
+/// Equality deliberately ignores [`SimResult::ffwd`]: that field records
+/// *how* the result was computed (replayed vs batched), not what the
+/// result is — a fast-forwarded run and a full replay of the same loop
+/// are the same outcome, and the equivalence suites compare them with
+/// `==`.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct SimResult {
     /// Cycles the schedule itself takes (no stalls).
     pub compute_cycles: u64,
@@ -48,6 +66,32 @@ pub struct SimResult {
     pub op_stalls: Vec<OpStall>,
     /// Memory-system counters.
     pub mem_stats: MemStats,
+    /// Fast-forward telemetry (excluded from equality; `serde(default)`
+    /// so artifacts written before the fast-forward existed still load).
+    #[serde(default)]
+    pub ffwd: FfwdStats,
+}
+
+impl PartialEq for SimResult {
+    fn eq(&self, other: &Self) -> bool {
+        // Exhaustive destructuring: adding a field without deciding
+        // whether it participates in equality becomes a compile error.
+        let SimResult {
+            compute_cycles,
+            stall_cycles,
+            contention_stall_cycles,
+            link_stall_cycles,
+            op_stalls,
+            mem_stats,
+            ffwd: _,
+        } = other;
+        self.compute_cycles == *compute_cycles
+            && self.stall_cycles == *stall_cycles
+            && self.contention_stall_cycles == *contention_stall_cycles
+            && self.link_stall_cycles == *link_stall_cycles
+            && self.op_stalls == *op_stalls
+            && self.mem_stats == *mem_stats
+    }
 }
 
 impl SimResult {
@@ -92,6 +136,8 @@ impl SimResult {
             self.add_op_stall(s.op, s.stall_cycles, s.network_cycles);
         }
         self.mem_stats.merge(&other.mem_stats);
+        self.ffwd.iters_replayed += other.ffwd.iters_replayed;
+        self.ffwd.iters_batched += other.ffwd.iters_batched;
     }
 
     /// Adds `cycles` of stall attributed to `op` (of which `network`
@@ -225,6 +271,20 @@ mod tests {
                 network_cycles: 3
             }]
         );
+    }
+
+    #[test]
+    fn equality_ignores_ffwd_telemetry() {
+        let a = SimResult {
+            compute_cycles: 10,
+            ..Default::default()
+        };
+        let mut b = a.clone();
+        b.ffwd.iters_batched = 99;
+        b.ffwd.iters_replayed = 1;
+        assert_eq!(a, b, "telemetry must not break result equality");
+        b.compute_cycles = 11;
+        assert_ne!(a, b);
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! The execution loop: one core drain loop, two timing engines.
+//! The execution loop: one core drain loop, two timing engines, and a
+//! steady-state fast-forward.
 //!
 //! [`simulate`] runs the event engine — arbitration state lives on
 //! occupancy wheels that retire as the clock passes them, and the only
@@ -8,12 +9,23 @@
 //! [`MemoryModel::retire`] once per drained issue slot, the original
 //! tick discipline verbatim. The two are timing-identical (DESIGN.md
 //! §10), which the randomized engine-equivalence suite pins.
+//!
+//! On top of either engine, the runner detects *periodic steady state*
+//! (DESIGN.md §14): when the model's translation-invariant
+//! [`state_digest`](MemoryModel::state_digest) recurs at loop
+//! boundaries with matching per-period result deltas, the remaining
+//! whole periods are accounted in closed form — counters multiplied in,
+//! the model's clock advanced by [`advance_clock`](MemoryModel::advance_clock)
+//! — and replay resumes for the residue. The batching is bit-exact;
+//! [`simulate_reference`] keeps it off so every equivalence suite pins
+//! fast-forward-on against fast-forward-off.
 
-use crate::result::SimResult;
+use crate::result::{OpStall, SimResult};
 use crate::timeq::TimeQueue;
+use std::ops::Range;
 use vliw_ir::{AddressStream, OpId};
-use vliw_machine::{ClusterId, MachineConfig};
-use vliw_mem::{EngineKind, MemRequest, MemoryModel, ReqKind, REPLAY_HORIZON};
+use vliw_machine::{ClusterId, MachineConfig, NetLoad};
+use vliw_mem::{EngineKind, MemRequest, MemStats, MemoryModel, ReqKind, REPLAY_HORIZON};
 use vliw_sched::Schedule;
 
 /// One per-iteration memory event, precomputed from the schedule.
@@ -35,8 +47,12 @@ struct Event {
     op: OpId,
 }
 
-/// Builds the per-iteration event list, sorted by issue time.
-fn build_events(schedule: &Schedule) -> Vec<Event> {
+/// Builds the per-iteration event list, sorted by issue time, plus the
+/// index range of each issue slot (maximal run of equal `t`). The slot
+/// grouping used to be re-derived by scanning for `events[hi].t == t` on
+/// every iteration of every visit; it is a pure function of the schedule,
+/// so it is computed exactly once here.
+fn build_events(schedule: &Schedule) -> (Vec<Event>, Vec<Range<usize>>) {
     let loop_ = &schedule.loop_;
     let mut events = Vec::new();
     for p in &schedule.placements {
@@ -100,10 +116,254 @@ fn build_events(schedule: &Schedule) -> Vec<Event> {
         });
     }
     events.sort_by_key(|e| e.t);
-    events
+    let mut slots = Vec::new();
+    let mut lo = 0;
+    while lo < events.len() {
+        let mut hi = lo + 1;
+        while hi < events.len() && events[hi].t == events[lo].t {
+            hi += 1;
+        }
+        slots.push(lo..hi);
+        lo = hi;
+    }
+    (events, slots)
 }
 
-/// Simulates `schedule` against `model` on the event engine.
+// ---------------------------------------------------------------------
+// Steady-state fast-forward (DESIGN.md §14)
+// ---------------------------------------------------------------------
+
+/// How many iteration boundaries the iteration-level detector digests
+/// before giving up on a visit. Bounds the per-iteration digest cost to
+/// a warm-up prefix; visit-level detection has no such cap (there are
+/// few visits and one digest per visit is cheap).
+const ITER_WINDOW: u64 = 80;
+
+/// Everything recorded at one loop boundary: the model's
+/// translation-invariant digest plus cumulative *logical* result
+/// counters (model counters merged with anything already batched in
+/// closed form, so deltas stay correct across an earlier fast-forward).
+struct Snapshot {
+    digest: u64,
+    slip: u64,
+    contention: u64,
+    link: u64,
+    stats: MemStats,
+    net: NetLoad,
+    op_stalls: Vec<OpStall>,
+}
+
+/// The per-period growth of every result counter — the quantity a batch
+/// multiplies by the number of skipped periods.
+struct PeriodDelta {
+    slip: u64,
+    contention: u64,
+    link: u64,
+    stats: MemStats,
+    net: NetLoad,
+    op_stalls: Vec<OpStall>,
+}
+
+/// The per-op stall growth between two cumulative snapshots (`now` and
+/// `earlier` both sorted by op; entries only ever grow).
+fn op_stall_delta(now: &[OpStall], earlier: &[OpStall]) -> Vec<OpStall> {
+    let mut out = Vec::new();
+    let mut j = 0;
+    for s in now {
+        while j < earlier.len() && earlier[j].op < s.op {
+            j += 1;
+        }
+        let (prev_stall, prev_net) = if j < earlier.len() && earlier[j].op == s.op {
+            (earlier[j].stall_cycles, earlier[j].network_cycles)
+        } else {
+            (0, 0)
+        };
+        if s.stall_cycles > prev_stall {
+            out.push(OpStall {
+                op: s.op,
+                stall_cycles: s.stall_cycles - prev_stall,
+                network_cycles: s.network_cycles - prev_net,
+            });
+        }
+    }
+    out
+}
+
+/// `true` when the boundary-to-boundary deltas ending at `a` and at `c`
+/// are identical (indices into `h`, both ≥ 1).
+fn delta_eq(h: &[Snapshot], a: usize, c: usize) -> bool {
+    let (na, ea) = (&h[a], &h[a - 1]);
+    let (nc, ec) = (&h[c], &h[c - 1]);
+    na.slip - ea.slip == nc.slip - ec.slip
+        && na.contention - ea.contention == nc.contention - ec.contention
+        && na.link - ea.link == nc.link - ec.link
+        && na.stats.delta_since(&ea.stats) == nc.stats.delta_since(&ec.stats)
+        && na.net.delta_since(&ea.net) == nc.net.delta_since(&ec.net)
+        && op_stall_delta(&na.op_stalls, &ea.op_stalls)
+            == op_stall_delta(&nc.op_stalls, &ec.op_stalls)
+}
+
+/// Ring of boundary snapshots plus the detection rule: fire at boundary
+/// `b` for the smallest legal period `p` (a multiple of `stride`) with
+/// `b >= 2p`, `digest[b] == digest[b-p]`, and every delta of the last
+/// period matching the period before it. The digest match alone already
+/// implies an identical continuation (the digest covers every piece of
+/// timing-relevant state); the delta-sequence check guards against hash
+/// collisions and simultaneously validates the exact deltas the batch
+/// will multiply.
+struct Detector {
+    history: Vec<Snapshot>,
+    stride: u64,
+    limit: usize,
+    done: bool,
+    fired: bool,
+}
+
+impl Detector {
+    fn new(stride: u64, limit: usize) -> Self {
+        Detector {
+            history: Vec::new(),
+            stride,
+            limit,
+            done: false,
+            fired: false,
+        }
+    }
+
+    /// `true` while the detector still wants boundary snapshots.
+    fn active(&self) -> bool {
+        !self.done
+    }
+
+    /// Records a boundary; returns `Some(period)` when periodicity is
+    /// established at this boundary.
+    fn record(&mut self, snap: Snapshot) -> Option<u64> {
+        if self.done {
+            return None;
+        }
+        self.history.push(snap);
+        let b = self.history.len() - 1;
+        let mut p = self.stride as usize;
+        while 2 * p <= b {
+            if self.matches(b, p) {
+                self.fired = true;
+                return Some(p as u64);
+            }
+            p += self.stride as usize;
+        }
+        if self.history.len() > self.limit {
+            self.done = true;
+        }
+        None
+    }
+
+    fn matches(&self, b: usize, p: usize) -> bool {
+        let h = &self.history;
+        h[b].digest == h[b - p].digest && (0..p).all(|j| delta_eq(h, b - j, b - p - j))
+    }
+
+    /// The deltas of the just-confirmed period (the last `p` boundaries).
+    fn period_delta(&self, p: u64) -> PeriodDelta {
+        let b = self.history.len() - 1;
+        let now = &self.history[b];
+        let then = &self.history[b - p as usize];
+        PeriodDelta {
+            slip: now.slip - then.slip,
+            contention: now.contention - then.contention,
+            link: now.link - then.link,
+            stats: now.stats.delta_since(&then.stats),
+            net: now.net.delta_since(&then.net),
+            op_stalls: op_stall_delta(&now.op_stalls, &then.op_stalls),
+        }
+    }
+}
+
+/// Captures a boundary: the model's digest relative to `base` plus the
+/// logical cumulative counters (model counters + closed-form extras).
+fn take_snapshot(
+    model: &dyn MemoryModel,
+    base: u64,
+    slip: u64,
+    result: &SimResult,
+    stats_extra: &MemStats,
+    net_extra: &NetLoad,
+) -> Snapshot {
+    let mut stats = model.stats().clone();
+    stats.merge(stats_extra);
+    let mut net = model.network_load().unwrap_or_default();
+    net.merge(net_extra);
+    Snapshot {
+        digest: model.state_digest(base),
+        slip,
+        contention: result.contention_stall_cycles,
+        link: result.link_stall_cycles,
+        stats,
+        net,
+        op_stalls: result.op_stalls.clone(),
+    }
+}
+
+/// Applies `k` whole periods in closed form: result counters gain
+/// `k ×` the period deltas, and the model's clock-bearing state advances
+/// by `k ×` the period's wall length (`period_compute + slip growth`).
+#[allow(clippy::too_many_arguments)]
+fn apply_periods(
+    result: &mut SimResult,
+    slip: &mut u64,
+    stats_extra: &mut MemStats,
+    net_extra: &mut NetLoad,
+    model: &mut dyn MemoryModel,
+    d: &PeriodDelta,
+    k: u64,
+    period_compute: u64,
+) {
+    *slip += k * d.slip;
+    result.contention_stall_cycles += k * d.contention;
+    result.link_stall_cycles += k * d.link;
+    for s in &d.op_stalls {
+        result.add_op_stall(s.op, s.stall_cycles * k, s.network_cycles * k);
+    }
+    stats_extra.merge_scaled(&d.stats, k);
+    net_extra.merge_scaled(&d.net, k);
+    model.advance_clock(k * (period_compute + d.slip));
+}
+
+/// The iteration-level period alignment: any legal iteration period must
+/// be a multiple of every address stream's period and (off the flat
+/// network) every slot's rotation length. `None` disables iteration-level
+/// detection — an irregular stream never repeats, and an alignment too
+/// large for the warm-up window can never confirm two periods.
+fn iteration_stride(events: &[Event], slots: &[Range<usize>], flat: bool) -> Option<u64> {
+    fn gcd(mut a: u64, mut b: u64) -> u64 {
+        while b != 0 {
+            let r = a % b;
+            a = b;
+            b = r;
+        }
+        a
+    }
+    fn lcm(a: u64, b: u64) -> Option<u64> {
+        let g = gcd(a, b);
+        (a / g).checked_mul(b)
+    }
+    let mut l = 1u64;
+    for e in events {
+        l = lcm(l, e.stream.period()?)?;
+    }
+    if !flat {
+        for s in slots {
+            l = lcm(l, s.len() as u64)?;
+        }
+    }
+    (2 * l <= ITER_WINDOW).then_some(l)
+}
+
+// ---------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------
+
+/// Simulates `schedule` against `model` on the event engine, with the
+/// steady-state fast-forward enabled.
 ///
 /// Each iteration's events form a pending-request queue drained one issue
 /// slot at a time. On a contended (non-flat) network the service order
@@ -126,20 +386,40 @@ pub fn simulate(
     cfg: &MachineConfig,
     model: &mut dyn MemoryModel,
 ) -> SimResult {
-    run(schedule, cfg, model, EngineKind::Event)
+    run(schedule, cfg, model, EngineKind::Event, true)
 }
 
 /// Simulates `schedule` against `model` on the cycle-stepped reference
 /// cadence: [`MemoryModel::retire`] fires once per drained issue slot,
-/// the pre-event-engine tick discipline verbatim. Pair it with a model
-/// built on [`EngineKind::Stepped`]; the engine-equivalence suite holds
-/// this path and [`simulate`] to identical [`SimResult`]s.
+/// the pre-event-engine tick discipline verbatim, and the steady-state
+/// fast-forward stays **off** — this path replays every iteration, so
+/// every suite that compares it against [`simulate`] transitively pins
+/// the fast-forward's bit-exactness. Pair it with a model built on
+/// [`EngineKind::Stepped`].
 pub fn simulate_reference(
     schedule: &Schedule,
     cfg: &MachineConfig,
     model: &mut dyn MemoryModel,
 ) -> SimResult {
-    run(schedule, cfg, model, EngineKind::Stepped)
+    run(schedule, cfg, model, EngineKind::Stepped, false)
+}
+
+/// Simulates `schedule` against `model` with the timing engine and the
+/// steady-state fast-forward chosen explicitly. [`simulate`] is
+/// `(Event, true)`; [`simulate_reference`] is `(Stepped, false)`; the
+/// other two pairings exist for the fast-forward equivalence suite.
+/// `ffwd` only takes effect when the model opts in via
+/// [`MemoryModel::supports_fast_forward`], and never changes the
+/// [`SimResult`] — only how much of it is replayed vs batched
+/// ([`SimResult::ffwd`]).
+pub fn simulate_with(
+    schedule: &Schedule,
+    cfg: &MachineConfig,
+    model: &mut dyn MemoryModel,
+    engine: EngineKind,
+    ffwd: bool,
+) -> SimResult {
+    run(schedule, cfg, model, engine, ffwd)
 }
 
 fn run(
@@ -147,11 +427,13 @@ fn run(
     cfg: &MachineConfig,
     model: &mut dyn MemoryModel,
     engine: EngineKind,
+    ffwd: bool,
 ) -> SimResult {
-    let events = build_events(schedule);
+    let (events, slots) = build_events(schedule);
     let loop_ = &schedule.loop_;
     let ii = schedule.ii() as u64;
     let trip = loop_.trip_count.max(1);
+    let visits = loop_.visits;
     let visit_compute =
         schedule.compute_cycles_per_visit() + if schedule.flush_on_exit { 1 } else { 0 };
     let flat = cfg.interconnect.is_flat();
@@ -160,6 +442,34 @@ fn run(
     let mut slip: u64 = 0; // accumulated stall
     let mut clock_base: u64 = 0; // start cycle of the current visit
 
+    // Counters accounted in closed form by fast-forward batches. The
+    // model's own counters never see batched periods, so these are kept
+    // aside and merged into the final `mem_stats` at the end.
+    let mut stats_extra = MemStats::default();
+    let mut net_extra = NetLoad::default();
+
+    let ffwd_on = ffwd && model.supports_fast_forward();
+    // Iteration-level periods must align with address-stream wrap and
+    // slot rotation; visit-level periods need no alignment (every visit
+    // restarts the iteration count, so streams and rotation reset).
+    let iter_stride = if ffwd_on {
+        iteration_stride(&events, &slots, flat)
+    } else {
+        None
+    };
+    let mut iter_armed = iter_stride.is_some();
+    let mut visit_detect = (ffwd_on && visits >= 3).then(|| Detector::new(1, visits as usize + 1));
+    if let Some(det) = visit_detect.as_mut() {
+        det.record(take_snapshot(
+            model,
+            clock_base + slip,
+            slip,
+            &result,
+            &stats_extra,
+            &net_extra,
+        ));
+    }
+
     // The event engine's housekeeping calendar: a single self-renewing
     // retire event, so the hot loop pays one peek per slot.
     let mut housekeeping: TimeQueue<()> = TimeQueue::new();
@@ -167,20 +477,31 @@ fn run(
         housekeeping.schedule(REPLAY_HORIZON, ());
     }
 
-    for _visit in 0..loop_.visits {
-        for i in 0..trip {
+    let mut visit: u64 = 0;
+    while visit < visits {
+        let mut iter_detect = match iter_stride {
+            Some(stride) if iter_armed && trip > 2 * stride => {
+                let mut det = Detector::new(stride, ITER_WINDOW as usize);
+                det.record(take_snapshot(
+                    model,
+                    clock_base + slip,
+                    slip,
+                    &result,
+                    &stats_extra,
+                    &net_extra,
+                ));
+                Some(det)
+            }
+            _ => None,
+        };
+        let mut i: u64 = 0;
+        while i < trip {
             let iter_base = clock_base + i * ii;
             // Drain the iteration's pending events one issue slot at a
-            // time (events are sorted by `t`, so slots are contiguous).
-            let mut lo = 0;
-            while lo < events.len() {
-                let t = events[lo].t;
-                let mut hi = lo + 1;
-                while hi < events.len() && events[hi].t == t {
-                    hi += 1;
-                }
-                let slot = &events[lo..hi];
-                let slot_clock = (iter_base as i64 + t) as u64 + slip;
+            // time (precomputed maximal runs of equal `t`).
+            for range in &slots {
+                let slot = &events[range.clone()];
+                let slot_clock = (iter_base as i64 + slot[0].t) as u64 + slip;
                 match engine {
                     EngineKind::Event => {
                         while housekeeping.pop_due(slot_clock).is_some() {
@@ -230,7 +551,41 @@ fn run(
                         }
                     }
                 }
-                lo = hi;
+            }
+            result.ffwd.iters_replayed += 1;
+            i += 1;
+            if let Some(det) = iter_detect.as_mut() {
+                if det.active() {
+                    let snap = take_snapshot(
+                        model,
+                        clock_base + i * ii + slip,
+                        slip,
+                        &result,
+                        &stats_extra,
+                        &net_extra,
+                    );
+                    if let Some(p) = det.record(snap) {
+                        let k = (trip - i) / p;
+                        if k > 0 {
+                            let d = det.period_delta(p);
+                            apply_periods(
+                                &mut result,
+                                &mut slip,
+                                &mut stats_extra,
+                                &mut net_extra,
+                                model,
+                                &d,
+                                k,
+                                p * ii,
+                            );
+                            i += k * p;
+                            result.ffwd.iters_batched += k * p;
+                        }
+                        // The residue is shorter than a period; nothing
+                        // further can fire inside this visit.
+                        det.done = true;
+                    }
+                }
             }
         }
         if schedule.flush_on_exit {
@@ -240,21 +595,68 @@ fn run(
         }
         result.compute_cycles += visit_compute;
         clock_base += visit_compute;
+        visit += 1;
+        if let Some(det) = iter_detect {
+            // A visit that exhausted its warm-up window without finding a
+            // period will not find one next visit either (the request
+            // structure repeats per visit) — stop paying the digests.
+            // Cross-visit periodicity is the visit detector's job.
+            if det.done && !det.fired {
+                iter_armed = false;
+            }
+        }
+        if let Some(det) = visit_detect.as_mut() {
+            if det.active() {
+                let snap = take_snapshot(
+                    model,
+                    clock_base + slip,
+                    slip,
+                    &result,
+                    &stats_extra,
+                    &net_extra,
+                );
+                if let Some(p) = det.record(snap) {
+                    let k = (visits - visit) / p;
+                    if k > 0 {
+                        let d = det.period_delta(p);
+                        apply_periods(
+                            &mut result,
+                            &mut slip,
+                            &mut stats_extra,
+                            &mut net_extra,
+                            model,
+                            &d,
+                            k,
+                            p * visit_compute,
+                        );
+                        result.compute_cycles += k * p * visit_compute;
+                        clock_base += k * p * visit_compute;
+                        visit += k * p;
+                        result.ffwd.iters_batched += k * p * trip;
+                    }
+                    det.done = true;
+                }
+            }
+        }
     }
 
     result.stall_cycles = slip;
     result.mem_stats = model.stats().clone();
+    result.mem_stats.merge(&stats_extra);
     // Attach the network's per-link / per-bank observation (None on the
     // flat network) — the counters a profiling run feeds back into
-    // placement.
-    result.mem_stats.net = model.network_load();
+    // placement — including any batched share.
+    result.mem_stats.net = model.network_load().map(|mut n| {
+        n.merge(&net_extra);
+        n
+    });
     result
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::model::simulate_arch;
+    use crate::model::{simulate_arch, MemoryModelKind};
     use vliw_ir::LoopBuilder;
     use vliw_machine::L0Capacity;
     use vliw_sched::{Arch, L0Options};
@@ -441,5 +843,119 @@ mod tests {
         let s = compile(&l, &cfg(), Arch::L0);
         let r = simulate_arch(&s, &cfg(), Arch::L0);
         assert!(r.total_cycles() > 0);
+    }
+
+    // -- steady-state fast-forward ------------------------------------
+
+    /// Runs (ffwd on, ffwd off) on the same engine and returns both
+    /// results plus the schedule's dynamic iteration count — in
+    /// *post-unroll* iterations, the unit the runner (and its ffwd
+    /// telemetry) counts in.
+    fn ffwd_pair(
+        l: &vliw_ir::LoopNest,
+        c: &MachineConfig,
+        arch: Arch,
+        engine: EngineKind,
+    ) -> (SimResult, SimResult, u64, u64) {
+        let s = compile(l, c, arch);
+        let kind = MemoryModelKind::for_arch(arch);
+        let mut m_on = kind.build_with_engine(c, engine);
+        let on = simulate_with(&s, c, m_on.as_mut(), engine, true);
+        let mut m_off = kind.build_with_engine(c, engine);
+        let off = simulate_with(&s, c, m_off.as_mut(), engine, false);
+        let trip = s.loop_.trip_count.max(1);
+        (on, off, trip, s.loop_.visits)
+    }
+
+    #[test]
+    fn visit_level_fast_forward_fires_and_is_bit_exact() {
+        // 24 visits: enough to confirm even a multi-visit steady period
+        // (the word-interleaved model settles into a 7-visit orbit of
+        // attraction-buffer vector orders, and confirmation needs two
+        // full periods).
+        let l = LoopBuilder::new("ew")
+            .trip_count(64)
+            .visits(24)
+            .elementwise(2)
+            .build();
+        for arch in Arch::ALL {
+            let (on, off, trip, visits) = ffwd_pair(&l, &cfg(), arch, EngineKind::Event);
+            assert_eq!(on, off, "{arch}: batched result must equal replay");
+            assert_eq!(off.ffwd.iters_batched, 0, "{arch}: knob off means replay");
+            assert_eq!(off.ffwd.iters_replayed, trip * visits);
+            assert!(
+                on.ffwd.iters_batched > 0,
+                "{arch}: steady visits must batch"
+            );
+            assert_eq!(
+                on.ffwd.iters_replayed + on.ffwd.iters_batched,
+                trip * visits,
+                "{arch}: every iteration accounted exactly once"
+            );
+        }
+    }
+
+    #[test]
+    fn iteration_level_fast_forward_fires_inside_one_visit() {
+        // A loop whose stream wraps a small array every 16 iterations:
+        // the only case where state can recur *within* a visit.
+        let mut b = LoopBuilder::new("wrap").trip_count(200);
+        let t = b.array("t", 64);
+        let acc = vliw_ir::MemAccess {
+            array: t,
+            offset_bytes: 0,
+            elem_bytes: 4,
+            stride: vliw_ir::StridePattern::Affine { stride_bytes: 4 },
+        };
+        let (_, v) = b.load(acc);
+        b.alu(vliw_ir::OpKind::IntAlu, &[v]);
+        let l = b.build();
+        for arch in Arch::ALL {
+            let (on, off, trip, visits) = ffwd_pair(&l, &cfg(), arch, EngineKind::Event);
+            assert_eq!(on, off, "{arch}");
+            assert!(
+                on.ffwd.iters_batched > 0,
+                "{arch}: a 16-iteration wrap inside trip 200 must batch"
+            );
+            assert_eq!(
+                on.ffwd.iters_replayed + on.ffwd.iters_batched,
+                trip * visits
+            );
+        }
+    }
+
+    #[test]
+    fn irregular_streams_disable_iteration_level_but_not_visits() {
+        let l = LoopBuilder::new("irr")
+            .trip_count(96)
+            .visits(8)
+            .irregular(4, 65536)
+            .build();
+        for arch in [Arch::Baseline, Arch::L0] {
+            let (on, off, trip, _) = ffwd_pair(&l, &cfg(), arch, EngineKind::Event);
+            assert_eq!(on, off, "{arch}");
+            // irregular addresses repeat *per visit* (the iteration
+            // counter resets), so visit-level batching is still legal
+            // and may fire; iteration-level never can.
+            assert_eq!(
+                on.ffwd.iters_batched % trip,
+                0,
+                "{arch}: only whole visits may batch for irregular streams"
+            );
+        }
+    }
+
+    #[test]
+    fn stepped_engine_honors_the_knob_too() {
+        let l = LoopBuilder::new("ew")
+            .trip_count(48)
+            .visits(10)
+            .elementwise(2)
+            .build();
+        for arch in Arch::ALL {
+            let (on, off, _, _) = ffwd_pair(&l, &cfg(), arch, EngineKind::Stepped);
+            assert_eq!(on, off, "{arch}");
+            assert_eq!(off.ffwd.iters_batched, 0);
+        }
     }
 }

@@ -10,9 +10,13 @@
 use crate::Violation;
 use vliw_machine::{MachineConfig, Topology};
 use vliw_mem::ReqKind;
-use vliw_workloads::traffic::TrafficRun;
+use vliw_workloads::traffic::{PatternKind, TrafficRun};
 
 /// Checks one pattern replay against `cfg`'s machine.
+///
+/// `kind` is the pattern the run was generated from, when the caller
+/// knows it — `None` skips the pattern-specific invariants and checks
+/// only the universal reply-level ones.
 ///
 /// Invariants (tags):
 ///
@@ -30,8 +34,17 @@ use vliw_workloads::traffic::TrafficRun;
 /// * `traffic-flat-contention` — the flat network is contention-free:
 ///   no routed requests, no queueing, no link stalls.
 /// * `traffic-mesh-only-links` — link stalls exist only on the mesh.
+/// * `traffic-chain-causality` — on a dependent chain, every hop after
+///   a cluster's first is a load issued exactly one cycle after that
+///   cluster's previous reply: the closed loop really is closed (an
+///   open-loop drive would issue hops before their pointers arrived).
 #[must_use]
-pub fn check_traffic(name: &str, cfg: &MachineConfig, run: &TrafficRun) -> Vec<Violation> {
+pub fn check_traffic(
+    name: &str,
+    cfg: &MachineConfig,
+    kind: Option<PatternKind>,
+    run: &TrafficRun,
+) -> Vec<Violation> {
     let mut out = Vec::new();
 
     if run.requests.len() != run.replies.len() {
@@ -134,6 +147,34 @@ pub fn check_traffic(name: &str, cfg: &MachineConfig, run: &TrafficRun) -> Vec<V
         ));
     }
 
+    if let Some(PatternKind::DependentChain { .. }) = kind {
+        let mut last_ready = std::collections::HashMap::new();
+        for (i, (req, rep)) in run.requests.iter().zip(&run.replies).enumerate() {
+            let c = req.cluster.index();
+            if req.kind != ReqKind::Load {
+                out.push(Violation::new(
+                    "traffic-chain-causality",
+                    name,
+                    format!("hop {i} on cluster {c} is a {:?}, not a load", req.kind),
+                ));
+            }
+            if let Some(prev) = last_ready.get(&c) {
+                if req.cycle != prev + 1 {
+                    out.push(Violation::new(
+                        "traffic-chain-causality",
+                        name,
+                        format!(
+                            "hop {i} on cluster {c} issued at {} but its pointer \
+                             arrived at {prev}",
+                            req.cycle
+                        ),
+                    ));
+                }
+            }
+            last_ready.insert(c, rep.ready_at);
+        }
+    }
+
     out
 }
 
@@ -160,7 +201,7 @@ mod tests {
     #[test]
     fn clean_run_passes() {
         let cfg = MachineConfig::micro2003();
-        assert_eq!(check_traffic("t", &cfg, &tiny_run()), Vec::new());
+        assert_eq!(check_traffic("t", &cfg, None, &tiny_run()), Vec::new());
     }
 
     #[test]
@@ -168,7 +209,7 @@ mod tests {
         let cfg = MachineConfig::micro2003();
         let mut run = tiny_run();
         run.replies[0].ready_at = 5; // before issue at 10
-        let vs = check_traffic("t", &cfg, &run);
+        let vs = check_traffic("t", &cfg, None, &run);
         assert!(vs.iter().any(|v| v.invariant == "traffic-time-travel"));
     }
 
@@ -179,10 +220,38 @@ mod tests {
         run.replies[0].queue_cycles = 100; // wait is only 6
         run.stats.ic_queue_cycles = 100;
         run.stats.ic_requests = 1;
-        let vs = check_traffic("t", &cfg, &run);
+        let vs = check_traffic("t", &cfg, None, &run);
         assert!(vs.iter().any(|v| v.invariant == "traffic-attr-exceeds"));
         // ... and a flat machine additionally flags any contention at all.
         assert!(vs.iter().any(|v| v.invariant == "traffic-flat-contention"));
+    }
+
+    #[test]
+    fn broken_chain_cadence_is_flagged() {
+        let cfg = MachineConfig::micro2003();
+        let kind = Some(PatternKind::DependentChain { span_bytes: 1024 });
+        let hints = MemHints::no_access();
+        let cl = ClusterId::new(0);
+        let mut run = TrafficRun {
+            requests: vec![
+                MemRequest::load(cl, 0, 4, hints, 0),
+                MemRequest::load(cl, 64, 4, hints, 7), // reply at 6 → legal
+            ],
+            replies: vec![
+                MemReply::new(6, ServicedBy::L1),
+                MemReply::new(13, ServicedBy::L1),
+            ],
+            stats: MemStats {
+                accesses: 2,
+                ..Default::default()
+            },
+            net: None,
+        };
+        assert_eq!(check_traffic("t", &cfg, kind, &run), Vec::new());
+        // Issue the second hop before its pointer arrived: open loop.
+        run.requests[1].cycle = 3;
+        let vs = check_traffic("t", &cfg, kind, &run);
+        assert!(vs.iter().any(|v| v.invariant == "traffic-chain-causality"));
     }
 
     #[test]
@@ -190,7 +259,7 @@ mod tests {
         let cfg = MachineConfig::micro2003();
         let mut run = tiny_run();
         run.stats.accesses = 7;
-        let vs = check_traffic("t", &cfg, &run);
+        let vs = check_traffic("t", &cfg, None, &run);
         assert!(vs.iter().any(|v| v.invariant == "traffic-access-count"));
     }
 }

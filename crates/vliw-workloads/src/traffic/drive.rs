@@ -4,7 +4,8 @@ use serde::Serialize;
 use vliw_machine::{MachineConfig, NetLoad};
 use vliw_mem::{MemReply, MemRequest, MemStats, MemoryModel, ReqKind};
 
-use super::patterns::PatternSpec;
+use super::patterns::{chain_salt, chain_step, PatternKind, PatternSpec};
+use vliw_machine::{ClusterId, MemHints};
 
 /// The full trace of one pattern replay: every request, every reply,
 /// and the model's final statistics. `PartialEq` is the engine-
@@ -132,6 +133,9 @@ pub fn run_traffic(
     cfg: &MachineConfig,
     model: &mut dyn MemoryModel,
 ) -> TrafficRun {
+    if let PatternKind::DependentChain { span_bytes } = spec.kind {
+        return run_chain(spec, cfg, model, span_bytes);
+    }
     let requests = spec.requests(cfg);
     let mut replies = Vec::with_capacity(requests.len());
     let mut frontier = 0u64;
@@ -141,6 +145,70 @@ pub fn run_traffic(
             model.retire(frontier);
         }
         replies.push(model.access(req));
+    }
+    TrafficRun {
+        stats: model.stats().clone(),
+        net: model.network_load(),
+        requests,
+        replies,
+    }
+}
+
+/// The closed-loop drive for [`PatternKind::DependentChain`]: replies
+/// feed the requests. Each cluster serially chases a private hash
+/// chain — the next address is [`chain_step`] of the current one (the
+/// "pointer value" stored there), and the next hop issues the cycle
+/// after the previous reply arrived. Hops are interleaved globally in
+/// issue-cycle order (ties by cluster index), so the stream stays
+/// nondecreasing — the same retire cadence contract the open-loop
+/// patterns obey — and the whole trace remains a deterministic function
+/// of (spec, machine, model): identical timing engines produce
+/// identical traces, which keeps the engine-equivalence gate meaningful
+/// for a timing-fed stream. Chain hops are always loads (`store_pct`
+/// does not apply — a store carries no pointer to follow).
+fn run_chain(
+    spec: &PatternSpec,
+    cfg: &MachineConfig,
+    model: &mut dyn MemoryModel,
+    span_bytes: u64,
+) -> TrafficRun {
+    let n = cfg.clusters.max(1);
+    let eb = u64::from(spec.elem_bytes.max(1));
+    let slots = (span_bytes.max(eb) / eb).max(1);
+    // Per-cluster chase state, seeded exactly like the heads that
+    // `PatternSpec::requests` reports.
+    let mut addr: Vec<u64> = (0..n)
+        .map(|c| chain_step(spec.seed, chain_salt(c)) % slots * eb)
+        .collect();
+    let mut next_issue = vec![0u64; n];
+
+    let mut requests = Vec::with_capacity(spec.reqs);
+    let mut replies = Vec::with_capacity(spec.reqs);
+    let mut frontier = 0u64;
+    for _ in 0..spec.reqs {
+        // The earliest-ready cluster issues its next hop; every
+        // cluster's next issue is ≥ the cycle of its last reply, so the
+        // global minimum never runs backwards.
+        let c = (0..n).min_by_key(|&c| (next_issue[c], c)).unwrap_or(0);
+        let cycle = next_issue[c];
+        if cycle > frontier {
+            frontier = cycle;
+            model.retire(frontier);
+        }
+        let req = MemRequest::load(
+            ClusterId::new(c),
+            addr[c],
+            spec.elem_bytes.max(1),
+            MemHints::no_access(),
+            cycle,
+        );
+        let rep = model.access(&req);
+        // The reply carries the pointer: follow it, one cycle after it
+        // lands.
+        addr[c] = chain_step(addr[c], chain_salt(c)) % slots * eb;
+        next_issue[c] = rep.ready_at + 1;
+        requests.push(req);
+        replies.push(rep);
     }
     TrafficRun {
         stats: model.stats().clone(),
@@ -170,6 +238,44 @@ mod tests {
                 .filter(|r| matches!(r.kind, ReqKind::Load | ReqKind::Store))
                 .count() as u64;
             assert_eq!(run.stats.accesses, issued, "'{}'", spec.name);
+        }
+    }
+
+    #[test]
+    fn dependent_chain_is_reply_fed() {
+        let cfg = MachineConfig::micro2003();
+        let spec = presets()
+            .into_iter()
+            .find(|s| matches!(s.kind, PatternKind::DependentChain { .. }))
+            .expect("dependent-chain preset")
+            .with_reqs(96);
+        let mut model = UnifiedWithL0::new(&cfg);
+        let run = run_traffic(&spec, &cfg, &mut model);
+        assert_eq!(run.requests.len(), 96);
+        // Serial chase per cluster: every hop after the first issues
+        // exactly one cycle after that cluster's previous reply landed.
+        let mut last_ready = std::collections::HashMap::new();
+        for (req, rep) in run.requests.iter().zip(&run.replies) {
+            assert_eq!(req.kind, ReqKind::Load, "chain hops are loads");
+            if let Some(prev) = last_ready.get(&req.cluster.index()) {
+                assert_eq!(req.cycle, prev + 1, "hop broke the reply-fed cadence");
+            }
+            last_ready.insert(req.cluster.index(), rep.ready_at);
+        }
+        // The interleaved stream still obeys the engines' nondecreasing
+        // issue-cycle contract.
+        for w in run.requests.windows(2) {
+            assert!(w[1].cycle >= w[0].cycle, "issue cycles ran backwards");
+        }
+        // And the chain heads match what `requests()` advertises.
+        let heads = spec.requests(&cfg);
+        for head in &heads {
+            let first = run
+                .requests
+                .iter()
+                .find(|r| r.cluster == head.cluster)
+                .unwrap();
+            assert_eq!(first.addr, head.addr, "drive diverged from the spec's head");
         }
     }
 

@@ -27,6 +27,21 @@ pub enum PatternKind {
         /// Size of the region the chase wanders over.
         span_bytes: u64,
     },
+    /// The closed-loop pointer chase: each cluster walks a private hash
+    /// chain where the *reply feeds the next request* — the next address
+    /// is the "pointer value" stored at the current one
+    /// (`chain_step` of the address, memory contents being fixed), and
+    /// the next hop issues the cycle after the previous reply arrived.
+    /// Unlike [`PatternKind::PointerChase`]'s fixed cadence, the issue
+    /// rate here is set by the model's own latency, so a slower network
+    /// is probed *less* often — the self-throttling shape real linked
+    /// lists produce. Addresses past the chain heads depend on replies,
+    /// so [`PatternSpec::requests`] emits only the per-cluster heads and
+    /// [`super::run_traffic`] drives the rest of the loop.
+    DependentChain {
+        /// Size of the region the chains wander over.
+        span_bytes: u64,
+    },
     /// Tiled 3-point stencil sweeps whose tile boundaries overlap by a
     /// halo, so neighbouring clusters touch shared rows (coherence and
     /// attraction-buffer traffic on the distributed models).
@@ -80,6 +95,24 @@ pub struct PatternSpec {
     pub store_pct: u8,
     /// PRNG seed for the pattern's random choices.
     pub seed: u64,
+}
+
+/// The dependent chain's fixed "memory contents": the pointer value
+/// stored at `addr` on the chain salted with `salt` (a splitmix64
+/// finalizer, so the walk is a hash chain with no short cycles). Pure
+/// function of the address — timing decides *when* the next hop issues,
+/// never *where* it goes.
+pub(crate) fn chain_step(addr: u64, salt: u64) -> u64 {
+    let mut z = addr.wrapping_add(salt).wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The per-cluster chain salt: keeps each cluster on a private list so
+/// the chains never merge onto one shared walk.
+pub(crate) fn chain_salt(cluster: usize) -> u64 {
+    (cluster as u64 + 1) << 40
 }
 
 impl PatternSpec {
@@ -176,6 +209,23 @@ impl PatternSpec {
                         size,
                         MemHints::no_access(),
                         cycle,
+                    ));
+                }
+            }
+            PatternKind::DependentChain { span_bytes } => {
+                // Only the chain heads are knowable up front — every
+                // later hop's address is the pointer loaded by the
+                // previous reply, so `run_traffic` generates the rest of
+                // the stream closed-loop against the model.
+                let slots = (span_bytes.max(eb) / eb).max(1);
+                for c in 0..n.min(self.reqs) {
+                    let head = chain_step(self.seed, chain_salt(c)) % slots * eb;
+                    out.push(MemRequest::load(
+                        ClusterId::new(c),
+                        head,
+                        size,
+                        MemHints::no_access(),
+                        0,
                     ));
                 }
             }
@@ -304,6 +354,13 @@ pub fn presets() -> Vec<PatternSpec> {
             PatternKind::StencilHalo { tile: 256, halo: 8 },
         )
         .with_seed(104),
+        PatternSpec::new(
+            "dependent-chain",
+            PatternKind::DependentChain {
+                span_bytes: 1 << 16,
+            },
+        )
+        .with_seed(109),
         PatternSpec::new("hot-bank", PatternKind::HotBank { hot_banks: 1 })
             .with_store_pct(30)
             .with_seed(105),
@@ -346,7 +403,13 @@ mod tests {
             let a = spec.requests(&cfg);
             let b = spec.requests(&cfg);
             assert_eq!(a, b, "'{}' must replay identically", spec.name);
-            assert_eq!(a.len(), 100, "'{}' ignores the reqs knob", spec.name);
+            // The dependent chain is closed-loop: `requests()` can only
+            // emit the per-cluster heads, the drive makes up the rest.
+            let expected = match spec.kind {
+                PatternKind::DependentChain { .. } => cfg.clusters.min(100),
+                _ => 100,
+            };
+            assert_eq!(a.len(), expected, "'{}' ignores the reqs knob", spec.name);
         }
     }
 
@@ -387,6 +450,27 @@ mod tests {
             banks.len() <= 2,
             "hot-bank adversary leaked onto banks {banks:?}"
         );
+    }
+
+    #[test]
+    fn dependent_chain_heads_are_private_and_in_span() {
+        let cfg = machine();
+        let spec = PatternSpec::new(
+            "dc",
+            PatternKind::DependentChain {
+                span_bytes: 1 << 12,
+            },
+        )
+        .with_reqs(64);
+        let heads = spec.requests(&cfg);
+        assert_eq!(heads.len(), cfg.clusters, "one chain head per cluster");
+        let addrs: std::collections::BTreeSet<u64> = heads.iter().map(|r| r.addr).collect();
+        assert_eq!(addrs.len(), heads.len(), "chains must start apart");
+        for r in &heads {
+            assert!(r.addr < 1 << 12, "head {:#x} escaped the span", r.addr);
+            assert_eq!(r.addr % 4, 0, "head {:#x} misaligned", r.addr);
+            assert_eq!(r.kind, ReqKind::Load, "a chain hop is always a load");
+        }
     }
 
     #[test]
